@@ -1,0 +1,49 @@
+//! End-to-end experiment benches: the Fig. 9 attack race and the E1
+//! growth loop, timed to show the harness itself is cheap enough for the
+//! parameter sweeps in the `exp_*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use seldel_sim::{simulate_race, LoginAudit, RaceConfig};
+
+fn bench_attack_race(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_race");
+    for depth in [1u64, 12] {
+        group.bench_function(BenchmarkId::new("depth", depth), |b| {
+            b.iter(|| {
+                simulate_race(black_box(&RaceConfig {
+                    attacker_fraction: 0.3,
+                    depth,
+                    trials: 1_000,
+                    give_up_lead: 60,
+                    seed: 0x51AC,
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_paper_scenario(c: &mut Criterion) {
+    // The full Fig. 6→8 storyline: 14 blocks, two merges, one deletion.
+    c.bench_function("paper_scenario_fig6_to_fig8", |b| {
+        b.iter(|| {
+            let mut sim = LoginAudit::paper_setup();
+            sim.run_fig6().unwrap();
+            sim.run_fig7().unwrap();
+            sim.run_fig8().unwrap();
+            black_box(sim.ledger().chain().tip().hash())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20);
+    targets = bench_attack_race, bench_paper_scenario
+}
+criterion_main!(benches);

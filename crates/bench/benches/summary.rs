@@ -1,0 +1,61 @@
+//! Experiment E3 benches (§V-B2 "Size of summary blocks"): how long does
+//! building the deterministic summary block take as the number of merged
+//! records grows? Pairs with `exp_summary_size`, which reports byte sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use seldel_bench::{bench_config, manual_chain};
+use seldel_core::{build_summary_block, DeletionRegistry};
+
+/// Builds a chain whose *next* summary slot will merge roughly
+/// `records` carried records, and returns the pieces needed to re-run
+/// `build_summary_block` in the bench loop.
+fn merge_fixture(records: u64) -> (seldel_chain::Blockchain, seldel_core::ChainConfig) {
+    // l = 10, l_max = 20; tip manually parked at 38 so slot 39 merges
+    // sequence [10..19] — nine payload blocks of entries.
+    let entries_per_block = (records / 9).max(1) as usize;
+    manual_chain(bench_config(10, 20), 38, entries_per_block)
+}
+
+fn bench_summary_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("summary_build");
+    group.sample_size(20);
+    for records in [64u64, 256, 1024] {
+        let (chain, config) = merge_fixture(records);
+        let deletions = DeletionRegistry::new();
+        let next = chain.tip().number().next();
+        assert!(config.is_summary_slot(next), "fixture must sit at a slot");
+        group.throughput(Throughput::Elements(records));
+        group.bench_function(BenchmarkId::from_parameter(records), |b| {
+            b.iter(|| {
+                let (block, outcome) =
+                    build_summary_block(black_box(&chain), &config, &deletions, next);
+                black_box((block, outcome))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_summary_determinism_check(c: &mut Criterion) {
+    // The sync check of §IV-B is a hash comparison; measure hashing a
+    // realistic summary block.
+    let (chain, config) = merge_fixture(256);
+    let deletions = DeletionRegistry::new();
+    let next = chain.tip().number().next();
+    let (block, _) = build_summary_block(&chain, &config, &deletions, next);
+    c.bench_function("summary_hash_sync_check", |b| {
+        b.iter(|| black_box(&block).hash())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20);
+    targets = bench_summary_build, bench_summary_determinism_check
+}
+criterion_main!(benches);

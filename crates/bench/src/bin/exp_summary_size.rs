@@ -1,0 +1,76 @@
+//! Experiment E3 — size and build time of summary blocks (§V-B2).
+//!
+//! "By adding up the information in summary blocks, they become larger
+//! over time. The creation of these summary blocks can take a long time,
+//! depending on the amount of data to be copied" — this binary quantifies
+//! both, including the growth across repeated merge cycles.
+//!
+//! Run with `cargo run -p seldel-bench --bin exp_summary_size --release`.
+
+use std::time::Instant;
+
+use seldel_bench::{bench_config, manual_chain, workload_entry, workload_key};
+use seldel_chain::{BlockKind, Timestamp};
+use seldel_codec::render::{human_bytes, TextTable};
+
+fn main() {
+    println!("E3a: summary block size/build time vs merged records\n");
+    let mut table = TextTable::new([
+        "records merged",
+        "Σ size",
+        "bytes/record",
+        "build time",
+    ]);
+    for entries_per_block in [2usize, 8, 32, 64] {
+        // A manual chain stopped at tip 38 (l=10, l_max=20): the next slot
+        // (39) merges sequence [10..19] — nine payload blocks of entries.
+        let (chain, config) = manual_chain(bench_config(10, 20), 38, entries_per_block);
+        let deletions = seldel_core::DeletionRegistry::new();
+        let next = chain.tip().number().next();
+        assert!(config.is_summary_slot(next));
+        let started = Instant::now();
+        let (block, outcome) =
+            seldel_core::build_summary_block(&chain, &config, &deletions, next);
+        let elapsed = started.elapsed();
+        let size = block.byte_size() as u64;
+        table.row([
+            outcome.carried.to_string(),
+            human_bytes(size),
+            format!("{:.0}", size as f64 / outcome.carried.max(1) as f64),
+            format!("{:.2?}", elapsed),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("E3b: summary size across repeated merge cycles (records accumulate)\n");
+    let key = workload_key();
+    let mut ledger = seldel_core::SelectiveLedger::new(seldel_bench::bench_config(5, 15));
+    let mut cycles = TextTable::new(["tip block", "Σ records", "Σ size"]);
+    let mut counter = 0u64;
+    let mut sampled = 0;
+    let mut b = 0u64;
+    while sampled < 8 {
+        b += 1;
+        counter += 1;
+        ledger
+            .submit_entry(workload_entry(&key, counter, 64))
+            .expect("valid entry");
+        ledger.seal_block(Timestamp(b * 10)).expect("monotone time");
+        let tip = ledger.chain().tip();
+        if tip.kind() == BlockKind::Summary && !tip.summary_records().is_empty() {
+            cycles.row([
+                tip.number().to_string(),
+                tip.summary_records().len().to_string(),
+                human_bytes(tip.byte_size() as u64),
+            ]);
+            sampled += 1;
+        }
+    }
+    println!("{}", cycles.render());
+    println!(
+        "shape check: Σ size grows linearly with carried records; permanent\n\
+         records accumulate across merge cycles exactly as §V-B2 warns (the\n\
+         paper's mitigations — hash references / off-chain packaging — would\n\
+         cap bytes/record)."
+    );
+}

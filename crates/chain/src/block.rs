@@ -1,0 +1,649 @@
+//! Blocks and headers.
+//!
+//! Four block kinds exist in the selective-deletion design:
+//!
+//! * **Genesis** — the original first block (Fig. 6 shows it with
+//!   predecessor hash `DEADB`).
+//! * **Normal** — carries signed entries.
+//! * **Summary (Σ)** — the special deterministic block type of §IV-B. It
+//!   consists "of deterministic information only", carries the same
+//!   timestamp τ as its predecessor, and is created locally by every node.
+//! * **Empty** — idle filler blocks (§IV-D3) bounding deletion latency.
+
+use std::fmt;
+
+use seldel_codec::{decode_seq, encode_seq, Codec, DecodeError, Decoder, Encoder};
+use seldel_crypto::{merkle, Digest32, MerkleTree, Signature, VerifyingKey};
+
+use crate::entry::Entry;
+use crate::summary::{Anchor, SummaryRecord};
+use crate::types::{BlockNumber, Timestamp};
+
+/// Domain separation tag for block hashes.
+const BLOCK_HASH_DOMAIN: &[u8] = b"seldel/block/v1";
+
+/// The conventional predecessor hash of the original genesis block.
+///
+/// The paper's Fig. 6 shows the genesis block with previous hash `DEADB`;
+/// this constant renders exactly that via [`Digest32::short`].
+pub const GENESIS_PREV_HASH: Digest32 = Digest32::from_bytes([
+    0xde, 0xad, 0xb0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00,
+]);
+
+/// Block kinds (discriminants are part of the wire format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// The original first block.
+    Genesis,
+    /// An ordinary entry-carrying block.
+    Normal,
+    /// A summary block Σ.
+    Summary,
+    /// An idle filler block.
+    Empty,
+}
+
+impl BlockKind {
+    const fn tag(self) -> u8 {
+        match self {
+            BlockKind::Genesis => 0,
+            BlockKind::Normal => 1,
+            BlockKind::Summary => 2,
+            BlockKind::Empty => 3,
+        }
+    }
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            BlockKind::Genesis => "genesis",
+            BlockKind::Normal => "normal",
+            BlockKind::Summary => "summary",
+            BlockKind::Empty => "empty",
+        };
+        f.write_str(name)
+    }
+}
+
+impl Codec for BlockKind {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.tag());
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.take_u8()? {
+            0 => Ok(BlockKind::Genesis),
+            1 => Ok(BlockKind::Normal),
+            2 => Ok(BlockKind::Summary),
+            3 => Ok(BlockKind::Empty),
+            tag => Err(DecodeError::InvalidTag {
+                what: "BlockKind",
+                tag,
+            }),
+        }
+    }
+}
+
+/// The consensus seal of a block.
+///
+/// The selective-deletion concept is independent of the consensus algorithm
+/// (§IV-A); the seal variant reflects whichever engine sealed the block.
+/// Summary blocks always carry [`Seal::Deterministic`] — the paper drops the
+/// nonce for summarised content ("the nonce and previous hash of a block
+/// are not needed anymore") and the block must be derivable by every node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Seal {
+    /// No seal: deterministic blocks (genesis, summary, empty filler).
+    Deterministic,
+    /// Proof-of-work nonce.
+    Nonce(u64),
+    /// Proof-of-authority signature over the pre-seal header hash.
+    Authority {
+        /// The sealing authority.
+        signer: VerifyingKey,
+        /// Signature over the pre-seal header digest.
+        signature: Signature,
+    },
+}
+
+impl Codec for Seal {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Seal::Deterministic => enc.put_u8(0),
+            Seal::Nonce(n) => {
+                enc.put_u8(1);
+                enc.put_u64(*n);
+            }
+            Seal::Authority { signer, signature } => {
+                enc.put_u8(2);
+                enc.put_raw(signer.as_bytes());
+                enc.put_raw(&signature.to_bytes());
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.take_u8()? {
+            0 => Ok(Seal::Deterministic),
+            1 => Ok(Seal::Nonce(dec.take_u64()?)),
+            2 => {
+                let key_bytes: [u8; 32] = dec.take_array()?;
+                let signer =
+                    VerifyingKey::from_bytes(&key_bytes).map_err(|_| DecodeError::InvalidTag {
+                        what: "Seal.signer",
+                        tag: key_bytes[0],
+                    })?;
+                let sig_bytes: [u8; 64] = dec.take_array()?;
+                Ok(Seal::Authority {
+                    signer,
+                    signature: Signature::from_bytes(&sig_bytes),
+                })
+            }
+            tag => Err(DecodeError::InvalidTag { what: "Seal", tag }),
+        }
+    }
+}
+
+/// A block header.
+///
+/// The paper's console format (§V): "block number; timestamp; previous
+/// block hash; own block hash; optional data entry". The "own block hash"
+/// is derived, not stored: [`BlockHeader::hash`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Block number α.
+    pub number: BlockNumber,
+    /// Timestamp τ. For summary blocks this equals the predecessor's
+    /// timestamp (§IV-B), which is what lets every node derive Σ locally.
+    pub timestamp: Timestamp,
+    /// Hash of the predecessor block.
+    pub prev_hash: Digest32,
+    /// Commitment to the block body (Merkle root over entries/records).
+    pub payload_hash: Digest32,
+    /// Block kind.
+    pub kind: BlockKind,
+    /// Consensus seal.
+    pub seal: Seal,
+}
+
+impl BlockHeader {
+    /// The block hash: SHA-256 over the domain-tagged canonical header.
+    pub fn hash(&self) -> Digest32 {
+        let mut enc = Encoder::new();
+        enc.put_raw(BLOCK_HASH_DOMAIN);
+        self.encode(&mut enc);
+        seldel_crypto::sha256(enc.into_bytes())
+    }
+
+    /// The pre-seal digest an authority signs: the header with the seal
+    /// field fixed to [`Seal::Deterministic`].
+    pub fn preseal_digest(&self) -> Digest32 {
+        let unsealed = BlockHeader {
+            seal: Seal::Deterministic,
+            ..self.clone()
+        };
+        unsealed.hash()
+    }
+}
+
+impl Codec for BlockHeader {
+    fn encode(&self, enc: &mut Encoder) {
+        self.number.encode(enc);
+        self.timestamp.encode(enc);
+        enc.put_raw(self.prev_hash.as_bytes());
+        enc.put_raw(self.payload_hash.as_bytes());
+        self.kind.encode(enc);
+        self.seal.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(BlockHeader {
+            number: BlockNumber::decode(dec)?,
+            timestamp: Timestamp::decode(dec)?,
+            prev_hash: Digest32::from_bytes(dec.take_array()?),
+            payload_hash: Digest32::from_bytes(dec.take_array()?),
+            kind: BlockKind::decode(dec)?,
+            seal: Seal::decode(dec)?,
+        })
+    }
+}
+
+/// A block body, one variant per [`BlockKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockBody {
+    /// Genesis payload: a free-text chain identity note.
+    Genesis {
+        /// Chain identity / bootstrap note.
+        note: String,
+    },
+    /// Entries of a normal block.
+    Normal {
+        /// The signed entries, in consensus order.
+        entries: Vec<Entry>,
+    },
+    /// Summary payload: carried-forward records plus optional anchor.
+    Summary {
+        /// Records copied forward from pruned sequences (possibly empty —
+        /// "at the beginning of the blockchain … empty summary blocks").
+        records: Vec<SummaryRecord>,
+        /// Fig. 9 anchor over a middle sequence, present when the summary
+        /// absorbed pruned history and anchoring is enabled.
+        anchor: Option<Anchor>,
+    },
+    /// Idle filler block (no payload).
+    Empty,
+}
+
+impl BlockBody {
+    /// The kind this body corresponds to.
+    pub fn kind(&self) -> BlockKind {
+        match self {
+            BlockBody::Genesis { .. } => BlockKind::Genesis,
+            BlockBody::Normal { .. } => BlockKind::Normal,
+            BlockBody::Summary { .. } => BlockKind::Summary,
+            BlockBody::Empty => BlockKind::Empty,
+        }
+    }
+
+    /// The payload commitment stored in the header: a Merkle root over the
+    /// canonical encodings of the body's items (entries or records), or a
+    /// domain hash for genesis/empty bodies.
+    pub fn payload_hash(&self) -> Digest32 {
+        match self {
+            BlockBody::Genesis { note } => seldel_crypto::sha256(
+                [b"seldel/genesis/v1".as_slice(), note.as_bytes()].concat(),
+            ),
+            BlockBody::Normal { entries } => {
+                MerkleTree::from_leaves(entries.iter().map(|e| e.to_canonical_bytes())).root()
+            }
+            BlockBody::Summary { records, anchor } => {
+                let mut leaves: Vec<Vec<u8>> =
+                    records.iter().map(|r| r.to_canonical_bytes()).collect();
+                if let Some(anchor) = anchor {
+                    leaves.push(anchor.to_canonical_bytes());
+                }
+                let tree = MerkleTree::from_leaf_hashes(
+                    leaves.iter().map(merkle::leaf_hash).collect(),
+                );
+                tree.root()
+            }
+            BlockBody::Empty => seldel_crypto::sha256(b"seldel/empty/v1"),
+        }
+    }
+
+    /// Number of entries/records carried.
+    pub fn item_count(&self) -> usize {
+        match self {
+            BlockBody::Normal { entries } => entries.len(),
+            BlockBody::Summary { records, .. } => records.len(),
+            _ => 0,
+        }
+    }
+}
+
+impl Codec for BlockBody {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            BlockBody::Genesis { note } => {
+                enc.put_u8(0);
+                enc.put_str(note);
+            }
+            BlockBody::Normal { entries } => {
+                enc.put_u8(1);
+                encode_seq(entries, enc);
+            }
+            BlockBody::Summary { records, anchor } => {
+                enc.put_u8(2);
+                encode_seq(records, enc);
+                anchor.encode(enc);
+            }
+            BlockBody::Empty => enc.put_u8(3),
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.take_u8()? {
+            0 => Ok(BlockBody::Genesis {
+                note: dec.take_str()?,
+            }),
+            1 => Ok(BlockBody::Normal {
+                entries: decode_seq(dec)?,
+            }),
+            2 => Ok(BlockBody::Summary {
+                records: decode_seq(dec)?,
+                anchor: Option::<Anchor>::decode(dec)?,
+            }),
+            3 => Ok(BlockBody::Empty),
+            tag => Err(DecodeError::InvalidTag {
+                what: "BlockBody",
+                tag,
+            }),
+        }
+    }
+}
+
+/// A complete block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    header: BlockHeader,
+    body: BlockBody,
+}
+
+impl Block {
+    /// Assembles a block, deriving `kind` and `payload_hash` from the body.
+    pub fn new(
+        number: BlockNumber,
+        timestamp: Timestamp,
+        prev_hash: Digest32,
+        body: BlockBody,
+        seal: Seal,
+    ) -> Block {
+        let header = BlockHeader {
+            number,
+            timestamp,
+            prev_hash,
+            payload_hash: body.payload_hash(),
+            kind: body.kind(),
+            seal,
+        };
+        Block { header, body }
+    }
+
+    /// Builds the original genesis block.
+    pub fn genesis(note: impl Into<String>, timestamp: Timestamp) -> Block {
+        Block::new(
+            BlockNumber::GENESIS,
+            timestamp,
+            GENESIS_PREV_HASH,
+            BlockBody::Genesis { note: note.into() },
+            Seal::Deterministic,
+        )
+    }
+
+    /// Reassembles a block from parts (used by decode and the validator).
+    ///
+    /// Unlike [`Block::new`], the header is taken as-is; use
+    /// [`Block::is_payload_consistent`] to check it against the body.
+    pub fn from_parts(header: BlockHeader, body: BlockBody) -> Block {
+        Block { header, body }
+    }
+
+    /// The header.
+    pub fn header(&self) -> &BlockHeader {
+        &self.header
+    }
+
+    /// The body.
+    pub fn body(&self) -> &BlockBody {
+        &self.body
+    }
+
+    /// Block number α.
+    pub fn number(&self) -> BlockNumber {
+        self.header.number
+    }
+
+    /// Timestamp τ.
+    pub fn timestamp(&self) -> Timestamp {
+        self.header.timestamp
+    }
+
+    /// Block kind.
+    pub fn kind(&self) -> BlockKind {
+        self.header.kind
+    }
+
+    /// The block hash (derived from the header).
+    pub fn hash(&self) -> Digest32 {
+        self.header.hash()
+    }
+
+    /// Whether the header's payload commitment and kind match the body.
+    pub fn is_payload_consistent(&self) -> bool {
+        self.header.kind == self.body.kind()
+            && self.header.payload_hash == self.body.payload_hash()
+    }
+
+    /// Entries of a normal block (empty slice otherwise).
+    pub fn entries(&self) -> &[Entry] {
+        match &self.body {
+            BlockBody::Normal { entries } => entries,
+            _ => &[],
+        }
+    }
+
+    /// Records of a summary block (empty slice otherwise).
+    pub fn summary_records(&self) -> &[SummaryRecord] {
+        match &self.body {
+            BlockBody::Summary { records, .. } => records,
+            _ => &[],
+        }
+    }
+
+    /// The Fig. 9 anchor of a summary block, if present.
+    pub fn anchor(&self) -> Option<&Anchor> {
+        match &self.body {
+            BlockBody::Summary { anchor, .. } => anchor.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Canonical encoded size in bytes (header + body).
+    pub fn byte_size(&self) -> usize {
+        self.to_canonical_bytes().len()
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}; {}; {}; {}",
+            if self.kind() == BlockKind::Summary { "S" } else { "" },
+            self.number(),
+            self.timestamp(),
+            self.header.prev_hash.short(),
+            self.hash().short(),
+        )
+    }
+}
+
+impl Codec for Block {
+    fn encode(&self, enc: &mut Encoder) {
+        self.header.encode(enc);
+        self.body.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Block {
+            header: BlockHeader::decode(dec)?,
+            body: BlockBody::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldel_codec::DataRecord;
+    use seldel_crypto::SigningKey;
+
+    fn key(seed: u8) -> SigningKey {
+        SigningKey::from_seed([seed; 32])
+    }
+
+    fn sample_entry(seed: u8) -> Entry {
+        Entry::sign_data(&key(seed), DataRecord::new("login").with("user", "A"))
+    }
+
+    fn normal_block(number: u64, prev: Digest32) -> Block {
+        Block::new(
+            BlockNumber(number),
+            Timestamp(number * 10),
+            prev,
+            BlockBody::Normal {
+                entries: vec![sample_entry(1), sample_entry(2)],
+            },
+            Seal::Deterministic,
+        )
+    }
+
+    #[test]
+    fn genesis_has_paper_prev_hash() {
+        let g = Block::genesis("chain-1", Timestamp(0));
+        assert_eq!(g.header().prev_hash.short(), "DEADB");
+        assert_eq!(g.kind(), BlockKind::Genesis);
+        assert_eq!(g.number(), BlockNumber::GENESIS);
+        assert!(g.is_payload_consistent());
+    }
+
+    #[test]
+    fn block_hash_changes_with_content() {
+        let g1 = Block::genesis("chain-1", Timestamp(0));
+        let g2 = Block::genesis("chain-2", Timestamp(0));
+        let g3 = Block::genesis("chain-1", Timestamp(1));
+        assert_ne!(g1.hash(), g2.hash());
+        assert_ne!(g1.hash(), g3.hash());
+        assert_eq!(g1.hash(), Block::genesis("chain-1", Timestamp(0)).hash());
+    }
+
+    #[test]
+    fn payload_consistency_detects_tampering() {
+        let b = normal_block(1, seldel_crypto::sha256(b"prev"));
+        assert!(b.is_payload_consistent());
+        // Swap in a different body while keeping the header.
+        let tampered = Block::from_parts(
+            b.header().clone(),
+            BlockBody::Normal {
+                entries: vec![sample_entry(9)],
+            },
+        );
+        assert!(!tampered.is_payload_consistent());
+    }
+
+    #[test]
+    fn entries_accessor() {
+        let b = normal_block(1, Digest32::ZERO);
+        assert_eq!(b.entries().len(), 2);
+        assert!(b.summary_records().is_empty());
+        assert!(b.anchor().is_none());
+        assert_eq!(b.body().item_count(), 2);
+    }
+
+    #[test]
+    fn summary_block_round_trip() {
+        let entry = sample_entry(3);
+        let rec = SummaryRecord::from_entry(
+            &entry,
+            crate::types::EntryId::new(BlockNumber(1), crate::types::EntryNumber(0)),
+            Timestamp(10),
+        )
+        .unwrap();
+        let anchor = Anchor::new(BlockNumber(4), BlockNumber(6), seldel_crypto::sha256(b"x"));
+        let b = Block::new(
+            BlockNumber(9),
+            Timestamp(80),
+            seldel_crypto::sha256(b"prev"),
+            BlockBody::Summary {
+                records: vec![rec],
+                anchor: Some(anchor),
+            },
+            Seal::Deterministic,
+        );
+        let decoded = Block::from_canonical_bytes(&b.to_canonical_bytes()).unwrap();
+        assert_eq!(decoded, b);
+        assert_eq!(decoded.summary_records().len(), 1);
+        assert_eq!(decoded.anchor(), Some(&anchor));
+        assert!(decoded.is_payload_consistent());
+    }
+
+    #[test]
+    fn empty_block_round_trip() {
+        let b = Block::new(
+            BlockNumber(5),
+            Timestamp(50),
+            Digest32::ZERO,
+            BlockBody::Empty,
+            Seal::Deterministic,
+        );
+        let decoded = Block::from_canonical_bytes(&b.to_canonical_bytes()).unwrap();
+        assert_eq!(decoded, b);
+        assert_eq!(decoded.kind(), BlockKind::Empty);
+    }
+
+    #[test]
+    fn seal_variants_round_trip() {
+        let auth = key(4);
+        let seals = [
+            Seal::Deterministic,
+            Seal::Nonce(0xdeadbeef),
+            Seal::Authority {
+                signer: auth.verifying_key(),
+                signature: auth.sign(b"header"),
+            },
+        ];
+        for seal in seals {
+            let decoded = Seal::from_canonical_bytes(&seal.to_canonical_bytes()).unwrap();
+            assert_eq!(decoded, seal);
+        }
+    }
+
+    #[test]
+    fn preseal_digest_independent_of_seal() {
+        let b1 = Block::new(
+            BlockNumber(1),
+            Timestamp(1),
+            Digest32::ZERO,
+            BlockBody::Empty,
+            Seal::Deterministic,
+        );
+        let b2 = Block::new(
+            BlockNumber(1),
+            Timestamp(1),
+            Digest32::ZERO,
+            BlockBody::Empty,
+            Seal::Nonce(7),
+        );
+        assert_eq!(b1.header().preseal_digest(), b2.header().preseal_digest());
+        assert_ne!(b1.hash(), b2.hash());
+    }
+
+    #[test]
+    fn display_matches_console_format() {
+        let g = Block::genesis("c", Timestamp(0));
+        let line = g.to_string();
+        assert!(line.starts_with("0; 0; DEADB; "), "{line}");
+        let s = Block::new(
+            BlockNumber(3),
+            Timestamp(20),
+            g.hash(),
+            BlockBody::Summary {
+                records: vec![],
+                anchor: None,
+            },
+            Seal::Deterministic,
+        );
+        assert!(s.to_string().starts_with("S3; 20; "), "{s}");
+    }
+
+    #[test]
+    fn summary_payload_hash_covers_anchor() {
+        let body_no_anchor = BlockBody::Summary {
+            records: vec![],
+            anchor: None,
+        };
+        let body_with_anchor = BlockBody::Summary {
+            records: vec![],
+            anchor: Some(Anchor::new(
+                BlockNumber(1),
+                BlockNumber(2),
+                seldel_crypto::sha256(b"r"),
+            )),
+        };
+        assert_ne!(body_no_anchor.payload_hash(), body_with_anchor.payload_hash());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(BlockKind::Summary.to_string(), "summary");
+        assert_eq!(BlockKind::Genesis.to_string(), "genesis");
+    }
+}

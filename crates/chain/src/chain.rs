@@ -1,0 +1,557 @@
+//! The live blockchain β: a contiguous run of blocks starting at the
+//! shifting genesis marker `m`.
+//!
+//! Block numbers never restart — after pruning, the front of the deque is
+//! simply a later number. "A Marker m is used to indicate the shifting
+//! Genesis Block, holding the block number" (§IV-C); here the marker is the
+//! number of the first retained block.
+
+use std::collections::VecDeque;
+
+use seldel_codec::{Codec, DataRecord};
+
+use crate::block::{Block, BlockKind};
+use crate::entry::{Entry, EntryPayload};
+use crate::error::ChainError;
+use crate::summary::SummaryRecord;
+use crate::types::{BlockNumber, EntryId, EntryNumber};
+
+/// Where a data set currently lives in the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Located<'a> {
+    /// Still inside its original (live) block.
+    InBlock {
+        /// The containing block.
+        block: &'a Block,
+        /// The entry.
+        entry: &'a Entry,
+    },
+    /// Carried forward into a summary block.
+    InSummary {
+        /// The containing summary block.
+        block: &'a Block,
+        /// The carried record.
+        record: &'a SummaryRecord,
+    },
+}
+
+impl<'a> Located<'a> {
+    /// The data record, regardless of where it lives (deletion-request
+    /// entries have no data record).
+    pub fn data(&self) -> Option<&'a DataRecord> {
+        match self {
+            Located::InBlock { entry, .. } => entry.payload().as_data(),
+            Located::InSummary { record, .. } => Some(record.record()),
+        }
+    }
+
+    /// The author key of the located data set.
+    pub fn author(&self) -> seldel_crypto::VerifyingKey {
+        match self {
+            Located::InBlock { entry, .. } => entry.author(),
+            Located::InSummary { record, .. } => record.author(),
+        }
+    }
+
+    /// The block currently holding the data.
+    pub fn holder(&self) -> &'a Block {
+        match self {
+            Located::InBlock { block, .. } => block,
+            Located::InSummary { block, .. } => block,
+        }
+    }
+}
+
+/// The live chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blockchain {
+    blocks: VecDeque<Block>,
+}
+
+impl Blockchain {
+    /// Starts a chain from its first block (usually [`Block::genesis`]).
+    pub fn new(first: Block) -> Blockchain {
+        let mut blocks = VecDeque::new();
+        blocks.push_back(first);
+        Blockchain { blocks }
+    }
+
+    /// Reconstructs a chain from contiguous blocks (e.g. a sync response).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first linkage violation found; `blocks` must be
+    /// non-empty.
+    pub fn from_blocks(blocks: Vec<Block>) -> Result<Blockchain, ChainError> {
+        let mut iter = blocks.into_iter();
+        let first = iter.next().ok_or(ChainError::EmptyChain)?;
+        let mut chain = Blockchain::new(first);
+        for block in iter {
+            chain.push(block)?;
+        }
+        Ok(chain)
+    }
+
+    /// Appends a block after checking linkage rules.
+    ///
+    /// # Errors
+    ///
+    /// * [`ChainError::NonContiguousNumber`] — number must be tip + 1.
+    /// * [`ChainError::PrevHashMismatch`] — must link to the tip hash.
+    /// * [`ChainError::TimestampRegression`] — timestamps are monotone.
+    /// * [`ChainError::SummaryTimestampMismatch`] — Σ blocks repeat the
+    ///   predecessor timestamp (§IV-B).
+    /// * [`ChainError::PayloadMismatch`] — header must commit to the body.
+    /// * [`ChainError::GenesisMisplaced`] — genesis kind only at block 0.
+    pub fn push(&mut self, block: Block) -> Result<(), ChainError> {
+        let tip = self.tip();
+        let number = block.number();
+        if number != tip.number().next() {
+            return Err(ChainError::NonContiguousNumber {
+                expected: tip.number().next(),
+                found: number,
+            });
+        }
+        if block.header().prev_hash != tip.hash() {
+            return Err(ChainError::PrevHashMismatch { number });
+        }
+        match block.kind() {
+            BlockKind::Summary => {
+                if block.timestamp() != tip.timestamp() {
+                    return Err(ChainError::SummaryTimestampMismatch { number });
+                }
+            }
+            BlockKind::Genesis => {
+                return Err(ChainError::GenesisMisplaced { number });
+            }
+            _ => {
+                if block.timestamp() < tip.timestamp() {
+                    return Err(ChainError::TimestampRegression { number });
+                }
+            }
+        }
+        if !block.is_payload_consistent() {
+            return Err(ChainError::PayloadMismatch { number });
+        }
+        self.blocks.push_back(block);
+        Ok(())
+    }
+
+    /// The shifting genesis marker `m`: number of the first live block.
+    pub fn marker(&self) -> BlockNumber {
+        self.blocks.front().expect("chain is never empty").number()
+    }
+
+    /// The newest block.
+    pub fn tip(&self) -> &Block {
+        self.blocks.back().expect("chain is never empty")
+    }
+
+    /// The oldest live block (the block the marker points at).
+    pub fn first(&self) -> &Block {
+        self.blocks.front().expect("chain is never empty")
+    }
+
+    /// Live length lβ in blocks.
+    pub fn len(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// A chain is never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Virtual time covered by the live chain (tip τ − first τ).
+    pub fn covered_timespan(&self) -> u64 {
+        self.tip().timestamp().since(self.first().timestamp())
+    }
+
+    /// Looks up a live block by number.
+    pub fn get(&self, number: BlockNumber) -> Option<&Block> {
+        let marker = self.marker();
+        if number < marker {
+            return None;
+        }
+        let index = (number.value() - marker.value()) as usize;
+        self.blocks.get(index)
+    }
+
+    /// Iterates live blocks from marker to tip.
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// Finds where the data set `id` currently lives.
+    ///
+    /// Checks the original block first; if that block was pruned (or the
+    /// id points into a summary), scans summary blocks newest-first for a
+    /// record with matching origin.
+    pub fn locate(&self, id: EntryId) -> Option<Located<'_>> {
+        if let Some(block) = self.get(id.block) {
+            if let Some(entry) = block.entries().get(id.entry.value() as usize) {
+                return Some(Located::InBlock { block, entry });
+            }
+            // The id may address a record *inside* a summary block.
+            if let Some(record) = block
+                .summary_records()
+                .iter()
+                .find(|r| r.origin() == id)
+            {
+                return Some(Located::InSummary { block, record });
+            }
+        }
+        for block in self.blocks.iter().rev() {
+            if block.kind() != BlockKind::Summary {
+                continue;
+            }
+            if let Some(record) = block.summary_records().iter().find(|r| r.origin() == id) {
+                return Some(Located::InSummary { block, record });
+            }
+        }
+        None
+    }
+
+    /// All live data sets as `(id, record)` pairs: data entries still in
+    /// their original blocks plus carried summary records. Deletion-request
+    /// entries are excluded (they are transport, not data).
+    pub fn live_records(&self) -> Vec<(EntryId, &DataRecord)> {
+        let mut out = Vec::new();
+        for block in &self.blocks {
+            match block.kind() {
+                BlockKind::Normal => {
+                    for (i, entry) in block.entries().iter().enumerate() {
+                        if let EntryPayload::Data(record) = entry.payload() {
+                            out.push((
+                                EntryId::new(block.number(), EntryNumber(i as u32)),
+                                record,
+                            ));
+                        }
+                    }
+                }
+                BlockKind::Summary => {
+                    for record in block.summary_records() {
+                        out.push((record.origin(), record.record()));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Cuts off all blocks before `new_marker` and returns them oldest-first.
+    ///
+    /// This is the physical deletion step of §IV-C, executed *after* the
+    /// carried-forward summary block is already part of the chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::BadMarker`] when `new_marker` is not a live
+    /// block number, or would empty the chain.
+    pub fn truncate_front(&mut self, new_marker: BlockNumber) -> Result<Vec<Block>, ChainError> {
+        let live_start = self.marker();
+        let live_end = self.tip().number();
+        if new_marker <= live_start || new_marker > live_end {
+            if new_marker == live_start {
+                return Ok(Vec::new()); // nothing to cut
+            }
+            return Err(ChainError::BadMarker {
+                requested: new_marker,
+                live_start,
+                live_end,
+            });
+        }
+        let cut = (new_marker.value() - live_start.value()) as usize;
+        let removed: Vec<Block> = self.blocks.drain(..cut).collect();
+        Ok(removed)
+    }
+
+    /// Total canonical byte size of all live blocks.
+    pub fn total_byte_size(&self) -> u64 {
+        self.blocks.iter().map(|b| b.byte_size() as u64).sum()
+    }
+
+    /// Counts live data sets (entries + summary records).
+    pub fn record_count(&self) -> u64 {
+        self.live_records().len() as u64
+    }
+
+    /// Block hashes for a live range (used to build / verify anchors).
+    pub fn block_hashes(
+        &self,
+        start: BlockNumber,
+        end: BlockNumber,
+    ) -> Option<Vec<seldel_crypto::Digest32>> {
+        if start > end {
+            return None;
+        }
+        let mut out = Vec::with_capacity((end.value() - start.value() + 1) as usize);
+        let mut n = start;
+        while n <= end {
+            out.push(self.get(n)?.hash());
+            n = n.next();
+        }
+        Some(out)
+    }
+
+    /// Serialises all live blocks (sync responses, persistence).
+    pub fn export_blocks(&self) -> Vec<Block> {
+        self.blocks.iter().cloned().collect()
+    }
+
+    /// Canonical encoding of the whole live chain.
+    pub fn export_bytes(&self) -> Vec<u8> {
+        let mut enc = seldel_codec::Encoder::new();
+        enc.put_len(self.blocks.len());
+        for block in &self.blocks {
+            block.encode(&mut enc);
+        }
+        enc.into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockBody, Seal};
+    use crate::types::Timestamp;
+    use seldel_crypto::SigningKey;
+
+    fn key(seed: u8) -> SigningKey {
+        SigningKey::from_seed([seed; 32])
+    }
+
+    fn entry(user: &str, seed: u8) -> Entry {
+        Entry::sign_data(&key(seed), DataRecord::new("login").with("user", user))
+    }
+
+    fn chain_with_blocks(n: u64) -> Blockchain {
+        let mut chain = Blockchain::new(Block::genesis("test", Timestamp(0)));
+        for i in 1..=n {
+            let prev = chain.tip().hash();
+            chain
+                .push(Block::new(
+                    BlockNumber(i),
+                    Timestamp(i * 10),
+                    prev,
+                    BlockBody::Normal {
+                        entries: vec![entry("ALPHA", 1), entry("BRAVO", 2)],
+                    },
+                    Seal::Deterministic,
+                ))
+                .unwrap();
+        }
+        chain
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let chain = chain_with_blocks(5);
+        assert_eq!(chain.len(), 6);
+        assert_eq!(chain.marker(), BlockNumber(0));
+        assert_eq!(chain.tip().number(), BlockNumber(5));
+        assert!(chain.get(BlockNumber(3)).is_some());
+        assert!(chain.get(BlockNumber(6)).is_none());
+        assert_eq!(chain.covered_timespan(), 50);
+    }
+
+    #[test]
+    fn push_rejects_bad_number() {
+        let mut chain = chain_with_blocks(1);
+        let prev = chain.tip().hash();
+        let block = Block::new(
+            BlockNumber(5),
+            Timestamp(100),
+            prev,
+            BlockBody::Empty,
+            Seal::Deterministic,
+        );
+        assert!(matches!(
+            chain.push(block),
+            Err(ChainError::NonContiguousNumber { .. })
+        ));
+    }
+
+    #[test]
+    fn push_rejects_bad_prev_hash() {
+        let mut chain = chain_with_blocks(1);
+        let block = Block::new(
+            BlockNumber(2),
+            Timestamp(100),
+            seldel_crypto::sha256(b"wrong"),
+            BlockBody::Empty,
+            Seal::Deterministic,
+        );
+        assert!(matches!(
+            chain.push(block),
+            Err(ChainError::PrevHashMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn push_rejects_timestamp_regression() {
+        let mut chain = chain_with_blocks(2);
+        let prev = chain.tip().hash();
+        let block = Block::new(
+            BlockNumber(3),
+            Timestamp(5), // earlier than block 2's 20
+            prev,
+            BlockBody::Empty,
+            Seal::Deterministic,
+        );
+        assert!(matches!(
+            chain.push(block),
+            Err(ChainError::TimestampRegression { .. })
+        ));
+    }
+
+    #[test]
+    fn push_enforces_summary_timestamp_rule() {
+        let mut chain = chain_with_blocks(2);
+        let prev = chain.tip().hash();
+        // Wrong: summary with a newer timestamp.
+        let bad = Block::new(
+            BlockNumber(3),
+            Timestamp(25),
+            prev,
+            BlockBody::Summary {
+                records: vec![],
+                anchor: None,
+            },
+            Seal::Deterministic,
+        );
+        assert!(matches!(
+            chain.push(bad),
+            Err(ChainError::SummaryTimestampMismatch { .. })
+        ));
+        // Right: same timestamp as predecessor.
+        let good = Block::new(
+            BlockNumber(3),
+            Timestamp(20),
+            prev,
+            BlockBody::Summary {
+                records: vec![],
+                anchor: None,
+            },
+            Seal::Deterministic,
+        );
+        chain.push(good).unwrap();
+    }
+
+    #[test]
+    fn push_rejects_second_genesis() {
+        let mut chain = chain_with_blocks(1);
+        let prev = chain.tip().hash();
+        let bad = Block::from_parts(
+            crate::block::BlockHeader {
+                number: BlockNumber(2),
+                timestamp: Timestamp(100),
+                prev_hash: prev,
+                payload_hash: BlockBody::Genesis {
+                    note: "again".into(),
+                }
+                .payload_hash(),
+                kind: BlockKind::Genesis,
+                seal: Seal::Deterministic,
+            },
+            BlockBody::Genesis {
+                note: "again".into(),
+            },
+        );
+        assert!(matches!(
+            chain.push(bad),
+            Err(ChainError::GenesisMisplaced { .. })
+        ));
+    }
+
+    #[test]
+    fn locate_finds_live_entry() {
+        let chain = chain_with_blocks(3);
+        let id = EntryId::new(BlockNumber(2), EntryNumber(1));
+        let located = chain.locate(id).expect("entry exists");
+        assert_eq!(
+            located.data().unwrap().get("user").unwrap().as_str(),
+            Some("BRAVO")
+        );
+        assert_eq!(located.holder().number(), BlockNumber(2));
+    }
+
+    #[test]
+    fn locate_missing_returns_none() {
+        let chain = chain_with_blocks(2);
+        assert!(chain.locate(EntryId::new(BlockNumber(9), EntryNumber(0))).is_none());
+        assert!(chain.locate(EntryId::new(BlockNumber(1), EntryNumber(9))).is_none());
+    }
+
+    #[test]
+    fn truncate_front_shifts_marker() {
+        let mut chain = chain_with_blocks(5);
+        let removed = chain.truncate_front(BlockNumber(3)).unwrap();
+        assert_eq!(removed.len(), 3);
+        assert_eq!(chain.marker(), BlockNumber(3));
+        assert_eq!(chain.len(), 3);
+        // Old numbers no longer resolvable.
+        assert!(chain.get(BlockNumber(2)).is_none());
+        assert!(chain.get(BlockNumber(3)).is_some());
+    }
+
+    #[test]
+    fn truncate_front_noop_at_current_marker() {
+        let mut chain = chain_with_blocks(3);
+        let removed = chain.truncate_front(BlockNumber(0)).unwrap();
+        assert!(removed.is_empty());
+        assert_eq!(chain.len(), 4);
+    }
+
+    #[test]
+    fn truncate_front_rejects_out_of_range() {
+        let mut chain = chain_with_blocks(3);
+        assert!(matches!(
+            chain.truncate_front(BlockNumber(9)),
+            Err(ChainError::BadMarker { .. })
+        ));
+    }
+
+    #[test]
+    fn live_records_counts_data_entries() {
+        let chain = chain_with_blocks(3);
+        // 3 blocks × 2 entries.
+        assert_eq!(chain.record_count(), 6);
+        let ids: Vec<EntryId> = chain.live_records().iter().map(|(id, _)| *id).collect();
+        assert!(ids.contains(&EntryId::new(BlockNumber(1), EntryNumber(0))));
+        assert!(ids.contains(&EntryId::new(BlockNumber(3), EntryNumber(1))));
+    }
+
+    #[test]
+    fn from_blocks_round_trip() {
+        let chain = chain_with_blocks(4);
+        let rebuilt = Blockchain::from_blocks(chain.export_blocks()).unwrap();
+        assert_eq!(rebuilt, chain);
+    }
+
+    #[test]
+    fn from_blocks_rejects_gap() {
+        let chain = chain_with_blocks(4);
+        let mut blocks = chain.export_blocks();
+        blocks.remove(2);
+        assert!(Blockchain::from_blocks(blocks).is_err());
+    }
+
+    #[test]
+    fn block_hashes_for_anchor_range() {
+        let chain = chain_with_blocks(5);
+        let hashes = chain.block_hashes(BlockNumber(1), BlockNumber(3)).unwrap();
+        assert_eq!(hashes.len(), 3);
+        assert_eq!(hashes[0], chain.get(BlockNumber(1)).unwrap().hash());
+        assert!(chain.block_hashes(BlockNumber(4), BlockNumber(9)).is_none());
+        assert!(chain.block_hashes(BlockNumber(3), BlockNumber(1)).is_none());
+    }
+
+    #[test]
+    fn byte_size_grows_with_blocks() {
+        let small = chain_with_blocks(1).total_byte_size();
+        let large = chain_with_blocks(10).total_byte_size();
+        assert!(large > small);
+    }
+}

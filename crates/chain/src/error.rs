@@ -1,0 +1,155 @@
+//! Chain-level error type.
+
+use std::fmt;
+
+use seldel_crypto::SignatureError;
+
+use crate::types::{BlockNumber, EntryId};
+
+/// Errors raised by chain construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// Operation requires at least one block.
+    EmptyChain,
+    /// A pushed block's number did not extend the tip by one.
+    NonContiguousNumber {
+        /// Expected next number.
+        expected: BlockNumber,
+        /// Number actually found.
+        found: BlockNumber,
+    },
+    /// A pushed block's `prev_hash` did not match the tip hash.
+    PrevHashMismatch {
+        /// Number of the offending block.
+        number: BlockNumber,
+    },
+    /// A block's timestamp went backwards.
+    TimestampRegression {
+        /// Number of the offending block.
+        number: BlockNumber,
+    },
+    /// A summary block's timestamp differs from its predecessor's (§IV-B
+    /// requires them to be equal so every node derives the same Σ).
+    SummaryTimestampMismatch {
+        /// Number of the offending summary block.
+        number: BlockNumber,
+    },
+    /// Header payload commitment does not match the body.
+    PayloadMismatch {
+        /// Number of the offending block.
+        number: BlockNumber,
+    },
+    /// A genesis-kind block appeared somewhere other than block 0.
+    GenesisMisplaced {
+        /// Number of the offending block.
+        number: BlockNumber,
+    },
+    /// An entry signature failed verification.
+    EntrySignatureInvalid {
+        /// Block containing the entry.
+        block: BlockNumber,
+        /// Entry index within the block.
+        entry: u32,
+        /// Underlying signature error.
+        source: SignatureError,
+    },
+    /// A summary record's carried signature failed verification.
+    RecordSignatureInvalid {
+        /// Summary block containing the record.
+        block: BlockNumber,
+        /// Origin id of the offending record.
+        origin: EntryId,
+        /// Underlying signature error.
+        source: SignatureError,
+    },
+    /// A block number outside the live range was referenced.
+    UnknownBlock(BlockNumber),
+    /// A truncation marker was not inside the live range.
+    BadMarker {
+        /// Requested new marker.
+        requested: BlockNumber,
+        /// Current live range start.
+        live_start: BlockNumber,
+        /// Current live range end.
+        live_end: BlockNumber,
+    },
+    /// An anchor referenced blocks that are not live, or its root mismatched.
+    AnchorMismatch {
+        /// Summary block holding the anchor.
+        block: BlockNumber,
+    },
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::EmptyChain => f.write_str("chain is empty"),
+            ChainError::NonContiguousNumber { expected, found } => {
+                write!(f, "expected block number {expected}, found {found}")
+            }
+            ChainError::PrevHashMismatch { number } => {
+                write!(f, "previous-hash mismatch at block {number}")
+            }
+            ChainError::TimestampRegression { number } => {
+                write!(f, "timestamp regression at block {number}")
+            }
+            ChainError::SummaryTimestampMismatch { number } => {
+                write!(
+                    f,
+                    "summary block {number} must carry its predecessor's timestamp"
+                )
+            }
+            ChainError::PayloadMismatch { number } => {
+                write!(f, "payload commitment mismatch at block {number}")
+            }
+            ChainError::GenesisMisplaced { number } => {
+                write!(f, "genesis-kind block at non-zero number {number}")
+            }
+            ChainError::EntrySignatureInvalid { block, entry, source } => {
+                write!(f, "invalid signature on entry {block}:{entry}: {source}")
+            }
+            ChainError::RecordSignatureInvalid { block, origin, source } => {
+                write!(
+                    f,
+                    "invalid carried signature in summary block {block} for record {origin}: {source}"
+                )
+            }
+            ChainError::UnknownBlock(number) => write!(f, "block {number} is not live"),
+            ChainError::BadMarker {
+                requested,
+                live_start,
+                live_end,
+            } => write!(
+                f,
+                "marker {requested} outside live range {live_start}..={live_end}"
+            ),
+            ChainError::AnchorMismatch { block } => {
+                write!(f, "anchor verification failed in summary block {block}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::EntryNumber;
+
+    #[test]
+    fn display_messages() {
+        let e = ChainError::NonContiguousNumber {
+            expected: BlockNumber(5),
+            found: BlockNumber(7),
+        };
+        assert_eq!(e.to_string(), "expected block number 5, found 7");
+        assert!(ChainError::EmptyChain.to_string().contains("empty"));
+        let e = ChainError::RecordSignatureInvalid {
+            block: BlockNumber(9),
+            origin: EntryId::new(BlockNumber(3), EntryNumber(1)),
+            source: SignatureError::VerificationFailed,
+        };
+        assert!(e.to_string().contains("3:1"));
+    }
+}

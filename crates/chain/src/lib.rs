@@ -1,0 +1,54 @@
+//! Chain data model for the selective-deletion blockchain.
+//!
+//! This crate defines everything the paper's §IV concept operates *on*:
+//!
+//! * [`types`] — block numbers α, timestamps τ, entry ids, expiry markers;
+//! * [`entry`] — signed entries (`D`/`K`/`S`) and deletion requests;
+//! * [`block`] — the four block kinds (genesis, normal, **summary**, empty);
+//! * [`summary`] — carried-forward summary records (Fig. 4) and Fig. 9
+//!   anchors;
+//! * [`chain`] — the live chain β with its shifting genesis marker `m`;
+//! * [`validate`] — status-quo-anchored validation (§V-B3);
+//! * [`baseline`] — the conventional ever-growing chain used as the
+//!   experimental comparator;
+//! * [`render`] — the paper's console listing format (Figs. 6–8).
+//!
+//! The *behaviour* — building summary blocks, pruning, deletion workflow —
+//! lives in `seldel-core`, which drives these types.
+//!
+//! # Example
+//!
+//! ```
+//! use seldel_chain::block::Block;
+//! use seldel_chain::chain::Blockchain;
+//! use seldel_chain::types::Timestamp;
+//!
+//! let chain = Blockchain::new(Block::genesis("my-chain", Timestamp(0)));
+//! assert_eq!(chain.len(), 1);
+//! assert_eq!(chain.first().header().prev_hash.short(), "DEADB");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod block;
+#[allow(clippy::module_inception)]
+pub mod chain;
+pub mod entry;
+pub mod error;
+pub mod render;
+pub mod summary;
+pub mod types;
+pub mod validate;
+
+pub use baseline::BaselineChain;
+pub use block::{Block, BlockBody, BlockHeader, BlockKind, Seal, GENESIS_PREV_HASH};
+pub use chain::{Blockchain, Located};
+pub use entry::{CoSignature, DeleteRequest, Entry, EntryPayload};
+pub use error::ChainError;
+pub use summary::{Anchor, SummaryRecord};
+pub use types::{BlockNumber, EntryId, EntryNumber, Expiry, Timestamp};
+pub use validate::{
+    build_anchor, validate_chain, verify_anchor, ValidationOptions, ValidationReport,
+};

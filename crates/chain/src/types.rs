@@ -1,0 +1,322 @@
+//! Primitive identifier types: block numbers (α), entry numbers, timestamps
+//! (τ), entry ids and expiry markers.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use seldel_codec::{Codec, DecodeError, Decoder, Encoder};
+
+/// A block number α. Monotonically increasing and **never reused**: after
+/// pruning, the numbers of deleted blocks stay retired and the shifting
+/// genesis marker `m` points at the first live number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct BlockNumber(pub u64);
+
+impl BlockNumber {
+    /// The very first block number (the original genesis).
+    pub const GENESIS: BlockNumber = BlockNumber(0);
+
+    /// The raw value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The next block number.
+    pub const fn next(self) -> BlockNumber {
+        BlockNumber(self.0 + 1)
+    }
+
+    /// Distance from `earlier` to `self` in blocks; zero when `earlier`
+    /// is not actually earlier.
+    pub const fn distance_from(self, earlier: BlockNumber) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for BlockNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for BlockNumber {
+    fn from(v: u64) -> Self {
+        BlockNumber(v)
+    }
+}
+
+impl Add<u64> for BlockNumber {
+    type Output = BlockNumber;
+    fn add(self, rhs: u64) -> BlockNumber {
+        BlockNumber(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for BlockNumber {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Codec for BlockNumber {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(BlockNumber(dec.take_u64()?))
+    }
+}
+
+/// The index of an entry within its block (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct EntryNumber(pub u32);
+
+impl EntryNumber {
+    /// The raw value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for EntryNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for EntryNumber {
+    fn from(v: u32) -> Self {
+        EntryNumber(v)
+    }
+}
+
+impl Codec for EntryNumber {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(EntryNumber(dec.take_u32()?))
+    }
+}
+
+/// A logical timestamp τ in milliseconds of virtual time.
+///
+/// The simulator drives virtual time deterministically; nothing in the
+/// workspace reads wall clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Time zero.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// The raw millisecond value.
+    pub const fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference in milliseconds.
+    pub const fn since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(v: u64) -> Self {
+        Timestamp(v)
+    }
+}
+
+impl Add<u64> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: u64) -> Timestamp {
+        Timestamp(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Timestamp {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = u64;
+    fn sub(self, rhs: Timestamp) -> u64 {
+        self.since(rhs)
+    }
+}
+
+impl Codec for Timestamp {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Timestamp(dec.take_u64()?))
+    }
+}
+
+/// The address of a data set: "referenced by the block number and the
+/// according entry number, in which the data set is stored" (paper §IV-D).
+///
+/// Entry ids are **stable across summarisation**: when a record is copied
+/// into a summary block it keeps its original id (Fig. 4), so deletion
+/// requests keep working after any number of merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct EntryId {
+    /// The block the entry was originally stored in.
+    pub block: BlockNumber,
+    /// The entry index within that block.
+    pub entry: EntryNumber,
+}
+
+impl EntryId {
+    /// Creates an entry id.
+    pub const fn new(block: BlockNumber, entry: EntryNumber) -> EntryId {
+        EntryId { block, entry }
+    }
+}
+
+impl fmt::Display for EntryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.block, self.entry)
+    }
+}
+
+impl Codec for EntryId {
+    fn encode(&self, enc: &mut Encoder) {
+        self.block.encode(enc);
+        self.entry.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(EntryId {
+            block: BlockNumber::decode(dec)?,
+            entry: EntryNumber::decode(dec)?,
+        })
+    }
+}
+
+/// Expiry of a temporary entry (§IV-D4): the entry is dropped from summary
+/// blocks once the chain passes the given timestamp or block number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Expiry {
+    /// Expires when the chain tip timestamp exceeds τ.
+    AtTimestamp(Timestamp),
+    /// Expires when the chain tip block number exceeds α.
+    AtBlock(BlockNumber),
+}
+
+impl Expiry {
+    /// Whether an entry with this expiry is expired at the given chain tip.
+    pub fn is_expired(&self, tip_number: BlockNumber, tip_timestamp: Timestamp) -> bool {
+        match self {
+            Expiry::AtTimestamp(t) => tip_timestamp > *t,
+            Expiry::AtBlock(b) => tip_number > *b,
+        }
+    }
+}
+
+impl fmt::Display for Expiry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expiry::AtTimestamp(t) => write!(f, "τ{t}"),
+            Expiry::AtBlock(b) => write!(f, "α{b}"),
+        }
+    }
+}
+
+impl Codec for Expiry {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Expiry::AtTimestamp(t) => {
+                enc.put_u8(0);
+                t.encode(enc);
+            }
+            Expiry::AtBlock(b) => {
+                enc.put_u8(1);
+                b.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.take_u8()? {
+            0 => Ok(Expiry::AtTimestamp(Timestamp::decode(dec)?)),
+            1 => Ok(Expiry::AtBlock(BlockNumber::decode(dec)?)),
+            tag => Err(DecodeError::InvalidTag { what: "Expiry", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_number_arithmetic() {
+        let a = BlockNumber(5);
+        assert_eq!(a.next(), BlockNumber(6));
+        assert_eq!(a + 3, BlockNumber(8));
+        assert_eq!(BlockNumber(9).distance_from(a), 4);
+        assert_eq!(a.distance_from(BlockNumber(9)), 0);
+        assert_eq!(a.to_string(), "5");
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp(100);
+        assert_eq!(t + 50, Timestamp(150));
+        assert_eq!(Timestamp(150).since(t), 50);
+        assert_eq!(t.since(Timestamp(150)), 0);
+        assert_eq!(Timestamp(150) - t, 50);
+    }
+
+    #[test]
+    fn entry_id_display() {
+        let id = EntryId::new(BlockNumber(3), EntryNumber(1));
+        assert_eq!(id.to_string(), "3:1");
+    }
+
+    #[test]
+    fn expiry_by_timestamp() {
+        let e = Expiry::AtTimestamp(Timestamp(100));
+        assert!(!e.is_expired(BlockNumber(5), Timestamp(100)));
+        assert!(e.is_expired(BlockNumber(5), Timestamp(101)));
+    }
+
+    #[test]
+    fn expiry_by_block() {
+        let e = Expiry::AtBlock(BlockNumber(10));
+        assert!(!e.is_expired(BlockNumber(10), Timestamp(0)));
+        assert!(e.is_expired(BlockNumber(11), Timestamp(0)));
+    }
+
+    #[test]
+    fn expiry_display_uses_paper_notation() {
+        assert_eq!(Expiry::AtTimestamp(Timestamp(8888)).to_string(), "τ8888");
+        assert_eq!(Expiry::AtBlock(BlockNumber(4711)).to_string(), "α4711");
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let id = EntryId::new(BlockNumber(42), EntryNumber(7));
+        assert_eq!(EntryId::from_canonical_bytes(&id.to_canonical_bytes()).unwrap(), id);
+
+        for e in [
+            Expiry::AtTimestamp(Timestamp(8888)),
+            Expiry::AtBlock(BlockNumber(4711)),
+        ] {
+            assert_eq!(Expiry::from_canonical_bytes(&e.to_canonical_bytes()).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn invalid_expiry_tag_rejected() {
+        assert!(Expiry::from_canonical_bytes(&[9, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+}

@@ -1,0 +1,285 @@
+//! Structural and cryptographic chain validation.
+//!
+//! §V-B3 of the paper: nodes "only accept a blockchain which is traceable
+//! from its current status quo" — validation therefore starts at the live
+//! marker, never at the original block 0 (which may be long pruned). The
+//! first live block's `prev_hash` is the quorum-attested trust anchor and
+//! is not checked against anything.
+
+use seldel_crypto::MerkleTree;
+
+use crate::block::BlockKind;
+use crate::chain::Blockchain;
+use crate::error::ChainError;
+use crate::summary::Anchor;
+use crate::types::BlockNumber;
+
+/// What to verify beyond pure structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidationOptions {
+    /// Verify every entry's author signature.
+    pub verify_entry_signatures: bool,
+    /// Verify the carried signatures inside summary records.
+    pub verify_summary_records: bool,
+    /// Verify Fig. 9 anchors whose ranges are still live.
+    pub verify_anchors: bool,
+}
+
+impl Default for ValidationOptions {
+    fn default() -> Self {
+        ValidationOptions {
+            verify_entry_signatures: true,
+            verify_summary_records: true,
+            verify_anchors: true,
+        }
+    }
+}
+
+impl ValidationOptions {
+    /// Structure-only validation (hash links, numbering, timestamps).
+    pub fn structural() -> ValidationOptions {
+        ValidationOptions {
+            verify_entry_signatures: false,
+            verify_summary_records: false,
+            verify_anchors: false,
+        }
+    }
+}
+
+/// Counters describing a completed validation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ValidationReport {
+    /// Blocks checked.
+    pub blocks_checked: u64,
+    /// Entry signatures verified.
+    pub entries_verified: u64,
+    /// Summary-record signatures verified.
+    pub records_verified: u64,
+    /// Anchors verified against live history.
+    pub anchors_verified: u64,
+}
+
+/// Validates the live chain from the marker to the tip.
+///
+/// # Errors
+///
+/// Returns the first violation found, as a [`ChainError`].
+pub fn validate_chain(
+    chain: &Blockchain,
+    opts: &ValidationOptions,
+) -> Result<ValidationReport, ChainError> {
+    let mut report = ValidationReport::default();
+    let mut prev: Option<&crate::block::Block> = None;
+
+    for block in chain.iter() {
+        let number = block.number();
+
+        if !block.is_payload_consistent() {
+            return Err(ChainError::PayloadMismatch { number });
+        }
+        if block.kind() == BlockKind::Genesis && number != BlockNumber::GENESIS {
+            return Err(ChainError::GenesisMisplaced { number });
+        }
+
+        if let Some(prev_block) = prev {
+            if number != prev_block.number().next() {
+                return Err(ChainError::NonContiguousNumber {
+                    expected: prev_block.number().next(),
+                    found: number,
+                });
+            }
+            if block.header().prev_hash != prev_block.hash() {
+                return Err(ChainError::PrevHashMismatch { number });
+            }
+            match block.kind() {
+                BlockKind::Summary => {
+                    if block.timestamp() != prev_block.timestamp() {
+                        return Err(ChainError::SummaryTimestampMismatch { number });
+                    }
+                }
+                _ => {
+                    if block.timestamp() < prev_block.timestamp() {
+                        return Err(ChainError::TimestampRegression { number });
+                    }
+                }
+            }
+        }
+
+        if opts.verify_entry_signatures {
+            for (i, entry) in block.entries().iter().enumerate() {
+                entry
+                    .verify()
+                    .map_err(|source| ChainError::EntrySignatureInvalid {
+                        block: number,
+                        entry: i as u32,
+                        source,
+                    })?;
+                report.entries_verified += 1;
+            }
+        }
+        if opts.verify_summary_records {
+            for record in block.summary_records() {
+                record
+                    .verify()
+                    .map_err(|source| ChainError::RecordSignatureInvalid {
+                        block: number,
+                        origin: record.origin(),
+                        source,
+                    })?;
+                report.records_verified += 1;
+            }
+        }
+        if opts.verify_anchors {
+            if let Some(anchor) = block.anchor() {
+                // Anchors over pruned ranges cannot be re-derived; only
+                // check those still fully live.
+                if chain.get(anchor.start).is_some() && chain.get(anchor.end).is_some() {
+                    if !verify_anchor(chain, anchor) {
+                        return Err(ChainError::AnchorMismatch { block: number });
+                    }
+                    report.anchors_verified += 1;
+                }
+            }
+        }
+
+        report.blocks_checked += 1;
+        prev = Some(block);
+    }
+
+    Ok(report)
+}
+
+/// Recomputes an anchor's Merkle root from live block hashes.
+///
+/// Returns `false` when the range is not live or the root mismatches.
+pub fn verify_anchor(chain: &Blockchain, anchor: &Anchor) -> bool {
+    let Some(hashes) = chain.block_hashes(anchor.start, anchor.end) else {
+        return false;
+    };
+    let tree = MerkleTree::from_leaf_hashes(hashes);
+    tree.root() == anchor.merkle_root
+}
+
+/// Builds a Fig. 9 anchor over a live block range.
+///
+/// Returns `None` when the range is not fully live.
+pub fn build_anchor(chain: &Blockchain, start: BlockNumber, end: BlockNumber) -> Option<Anchor> {
+    let hashes = chain.block_hashes(start, end)?;
+    let tree = MerkleTree::from_leaf_hashes(hashes);
+    Some(Anchor::new(start, end, tree.root()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, BlockBody, Seal};
+    use crate::entry::Entry;
+    use crate::types::Timestamp;
+    use seldel_codec::DataRecord;
+    use seldel_crypto::SigningKey;
+
+    fn chain(n: u64) -> Blockchain {
+        let key = SigningKey::from_seed([1u8; 32]);
+        let mut chain = Blockchain::new(Block::genesis("t", Timestamp(0)));
+        for i in 1..=n {
+            let prev = chain.tip().hash();
+            chain
+                .push(Block::new(
+                    BlockNumber(i),
+                    Timestamp(i * 10),
+                    prev,
+                    BlockBody::Normal {
+                        entries: vec![Entry::sign_data(
+                            &key,
+                            DataRecord::new("x").with("n", i),
+                        )],
+                    },
+                    Seal::Deterministic,
+                ))
+                .unwrap();
+        }
+        chain
+    }
+
+    #[test]
+    fn valid_chain_passes_full_validation() {
+        let c = chain(6);
+        let report = validate_chain(&c, &ValidationOptions::default()).unwrap();
+        assert_eq!(report.blocks_checked, 7);
+        assert_eq!(report.entries_verified, 6);
+    }
+
+    #[test]
+    fn structural_only_skips_signatures() {
+        let c = chain(3);
+        let report = validate_chain(&c, &ValidationOptions::structural()).unwrap();
+        assert_eq!(report.blocks_checked, 4);
+        assert_eq!(report.entries_verified, 0);
+    }
+
+    #[test]
+    fn validation_starts_at_marker_after_pruning() {
+        let mut c = chain(6);
+        c.truncate_front(BlockNumber(3)).unwrap();
+        // First live block's prev_hash points at a pruned block — validation
+        // must still pass (trust anchor semantics).
+        let report = validate_chain(&c, &ValidationOptions::default()).unwrap();
+        assert_eq!(report.blocks_checked, 4);
+    }
+
+    #[test]
+    fn anchor_build_and_verify() {
+        let c = chain(8);
+        let anchor = build_anchor(&c, BlockNumber(2), BlockNumber(5)).unwrap();
+        assert!(verify_anchor(&c, &anchor));
+        // Tamper with the root.
+        let bad = Anchor::new(anchor.start, anchor.end, seldel_crypto::sha256(b"bad"));
+        assert!(!verify_anchor(&c, &bad));
+        // Range not live.
+        assert!(build_anchor(&c, BlockNumber(7), BlockNumber(12)).is_none());
+    }
+
+    #[test]
+    fn anchored_summary_block_validates() {
+        let mut c = chain(6);
+        let anchor = build_anchor(&c, BlockNumber(2), BlockNumber(4)).unwrap();
+        let prev = c.tip().hash();
+        let ts = c.tip().timestamp();
+        c.push(Block::new(
+            BlockNumber(7),
+            ts,
+            prev,
+            BlockBody::Summary {
+                records: vec![],
+                anchor: Some(anchor),
+            },
+            Seal::Deterministic,
+        ))
+        .unwrap();
+        let report = validate_chain(&c, &ValidationOptions::default()).unwrap();
+        assert_eq!(report.anchors_verified, 1);
+    }
+
+    #[test]
+    fn corrupted_anchor_fails_validation() {
+        let mut c = chain(6);
+        let anchor = Anchor::new(BlockNumber(2), BlockNumber(4), seldel_crypto::sha256(b"no"));
+        let prev = c.tip().hash();
+        let ts = c.tip().timestamp();
+        c.push(Block::new(
+            BlockNumber(7),
+            ts,
+            prev,
+            BlockBody::Summary {
+                records: vec![],
+                anchor: Some(anchor),
+            },
+            Seal::Deterministic,
+        ))
+        .unwrap();
+        assert!(matches!(
+            validate_chain(&c, &ValidationOptions::default()),
+            Err(ChainError::AnchorMismatch { .. })
+        ));
+    }
+}

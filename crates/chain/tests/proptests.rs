@@ -1,0 +1,105 @@
+//! Property-based tests for the chain data model.
+
+use proptest::prelude::*;
+
+use seldel_chain::{
+    validate_chain, Block, BlockBody, BlockNumber, Blockchain, Entry, Seal, Timestamp,
+    ValidationOptions,
+};
+use seldel_codec::{Codec, DataRecord};
+use seldel_crypto::SigningKey;
+
+fn build_chain(block_count: u64, entries_per_block: u8) -> Blockchain {
+    let key = SigningKey::from_seed([0x11; 32]);
+    let mut chain = Blockchain::new(Block::genesis("prop", Timestamp(0)));
+    for b in 1..=block_count {
+        let prev = chain.tip().hash();
+        let entries: Vec<Entry> = (0..entries_per_block)
+            .map(|i| {
+                Entry::sign_data(
+                    &key,
+                    DataRecord::new("log").with("n", b * 100 + i as u64),
+                )
+            })
+            .collect();
+        chain
+            .push(Block::new(
+                BlockNumber(b),
+                Timestamp(b * 10),
+                prev,
+                BlockBody::Normal { entries },
+                Seal::Deterministic,
+            ))
+            .expect("valid link");
+    }
+    chain
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn chains_validate_and_round_trip(blocks in 0u64..12, entries in 0u8..4) {
+        let chain = build_chain(blocks, entries);
+        validate_chain(&chain, &ValidationOptions::default()).expect("valid");
+        // Export/import is lossless.
+        let rebuilt = Blockchain::from_blocks(chain.export_blocks()).expect("relink");
+        prop_assert_eq!(&rebuilt, &chain);
+        prop_assert_eq!(rebuilt.export_bytes(), chain.export_bytes());
+    }
+
+    #[test]
+    fn truncation_preserves_suffix_validity(blocks in 2u64..14, cut in 1u64..13) {
+        let mut chain = build_chain(blocks, 1);
+        let cut = cut.min(blocks); // marker within live range
+        let removed = chain.truncate_front(BlockNumber(cut)).expect("in range");
+        prop_assert_eq!(removed.len() as u64, cut);
+        prop_assert_eq!(chain.marker(), BlockNumber(cut));
+        prop_assert_eq!(chain.len(), blocks + 1 - cut);
+        validate_chain(&chain, &ValidationOptions::default()).expect("suffix valid");
+        // Pruned numbers resolve to nothing; live numbers resolve.
+        if cut > 0 {
+            prop_assert!(chain.get(BlockNumber(cut - 1)).is_none());
+        }
+        prop_assert!(chain.get(BlockNumber(cut)).is_some());
+    }
+
+    #[test]
+    fn block_codec_round_trip(blocks in 1u64..6, entries in 0u8..4) {
+        let chain = build_chain(blocks, entries);
+        for block in chain.iter() {
+            let bytes = block.to_canonical_bytes();
+            let decoded = Block::from_canonical_bytes(&bytes).expect("decode");
+            prop_assert_eq!(&decoded, block);
+            prop_assert_eq!(decoded.hash(), block.hash());
+        }
+    }
+
+    #[test]
+    fn tampering_any_block_breaks_validation(blocks in 2u64..10, victim in 1u64..9) {
+        let chain = build_chain(blocks, 1);
+        let victim = victim.min(blocks);
+        // Rebuild with one block's timestamp nudged — every later prev_hash
+        // breaks, so from_blocks or validation must fail.
+        let mut exported = chain.export_blocks();
+        let idx = victim as usize;
+        let original = &exported[idx];
+        let tampered = Block::new(
+            original.number(),
+            original.timestamp() + 1,
+            original.header().prev_hash,
+            original.body().clone(),
+            Seal::Deterministic,
+        );
+        exported[idx] = tampered;
+        let outcome = Blockchain::from_blocks(exported);
+        match outcome {
+            Err(_) => {} // rejected at link time (expected when victim < tip)
+            Ok(rebuilt) => {
+                // Tampering the tip keeps links intact; the chain is then
+                // still structurally valid but must differ from the original.
+                prop_assert_ne!(rebuilt.tip().hash(), chain.tip().hash());
+            }
+        }
+    }
+}

@@ -1,0 +1,537 @@
+//! Canonical binary encoder/decoder.
+//!
+//! The format is deliberately boring: little-endian fixed-width integers,
+//! `u32` length prefixes, no padding, no varints. Determinism — byte-for-byte
+//! identical output for equal values — is the property the summary-block
+//! mechanism depends on.
+
+use std::fmt;
+
+use bytes::{BufMut, BytesMut};
+
+/// Error produced when decoding malformed or truncated input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the requested number of bytes could be read.
+    UnexpectedEof {
+        /// Bytes requested by the decoder.
+        needed: usize,
+        /// Bytes remaining in the input.
+        remaining: usize,
+    },
+    /// A length prefix exceeded the configured sanity bound.
+    LengthOverflow(u64),
+    /// A tag byte (enum discriminant, bool, option marker) had an
+    /// unexpected value.
+    InvalidTag {
+        /// Human-readable name of the type being decoded.
+        what: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A string field held invalid UTF-8.
+    InvalidUtf8,
+    /// Input had trailing bytes after a complete top-level value.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remaining")
+            }
+            DecodeError::LengthOverflow(len) => write!(f, "length prefix {len} too large"),
+            DecodeError::InvalidTag { what, tag } => {
+                write!(f, "invalid tag {tag} while decoding {what}")
+            }
+            DecodeError::InvalidUtf8 => f.write_str("invalid UTF-8 in string"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Upper bound for any single length prefix (protects against corrupt or
+/// hostile inputs allocating unbounded memory).
+const MAX_LEN: u64 = 1 << 30;
+
+/// Canonical binary encoder.
+///
+/// # Example
+///
+/// ```
+/// use seldel_codec::{Encoder, Decoder};
+///
+/// let mut enc = Encoder::new();
+/// enc.put_u64(42);
+/// enc.put_str("hello");
+/// let bytes = enc.into_bytes();
+///
+/// let mut dec = Decoder::new(&bytes);
+/// assert_eq!(dec.take_u64().unwrap(), 42);
+/// assert_eq!(dec.take_str().unwrap(), "hello");
+/// ```
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Encoder {
+        Encoder { buf: BytesMut::new() }
+    }
+
+    /// Creates an encoder with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Encoder {
+        Encoder {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a `u16` (little-endian).
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    /// Appends a `u32` (little-endian).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a `u64` (little-endian).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends an `i64` (little-endian two's complement).
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    /// Appends a bool as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.put_u8(u8::from(v));
+    }
+
+    /// Appends raw bytes *without* a length prefix (for fixed-size fields
+    /// such as hashes, keys and signatures).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.put_slice(bytes);
+    }
+
+    /// Appends variable-length bytes with a `u32` length prefix.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        debug_assert!((bytes.len() as u64) < MAX_LEN);
+        self.buf.put_u32_le(bytes.len() as u32);
+        self.buf.put_slice(bytes);
+    }
+
+    /// Appends a UTF-8 string with a `u32` length prefix.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Appends a container length (`u32`).
+    pub fn put_len(&mut self, len: usize) {
+        debug_assert!((len as u64) < MAX_LEN);
+        self.buf.put_u32_le(len as u32);
+    }
+
+    /// Finishes encoding and returns the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Canonical binary decoder over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `input`.
+    pub fn new(input: &'a [u8]) -> Decoder<'a> {
+        Decoder { input, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn take_u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        let mut w = [0u8; 8];
+        w.copy_from_slice(b);
+        Ok(u64::from_le_bytes(w))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn take_i64(&mut self) -> Result<i64, DecodeError> {
+        let b = self.take(8)?;
+        let mut w = [0u8; 8];
+        w.copy_from_slice(b);
+        Ok(i64::from_le_bytes(w))
+    }
+
+    /// Reads a bool byte, rejecting values other than 0/1 (canonicality).
+    pub fn take_bool(&mut self) -> Result<bool, DecodeError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(DecodeError::InvalidTag { what: "bool", tag }),
+        }
+    }
+
+    /// Reads exactly `N` raw bytes into an array.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let b = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(b);
+        Ok(out)
+    }
+
+    /// Reads length-prefixed bytes.
+    pub fn take_bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.take_u32()? as u64;
+        if len > MAX_LEN {
+            return Err(DecodeError::LengthOverflow(len));
+        }
+        Ok(self.take(len as usize)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String, DecodeError> {
+        let bytes = self.take_bytes()?;
+        String::from_utf8(bytes).map_err(|_| DecodeError::InvalidUtf8)
+    }
+
+    /// Reads a container length.
+    pub fn take_len(&mut self) -> Result<usize, DecodeError> {
+        let len = self.take_u32()? as u64;
+        if len > MAX_LEN {
+            return Err(DecodeError::LengthOverflow(len));
+        }
+        Ok(len as usize)
+    }
+}
+
+/// Types with a canonical binary encoding.
+///
+/// Determinism contract: `encode` must be a pure function of the value, and
+/// `decode(encode(x)) == x`. All chain types implement this trait; block
+/// hashes are computed over these encodings.
+pub trait Codec: Sized {
+    /// Appends the canonical encoding of `self` to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Decodes a value from `dec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated or malformed input.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_canonical_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Convenience: decodes a complete value, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed input or when `bytes` contains
+    /// more than one value.
+    fn from_canonical_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut dec = Decoder::new(bytes);
+        let value = Self::decode(&mut dec)?;
+        if !dec.is_exhausted() {
+            return Err(DecodeError::TrailingBytes(dec.remaining()));
+        }
+        Ok(value)
+    }
+}
+
+impl Codec for u8 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.take_u8()
+    }
+}
+
+impl Codec for u16 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u16(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.take_u16()
+    }
+}
+
+impl Codec for u32 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.take_u32()
+    }
+}
+
+impl Codec for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.take_u64()
+    }
+}
+
+impl Codec for i64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_i64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.take_i64()
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bool(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.take_bool()
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.take_str()
+    }
+}
+
+impl Codec for Vec<u8> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.take_bytes()
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_u8(0),
+            Some(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(dec)?)),
+            tag => Err(DecodeError::InvalidTag { what: "Option", tag }),
+        }
+    }
+}
+
+/// Encodes a slice of codec values with a length prefix.
+pub fn encode_seq<T: Codec>(items: &[T], enc: &mut Encoder) {
+    enc.put_len(items.len());
+    for item in items {
+        item.encode(enc);
+    }
+}
+
+/// Decodes a length-prefixed sequence.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or malformed input.
+pub fn decode_seq<T: Codec>(dec: &mut Decoder<'_>) -> Result<Vec<T>, DecodeError> {
+    let len = dec.take_len()?;
+    let mut out = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        out.push(T::decode(dec)?);
+    }
+    Ok(out)
+}
+
+// Note: no blanket `impl Codec for Vec<T>` — it would conflict with the
+// dedicated `Vec<u8>` impl (bytes are length-prefixed blobs, not element
+// sequences). Sequence fields use `encode_seq`/`decode_seq` explicitly.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_canonical_bytes();
+        let decoded = T::from_canonical_bytes(&bytes).expect("decode");
+        assert_eq!(decoded, value);
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(0xabcdu16);
+        round_trip(0xdead_beefu32);
+        round_trip(u64::MAX);
+        round_trip(i64::MIN);
+        round_trip(-42i64);
+        round_trip(true);
+        round_trip(false);
+        round_trip(String::from("héllo wörld"));
+        round_trip(String::new());
+        round_trip(vec![1u8, 2, 3]);
+        round_trip(Vec::<u8>::new());
+        round_trip(Some(17u64));
+        round_trip(Option::<u64>::None);
+    }
+
+    #[test]
+    fn seq_round_trip() {
+        let items = vec![String::from("a"), String::from("bb")];
+        let mut enc = Encoder::new();
+        encode_seq(&items, &mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let decoded: Vec<String> = decode_seq(&mut dec).unwrap();
+        assert!(dec.is_exhausted());
+        assert_eq!(decoded, items);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let a = String::from("xy");
+        assert_eq!(a.to_canonical_bytes(), a.to_canonical_bytes());
+    }
+
+    #[test]
+    fn truncated_input_fails() {
+        let bytes = 42u64.to_canonical_bytes();
+        let err = u64::from_canonical_bytes(&bytes[..4]).unwrap_err();
+        assert!(matches!(err, DecodeError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 42u32.to_canonical_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            u32::from_canonical_bytes(&bytes),
+            Err(DecodeError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn non_canonical_bool_rejected() {
+        assert!(matches!(
+            bool::from_canonical_bytes(&[2]),
+            Err(DecodeError::InvalidTag { what: "bool", .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_option_tag_rejected() {
+        assert!(matches!(
+            Option::<u8>::from_canonical_bytes(&[9, 1]),
+            Err(DecodeError::InvalidTag { what: "Option", .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(&[0xff, 0xfe]);
+        let bytes = enc.into_bytes();
+        assert_eq!(
+            String::from_canonical_bytes(&bytes),
+            Err(DecodeError::InvalidUtf8)
+        );
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        // Length prefix claims 2^31 bytes.
+        let bytes = (1u32 << 31).to_canonical_bytes();
+        assert!(matches!(
+            Vec::<u8>::from_canonical_bytes(&bytes),
+            Err(DecodeError::LengthOverflow(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DecodeError::UnexpectedEof { needed: 8, remaining: 3 };
+        assert!(e.to_string().contains("needed 8"));
+        assert!(DecodeError::InvalidUtf8.to_string().contains("UTF-8"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Console rendering helpers.
+//!
+//! The paper's evaluation (Figs. 6–8) presents the blockchain as a line-per-
+//! block console listing. This module provides the generic pieces — aligned
+//! text tables and fixed-width helpers — used by the chain renderer and the
+//! experiment binaries that print the reproduced figures and series.
+
+use std::fmt::Write as _;
+
+/// Left-pads or truncates `s` to exactly `width` characters.
+pub fn pad_left(s: &str, width: usize) -> String {
+    if s.len() >= width {
+        s[..width].to_string()
+    } else {
+        format!("{s:>width$}")
+    }
+}
+
+/// Right-pads or truncates `s` to exactly `width` characters.
+pub fn pad_right(s: &str, width: usize) -> String {
+    if s.len() >= width {
+        s[..width].to_string()
+    } else {
+        format!("{s:<width$}")
+    }
+}
+
+/// An aligned plain-text table.
+///
+/// # Example
+///
+/// ```
+/// use seldel_codec::render::TextTable;
+///
+/// let mut t = TextTable::new(["l_max", "live blocks", "bytes"]);
+/// t.row(["32", "33", "18204"]);
+/// t.row(["64", "65", "36020"]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("l_max"));
+/// assert!(rendered.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> TextTable
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are dropped.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut TextTable
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.truncate(self.headers.len());
+        while row.len() < self.headers.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header underline, columns separated by two
+    /// spaces, numbers right-aligned heuristically.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        // A column is right-aligned when every non-empty cell parses as a
+        // number (integers, floats, percentages, ratios like "3.2x").
+        let numeric: Vec<bool> = (0..cols)
+            .map(|i| {
+                self.rows.iter().all(|row| {
+                    let cell = row[i].trim().trim_end_matches(['%', 'x']);
+                    cell.is_empty() || cell.parse::<f64>().is_ok()
+                })
+            })
+            .collect();
+
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{}", pad_right(h, widths[i]));
+        }
+        out.push('\n');
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&"-".repeat(*w));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let padded = if numeric[i] {
+                    pad_left(cell, widths[i])
+                } else {
+                    pad_right(cell, widths[i])
+                };
+                out.push_str(&padded);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a byte count with binary units (`18.2 KiB`).
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+/// Formats a ratio as a multiplier string (`3.2x`).
+pub fn ratio(numerator: f64, denominator: f64) -> String {
+    if denominator == 0.0 {
+        return "inf".to_string();
+    }
+    format!("{:.2}x", numerator / denominator)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_helpers() {
+        assert_eq!(pad_left("ab", 4), "  ab");
+        assert_eq!(pad_right("ab", 4), "ab  ");
+        assert_eq!(pad_left("abcdef", 4), "abcd");
+        assert_eq!(pad_right("abcdef", 4), "abcd");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(["name", "count"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "100"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{rendered}");
+        // Numeric column right-aligned.
+        assert!(lines[2].ends_with("  1".trim_end_matches(' ')) || lines[2].ends_with("    1"));
+    }
+
+    #[test]
+    fn table_pads_missing_cells() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let rendered = t.render();
+        assert!(rendered.lines().count() == 3);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(12), "12 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(5 * 1024 * 1024), "5.0 MiB");
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(6.0, 2.0), "3.00x");
+        assert_eq!(ratio(1.0, 0.0), "inf");
+    }
+
+    #[test]
+    fn numeric_detection_handles_suffixes() {
+        let mut t = TextTable::new(["q", "success"]);
+        t.row(["0.30", "12.5%"]);
+        t.row(["0.45", "48.1%"]);
+        let rendered = t.render();
+        assert!(rendered.contains("12.5%"));
+    }
+}

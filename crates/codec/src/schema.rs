@@ -1,0 +1,536 @@
+//! Record schemas and a YAML-subset schema language.
+//!
+//! The paper's prototype specifies entry structure "beforehand by a YAML
+//! schema" (§V). This module provides the equivalent: a [`RecordSchema`]
+//! declares the typed fields a [`DataRecord`](crate::DataRecord) must carry,
+//! a [`SchemaRegistry`] validates incoming records, and
+//! [`RecordSchema::parse_yaml`] reads the subset of YAML needed for flat
+//! record declarations:
+//!
+//! ```yaml
+//! record: login
+//! fields:
+//!   user: str
+//!   terminal: u64
+//!   success: bool
+//!   note: str?        # trailing '?' marks the field optional
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::value::{DataRecord, ValueKind};
+
+/// A single field declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    name: String,
+    kind: ValueKind,
+    required: bool,
+}
+
+impl FieldDef {
+    /// Declares a required field.
+    pub fn required(name: impl Into<String>, kind: ValueKind) -> FieldDef {
+        FieldDef {
+            name: name.into(),
+            kind,
+            required: true,
+        }
+    }
+
+    /// Declares an optional field.
+    pub fn optional(name: impl Into<String>, kind: ValueKind) -> FieldDef {
+        FieldDef {
+            name: name.into(),
+            kind,
+            required: false,
+        }
+    }
+
+    /// The field name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The expected value kind.
+    pub fn kind(&self) -> ValueKind {
+        self.kind
+    }
+
+    /// Whether the field must be present.
+    pub fn is_required(&self) -> bool {
+        self.required
+    }
+}
+
+/// Errors from schema parsing or validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The YAML-subset text was malformed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A record referenced a schema the registry does not know.
+    UnknownSchema(String),
+    /// A required field was absent.
+    MissingField {
+        /// Schema name.
+        schema: String,
+        /// Field name.
+        field: String,
+    },
+    /// A field was present with the wrong type.
+    TypeMismatch {
+        /// Schema name.
+        schema: String,
+        /// Field name.
+        field: String,
+        /// Declared kind.
+        expected: ValueKind,
+        /// Actual kind found in the record.
+        found: ValueKind,
+    },
+    /// The record carried a field the schema does not declare.
+    UnknownField {
+        /// Schema name.
+        schema: String,
+        /// Field name.
+        field: String,
+    },
+    /// A schema with this name is already registered.
+    DuplicateSchema(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Parse { line, reason } => {
+                write!(f, "schema parse error at line {line}: {reason}")
+            }
+            SchemaError::UnknownSchema(name) => write!(f, "unknown schema {name:?}"),
+            SchemaError::MissingField { schema, field } => {
+                write!(f, "schema {schema:?}: missing required field {field:?}")
+            }
+            SchemaError::TypeMismatch {
+                schema,
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "schema {schema:?}: field {field:?} expected {expected}, found {found}"
+            ),
+            SchemaError::UnknownField { schema, field } => {
+                write!(f, "schema {schema:?}: unknown field {field:?}")
+            }
+            SchemaError::DuplicateSchema(name) => {
+                write!(f, "schema {name:?} already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// A named, flat record schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordSchema {
+    name: String,
+    fields: Vec<FieldDef>,
+}
+
+impl RecordSchema {
+    /// Creates a schema from parts.
+    pub fn new(name: impl Into<String>, fields: Vec<FieldDef>) -> RecordSchema {
+        RecordSchema {
+            name: name.into(),
+            fields,
+        }
+    }
+
+    /// The schema name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared fields, in declaration order.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Parses the YAML subset described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Parse`] with a line number for malformed input.
+    pub fn parse_yaml(text: &str) -> Result<RecordSchema, SchemaError> {
+        let mut name: Option<String> = None;
+        let mut fields: Vec<FieldDef> = Vec::new();
+        let mut in_fields = false;
+
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            // Strip comments and trailing whitespace.
+            let line = match raw_line.find('#') {
+                Some(pos) => &raw_line[..pos],
+                None => raw_line,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let indented = line.starts_with(' ') || line.starts_with('\t');
+            let trimmed = line.trim();
+
+            if !indented {
+                in_fields = false;
+                if let Some(rest) = trimmed.strip_prefix("record:") {
+                    let value = rest.trim();
+                    if value.is_empty() {
+                        return Err(SchemaError::Parse {
+                            line: line_no,
+                            reason: "record name missing".to_string(),
+                        });
+                    }
+                    if name.is_some() {
+                        return Err(SchemaError::Parse {
+                            line: line_no,
+                            reason: "duplicate record declaration".to_string(),
+                        });
+                    }
+                    name = Some(value.to_string());
+                } else if trimmed == "fields:" {
+                    in_fields = true;
+                } else {
+                    return Err(SchemaError::Parse {
+                        line: line_no,
+                        reason: format!("unexpected top-level line {trimmed:?}"),
+                    });
+                }
+                continue;
+            }
+
+            if !in_fields {
+                return Err(SchemaError::Parse {
+                    line: line_no,
+                    reason: "indented line outside a fields: section".to_string(),
+                });
+            }
+            let Some((field_name, type_text)) = trimmed.split_once(':') else {
+                return Err(SchemaError::Parse {
+                    line: line_no,
+                    reason: format!("expected `name: type`, got {trimmed:?}"),
+                });
+            };
+            let field_name = field_name.trim();
+            let mut type_text = type_text.trim();
+            if field_name.is_empty() || type_text.is_empty() {
+                return Err(SchemaError::Parse {
+                    line: line_no,
+                    reason: "empty field name or type".to_string(),
+                });
+            }
+            let required = if let Some(stripped) = type_text.strip_suffix('?') {
+                type_text = stripped.trim_end();
+                false
+            } else {
+                true
+            };
+            let kind = match type_text {
+                "str" => ValueKind::Str,
+                "u64" => ValueKind::U64,
+                "i64" => ValueKind::I64,
+                "bool" => ValueKind::Bool,
+                "bytes" => ValueKind::Bytes,
+                other => {
+                    return Err(SchemaError::Parse {
+                        line: line_no,
+                        reason: format!("unknown type {other:?}"),
+                    })
+                }
+            };
+            if fields.iter().any(|f| f.name == field_name) {
+                return Err(SchemaError::Parse {
+                    line: line_no,
+                    reason: format!("duplicate field {field_name:?}"),
+                });
+            }
+            fields.push(FieldDef {
+                name: field_name.to_string(),
+                kind,
+                required,
+            });
+        }
+
+        let name = name.ok_or(SchemaError::Parse {
+            line: 0,
+            reason: "missing record: declaration".to_string(),
+        })?;
+        Ok(RecordSchema { name, fields })
+    }
+
+    /// Validates a record against this schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found: missing required field, type
+    /// mismatch or undeclared field.
+    pub fn validate(&self, record: &DataRecord) -> Result<(), SchemaError> {
+        for def in &self.fields {
+            match record.get(&def.name) {
+                None if def.required => {
+                    return Err(SchemaError::MissingField {
+                        schema: self.name.clone(),
+                        field: def.name.clone(),
+                    })
+                }
+                None => {}
+                Some(value) if value.kind() != def.kind => {
+                    return Err(SchemaError::TypeMismatch {
+                        schema: self.name.clone(),
+                        field: def.name.clone(),
+                        expected: def.kind,
+                        found: value.kind(),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        for (field_name, _) in record.iter() {
+            if !self.fields.iter().any(|f| f.name == field_name) {
+                return Err(SchemaError::UnknownField {
+                    schema: self.name.clone(),
+                    field: field_name.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A set of named schemas validating incoming entries.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaRegistry {
+    schemas: BTreeMap<String, RecordSchema>,
+}
+
+impl SchemaRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> SchemaRegistry {
+        SchemaRegistry::default()
+    }
+
+    /// Registers a schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::DuplicateSchema`] if the name is taken.
+    pub fn register(&mut self, schema: RecordSchema) -> Result<(), SchemaError> {
+        if self.schemas.contains_key(schema.name()) {
+            return Err(SchemaError::DuplicateSchema(schema.name().to_string()));
+        }
+        self.schemas.insert(schema.name().to_string(), schema);
+        Ok(())
+    }
+
+    /// Parses and registers a YAML-subset schema in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors and duplicate-name errors.
+    pub fn register_yaml(&mut self, text: &str) -> Result<(), SchemaError> {
+        self.register(RecordSchema::parse_yaml(text)?)
+    }
+
+    /// Looks up a schema by name.
+    pub fn get(&self, name: &str) -> Option<&RecordSchema> {
+        self.schemas.get(name)
+    }
+
+    /// Number of registered schemas.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// Validates a record against its claimed schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::UnknownSchema`] for unregistered schema names
+    /// and propagates field-level violations.
+    pub fn validate(&self, record: &DataRecord) -> Result<(), SchemaError> {
+        let schema = self
+            .schemas
+            .get(record.schema())
+            .ok_or_else(|| SchemaError::UnknownSchema(record.schema().to_string()))?;
+        schema.validate(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataRecord, Value};
+
+    const LOGIN_YAML: &str = "\
+# login audit schema (paper §V)
+record: login
+fields:
+  user: str
+  terminal: u64
+  success: bool
+  note: str?
+";
+
+    fn login_schema() -> RecordSchema {
+        RecordSchema::parse_yaml(LOGIN_YAML).unwrap()
+    }
+
+    fn valid_record() -> DataRecord {
+        DataRecord::new("login")
+            .with("user", "ALPHA")
+            .with("terminal", 7u64)
+            .with("success", true)
+    }
+
+    #[test]
+    fn parse_yaml_happy_path() {
+        let schema = login_schema();
+        assert_eq!(schema.name(), "login");
+        assert_eq!(schema.fields().len(), 4);
+        assert!(schema.fields()[0].is_required());
+        assert_eq!(schema.fields()[3].name(), "note");
+        assert!(!schema.fields()[3].is_required());
+    }
+
+    #[test]
+    fn validate_accepts_valid_record() {
+        login_schema().validate(&valid_record()).unwrap();
+    }
+
+    #[test]
+    fn validate_accepts_optional_field_present() {
+        let record = valid_record().with("note", "first login");
+        login_schema().validate(&record).unwrap();
+    }
+
+    #[test]
+    fn missing_required_field_rejected() {
+        let record = DataRecord::new("login").with("user", "ALPHA");
+        let err = login_schema().validate(&record).unwrap_err();
+        assert!(matches!(err, SchemaError::MissingField { ref field, .. } if field == "terminal"));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let record = DataRecord::new("login")
+            .with("user", "ALPHA")
+            .with("terminal", "seven")
+            .with("success", true);
+        let err = login_schema().validate(&record).unwrap_err();
+        assert!(matches!(
+            err,
+            SchemaError::TypeMismatch {
+                expected: ValueKind::U64,
+                found: ValueKind::Str,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let record = valid_record().with("extra", 1u64);
+        let err = login_schema().validate(&record).unwrap_err();
+        assert!(matches!(err, SchemaError::UnknownField { ref field, .. } if field == "extra"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_type() {
+        let err = RecordSchema::parse_yaml("record: x\nfields:\n  a: float\n").unwrap_err();
+        assert!(matches!(err, SchemaError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_missing_record_name() {
+        let err = RecordSchema::parse_yaml("fields:\n  a: str\n").unwrap_err();
+        assert!(matches!(err, SchemaError::Parse { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_field() {
+        let err =
+            RecordSchema::parse_yaml("record: x\nfields:\n  a: str\n  a: u64\n").unwrap_err();
+        assert!(matches!(err, SchemaError::Parse { line: 4, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_record_line() {
+        let err = RecordSchema::parse_yaml("record: x\nrecord: y\n").unwrap_err();
+        assert!(matches!(err, SchemaError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_indent_outside_fields() {
+        let err = RecordSchema::parse_yaml("record: x\n  a: str\n").unwrap_err();
+        assert!(matches!(err, SchemaError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn registry_validates_by_claimed_schema() {
+        let mut reg = SchemaRegistry::new();
+        reg.register_yaml(LOGIN_YAML).unwrap();
+        assert_eq!(reg.len(), 1);
+        reg.validate(&valid_record()).unwrap();
+
+        let unknown = DataRecord::new("payment").with("amount", 1u64);
+        assert!(matches!(
+            reg.validate(&unknown),
+            Err(SchemaError::UnknownSchema(_))
+        ));
+    }
+
+    #[test]
+    fn registry_rejects_duplicates() {
+        let mut reg = SchemaRegistry::new();
+        reg.register_yaml(LOGIN_YAML).unwrap();
+        assert!(matches!(
+            reg.register_yaml(LOGIN_YAML),
+            Err(SchemaError::DuplicateSchema(_))
+        ));
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let record = DataRecord::new("login").with("user", "A");
+        let msg = login_schema().validate(&record).unwrap_err().to_string();
+        assert!(msg.contains("terminal"));
+        let msg = Value::from("x");
+        let _ = msg; // silence unused in case of refactors
+    }
+
+    #[test]
+    fn schema_with_all_types_parses() {
+        let yaml = "record: all\nfields:\n  a: str\n  b: u64\n  c: i64\n  d: bool\n  e: bytes?\n";
+        let schema = RecordSchema::parse_yaml(yaml).unwrap();
+        let kinds: Vec<ValueKind> = schema.fields().iter().map(|f| f.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                ValueKind::Str,
+                ValueKind::U64,
+                ValueKind::I64,
+                ValueKind::Bool,
+                ValueKind::Bytes
+            ]
+        );
+    }
+}

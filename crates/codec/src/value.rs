@@ -1,0 +1,393 @@
+//! Typed field values and data records (`D` in the paper's entry layout).
+
+use std::fmt;
+
+use crate::enc::{Codec, DecodeError, Decoder, Encoder};
+
+/// A typed field value inside a [`DataRecord`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// UTF-8 text.
+    Str(String),
+    /// Unsigned 64-bit integer.
+    U64(u64),
+    /// Signed 64-bit integer.
+    I64(i64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Opaque bytes.
+    Bytes(Vec<u8>),
+}
+
+/// The kind (type) of a [`Value`], used by schema validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// UTF-8 text.
+    Str,
+    /// Unsigned 64-bit integer.
+    U64,
+    /// Signed 64-bit integer.
+    I64,
+    /// Boolean flag.
+    Bool,
+    /// Opaque bytes.
+    Bytes,
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ValueKind::Str => "str",
+            ValueKind::U64 => "u64",
+            ValueKind::I64 => "i64",
+            ValueKind::Bool => "bool",
+            ValueKind::Bytes => "bytes",
+        };
+        f.write_str(name)
+    }
+}
+
+impl Value {
+    /// The kind of this value.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Str(_) => ValueKind::Str,
+            Value::U64(_) => ValueKind::U64,
+            Value::I64(_) => ValueKind::I64,
+            Value::Bool(_) => ValueKind::Bool,
+            Value::Bytes(_) => ValueKind::Bytes,
+        }
+    }
+
+    /// Borrows the string content, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer content, if this is a [`Value::U64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer content, if this is a [`Value::I64`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean content, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the byte content, if this is a [`Value::Bytes`].
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => f.write_str(s),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Bytes(b) => write!(f, "0x{}", crate_hex(b)),
+        }
+    }
+}
+
+fn crate_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl Codec for Value {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Value::Str(s) => {
+                enc.put_u8(0);
+                enc.put_str(s);
+            }
+            Value::U64(v) => {
+                enc.put_u8(1);
+                enc.put_u64(*v);
+            }
+            Value::I64(v) => {
+                enc.put_u8(2);
+                enc.put_i64(*v);
+            }
+            Value::Bool(v) => {
+                enc.put_u8(3);
+                enc.put_bool(*v);
+            }
+            Value::Bytes(b) => {
+                enc.put_u8(4);
+                enc.put_bytes(b);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.take_u8()? {
+            0 => Ok(Value::Str(dec.take_str()?)),
+            1 => Ok(Value::U64(dec.take_u64()?)),
+            2 => Ok(Value::I64(dec.take_i64()?)),
+            3 => Ok(Value::Bool(dec.take_bool()?)),
+            4 => Ok(Value::Bytes(dec.take_bytes()?)),
+            tag => Err(DecodeError::InvalidTag { what: "Value", tag }),
+        }
+    }
+}
+
+/// An ordered, schema-named collection of fields — the `D` (data) part of a
+/// blockchain entry.
+///
+/// Field order is preserved and significant for the canonical encoding;
+/// builders should insert fields in schema order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct DataRecord {
+    schema: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl DataRecord {
+    /// Creates an empty record bound to schema `schema`.
+    pub fn new(schema: impl Into<String>) -> DataRecord {
+        DataRecord {
+            schema: schema.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Builder-style field insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field name is already present (records are flat maps;
+    /// duplicates would break canonical encoding).
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> DataRecord {
+        self.insert(name, value);
+        self
+    }
+
+    /// Inserts a field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field name is already present.
+    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        let name = name.into();
+        assert!(
+            self.get(&name).is_none(),
+            "duplicate field {name:?} in record"
+        );
+        self.fields.push((name, value.into()));
+    }
+
+    /// The schema name this record claims to conform to.
+    pub fn schema(&self) -> &str {
+        &self.schema
+    }
+
+    /// Looks up a field by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Iterates fields in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.fields.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Approximate wire size in bytes (used by the growth experiments).
+    pub fn byte_size(&self) -> usize {
+        self.to_canonical_bytes().len()
+    }
+}
+
+impl fmt::Display for DataRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.schema)?;
+        for (i, (name, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl Codec for DataRecord {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.schema);
+        enc.put_len(self.fields.len());
+        for (name, value) in &self.fields {
+            enc.put_str(name);
+            value.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let schema = dec.take_str()?;
+        let len = dec.take_len()?;
+        let mut fields = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            let name = dec.take_str()?;
+            let value = Value::decode(dec)?;
+            fields.push((name, value));
+        }
+        Ok(DataRecord { schema, fields })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataRecord {
+        DataRecord::new("login")
+            .with("user", "ALPHA")
+            .with("terminal", 7u64)
+            .with("success", true)
+            .with("session", Value::Bytes(vec![1, 2, 3]))
+            .with("offset", -5i64)
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = sample();
+        let decoded = DataRecord::from_canonical_bytes(&r.to_canonical_bytes()).unwrap();
+        assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn get_and_iter() {
+        let r = sample();
+        assert_eq!(r.get("user").and_then(Value::as_str), Some("ALPHA"));
+        assert_eq!(r.get("terminal").and_then(|v| v.as_u64()), Some(7));
+        assert_eq!(r.get("missing"), None);
+        assert_eq!(r.len(), 5);
+        let names: Vec<&str> = r.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["user", "terminal", "success", "session", "offset"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field")]
+    fn duplicate_field_panics() {
+        let _ = sample().with("user", "BRAVO");
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let r = DataRecord::new("x").with("a", 1u64);
+        assert_eq!(r.to_string(), "x{a=1}");
+    }
+
+    #[test]
+    fn value_kinds() {
+        assert_eq!(Value::from("s").kind(), ValueKind::Str);
+        assert_eq!(Value::U64(1).kind(), ValueKind::U64);
+        assert_eq!(Value::I64(-1).kind(), ValueKind::I64);
+        assert_eq!(Value::Bool(true).kind(), ValueKind::Bool);
+        assert_eq!(Value::Bytes(vec![]).kind(), ValueKind::Bytes);
+        assert_eq!(ValueKind::Bytes.to_string(), "bytes");
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert_eq!(Value::from("s").as_u64(), None);
+        assert_eq!(Value::U64(3).as_u64(), Some(3));
+        assert_eq!(Value::I64(-3).as_i64(), Some(-3));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Bytes(vec![7]).as_bytes(), Some(&[7u8][..]));
+    }
+
+    #[test]
+    fn deterministic_encoding() {
+        assert_eq!(sample().to_canonical_bytes(), sample().to_canonical_bytes());
+    }
+
+    #[test]
+    fn field_order_affects_encoding() {
+        let a = DataRecord::new("s").with("x", 1u64).with("y", 2u64);
+        let b = DataRecord::new("s").with("y", 2u64).with("x", 1u64);
+        assert_ne!(a.to_canonical_bytes(), b.to_canonical_bytes());
+    }
+
+    #[test]
+    fn empty_record_round_trip() {
+        let r = DataRecord::new("empty");
+        assert!(r.is_empty());
+        let decoded = DataRecord::from_canonical_bytes(&r.to_canonical_bytes()).unwrap();
+        assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn byte_size_positive() {
+        assert!(sample().byte_size() > 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Anchor-node (quorum) election strategies.
+//!
+//! "For the election of the group of these trusted nodes, several community
+//! based approaches can be applied. This depends on the type of the
+//! blockchain: public, private, consortium, hybrid. For example, the
+//! trusted community could consist of a non-profit organisation or
+//! participated users, who have previously done transaction in the
+//! blockchain." (§IV-A)
+//!
+//! All strategies are deterministic (ties broken by key order; randomness
+//! is seeded) so that every node computes the same quorum.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use seldel_crypto::VerifyingKey;
+
+/// A quorum candidate with its observable credentials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// The candidate key.
+    pub key: VerifyingKey,
+    /// Number of transactions previously submitted ("participated users,
+    /// who have previously done transaction in the blockchain").
+    pub participation: u64,
+    /// Stake weight (for stake-based deployments).
+    pub stake: u64,
+}
+
+impl Candidate {
+    /// Creates a candidate.
+    pub fn new(key: VerifyingKey, participation: u64, stake: u64) -> Candidate {
+        Candidate {
+            key,
+            participation,
+            stake,
+        }
+    }
+}
+
+/// A deterministic quorum election strategy.
+pub trait ElectionStrategy: std::fmt::Debug {
+    /// Elects up to `seats` anchor nodes from `candidates`.
+    fn elect(&self, candidates: &[Candidate], seats: usize) -> Vec<VerifyingKey>;
+
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Top-k by prior participation; ties broken by key bytes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ByParticipation;
+
+impl ElectionStrategy for ByParticipation {
+    fn elect(&self, candidates: &[Candidate], seats: usize) -> Vec<VerifyingKey> {
+        let mut sorted: Vec<&Candidate> = candidates.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.participation
+                .cmp(&a.participation)
+                .then_with(|| a.key.to_bytes().cmp(&b.key.to_bytes()))
+        });
+        sorted.into_iter().take(seats).map(|c| c.key).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "by-participation"
+    }
+}
+
+/// Top-k by stake; ties broken by key bytes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ByStake;
+
+impl ElectionStrategy for ByStake {
+    fn elect(&self, candidates: &[Candidate], seats: usize) -> Vec<VerifyingKey> {
+        let mut sorted: Vec<&Candidate> = candidates.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.stake
+                .cmp(&a.stake)
+                .then_with(|| a.key.to_bytes().cmp(&b.key.to_bytes()))
+        });
+        sorted.into_iter().take(seats).map(|c| c.key).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "by-stake"
+    }
+}
+
+/// A seeded random committee: all nodes with the same seed (e.g. derived
+/// from a recent block hash) elect the same committee.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomCommittee {
+    seed: u64,
+}
+
+impl RandomCommittee {
+    /// Creates a committee election with the given shared seed.
+    pub fn new(seed: u64) -> RandomCommittee {
+        RandomCommittee { seed }
+    }
+}
+
+impl ElectionStrategy for RandomCommittee {
+    fn elect(&self, candidates: &[Candidate], seats: usize) -> Vec<VerifyingKey> {
+        // Canonical candidate order first, so the sample is independent of
+        // the caller's ordering.
+        let mut keys: Vec<VerifyingKey> = candidates.iter().map(|c| c.key).collect();
+        keys.sort_by_key(|a| a.to_bytes());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let take = seats.min(keys.len());
+        // Partial Fisher-Yates.
+        for i in 0..take {
+            let j = rng.random_range(i..keys.len());
+            keys.swap(i, j);
+        }
+        keys.truncate(take);
+        keys
+    }
+
+    fn name(&self) -> &'static str {
+        "random-committee"
+    }
+}
+
+/// A fixed, operator-configured quorum (private/consortium chains).
+#[derive(Debug, Clone)]
+pub struct FixedSet {
+    members: Vec<VerifyingKey>,
+}
+
+impl FixedSet {
+    /// Creates the fixed set.
+    pub fn new(members: Vec<VerifyingKey>) -> FixedSet {
+        FixedSet { members }
+    }
+}
+
+impl ElectionStrategy for FixedSet {
+    fn elect(&self, _candidates: &[Candidate], seats: usize) -> Vec<VerifyingKey> {
+        self.members.iter().take(seats).copied().collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-set"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldel_crypto::SigningKey;
+
+    fn candidates(n: u8) -> Vec<Candidate> {
+        (0..n)
+            .map(|i| {
+                Candidate::new(
+                    SigningKey::from_seed([i + 1; 32]).verifying_key(),
+                    (i as u64) * 10,
+                    100 - i as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn by_participation_picks_most_active() {
+        let cands = candidates(5);
+        let elected = ByParticipation.elect(&cands, 2);
+        assert_eq!(elected.len(), 2);
+        assert_eq!(elected[0], cands[4].key); // participation 40
+        assert_eq!(elected[1], cands[3].key); // participation 30
+    }
+
+    #[test]
+    fn by_stake_picks_richest() {
+        let cands = candidates(5);
+        let elected = ByStake.elect(&cands, 2);
+        assert_eq!(elected[0], cands[0].key); // stake 100
+        assert_eq!(elected[1], cands[1].key);
+    }
+
+    #[test]
+    fn ties_broken_deterministically() {
+        let mut cands = candidates(4);
+        for c in &mut cands {
+            c.participation = 7;
+        }
+        let a = ByParticipation.elect(&cands, 2);
+        cands.reverse();
+        let b = ByParticipation.elect(&cands, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_committee_deterministic_per_seed() {
+        let cands = candidates(10);
+        let a = RandomCommittee::new(42).elect(&cands, 4);
+        let b = RandomCommittee::new(42).elect(&cands, 4);
+        assert_eq!(a, b);
+        let c = RandomCommittee::new(43).elect(&cands, 4);
+        assert_ne!(a, c, "different seeds should (almost surely) differ");
+    }
+
+    #[test]
+    fn random_committee_independent_of_input_order() {
+        let mut cands = candidates(10);
+        let a = RandomCommittee::new(7).elect(&cands, 3);
+        cands.reverse();
+        let b = RandomCommittee::new(7).elect(&cands, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_committee_no_duplicates() {
+        let cands = candidates(8);
+        let elected = RandomCommittee::new(1).elect(&cands, 8);
+        let mut dedup = elected.clone();
+        dedup.sort_by_key(|a| a.to_bytes());
+        dedup.dedup();
+        assert_eq!(dedup.len(), elected.len());
+    }
+
+    #[test]
+    fn seats_capped_at_candidate_count() {
+        let cands = candidates(3);
+        assert_eq!(ByParticipation.elect(&cands, 10).len(), 3);
+        assert_eq!(RandomCommittee::new(1).elect(&cands, 10).len(), 3);
+    }
+
+    #[test]
+    fn fixed_set_ignores_candidates() {
+        let members: Vec<VerifyingKey> = candidates(2).into_iter().map(|c| c.key).collect();
+        let strategy = FixedSet::new(members.clone());
+        assert_eq!(strategy.elect(&candidates(9), 2), members);
+        assert_eq!(strategy.name(), "fixed-set");
+    }
+}

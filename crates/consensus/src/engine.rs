@@ -1,0 +1,436 @@
+//! Pluggable consensus engines.
+//!
+//! The selective-deletion concept "is independent of the specific consensus
+//! algorithm" (§IV-A) and "any consensus algorithm can be extended by the
+//! described behavior" (§V-B3). This module makes that independence
+//! concrete: engines seal and verify **normal and empty** blocks, while
+//! genesis and summary blocks are always [`Seal::Deterministic`] — summary
+//! blocks must be derivable by every node on its own, so they can never
+//! carry engine-specific data ("the nonce … [is] not needed anymore").
+
+use std::fmt;
+
+use seldel_chain::{BlockHeader, BlockKind, Seal};
+use seldel_crypto::{Digest32, SigningKey, VerifyingKey};
+
+/// Errors from sealing or verifying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SealError {
+    /// Proof-of-work search exhausted its iteration budget.
+    NonceSearchExhausted {
+        /// Iterations tried.
+        tried: u64,
+    },
+    /// The seal variant does not match the engine (e.g. a nonce under
+    /// proof-of-authority).
+    WrongSealKind {
+        /// Engine name.
+        engine: &'static str,
+    },
+    /// Proof-of-work hash does not meet the difficulty target.
+    InsufficientWork {
+        /// Leading zero bits achieved.
+        got: u32,
+        /// Leading zero bits required.
+        needed: u32,
+    },
+    /// Authority signature invalid or signer not an authority.
+    BadAuthority,
+    /// This engine cannot seal (no signing key configured).
+    NotASigner,
+    /// Deterministic blocks (genesis/summary) must carry no seal.
+    UnexpectedSealOnDeterministicBlock,
+}
+
+impl fmt::Display for SealError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SealError::NonceSearchExhausted { tried } => {
+                write!(f, "nonce search exhausted after {tried} iterations")
+            }
+            SealError::WrongSealKind { engine } => {
+                write!(f, "seal kind does not match engine {engine}")
+            }
+            SealError::InsufficientWork { got, needed } => {
+                write!(f, "insufficient work: {got} leading zero bits, need {needed}")
+            }
+            SealError::BadAuthority => f.write_str("invalid authority signature"),
+            SealError::NotASigner => f.write_str("engine has no signing key"),
+            SealError::UnexpectedSealOnDeterministicBlock => {
+                f.write_str("deterministic block kinds must not carry a seal")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SealError {}
+
+/// A consensus engine: seals new blocks and verifies received ones.
+pub trait ConsensusEngine: fmt::Debug + Send + Sync {
+    /// Engine name for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Produces a seal for a draft header (whose `seal` field is
+    /// [`Seal::Deterministic`] during the search).
+    ///
+    /// # Errors
+    ///
+    /// Engine-specific; see [`SealError`].
+    fn seal(&self, header: &BlockHeader) -> Result<Seal, SealError>;
+
+    /// Verifies the seal on a header.
+    ///
+    /// # Errors
+    ///
+    /// Engine-specific; see [`SealError`].
+    fn verify(&self, header: &BlockHeader) -> Result<(), SealError>;
+}
+
+/// Returns `Ok(())` early for block kinds that are always deterministic,
+/// or an error if they unexpectedly carry a seal.
+fn check_deterministic_kinds(header: &BlockHeader) -> Option<Result<(), SealError>> {
+    match header.kind {
+        BlockKind::Summary | BlockKind::Genesis => Some(if header.seal == Seal::Deterministic {
+            Ok(())
+        } else {
+            Err(SealError::UnexpectedSealOnDeterministicBlock)
+        }),
+        _ => None,
+    }
+}
+
+/// The trivial engine: everything is sealed deterministically. Used by
+/// single-node ledgers, tests and the quorum-vote configuration where block
+/// ordering is decided by vote rather than by seal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullEngine;
+
+impl ConsensusEngine for NullEngine {
+    fn name(&self) -> &'static str {
+        "null"
+    }
+
+    fn seal(&self, _header: &BlockHeader) -> Result<Seal, SealError> {
+        Ok(Seal::Deterministic)
+    }
+
+    fn verify(&self, header: &BlockHeader) -> Result<(), SealError> {
+        if let Some(result) = check_deterministic_kinds(header) {
+            return result;
+        }
+        match header.seal {
+            Seal::Deterministic => Ok(()),
+            _ => Err(SealError::WrongSealKind { engine: "null" }),
+        }
+    }
+}
+
+/// Counts leading zero bits of a digest (the PoW difficulty measure).
+pub fn leading_zero_bits(digest: &Digest32) -> u32 {
+    let mut bits = 0;
+    for byte in digest.as_bytes() {
+        if *byte == 0 {
+            bits += 8;
+        } else {
+            bits += byte.leading_zeros();
+            break;
+        }
+    }
+    bits
+}
+
+/// Simple hash-based proof of work: find a nonce such that the header hash
+/// has at least `difficulty_bits` leading zero bits.
+#[derive(Debug, Clone, Copy)]
+pub struct ProofOfWork {
+    difficulty_bits: u32,
+    max_iterations: u64,
+}
+
+impl ProofOfWork {
+    /// Creates an engine with the given difficulty.
+    pub fn new(difficulty_bits: u32) -> ProofOfWork {
+        ProofOfWork {
+            difficulty_bits,
+            max_iterations: u64::MAX,
+        }
+    }
+
+    /// Bounds the nonce search (useful in tests and simulations).
+    pub fn with_max_iterations(mut self, max: u64) -> ProofOfWork {
+        self.max_iterations = max;
+        self
+    }
+
+    /// The difficulty in leading zero bits.
+    pub fn difficulty_bits(&self) -> u32 {
+        self.difficulty_bits
+    }
+}
+
+impl ConsensusEngine for ProofOfWork {
+    fn name(&self) -> &'static str {
+        "proof-of-work"
+    }
+
+    fn seal(&self, header: &BlockHeader) -> Result<Seal, SealError> {
+        let mut candidate = header.clone();
+        for nonce in 0..self.max_iterations {
+            candidate.seal = Seal::Nonce(nonce);
+            if leading_zero_bits(&candidate.hash()) >= self.difficulty_bits {
+                return Ok(Seal::Nonce(nonce));
+            }
+        }
+        Err(SealError::NonceSearchExhausted {
+            tried: self.max_iterations,
+        })
+    }
+
+    fn verify(&self, header: &BlockHeader) -> Result<(), SealError> {
+        if let Some(result) = check_deterministic_kinds(header) {
+            return result;
+        }
+        match header.seal {
+            Seal::Nonce(_) => {
+                let got = leading_zero_bits(&header.hash());
+                if got >= self.difficulty_bits {
+                    Ok(())
+                } else {
+                    Err(SealError::InsufficientWork {
+                        got,
+                        needed: self.difficulty_bits,
+                    })
+                }
+            }
+            _ => Err(SealError::WrongSealKind {
+                engine: "proof-of-work",
+            }),
+        }
+    }
+}
+
+/// Proof of authority: blocks are sealed by a signature from one of a fixed
+/// set of authorities over the pre-seal header digest.
+#[derive(Debug, Clone)]
+pub struct ProofOfAuthority {
+    authorities: Vec<VerifyingKey>,
+    signer: Option<SigningKey>,
+}
+
+impl fmt::Display for ProofOfAuthority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proof-of-authority ({} authorities)", self.authorities.len())
+    }
+}
+
+impl ProofOfAuthority {
+    /// Creates a verifying-only engine.
+    pub fn new(authorities: Vec<VerifyingKey>) -> ProofOfAuthority {
+        ProofOfAuthority {
+            authorities,
+            signer: None,
+        }
+    }
+
+    /// Enables sealing with the given authority key.
+    pub fn with_signer(mut self, signer: SigningKey) -> ProofOfAuthority {
+        self.signer = Some(signer);
+        self
+    }
+
+    /// The configured authorities.
+    pub fn authorities(&self) -> &[VerifyingKey] {
+        &self.authorities
+    }
+}
+
+impl ConsensusEngine for ProofOfAuthority {
+    fn name(&self) -> &'static str {
+        "proof-of-authority"
+    }
+
+    fn seal(&self, header: &BlockHeader) -> Result<Seal, SealError> {
+        let signer = self.signer.as_ref().ok_or(SealError::NotASigner)?;
+        if !self.authorities.contains(&signer.verifying_key()) {
+            return Err(SealError::BadAuthority);
+        }
+        let digest = header.preseal_digest();
+        Ok(Seal::Authority {
+            signer: signer.verifying_key(),
+            signature: signer.sign(digest.as_bytes()),
+        })
+    }
+
+    fn verify(&self, header: &BlockHeader) -> Result<(), SealError> {
+        if let Some(result) = check_deterministic_kinds(header) {
+            return result;
+        }
+        match &header.seal {
+            Seal::Authority { signer, signature } => {
+                if !self.authorities.contains(signer) {
+                    return Err(SealError::BadAuthority);
+                }
+                let digest = header.preseal_digest();
+                signer
+                    .verify(digest.as_bytes(), signature)
+                    .map_err(|_| SealError::BadAuthority)
+            }
+            _ => Err(SealError::WrongSealKind {
+                engine: "proof-of-authority",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldel_chain::{Block, BlockBody, BlockNumber, Timestamp};
+
+    fn draft(kind: BlockKind) -> BlockHeader {
+        let body = match kind {
+            BlockKind::Normal => BlockBody::Normal { entries: vec![] },
+            BlockKind::Summary => BlockBody::Summary {
+                records: vec![],
+                anchor: None,
+            },
+            BlockKind::Empty => BlockBody::Empty,
+            BlockKind::Genesis => BlockBody::Genesis { note: "g".into() },
+        };
+        Block::new(
+            BlockNumber(5),
+            Timestamp(50),
+            seldel_crypto::sha256(b"prev"),
+            body,
+            Seal::Deterministic,
+        )
+        .header()
+        .clone()
+    }
+
+    #[test]
+    fn null_engine_round_trip() {
+        let engine = NullEngine;
+        let header = draft(BlockKind::Normal);
+        assert_eq!(engine.seal(&header).unwrap(), Seal::Deterministic);
+        engine.verify(&header).unwrap();
+    }
+
+    #[test]
+    fn pow_seal_and_verify() {
+        let engine = ProofOfWork::new(8);
+        let mut header = draft(BlockKind::Normal);
+        header.seal = engine.seal(&header).unwrap();
+        engine.verify(&header).unwrap();
+        assert!(leading_zero_bits(&header.hash()) >= 8);
+    }
+
+    #[test]
+    fn pow_rejects_insufficient_work() {
+        let low = ProofOfWork::new(2);
+        let high = ProofOfWork::new(24);
+        let mut header = draft(BlockKind::Normal);
+        header.seal = low.seal(&header).unwrap();
+        // Verifying a 2-bit seal at 24-bit difficulty fails (overwhelmingly
+        // likely; the seal was found at the first 2-bit nonce).
+        match high.verify(&header) {
+            Err(SealError::InsufficientWork { needed: 24, .. }) => {}
+            Ok(()) => {
+                // Freak coincidence: the low-difficulty nonce also meets 24
+                // bits. Accept but assert the work is actually there.
+                assert!(leading_zero_bits(&header.hash()) >= 24);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pow_search_budget() {
+        let engine = ProofOfWork::new(60).with_max_iterations(10);
+        let header = draft(BlockKind::Normal);
+        assert_eq!(
+            engine.seal(&header),
+            Err(SealError::NonceSearchExhausted { tried: 10 })
+        );
+    }
+
+    #[test]
+    fn pow_exempts_summary_blocks() {
+        let engine = ProofOfWork::new(20);
+        let header = draft(BlockKind::Summary);
+        engine.verify(&header).unwrap();
+        // A summary with a nonce is invalid.
+        let mut bad = header;
+        bad.seal = Seal::Nonce(1);
+        assert_eq!(
+            engine.verify(&bad),
+            Err(SealError::UnexpectedSealOnDeterministicBlock)
+        );
+    }
+
+    #[test]
+    fn poa_seal_and_verify() {
+        let auth = SigningKey::from_seed([1u8; 32]);
+        let engine =
+            ProofOfAuthority::new(vec![auth.verifying_key()]).with_signer(auth.clone());
+        let mut header = draft(BlockKind::Normal);
+        header.seal = engine.seal(&header).unwrap();
+        engine.verify(&header).unwrap();
+    }
+
+    #[test]
+    fn poa_rejects_outsider() {
+        let auth = SigningKey::from_seed([1u8; 32]);
+        let outsider = SigningKey::from_seed([2u8; 32]);
+        let sealer = ProofOfAuthority::new(vec![outsider.verifying_key()])
+            .with_signer(outsider.clone());
+        let verifier = ProofOfAuthority::new(vec![auth.verifying_key()]);
+        let mut header = draft(BlockKind::Normal);
+        header.seal = sealer.seal(&header).unwrap();
+        assert_eq!(verifier.verify(&header), Err(SealError::BadAuthority));
+    }
+
+    #[test]
+    fn poa_rejects_tampered_header() {
+        let auth = SigningKey::from_seed([1u8; 32]);
+        let engine =
+            ProofOfAuthority::new(vec![auth.verifying_key()]).with_signer(auth.clone());
+        let mut header = draft(BlockKind::Normal);
+        header.seal = engine.seal(&header).unwrap();
+        header.timestamp = Timestamp(51); // tamper after sealing
+        assert_eq!(engine.verify(&header), Err(SealError::BadAuthority));
+    }
+
+    #[test]
+    fn poa_cannot_seal_without_key() {
+        let auth = SigningKey::from_seed([1u8; 32]);
+        let engine = ProofOfAuthority::new(vec![auth.verifying_key()]);
+        assert_eq!(
+            engine.seal(&draft(BlockKind::Normal)),
+            Err(SealError::NotASigner)
+        );
+    }
+
+    #[test]
+    fn wrong_seal_kind_rejected() {
+        let engine = NullEngine;
+        let mut header = draft(BlockKind::Normal);
+        header.seal = Seal::Nonce(3);
+        assert_eq!(
+            engine.verify(&header),
+            Err(SealError::WrongSealKind { engine: "null" })
+        );
+    }
+
+    #[test]
+    fn leading_zero_bits_cases() {
+        assert_eq!(leading_zero_bits(&Digest32::from_bytes([0xff; 32])), 0);
+        assert_eq!(leading_zero_bits(&Digest32::from_bytes([0x00; 32])), 256);
+        let mut bytes = [0u8; 32];
+        bytes[0] = 0x0f;
+        assert_eq!(leading_zero_bits(&Digest32::from_bytes(bytes)), 4);
+        bytes[0] = 0;
+        bytes[1] = 0x80;
+        assert_eq!(leading_zero_bits(&Digest32::from_bytes(bytes)), 8);
+    }
+}

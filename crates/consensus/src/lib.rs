@@ -1,0 +1,25 @@
+//! Pluggable consensus for the selective-deletion blockchain.
+//!
+//! The paper stresses that its concept "is independent of the concrete
+//! characteristics of quorum selection and consensus algorithm" (§V-B5).
+//! This crate supplies the interchangeable pieces:
+//!
+//! * [`engine`] — a [`ConsensusEngine`] trait with three implementations
+//!   (null/deterministic, proof-of-work, proof-of-authority). Engines never
+//!   touch summary blocks, which stay deterministic by construction.
+//! * [`quorum`] — signed ballots and threshold tallies for the decisions
+//!   the paper assigns to the anchor-node quorum: deletion approval, marker
+//!   shifts and chain adoption.
+//! * [`election`] — deterministic anchor-node election strategies
+//!   (participation, stake, seeded random committee, fixed set).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod election;
+pub mod engine;
+pub mod quorum;
+
+pub use election::{ByParticipation, ByStake, Candidate, ElectionStrategy, FixedSet, RandomCommittee};
+pub use engine::{leading_zero_bits, ConsensusEngine, NullEngine, ProofOfAuthority, ProofOfWork, SealError};
+pub use quorum::{Ballot, QuorumConfig, TallyState, VoteError, VoteSubject, VoteTally};

@@ -1,0 +1,401 @@
+//! Quorum voting (§IV-A, §IV-C).
+//!
+//! "The agreement on the same blockchain is usually done by some core
+//! nodes, called anchor nodes. These node[s] manage the full copy of the
+//! blockchain and build the quorum. … By a majority vote, the quorum
+//! determines the new first Block and the time of the changeover."
+//!
+//! Marker shifts, deletion approvals and chain adoption are all decided by
+//! signed ballots tallied against a configurable threshold.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use seldel_chain::{BlockNumber, EntryId, Timestamp};
+use seldel_codec::{Codec, Encoder};
+use seldel_crypto::{Digest32, Signature, SigningKey, VerifyingKey};
+
+/// The quorum: member keys plus the acceptance threshold.
+#[derive(Debug, Clone)]
+pub struct QuorumConfig {
+    members: Vec<VerifyingKey>,
+    threshold: usize,
+}
+
+impl QuorumConfig {
+    /// Creates a quorum with an explicit threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threshold` is zero or exceeds the member count.
+    pub fn new(members: Vec<VerifyingKey>, threshold: usize) -> QuorumConfig {
+        assert!(
+            threshold >= 1 && threshold <= members.len(),
+            "threshold {threshold} out of range for {} members",
+            members.len()
+        );
+        QuorumConfig { members, threshold }
+    }
+
+    /// Creates a simple-majority quorum (⌊n/2⌋ + 1).
+    pub fn majority(members: Vec<VerifyingKey>) -> QuorumConfig {
+        let threshold = members.len() / 2 + 1;
+        QuorumConfig::new(members, threshold)
+    }
+
+    /// The member keys.
+    pub fn members(&self) -> &[VerifyingKey] {
+        &self.members
+    }
+
+    /// Votes required to accept.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Whether `key` is a quorum member.
+    pub fn is_member(&self, key: &VerifyingKey) -> bool {
+        self.members.contains(key)
+    }
+}
+
+/// What the quorum votes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VoteSubject {
+    /// Approve the deletion of a data set (§IV-D1: "According to the
+    /// consensus of the anchor nodes, a deletion request is approved").
+    ApproveDeletion {
+        /// The target data set.
+        target: EntryId,
+    },
+    /// Shift the genesis marker (§IV-C: "the quorum determines the new
+    /// first Block and the time of the changeover").
+    ShiftMarker {
+        /// The proposed new first block.
+        new_marker: BlockNumber,
+        /// The changeover point: the summary block absorbing the cut.
+        at_block: BlockNumber,
+    },
+    /// Adopt a chain status quo (used by sync / fork resolution).
+    AdoptChain {
+        /// Tip number of the proposed chain.
+        tip: BlockNumber,
+        /// Tip hash of the proposed chain.
+        tip_hash: Digest32,
+    },
+}
+
+impl VoteSubject {
+    /// Canonical digest input for ballot signatures.
+    pub fn message(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_raw(b"seldel/ballot/v1");
+        match self {
+            VoteSubject::ApproveDeletion { target } => {
+                enc.put_u8(0);
+                target.encode(&mut enc);
+            }
+            VoteSubject::ShiftMarker {
+                new_marker,
+                at_block,
+            } => {
+                enc.put_u8(1);
+                new_marker.encode(&mut enc);
+                at_block.encode(&mut enc);
+            }
+            VoteSubject::AdoptChain { tip, tip_hash } => {
+                enc.put_u8(2);
+                tip.encode(&mut enc);
+                enc.put_raw(tip_hash.as_bytes());
+            }
+        }
+        enc.into_bytes()
+    }
+}
+
+impl fmt::Display for VoteSubject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VoteSubject::ApproveDeletion { target } => write!(f, "approve-deletion {target}"),
+            VoteSubject::ShiftMarker {
+                new_marker,
+                at_block,
+            } => write!(f, "shift-marker to {new_marker} at {at_block}"),
+            VoteSubject::AdoptChain { tip, tip_hash } => {
+                write!(f, "adopt-chain tip {tip} hash {}", tip_hash.short())
+            }
+        }
+    }
+}
+
+/// A signed vote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ballot {
+    /// What is being voted on.
+    pub subject: VoteSubject,
+    /// The voting member.
+    pub voter: VerifyingKey,
+    /// Accept or reject.
+    pub accept: bool,
+    /// Signature over subject ‖ accept.
+    pub signature: Signature,
+    /// Vote time (virtual).
+    pub cast_at: Timestamp,
+}
+
+impl Ballot {
+    /// Signs a ballot.
+    pub fn sign(key: &SigningKey, subject: VoteSubject, accept: bool, cast_at: Timestamp) -> Ballot {
+        let message = Ballot::signing_message(&subject, accept);
+        Ballot {
+            subject,
+            voter: key.verifying_key(),
+            accept,
+            signature: key.sign(&message),
+            cast_at,
+        }
+    }
+
+    fn signing_message(subject: &VoteSubject, accept: bool) -> Vec<u8> {
+        let mut message = subject.message();
+        message.push(u8::from(accept));
+        message
+    }
+
+    /// Verifies the ballot signature.
+    pub fn verify(&self) -> bool {
+        let message = Ballot::signing_message(&self.subject, self.accept);
+        self.voter.verify(&message, &self.signature).is_ok()
+    }
+}
+
+/// Tally outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TallyState {
+    /// Not enough votes either way yet.
+    Pending,
+    /// Threshold of accepts reached.
+    Accepted,
+    /// Rejection is certain (accepts can no longer reach the threshold).
+    Rejected,
+}
+
+/// Errors when adding ballots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VoteError {
+    /// The ballot's subject differs from the tally's subject.
+    SubjectMismatch,
+    /// The voter is not a quorum member.
+    NotAMember(VerifyingKey),
+    /// The ballot signature is invalid.
+    BadSignature,
+    /// The member already voted (first vote wins; equivocation ignored).
+    AlreadyVoted(VerifyingKey),
+}
+
+impl fmt::Display for VoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VoteError::SubjectMismatch => f.write_str("ballot subject mismatch"),
+            VoteError::NotAMember(_) => f.write_str("voter is not a quorum member"),
+            VoteError::BadSignature => f.write_str("invalid ballot signature"),
+            VoteError::AlreadyVoted(_) => f.write_str("member already voted"),
+        }
+    }
+}
+
+impl std::error::Error for VoteError {}
+
+/// Collects ballots on one subject until decided.
+#[derive(Debug, Clone)]
+pub struct VoteTally {
+    config: QuorumConfig,
+    subject: VoteSubject,
+    votes: BTreeMap<[u8; 32], bool>,
+}
+
+impl VoteTally {
+    /// Starts a tally for `subject`.
+    pub fn new(config: QuorumConfig, subject: VoteSubject) -> VoteTally {
+        VoteTally {
+            config,
+            subject,
+            votes: BTreeMap::new(),
+        }
+    }
+
+    /// The subject under vote.
+    pub fn subject(&self) -> &VoteSubject {
+        &self.subject
+    }
+
+    /// Adds a ballot, returning the updated state.
+    ///
+    /// # Errors
+    ///
+    /// See [`VoteError`].
+    pub fn add(&mut self, ballot: &Ballot) -> Result<TallyState, VoteError> {
+        if ballot.subject != self.subject {
+            return Err(VoteError::SubjectMismatch);
+        }
+        if !self.config.is_member(&ballot.voter) {
+            return Err(VoteError::NotAMember(ballot.voter));
+        }
+        if !ballot.verify() {
+            return Err(VoteError::BadSignature);
+        }
+        let key = ballot.voter.to_bytes();
+        if self.votes.contains_key(&key) {
+            return Err(VoteError::AlreadyVoted(ballot.voter));
+        }
+        self.votes.insert(key, ballot.accept);
+        Ok(self.state())
+    }
+
+    /// Current accept count.
+    pub fn accepts(&self) -> usize {
+        self.votes.values().filter(|v| **v).count()
+    }
+
+    /// Current reject count.
+    pub fn rejects(&self) -> usize {
+        self.votes.len() - self.accepts()
+    }
+
+    /// Current tally state.
+    pub fn state(&self) -> TallyState {
+        if self.accepts() >= self.config.threshold() {
+            return TallyState::Accepted;
+        }
+        let outstanding = self.config.members().len() - self.votes.len();
+        if self.accepts() + outstanding < self.config.threshold() {
+            return TallyState::Rejected;
+        }
+        TallyState::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldel_chain::EntryNumber;
+
+    fn keys(n: u8) -> Vec<SigningKey> {
+        (0..n).map(|i| SigningKey::from_seed([i + 1; 32])).collect()
+    }
+
+    fn subject() -> VoteSubject {
+        VoteSubject::ApproveDeletion {
+            target: EntryId::new(BlockNumber(3), EntryNumber(1)),
+        }
+    }
+
+    #[test]
+    fn majority_threshold() {
+        let members = keys(5);
+        let config = QuorumConfig::majority(members.iter().map(|k| k.verifying_key()).collect());
+        assert_eq!(config.threshold(), 3);
+    }
+
+    #[test]
+    fn tally_accepts_at_threshold() {
+        let members = keys(3);
+        let config = QuorumConfig::majority(members.iter().map(|k| k.verifying_key()).collect());
+        let mut tally = VoteTally::new(config, subject());
+        assert_eq!(
+            tally.add(&Ballot::sign(&members[0], subject(), true, Timestamp(1))).unwrap(),
+            TallyState::Pending
+        );
+        assert_eq!(
+            tally.add(&Ballot::sign(&members[1], subject(), true, Timestamp(2))).unwrap(),
+            TallyState::Accepted
+        );
+        assert_eq!(tally.accepts(), 2);
+    }
+
+    #[test]
+    fn tally_rejects_when_unreachable() {
+        let members = keys(3);
+        let config = QuorumConfig::majority(members.iter().map(|k| k.verifying_key()).collect());
+        let mut tally = VoteTally::new(config, subject());
+        tally.add(&Ballot::sign(&members[0], subject(), false, Timestamp(1))).unwrap();
+        let state = tally
+            .add(&Ballot::sign(&members[1], subject(), false, Timestamp(2)))
+            .unwrap();
+        assert_eq!(state, TallyState::Rejected);
+        assert_eq!(tally.rejects(), 2);
+    }
+
+    #[test]
+    fn non_member_rejected() {
+        let members = keys(3);
+        let outsider = SigningKey::from_seed([99; 32]);
+        let config = QuorumConfig::majority(members.iter().map(|k| k.verifying_key()).collect());
+        let mut tally = VoteTally::new(config, subject());
+        assert!(matches!(
+            tally.add(&Ballot::sign(&outsider, subject(), true, Timestamp(1))),
+            Err(VoteError::NotAMember(_))
+        ));
+    }
+
+    #[test]
+    fn double_vote_rejected() {
+        let members = keys(3);
+        let config = QuorumConfig::majority(members.iter().map(|k| k.verifying_key()).collect());
+        let mut tally = VoteTally::new(config, subject());
+        tally.add(&Ballot::sign(&members[0], subject(), true, Timestamp(1))).unwrap();
+        assert!(matches!(
+            tally.add(&Ballot::sign(&members[0], subject(), false, Timestamp(2))),
+            Err(VoteError::AlreadyVoted(_))
+        ));
+    }
+
+    #[test]
+    fn forged_ballot_rejected() {
+        let members = keys(3);
+        let config = QuorumConfig::majority(members.iter().map(|k| k.verifying_key()).collect());
+        let mut tally = VoteTally::new(config, subject());
+        let mut ballot = Ballot::sign(&members[0], subject(), true, Timestamp(1));
+        ballot.accept = false; // signature no longer matches
+        assert_eq!(tally.add(&ballot), Err(VoteError::BadSignature));
+    }
+
+    #[test]
+    fn subject_mismatch_rejected() {
+        let members = keys(3);
+        let config = QuorumConfig::majority(members.iter().map(|k| k.verifying_key()).collect());
+        let mut tally = VoteTally::new(config, subject());
+        let other = VoteSubject::ShiftMarker {
+            new_marker: BlockNumber(6),
+            at_block: BlockNumber(8),
+        };
+        assert_eq!(
+            tally.add(&Ballot::sign(&members[0], other, true, Timestamp(1))),
+            Err(VoteError::SubjectMismatch)
+        );
+    }
+
+    #[test]
+    fn subjects_have_distinct_messages() {
+        let a = VoteSubject::ApproveDeletion {
+            target: EntryId::new(BlockNumber(1), EntryNumber(0)),
+        };
+        let b = VoteSubject::ShiftMarker {
+            new_marker: BlockNumber(1),
+            at_block: BlockNumber(0),
+        };
+        let c = VoteSubject::AdoptChain {
+            tip: BlockNumber(1),
+            tip_hash: seldel_crypto::sha256(b"x"),
+        };
+        assert_ne!(a.message(), b.message());
+        assert_ne!(b.message(), c.message());
+        assert!(a.to_string().contains("1:0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_panics() {
+        QuorumConfig::new(vec![SigningKey::from_seed([1; 32]).verifying_key()], 0);
+    }
+}

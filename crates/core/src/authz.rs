@@ -1,0 +1,390 @@
+//! Deletion authorisation (§IV-D1).
+//!
+//! "To ensure that the user is authorized to have the information deleted, a
+//! deletion request must be signed with the client signature just like a
+//! normal entries. For authorization of privileges, it can be applied a
+//! role-based concept … the anchor nodes of the quorum work together as a
+//! basis of trust and are jointly granted full administrative privileges.
+//! These receive a master signature. … a user is only allowed to submit
+//! delete requests for his own transactions."
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use seldel_chain::DeleteRequest;
+use seldel_crypto::VerifyingKey;
+
+/// Role of a participant in the role-based deletion concept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Role {
+    /// May delete only own entries (signature match).
+    #[default]
+    User,
+    /// Full administrative privileges (quorum / master role).
+    Admin,
+    /// Read-only observer; may not request deletions at all.
+    Auditor,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Role::User => "user",
+            Role::Admin => "admin",
+            Role::Auditor => "auditor",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Maps participant keys to roles; unknown keys get the default role.
+#[derive(Debug, Clone, Default)]
+pub struct RoleTable {
+    roles: BTreeMap<[u8; 32], Role>,
+    default_role: Role,
+}
+
+impl RoleTable {
+    /// Creates a table where unknown keys are plain users.
+    pub fn new() -> RoleTable {
+        RoleTable::default()
+    }
+
+    /// Sets the role for unknown keys.
+    pub fn with_default_role(mut self, role: Role) -> RoleTable {
+        self.default_role = role;
+        self
+    }
+
+    /// Assigns a role to a key.
+    pub fn assign(&mut self, key: VerifyingKey, role: Role) {
+        self.roles.insert(key.to_bytes(), role);
+    }
+
+    /// Builder-style [`RoleTable::assign`].
+    pub fn with(mut self, key: VerifyingKey, role: Role) -> RoleTable {
+        self.assign(key, role);
+        self
+    }
+
+    /// The role of `key`.
+    pub fn role_of(&self, key: &VerifyingKey) -> Role {
+        self.roles
+            .get(&key.to_bytes())
+            .copied()
+            .unwrap_or(self.default_role)
+    }
+}
+
+/// The quorum's master-signature configuration: `threshold` of `members`
+/// must co-sign a deletion for it to carry administrative authority.
+#[derive(Debug, Clone)]
+pub struct MasterKeySet {
+    members: Vec<VerifyingKey>,
+    threshold: usize,
+}
+
+impl MasterKeySet {
+    /// Creates a k-of-n master key set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threshold` is zero or exceeds the member count.
+    pub fn new(members: Vec<VerifyingKey>, threshold: usize) -> MasterKeySet {
+        assert!(
+            threshold >= 1 && threshold <= members.len(),
+            "threshold {threshold} out of range for {} members",
+            members.len()
+        );
+        MasterKeySet { members, threshold }
+    }
+
+    /// The member keys.
+    pub fn members(&self) -> &[VerifyingKey] {
+        &self.members
+    }
+
+    /// Required number of member co-signatures.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Counts valid member co-signatures on a deletion request and checks
+    /// the threshold. Co-signatures from non-members or with bad signatures
+    /// are ignored; duplicates count once.
+    pub fn approves(&self, request: &DeleteRequest) -> bool {
+        let message = request.cosign_message();
+        let mut approved: Vec<[u8; 32]> = Vec::new();
+        for co in request.cosignatures() {
+            if !self.members.contains(&co.signer) {
+                continue;
+            }
+            if approved.contains(&co.signer.to_bytes()) {
+                continue;
+            }
+            if co.signer.verify(&message, &co.signature).is_ok() {
+                approved.push(co.signer.to_bytes());
+            }
+        }
+        approved.len() >= self.threshold
+    }
+}
+
+/// Why a deletion request was refused authorisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthzError {
+    /// A plain user tried to delete someone else's entry.
+    NotOwner {
+        /// The requester.
+        requester: VerifyingKey,
+        /// The entry's author.
+        owner: VerifyingKey,
+    },
+    /// Auditors may not request deletions.
+    RoleForbidsDeletion(Role),
+    /// Administrative deletion claimed but the master threshold was not met.
+    MasterThresholdNotMet {
+        /// Valid member co-signatures found.
+        got: usize,
+        /// Required co-signatures.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for AuthzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthzError::NotOwner { .. } => {
+                f.write_str("requester is not the owner of the target entry")
+            }
+            AuthzError::RoleForbidsDeletion(role) => {
+                write!(f, "role {role} may not request deletions")
+            }
+            AuthzError::MasterThresholdNotMet { got, needed } => {
+                write!(f, "master signature threshold not met ({got}/{needed})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuthzError {}
+
+/// Decides whether `requester` may delete an entry authored by `owner`.
+///
+/// Decision ladder (§IV-D1):
+/// 1. Admins may delete anything.
+/// 2. Auditors may delete nothing.
+/// 3. Users may delete their own entries (signature keys match).
+/// 4. Otherwise, a quorum master signature on the request grants the
+///    deletion (k-of-n member co-signatures).
+///
+/// # Errors
+///
+/// Returns an [`AuthzError`] naming the failed rule.
+pub fn authorize_deletion(
+    requester: &VerifyingKey,
+    owner: &VerifyingKey,
+    roles: &RoleTable,
+    master: Option<&MasterKeySet>,
+    request: &DeleteRequest,
+) -> Result<(), AuthzError> {
+    match roles.role_of(requester) {
+        Role::Admin => Ok(()),
+        Role::Auditor => Err(AuthzError::RoleForbidsDeletion(Role::Auditor)),
+        Role::User => {
+            if requester == owner {
+                return Ok(());
+            }
+            if let Some(master) = master {
+                if master.approves(request) {
+                    return Ok(());
+                }
+                return Err(AuthzError::MasterThresholdNotMet {
+                    got: request
+                        .cosignatures()
+                        .iter()
+                        .filter(|co| {
+                            master.members().contains(&co.signer)
+                                && co
+                                    .signer
+                                    .verify(&request.cosign_message(), &co.signature)
+                                    .is_ok()
+                        })
+                        .count(),
+                    needed: master.threshold(),
+                });
+            }
+            Err(AuthzError::NotOwner {
+                requester: *requester,
+                owner: *owner,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldel_chain::{BlockNumber, EntryId, EntryNumber};
+    use seldel_crypto::SigningKey;
+
+    fn key(seed: u8) -> SigningKey {
+        SigningKey::from_seed([seed; 32])
+    }
+
+    fn request() -> DeleteRequest {
+        DeleteRequest::new(EntryId::new(BlockNumber(3), EntryNumber(1)), "test")
+    }
+
+    #[test]
+    fn owner_may_delete_own_entry() {
+        let alice = key(1);
+        let roles = RoleTable::new();
+        authorize_deletion(
+            &alice.verifying_key(),
+            &alice.verifying_key(),
+            &roles,
+            None,
+            &request(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn user_may_not_delete_foreign_entry() {
+        let alice = key(1);
+        let bob = key(2);
+        let roles = RoleTable::new();
+        let err = authorize_deletion(
+            &alice.verifying_key(),
+            &bob.verifying_key(),
+            &roles,
+            None,
+            &request(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AuthzError::NotOwner { .. }));
+    }
+
+    #[test]
+    fn admin_may_delete_anything() {
+        let admin = key(3);
+        let bob = key(2);
+        let roles = RoleTable::new().with(admin.verifying_key(), Role::Admin);
+        authorize_deletion(
+            &admin.verifying_key(),
+            &bob.verifying_key(),
+            &roles,
+            None,
+            &request(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn auditor_may_delete_nothing() {
+        let auditor = key(4);
+        let roles = RoleTable::new().with(auditor.verifying_key(), Role::Auditor);
+        let err = authorize_deletion(
+            &auditor.verifying_key(),
+            &auditor.verifying_key(),
+            &roles,
+            None,
+            &request(),
+        )
+        .unwrap_err();
+        assert_eq!(err, AuthzError::RoleForbidsDeletion(Role::Auditor));
+    }
+
+    #[test]
+    fn master_signature_grants_foreign_deletion() {
+        let alice = key(1);
+        let bob = key(2);
+        let q1 = key(10);
+        let q2 = key(11);
+        let q3 = key(12);
+        let master = MasterKeySet::new(
+            vec![q1.verifying_key(), q2.verifying_key(), q3.verifying_key()],
+            2,
+        );
+        let mut req = request();
+        let msg = req.cosign_message();
+        req = req
+            .with_cosignature(q1.verifying_key(), q1.sign(&msg))
+            .with_cosignature(q3.verifying_key(), q3.sign(&msg));
+        authorize_deletion(
+            &alice.verifying_key(),
+            &bob.verifying_key(),
+            &RoleTable::new(),
+            Some(&master),
+            &req,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn master_threshold_not_met() {
+        let alice = key(1);
+        let bob = key(2);
+        let q1 = key(10);
+        let q2 = key(11);
+        let master = MasterKeySet::new(vec![q1.verifying_key(), q2.verifying_key()], 2);
+        let mut req = request();
+        let msg = req.cosign_message();
+        req = req.with_cosignature(q1.verifying_key(), q1.sign(&msg));
+        let err = authorize_deletion(
+            &alice.verifying_key(),
+            &bob.verifying_key(),
+            &RoleTable::new(),
+            Some(&master),
+            &req,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            AuthzError::MasterThresholdNotMet { got: 1, needed: 2 }
+        );
+    }
+
+    #[test]
+    fn non_member_and_invalid_cosignatures_ignored() {
+        let outsider = key(20);
+        let q1 = key(10);
+        let q2 = key(11);
+        let master = MasterKeySet::new(vec![q1.verifying_key(), q2.verifying_key()], 1);
+        let mut req = request();
+        // Outsider signature (valid but not a member) and a bad member sig.
+        let msg = req.cosign_message();
+        req = req
+            .with_cosignature(outsider.verifying_key(), outsider.sign(&msg))
+            .with_cosignature(q1.verifying_key(), q1.sign(b"wrong message"));
+        assert!(!master.approves(&req));
+    }
+
+    #[test]
+    fn duplicate_cosignatures_count_once() {
+        let q1 = key(10);
+        let q2 = key(11);
+        let master = MasterKeySet::new(vec![q1.verifying_key(), q2.verifying_key()], 2);
+        let mut req = request();
+        let msg = req.cosign_message();
+        let sig = q1.sign(&msg);
+        req = req
+            .with_cosignature(q1.verifying_key(), sig)
+            .with_cosignature(q1.verifying_key(), sig);
+        assert!(!master.approves(&req));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_rejected() {
+        MasterKeySet::new(vec![key(1).verifying_key()], 0);
+    }
+
+    #[test]
+    fn role_table_default_role() {
+        let table = RoleTable::new().with_default_role(Role::Auditor);
+        assert_eq!(table.role_of(&key(9).verifying_key()), Role::Auditor);
+        assert_eq!(Role::Admin.to_string(), "admin");
+    }
+}

@@ -1,0 +1,407 @@
+//! Semantic cohesion of deletions (§IV-D2).
+//!
+//! "A deletion request can only be granted, if further transactions do not
+//! rely on it. … A deletion request of such a chain part of a transaction
+//! chain can be approved by the signatures of all dependent parties. …
+//! An automatic approached could be designed based on the principle of
+//! Bell-LaPadula model or Brewer-Nash Model."
+//!
+//! Three policies are provided:
+//!
+//! * [`DependencyPolicy`] — the paper's default rule: live dependents block
+//!   deletion unless every dependent author has co-signed the request.
+//! * [`BellLaPadula`] — multi-level security: the requester's clearance
+//!   must dominate the target's classification.
+//! * [`BrewerNash`] — Chinese-wall conflict-of-interest classes over record
+//!   schemas.
+//!
+//! Policies compose: the ledger always enforces [`DependencyPolicy`] and
+//! optionally stacks one of the automatic models on top.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use seldel_chain::{DeleteRequest, EntryId};
+use seldel_crypto::VerifyingKey;
+
+/// Everything a cohesion policy may inspect about a deletion.
+#[derive(Debug, Clone)]
+pub struct CohesionContext<'a> {
+    /// The deletion request (including co-signatures).
+    pub request: &'a DeleteRequest,
+    /// The requesting key.
+    pub requester: VerifyingKey,
+    /// The target entry's author.
+    pub target_author: VerifyingKey,
+    /// Schema name of the target's data record.
+    pub target_schema: &'a str,
+    /// The target's classification level, when labelled (see
+    /// [`BellLaPadula`]); `None` for unlabelled data.
+    pub target_level: Option<u64>,
+    /// Live entries that declare a dependency on the target, with authors.
+    pub live_dependents: &'a [(EntryId, VerifyingKey)],
+    /// Schema names the requester has authored live entries in (used by the
+    /// Chinese-wall rule).
+    pub requester_history: &'a BTreeSet<String>,
+}
+
+/// Why a deletion violates cohesion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CohesionViolation {
+    /// A live dependent's author has not co-signed the deletion.
+    UnapprovedDependent {
+        /// The dependent entry.
+        dependent: EntryId,
+    },
+    /// Bell-LaPadula: requester clearance below target classification.
+    InsufficientClearance {
+        /// Requester clearance level.
+        clearance: u64,
+        /// Target classification level.
+        classification: u64,
+    },
+    /// Brewer-Nash: requester previously acted inside a conflicting class.
+    ConflictOfInterest {
+        /// The conflict class name.
+        class: String,
+        /// The schema that created the conflict.
+        conflicting_schema: String,
+    },
+}
+
+impl fmt::Display for CohesionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CohesionViolation::UnapprovedDependent { dependent } => {
+                write!(f, "live entry {dependent} depends on the target and has not approved")
+            }
+            CohesionViolation::InsufficientClearance {
+                clearance,
+                classification,
+            } => write!(
+                f,
+                "requester clearance {clearance} below target classification {classification}"
+            ),
+            CohesionViolation::ConflictOfInterest {
+                class,
+                conflicting_schema,
+            } => write!(
+                f,
+                "conflict of interest in class {class:?} via schema {conflicting_schema:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CohesionViolation {}
+
+/// A pluggable semantic-cohesion rule.
+pub trait CohesionPolicy: fmt::Debug + Send + Sync {
+    /// Checks a deletion for cohesion violations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CohesionViolation`] found.
+    fn check(&self, ctx: &CohesionContext<'_>) -> Result<(), CohesionViolation>;
+
+    /// Policy name for logs and reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's default rule: every live dependent author must have
+/// co-signed the deletion request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DependencyPolicy;
+
+impl CohesionPolicy for DependencyPolicy {
+    fn check(&self, ctx: &CohesionContext<'_>) -> Result<(), CohesionViolation> {
+        let message = ctx.request.cosign_message();
+        for (dependent, author) in ctx.live_dependents {
+            // The dependent's own author deleting their chain is fine when
+            // the dependent author *is* the requester.
+            if *author == ctx.requester {
+                continue;
+            }
+            let approved = ctx.request.cosignatures().iter().any(|co| {
+                co.signer == *author && co.signer.verify(&message, &co.signature).is_ok()
+            });
+            if !approved {
+                return Err(CohesionViolation::UnapprovedDependent {
+                    dependent: *dependent,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "dependency"
+    }
+}
+
+/// Bell-LaPadula-style multi-level security.
+///
+/// Clearances are configured per key; data records may carry a
+/// `classification` level. A requester may only delete targets whose
+/// classification their clearance dominates (no "delete-up"). Unlabelled
+/// targets are treated as level 0.
+#[derive(Debug, Clone, Default)]
+pub struct BellLaPadula {
+    clearances: BTreeMap<[u8; 32], u64>,
+    default_clearance: u64,
+}
+
+impl BellLaPadula {
+    /// Creates a model where unknown keys have clearance 0.
+    pub fn new() -> BellLaPadula {
+        BellLaPadula::default()
+    }
+
+    /// Sets the clearance for unknown keys.
+    pub fn with_default_clearance(mut self, level: u64) -> BellLaPadula {
+        self.default_clearance = level;
+        self
+    }
+
+    /// Assigns a clearance level to a key.
+    pub fn with_clearance(mut self, key: VerifyingKey, level: u64) -> BellLaPadula {
+        self.clearances.insert(key.to_bytes(), level);
+        self
+    }
+
+    /// The clearance of `key`.
+    pub fn clearance_of(&self, key: &VerifyingKey) -> u64 {
+        self.clearances
+            .get(&key.to_bytes())
+            .copied()
+            .unwrap_or(self.default_clearance)
+    }
+}
+
+impl CohesionPolicy for BellLaPadula {
+    fn check(&self, ctx: &CohesionContext<'_>) -> Result<(), CohesionViolation> {
+        let classification = ctx.target_level.unwrap_or(0);
+        let clearance = self.clearance_of(&ctx.requester);
+        if clearance < classification {
+            return Err(CohesionViolation::InsufficientClearance {
+                clearance,
+                classification,
+            });
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "bell-lapadula"
+    }
+}
+
+/// Brewer-Nash (Chinese wall) conflict-of-interest classes over schemas.
+///
+/// Each class groups schemas of competing parties. A requester who has
+/// authored live entries under schema X may not delete entries of a
+/// *different* schema in the same class.
+#[derive(Debug, Clone, Default)]
+pub struct BrewerNash {
+    /// class name -> schemas in that class
+    classes: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl BrewerNash {
+    /// Creates a model with no classes (allows everything).
+    pub fn new() -> BrewerNash {
+        BrewerNash::default()
+    }
+
+    /// Declares a conflict class over a set of schema names.
+    pub fn with_class<I, S>(mut self, name: impl Into<String>, schemas: I) -> BrewerNash
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.classes
+            .insert(name.into(), schemas.into_iter().map(Into::into).collect());
+        self
+    }
+}
+
+impl CohesionPolicy for BrewerNash {
+    fn check(&self, ctx: &CohesionContext<'_>) -> Result<(), CohesionViolation> {
+        for (class, schemas) in &self.classes {
+            if !schemas.contains(ctx.target_schema) {
+                continue;
+            }
+            for touched in ctx.requester_history {
+                if touched != ctx.target_schema && schemas.contains(touched) {
+                    return Err(CohesionViolation::ConflictOfInterest {
+                        class: class.clone(),
+                        conflicting_schema: touched.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "brewer-nash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldel_chain::{BlockNumber, EntryNumber};
+    use seldel_crypto::SigningKey;
+
+    fn key(seed: u8) -> SigningKey {
+        SigningKey::from_seed([seed; 32])
+    }
+
+    fn id(b: u64, e: u32) -> EntryId {
+        EntryId::new(BlockNumber(b), EntryNumber(e))
+    }
+
+    fn base_ctx<'a>(
+        request: &'a DeleteRequest,
+        requester: VerifyingKey,
+        dependents: &'a [(EntryId, VerifyingKey)],
+        history: &'a BTreeSet<String>,
+    ) -> CohesionContext<'a> {
+        CohesionContext {
+            request,
+            requester,
+            target_author: requester,
+            target_schema: "login",
+            target_level: None,
+            live_dependents: dependents,
+            requester_history: history,
+        }
+    }
+
+    #[test]
+    fn dependency_policy_allows_no_dependents() {
+        let req = DeleteRequest::new(id(3, 1), "");
+        let history = BTreeSet::new();
+        let ctx = base_ctx(&req, key(1).verifying_key(), &[], &history);
+        DependencyPolicy.check(&ctx).unwrap();
+    }
+
+    #[test]
+    fn dependency_policy_blocks_unapproved_dependent() {
+        let req = DeleteRequest::new(id(3, 1), "");
+        let dependents = vec![(id(4, 0), key(2).verifying_key())];
+        let history = BTreeSet::new();
+        let ctx = base_ctx(&req, key(1).verifying_key(), &dependents, &history);
+        let err = DependencyPolicy.check(&ctx).unwrap_err();
+        assert_eq!(
+            err,
+            CohesionViolation::UnapprovedDependent { dependent: id(4, 0) }
+        );
+    }
+
+    #[test]
+    fn dependency_policy_accepts_cosigned_dependent() {
+        let dep_author = key(2);
+        let mut req = DeleteRequest::new(id(3, 1), "");
+        let sig = dep_author.sign(&req.cosign_message());
+        req = req.with_cosignature(dep_author.verifying_key(), sig);
+        let dependents = vec![(id(4, 0), dep_author.verifying_key())];
+        let history = BTreeSet::new();
+        let ctx = base_ctx(&req, key(1).verifying_key(), &dependents, &history);
+        DependencyPolicy.check(&ctx).unwrap();
+    }
+
+    #[test]
+    fn dependency_policy_ignores_own_dependents() {
+        // Requester's own follow-up entries do not block the deletion.
+        let requester = key(1);
+        let req = DeleteRequest::new(id(3, 1), "");
+        let dependents = vec![(id(4, 0), requester.verifying_key())];
+        let history = BTreeSet::new();
+        let ctx = base_ctx(&req, requester.verifying_key(), &dependents, &history);
+        DependencyPolicy.check(&ctx).unwrap();
+    }
+
+    #[test]
+    fn dependency_policy_rejects_forged_cosignature() {
+        let dep_author = key(2);
+        let mut req = DeleteRequest::new(id(3, 1), "");
+        // Signature over the wrong message.
+        req = req.with_cosignature(dep_author.verifying_key(), dep_author.sign(b"junk"));
+        let dependents = vec![(id(4, 0), dep_author.verifying_key())];
+        let history = BTreeSet::new();
+        let ctx = base_ctx(&req, key(1).verifying_key(), &dependents, &history);
+        assert!(DependencyPolicy.check(&ctx).is_err());
+    }
+
+    #[test]
+    fn blp_blocks_delete_up() {
+        let requester = key(1).verifying_key();
+        let model = BellLaPadula::new().with_clearance(requester, 1);
+        let req = DeleteRequest::new(id(3, 1), "");
+        let history = BTreeSet::new();
+        let mut ctx = base_ctx(&req, requester, &[], &history);
+        ctx.target_level = Some(3);
+        let err = model.check(&ctx).unwrap_err();
+        assert_eq!(
+            err,
+            CohesionViolation::InsufficientClearance {
+                clearance: 1,
+                classification: 3
+            }
+        );
+    }
+
+    #[test]
+    fn blp_allows_dominating_clearance() {
+        let requester = key(1).verifying_key();
+        let model = BellLaPadula::new().with_clearance(requester, 5);
+        let req = DeleteRequest::new(id(3, 1), "");
+        let history = BTreeSet::new();
+        let mut ctx = base_ctx(&req, requester, &[], &history);
+        ctx.target_level = Some(3);
+        model.check(&ctx).unwrap();
+        // Unlabelled data is level 0.
+        ctx.target_level = None;
+        model.check(&ctx).unwrap();
+    }
+
+    #[test]
+    fn brewer_nash_blocks_conflicting_class() {
+        let model = BrewerNash::new().with_class("banks", ["bank-a", "bank-b"]);
+        let req = DeleteRequest::new(id(3, 1), "");
+        let history: BTreeSet<String> = ["bank-b".to_string()].into();
+        let mut ctx = base_ctx(&req, key(1).verifying_key(), &[], &history);
+        ctx.target_schema = "bank-a";
+        let err = model.check(&ctx).unwrap_err();
+        assert!(matches!(err, CohesionViolation::ConflictOfInterest { .. }));
+    }
+
+    #[test]
+    fn brewer_nash_allows_same_schema_and_unrelated() {
+        let model = BrewerNash::new().with_class("banks", ["bank-a", "bank-b"]);
+        let req = DeleteRequest::new(id(3, 1), "");
+        // History inside the same schema: allowed.
+        let history: BTreeSet<String> = ["bank-a".to_string()].into();
+        let mut ctx = base_ctx(&req, key(1).verifying_key(), &[], &history);
+        ctx.target_schema = "bank-a";
+        model.check(&ctx).unwrap();
+        // Unrelated schema target: allowed.
+        ctx.target_schema = "login";
+        model.check(&ctx).unwrap();
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(DependencyPolicy.name(), "dependency");
+        assert_eq!(BellLaPadula::new().name(), "bell-lapadula");
+        assert_eq!(BrewerNash::new().name(), "brewer-nash");
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = CohesionViolation::UnapprovedDependent { dependent: id(4, 0) };
+        assert!(v.to_string().contains("4:0"));
+    }
+}

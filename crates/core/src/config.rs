@@ -1,0 +1,239 @@
+//! Ledger configuration: sequence length l, retention policy (l_max and
+//! minimums), anchoring and idle filling.
+
+use seldel_chain::BlockNumber;
+
+/// How the Fig. 9 anchor is chosen when a summary block absorbs pruned
+/// history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnchorPolicy {
+    /// No anchoring (the plain concept of §IV-C).
+    #[default]
+    None,
+    /// Anchor the middle sequence ω_{lβ/2} (§V-B1): every record older than
+    /// lβ/2 keeps at least lβ/2 confirmations after pruning.
+    MiddleSequence,
+}
+
+/// How many sequences to retire once the limit is exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetireMode {
+    /// Retire the fewest oldest sequences that bring the chain back under
+    /// `max_live_blocks`.
+    #[default]
+    MinimumNeeded,
+    /// Retire *all* closed sequences (subject to the minimums) — the
+    /// behaviour of the paper's prototype: in Fig. 7 both old sequences
+    /// are merged into the latest summary block at once, even though
+    /// retiring one would have sufficed.
+    FullCompaction,
+}
+
+/// Bounds on how much of the chain must survive pruning (§IV-D3: "To avoid
+/// shortening the blockchain too much, a minimum length or a minimum number
+/// of summary blocks can be specified … Another criterion … is a minimum
+/// time span coverage").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// l_max: prune once the live chain exceeds this many blocks.
+    /// `None` disables pruning (the chain degenerates to the baseline).
+    pub max_live_blocks: Option<u64>,
+    /// Minimum number of live blocks that must remain.
+    pub min_live_blocks: u64,
+    /// Minimum number of live summary blocks that must remain (the freshly
+    /// created summary block counts).
+    pub min_live_summaries: u64,
+    /// Minimum covered virtual time span (ms) that must remain.
+    pub min_timespan: Option<u64>,
+    /// Retirement aggressiveness once the limit trips.
+    pub mode: RetireMode,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        RetentionPolicy {
+            max_live_blocks: Some(64),
+            min_live_blocks: 4,
+            min_live_summaries: 1,
+            min_timespan: None,
+            mode: RetireMode::MinimumNeeded,
+        }
+    }
+}
+
+impl RetentionPolicy {
+    /// A policy that never prunes (baseline behaviour).
+    pub fn keep_forever() -> RetentionPolicy {
+        RetentionPolicy {
+            max_live_blocks: None,
+            min_live_blocks: 1,
+            min_live_summaries: 0,
+            min_timespan: None,
+            mode: RetireMode::MinimumNeeded,
+        }
+    }
+
+    /// A simple bounded policy with the given l_max.
+    pub fn bounded(max_live_blocks: u64) -> RetentionPolicy {
+        RetentionPolicy {
+            max_live_blocks: Some(max_live_blocks),
+            ..RetentionPolicy::default()
+        }
+    }
+}
+
+/// Idle filling (§IV-D3): "To prevent a long delay in deletion … regularly
+/// adding empty blocks after a time interval if no transaction has
+/// occurred."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdleFillPolicy {
+    /// Append an empty block once the tip is this many virtual ms old.
+    pub max_idle_ms: u64,
+}
+
+/// Full ledger configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainConfig {
+    /// Sequence length l: every l-th block is a summary block, so each
+    /// sequence ω holds `l` blocks ending in its Σ. The paper's evaluation
+    /// uses l = 3 ("a summary block for every third block").
+    pub sequence_length: u64,
+    /// Retention bounds.
+    pub retention: RetentionPolicy,
+    /// Fig. 9 anchoring behaviour.
+    pub anchoring: AnchorPolicy,
+    /// Idle filler; `None` means deletion latency is unbounded on an idle
+    /// chain (the trade-off the paper names in §IV-D3).
+    pub idle_fill: Option<IdleFillPolicy>,
+    /// Chain identity note stored in the genesis block.
+    pub chain_note: String,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig {
+            sequence_length: 10,
+            retention: RetentionPolicy::default(),
+            anchoring: AnchorPolicy::None,
+            idle_fill: None,
+            chain_note: "selective-deletion chain".to_string(),
+        }
+    }
+}
+
+impl ChainConfig {
+    /// The configuration of the paper's evaluation (§V): a summary block
+    /// every third block (l = 3), l_max = 6, full compaction.
+    ///
+    /// With this configuration the ledger reproduces Figs. 6–8 exactly:
+    /// Σ2 and Σ5 stay empty; at Σ8 the chain projects 9 > 6 blocks, so
+    /// both closed sequences merge into Σ8 and the marker shifts to 6; one
+    /// merge cycle later (Σ14) the next two sequences merge and the
+    /// deletion-request entry from block 6 disappears.
+    pub fn paper_evaluation() -> ChainConfig {
+        ChainConfig {
+            sequence_length: 3,
+            retention: RetentionPolicy {
+                max_live_blocks: Some(6),
+                min_live_blocks: 3,
+                min_live_summaries: 1,
+                min_timespan: None,
+                mode: RetireMode::FullCompaction,
+            },
+            anchoring: AnchorPolicy::None,
+            idle_fill: None,
+            chain_note: "login audit chain".to_string(),
+        }
+    }
+
+    /// Whether block number α is a summary slot: α ≡ l−1 (mod l), i.e. the
+    /// 3rd, 6th, 9th … block for l = 3 (blocks 2, 5, 8 …).
+    pub fn is_summary_slot(&self, number: BlockNumber) -> bool {
+        (number.value() + 1).is_multiple_of(self.sequence_length)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sequence_length < 2` (a sequence must hold at least one
+    /// payload block plus its summary) or the retention minimums exceed
+    /// l_max.
+    pub fn assert_valid(&self) {
+        assert!(
+            self.sequence_length >= 2,
+            "sequence_length must be at least 2, got {}",
+            self.sequence_length
+        );
+        if let Some(max) = self.retention.max_live_blocks {
+            assert!(
+                max >= self.retention.min_live_blocks,
+                "max_live_blocks {max} below min_live_blocks {}",
+                self.retention.min_live_blocks
+            );
+            assert!(
+                max >= self.sequence_length,
+                "max_live_blocks {max} below sequence_length {}",
+                self.sequence_length
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_slots_for_l3() {
+        let cfg = ChainConfig {
+            sequence_length: 3,
+            ..Default::default()
+        };
+        let slots: Vec<u64> = (0..10)
+            .filter(|&n| cfg.is_summary_slot(BlockNumber(n)))
+            .collect();
+        assert_eq!(slots, [2, 5, 8]);
+    }
+
+    #[test]
+    fn summary_slots_for_l10() {
+        let cfg = ChainConfig::default();
+        assert!(cfg.is_summary_slot(BlockNumber(9)));
+        assert!(cfg.is_summary_slot(BlockNumber(19)));
+        assert!(!cfg.is_summary_slot(BlockNumber(10)));
+    }
+
+    #[test]
+    fn paper_config_matches_evaluation() {
+        let cfg = ChainConfig::paper_evaluation();
+        assert_eq!(cfg.sequence_length, 3);
+        cfg.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence_length")]
+    fn tiny_sequence_rejected() {
+        ChainConfig {
+            sequence_length: 1,
+            ..Default::default()
+        }
+        .assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "below sequence_length")]
+    fn retention_below_sequence_rejected() {
+        ChainConfig {
+            sequence_length: 10,
+            retention: RetentionPolicy::bounded(5),
+            ..Default::default()
+        }
+        .assert_valid();
+    }
+
+    #[test]
+    fn keep_forever_never_prunes() {
+        assert_eq!(RetentionPolicy::keep_forever().max_live_blocks, None);
+    }
+}

@@ -1,0 +1,209 @@
+//! The deletion registry: tracks every accepted deletion request from the
+//! moment it is marked until its target is physically dropped (§IV-D3,
+//! "delayed deletion").
+
+use std::collections::BTreeMap;
+
+use seldel_chain::{EntryId, Timestamp};
+use seldel_crypto::VerifyingKey;
+
+/// Lifecycle of a deletion request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeletionStatus {
+    /// Accepted; the target is marked and will be dropped at the next merge
+    /// that retires its sequence.
+    Pending,
+    /// The target was physically dropped (not copied into a summary block).
+    Executed {
+        /// Virtual time of the merge that dropped the target.
+        at: Timestamp,
+    },
+}
+
+/// One accepted deletion request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeletionRecord {
+    /// The data set to delete.
+    pub target: EntryId,
+    /// Who requested it.
+    pub requester: VerifyingKey,
+    /// Where the request entry itself lives.
+    pub request_entry: EntryId,
+    /// When the request was marked.
+    pub requested_at: Timestamp,
+    /// Current status.
+    pub status: DeletionStatus,
+}
+
+/// Registry of accepted (marked) deletions, keyed by target id.
+///
+/// The registry is derived deterministically from chain contents, so every
+/// honest node reconstructs the same registry from the same chain — a
+/// requirement for identical summary blocks (§IV-B).
+#[derive(Debug, Clone, Default)]
+pub struct DeletionRegistry {
+    records: BTreeMap<EntryId, DeletionRecord>,
+}
+
+impl DeletionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> DeletionRegistry {
+        DeletionRegistry::default()
+    }
+
+    /// Marks `target` for deletion.
+    ///
+    /// Returns `false` when the target is already marked (the second
+    /// request has no effect).
+    pub fn mark(
+        &mut self,
+        target: EntryId,
+        requester: VerifyingKey,
+        request_entry: EntryId,
+        requested_at: Timestamp,
+    ) -> bool {
+        if self.records.contains_key(&target) {
+            return false;
+        }
+        self.records.insert(
+            target,
+            DeletionRecord {
+                target,
+                requester,
+                request_entry,
+                requested_at,
+                status: DeletionStatus::Pending,
+            },
+        );
+        true
+    }
+
+    /// Whether `target` is marked (pending) or already executed.
+    pub fn is_marked(&self, target: EntryId) -> bool {
+        self.records.contains_key(&target)
+    }
+
+    /// Whether `target` is pending execution.
+    pub fn is_pending(&self, target: EntryId) -> bool {
+        matches!(
+            self.records.get(&target).map(|r| r.status),
+            Some(DeletionStatus::Pending)
+        )
+    }
+
+    /// Transitions a pending mark to executed. Returns `true` when the
+    /// transition happened.
+    pub fn execute(&mut self, target: EntryId, at: Timestamp) -> bool {
+        match self.records.get_mut(&target) {
+            Some(record) if record.status == DeletionStatus::Pending => {
+                record.status = DeletionStatus::Executed { at };
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Looks up the record for a target.
+    pub fn get(&self, target: EntryId) -> Option<&DeletionRecord> {
+        self.records.get(&target)
+    }
+
+    /// All records, ordered by target id.
+    pub fn iter(&self) -> impl Iterator<Item = &DeletionRecord> {
+        self.records.values()
+    }
+
+    /// Number of pending deletions.
+    pub fn pending_count(&self) -> usize {
+        self.records
+            .values()
+            .filter(|r| r.status == DeletionStatus::Pending)
+            .count()
+    }
+
+    /// Number of executed deletions.
+    pub fn executed_count(&self) -> usize {
+        self.records.len() - self.pending_count()
+    }
+
+    /// Total number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldel_chain::{BlockNumber, EntryNumber};
+    use seldel_crypto::SigningKey;
+
+    fn id(b: u64, e: u32) -> EntryId {
+        EntryId::new(BlockNumber(b), EntryNumber(e))
+    }
+
+    fn requester() -> VerifyingKey {
+        SigningKey::from_seed([5u8; 32]).verifying_key()
+    }
+
+    #[test]
+    fn mark_and_execute_lifecycle() {
+        let mut reg = DeletionRegistry::new();
+        assert!(reg.mark(id(3, 1), requester(), id(6, 0), Timestamp(60)));
+        assert!(reg.is_marked(id(3, 1)));
+        assert!(reg.is_pending(id(3, 1)));
+        assert_eq!(reg.pending_count(), 1);
+
+        assert!(reg.execute(id(3, 1), Timestamp(80)));
+        assert!(reg.is_marked(id(3, 1)));
+        assert!(!reg.is_pending(id(3, 1)));
+        assert_eq!(reg.executed_count(), 1);
+        assert_eq!(
+            reg.get(id(3, 1)).unwrap().status,
+            DeletionStatus::Executed { at: Timestamp(80) }
+        );
+    }
+
+    #[test]
+    fn duplicate_mark_rejected() {
+        let mut reg = DeletionRegistry::new();
+        assert!(reg.mark(id(3, 1), requester(), id(6, 0), Timestamp(60)));
+        assert!(!reg.mark(id(3, 1), requester(), id(7, 0), Timestamp(70)));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn execute_unmarked_is_noop() {
+        let mut reg = DeletionRegistry::new();
+        assert!(!reg.execute(id(1, 0), Timestamp(10)));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn double_execute_is_noop() {
+        let mut reg = DeletionRegistry::new();
+        reg.mark(id(3, 1), requester(), id(6, 0), Timestamp(60));
+        assert!(reg.execute(id(3, 1), Timestamp(80)));
+        assert!(!reg.execute(id(3, 1), Timestamp(90)));
+        // First execution time wins.
+        assert_eq!(
+            reg.get(id(3, 1)).unwrap().status,
+            DeletionStatus::Executed { at: Timestamp(80) }
+        );
+    }
+
+    #[test]
+    fn iteration_ordered_by_target() {
+        let mut reg = DeletionRegistry::new();
+        reg.mark(id(9, 0), requester(), id(10, 0), Timestamp(1));
+        reg.mark(id(3, 1), requester(), id(10, 1), Timestamp(2));
+        reg.mark(id(3, 0), requester(), id(10, 2), Timestamp(3));
+        let targets: Vec<EntryId> = reg.iter().map(|r| r.target).collect();
+        assert_eq!(targets, vec![id(3, 0), id(3, 1), id(9, 0)]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Core (ledger-level) error type.
+
+use std::fmt;
+
+use seldel_chain::{ChainError, EntryId};
+use seldel_codec::schema::SchemaError;
+use seldel_crypto::SignatureError;
+
+use crate::authz::AuthzError;
+use crate::cohesion::CohesionViolation;
+
+/// Errors raised by the selective-deletion ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Entry payload failed schema validation.
+    Schema(SchemaError),
+    /// Entry signature invalid.
+    Signature(SignatureError),
+    /// Entry declares a dependency that does not exist (live).
+    UnknownDependency(EntryId),
+    /// Entry depends on data that is marked for deletion or already deleted
+    /// (§IV-D3: "Subsequent incoming transactions based on this marked data
+    /// are no longer permitted").
+    DependsOnDeleted(EntryId),
+    /// A deletion was already requested for this target.
+    DuplicateDeletion(EntryId),
+    /// Deletion target does not exist (live).
+    TargetNotFound(EntryId),
+    /// Deletion requester lacks the privilege (§IV-D1).
+    NotAuthorized(AuthzError),
+    /// Deletion would break semantic cohesion (§IV-D2).
+    Cohesion(CohesionViolation),
+    /// Underlying chain error.
+    Chain(ChainError),
+    /// The block timestamp would regress behind the tip.
+    TimestampTooOld {
+        /// Timestamp supplied by the caller.
+        given: seldel_chain::Timestamp,
+        /// Current tip timestamp.
+        tip: seldel_chain::Timestamp,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Schema(e) => write!(f, "schema violation: {e}"),
+            CoreError::Signature(e) => write!(f, "invalid signature: {e}"),
+            CoreError::UnknownDependency(id) => write!(f, "unknown dependency {id}"),
+            CoreError::DependsOnDeleted(id) => {
+                write!(f, "entry depends on deleted or deletion-marked data {id}")
+            }
+            CoreError::DuplicateDeletion(id) => {
+                write!(f, "deletion already requested for {id}")
+            }
+            CoreError::TargetNotFound(id) => write!(f, "deletion target {id} not found"),
+            CoreError::NotAuthorized(e) => write!(f, "not authorized: {e}"),
+            CoreError::Cohesion(e) => write!(f, "cohesion violation: {e}"),
+            CoreError::Chain(e) => write!(f, "chain error: {e}"),
+            CoreError::TimestampTooOld { given, tip } => {
+                write!(f, "timestamp {given} behind tip {tip}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Schema(e) => Some(e),
+            CoreError::Signature(e) => Some(e),
+            CoreError::Chain(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchemaError> for CoreError {
+    fn from(e: SchemaError) -> Self {
+        CoreError::Schema(e)
+    }
+}
+
+impl From<SignatureError> for CoreError {
+    fn from(e: SignatureError) -> Self {
+        CoreError::Signature(e)
+    }
+}
+
+impl From<ChainError> for CoreError {
+    fn from(e: ChainError) -> Self {
+        CoreError::Chain(e)
+    }
+}
+
+impl From<AuthzError> for CoreError {
+    fn from(e: AuthzError) -> Self {
+        CoreError::NotAuthorized(e)
+    }
+}
+
+impl From<CohesionViolation> for CoreError {
+    fn from(e: CohesionViolation) -> Self {
+        CoreError::Cohesion(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldel_chain::{BlockNumber, EntryNumber};
+
+    #[test]
+    fn display_mentions_target() {
+        let id = EntryId::new(BlockNumber(3), EntryNumber(1));
+        assert!(CoreError::TargetNotFound(id).to_string().contains("3:1"));
+        assert!(CoreError::DependsOnDeleted(id).to_string().contains("3:1"));
+    }
+}

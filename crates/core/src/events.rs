@@ -1,0 +1,142 @@
+//! Observable ledger events, used by tests, experiments and node logs.
+
+use std::fmt;
+
+use seldel_chain::{BlockNumber, EntryId, Timestamp};
+use seldel_crypto::VerifyingKey;
+
+/// Something noteworthy the ledger did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerEvent {
+    /// A normal block was sealed.
+    BlockSealed {
+        /// Number of the sealed block.
+        number: BlockNumber,
+        /// Entries included.
+        entries: usize,
+    },
+    /// An idle filler block was appended (§IV-D3).
+    EmptyBlockAdded {
+        /// Number of the filler block.
+        number: BlockNumber,
+    },
+    /// A summary block Σ was created (§IV-B).
+    SummaryCreated {
+        /// Number of the summary block.
+        number: BlockNumber,
+        /// Records carried forward into it.
+        records: usize,
+        /// Whether a Fig. 9 anchor was embedded.
+        anchored: bool,
+    },
+    /// Old sequences were merged and cut off (§IV-C).
+    SequencesRetired {
+        /// First retired block.
+        from: BlockNumber,
+        /// Last retired block (inclusive).
+        to: BlockNumber,
+        /// Records carried into the merging summary.
+        carried: usize,
+    },
+    /// The genesis marker shifted (§IV-C).
+    MarkerShifted {
+        /// Previous marker.
+        old: BlockNumber,
+        /// New marker.
+        new: BlockNumber,
+    },
+    /// A deletion request was accepted and its target marked (§IV-D).
+    DeletionMarked {
+        /// Target data set.
+        target: EntryId,
+        /// Requesting key.
+        requester: VerifyingKey,
+    },
+    /// A deletion request was included but had no effect ("wrong request of
+    /// deletions can be included in the blockchain, but these have no
+    /// further effects", §V).
+    DeletionIneffective {
+        /// Target data set.
+        target: EntryId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A marked data set was physically dropped during a merge.
+    DeletionExecuted {
+        /// Target data set.
+        target: EntryId,
+        /// Virtual time of execution.
+        at: Timestamp,
+    },
+    /// A temporary entry expired and was dropped during a merge (§IV-D4).
+    RecordExpired {
+        /// The expired data set.
+        origin: EntryId,
+    },
+}
+
+impl fmt::Display for LedgerEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerEvent::BlockSealed { number, entries } => {
+                write!(f, "sealed block {number} with {entries} entries")
+            }
+            LedgerEvent::EmptyBlockAdded { number } => {
+                write!(f, "added empty block {number}")
+            }
+            LedgerEvent::SummaryCreated {
+                number,
+                records,
+                anchored,
+            } => write!(
+                f,
+                "created summary block {number} ({records} records{})",
+                if *anchored { ", anchored" } else { "" }
+            ),
+            LedgerEvent::SequencesRetired { from, to, carried } => {
+                write!(f, "retired blocks {from}..={to} carrying {carried} records")
+            }
+            LedgerEvent::MarkerShifted { old, new } => {
+                write!(f, "marker shifted {old} -> {new}")
+            }
+            LedgerEvent::DeletionMarked { target, .. } => {
+                write!(f, "deletion marked for {target}")
+            }
+            LedgerEvent::DeletionIneffective { target, reason } => {
+                write!(f, "deletion of {target} ineffective: {reason}")
+            }
+            LedgerEvent::DeletionExecuted { target, at } => {
+                write!(f, "deletion of {target} executed at τ{at}")
+            }
+            LedgerEvent::RecordExpired { origin } => {
+                write!(f, "record {origin} expired")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldel_chain::EntryNumber;
+
+    #[test]
+    fn display_variants() {
+        let e = LedgerEvent::MarkerShifted {
+            old: BlockNumber(0),
+            new: BlockNumber(6),
+        };
+        assert_eq!(e.to_string(), "marker shifted 0 -> 6");
+        let e = LedgerEvent::DeletionExecuted {
+            target: EntryId::new(BlockNumber(3), EntryNumber(1)),
+            at: Timestamp(70),
+        };
+        assert!(e.to_string().contains("3:1"));
+        let e = LedgerEvent::SummaryCreated {
+            number: BlockNumber(8),
+            records: 4,
+            anchored: true,
+        };
+        assert!(e.to_string().contains("anchored"));
+    }
+}

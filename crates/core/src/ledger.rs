@@ -1,0 +1,1205 @@
+//! The selective-deletion ledger: the paper's §IV concept as a library.
+//!
+//! [`SelectiveLedger`] owns a [`Blockchain`] and drives the full behaviour:
+//! entry intake (schema- and signature-checked), block sealing, automatic
+//! summary blocks at every l-th slot, retention-driven merging with marker
+//! shift, the deletion workflow (authorisation → cohesion → delayed
+//! execution), temporary-entry expiry and idle filling.
+//!
+//! # Example
+//!
+//! ```
+//! use seldel_core::{ChainConfig, SelectiveLedger};
+//! use seldel_chain::{Entry, Timestamp};
+//! use seldel_codec::DataRecord;
+//! use seldel_crypto::SigningKey;
+//!
+//! let mut ledger = SelectiveLedger::builder(ChainConfig::paper_evaluation()).build();
+//! let alice = SigningKey::from_seed([1u8; 32]);
+//! ledger
+//!     .submit_entry(Entry::sign_data(
+//!         &alice,
+//!         DataRecord::new("login").with("user", "ALPHA"),
+//!     ))
+//!     .unwrap();
+//! let sealed = ledger.seal_block(Timestamp(10)).unwrap();
+//! assert_eq!(sealed.value(), 1);
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use seldel_chain::{
+    Block, BlockBody, BlockKind, BlockNumber, Blockchain, DeleteRequest, Entry, EntryId,
+    EntryNumber, EntryPayload, Located, Seal, Timestamp,
+};
+use seldel_codec::schema::SchemaRegistry;
+use seldel_codec::DataRecord;
+use seldel_crypto::{SigningKey, VerifyingKey};
+
+use crate::authz::{authorize_deletion, MasterKeySet, RoleTable};
+use crate::cohesion::{CohesionContext, CohesionPolicy, DependencyPolicy};
+use crate::config::ChainConfig;
+use crate::deletion::{DeletionRecord, DeletionRegistry};
+use crate::error::CoreError;
+use crate::events::LedgerEvent;
+use crate::summary::build_summary_block;
+
+/// Snapshot of ledger health, used by experiments and monitoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerStats {
+    /// The shifting genesis marker m.
+    pub marker: BlockNumber,
+    /// Tip block number.
+    pub tip: BlockNumber,
+    /// Live chain length lβ in blocks.
+    pub live_blocks: u64,
+    /// Total canonical byte size of the live chain.
+    pub live_bytes: u64,
+    /// Live data sets (entries + carried records).
+    pub live_records: u64,
+    /// Entries waiting in the mempool.
+    pub pending_entries: usize,
+    /// Deletions marked but not yet executed.
+    pub pending_deletions: usize,
+    /// Deletions physically executed.
+    pub executed_deletions: usize,
+    /// Temporary entries dropped so far.
+    pub expired_records: u64,
+    /// Summary blocks created so far.
+    pub summaries_created: u64,
+    /// Blocks ever appended (including later-pruned ones).
+    pub blocks_appended: u64,
+    /// Blocks physically cut off so far.
+    pub retired_blocks: u64,
+    /// Virtual time covered by the live chain.
+    pub covered_timespan: u64,
+}
+
+/// Builder for [`SelectiveLedger`] (roles, master keys, schemas, policies).
+pub struct SelectiveLedgerBuilder {
+    config: ChainConfig,
+    roles: RoleTable,
+    master: Option<MasterKeySet>,
+    schemas: SchemaRegistry,
+    policies: Vec<Arc<dyn CohesionPolicy>>,
+    genesis_time: Timestamp,
+}
+
+impl SelectiveLedgerBuilder {
+    /// Sets the role table (§IV-D1).
+    pub fn roles(mut self, roles: RoleTable) -> Self {
+        self.roles = roles;
+        self
+    }
+
+    /// Sets the quorum master key set for administrative deletions.
+    pub fn master_keys(mut self, master: MasterKeySet) -> Self {
+        self.master = Some(master);
+        self
+    }
+
+    /// Sets the schema registry; entries must then validate against their
+    /// claimed schema (§V: "specified beforehand by a YAML schema").
+    pub fn schemas(mut self, schemas: SchemaRegistry) -> Self {
+        self.schemas = schemas;
+        self
+    }
+
+    /// Stacks an additional automatic cohesion policy (§IV-D2 names
+    /// Bell-LaPadula and Brewer-Nash) on top of the always-on dependency
+    /// rule.
+    pub fn cohesion_policy(mut self, policy: impl CohesionPolicy + 'static) -> Self {
+        self.policies.push(Arc::new(policy));
+        self
+    }
+
+    /// Sets the genesis timestamp (default τ0).
+    pub fn genesis_time(mut self, t: Timestamp) -> Self {
+        self.genesis_time = t;
+        self
+    }
+
+    /// Builds the ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is internally inconsistent (see
+    /// [`ChainConfig::assert_valid`]).
+    pub fn build(self) -> SelectiveLedger {
+        self.config.assert_valid();
+        let chain = Blockchain::new(Block::genesis(
+            self.config.chain_note.clone(),
+            self.genesis_time,
+        ));
+        SelectiveLedger {
+            chain,
+            config: self.config,
+            deletions: DeletionRegistry::new(),
+            roles: self.roles,
+            master: self.master,
+            schemas: self.schemas,
+            policies: self.policies,
+            dependents: BTreeMap::new(),
+            history: BTreeMap::new(),
+            pending: Vec::new(),
+            events: VecDeque::new(),
+            summaries_created: 0,
+            blocks_appended: 1,
+            retired_blocks: 0,
+            expired_total: 0,
+        }
+    }
+}
+
+/// The selective-deletion ledger (single-node view; the node layer wraps it
+/// for distributed operation).
+#[derive(Clone)]
+pub struct SelectiveLedger {
+    chain: Blockchain,
+    config: ChainConfig,
+    deletions: DeletionRegistry,
+    roles: RoleTable,
+    master: Option<MasterKeySet>,
+    schemas: SchemaRegistry,
+    policies: Vec<Arc<dyn CohesionPolicy>>,
+    /// target -> (dependent id -> dependent author), live edges only.
+    dependents: BTreeMap<EntryId, BTreeMap<EntryId, VerifyingKey>>,
+    /// Sticky Chinese-wall history: author key -> schemas touched.
+    history: BTreeMap<[u8; 32], BTreeSet<String>>,
+    pending: Vec<Entry>,
+    events: VecDeque<LedgerEvent>,
+    summaries_created: u64,
+    blocks_appended: u64,
+    retired_blocks: u64,
+    expired_total: u64,
+}
+
+impl std::fmt::Debug for SelectiveLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SelectiveLedger")
+            .field("marker", &self.chain.marker())
+            .field("tip", &self.chain.tip().number())
+            .field("live_blocks", &self.chain.len())
+            .field("pending", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SelectiveLedger {
+    /// Starts building a ledger with the given configuration.
+    pub fn builder(config: ChainConfig) -> SelectiveLedgerBuilder {
+        SelectiveLedgerBuilder {
+            config,
+            roles: RoleTable::new(),
+            master: None,
+            schemas: SchemaRegistry::new(),
+            policies: Vec::new(),
+            genesis_time: Timestamp::ZERO,
+        }
+    }
+
+    /// Convenience constructor with defaults everywhere.
+    pub fn new(config: ChainConfig) -> SelectiveLedger {
+        SelectiveLedger::builder(config).build()
+    }
+
+    /// The live chain (read-only).
+    pub fn chain(&self) -> &Blockchain {
+        &self.chain
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ChainConfig {
+        &self.config
+    }
+
+    /// Accepts an entry into the mempool.
+    ///
+    /// Data entries are checked for: a valid author signature, schema
+    /// conformance (when a registry is configured), existing live
+    /// dependencies, and the §IV-D3 rule that nothing may build on
+    /// deletion-marked data. Deletion-request entries only need a valid
+    /// signature here — their semantic validation happens at inclusion
+    /// time, because "wrong request[s] of deletions can be included in the
+    /// blockchain, but these have no further effects" (§V).
+    ///
+    /// # Errors
+    ///
+    /// See [`CoreError`].
+    pub fn submit_entry(&mut self, entry: Entry) -> Result<(), CoreError> {
+        entry.verify()?;
+        if let EntryPayload::Data(record) = entry.payload() {
+            if !self.schemas.is_empty() {
+                self.schemas.validate(record)?;
+            }
+            for dep in entry.depends_on() {
+                if self.deletions.is_marked(*dep) {
+                    return Err(CoreError::DependsOnDeleted(*dep));
+                }
+                if self.chain.locate(*dep).is_none() {
+                    return Err(CoreError::UnknownDependency(*dep));
+                }
+            }
+        }
+        self.pending.push(entry);
+        Ok(())
+    }
+
+    /// Builds, validates and submits a deletion request in one step.
+    ///
+    /// Unlike raw [`SelectiveLedger::submit_entry`], this pre-validates the
+    /// request (target exists, requester authorised, cohesion holds) so the
+    /// caller gets immediate feedback instead of an ineffective on-chain
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// See [`CoreError`]; authorisation and cohesion failures are reported
+    /// before anything is enqueued.
+    pub fn request_deletion(
+        &mut self,
+        requester: &SigningKey,
+        target: EntryId,
+        reason: impl Into<String>,
+    ) -> Result<(), CoreError> {
+        let request = DeleteRequest::new(target, reason);
+        self.request_deletion_with(requester, request)
+    }
+
+    /// Like [`SelectiveLedger::request_deletion`] but accepts a prepared
+    /// request (e.g. carrying dependent co-signatures or a master
+    /// signature).
+    ///
+    /// # Errors
+    ///
+    /// See [`CoreError`].
+    pub fn request_deletion_with(
+        &mut self,
+        requester: &SigningKey,
+        request: DeleteRequest,
+    ) -> Result<(), CoreError> {
+        self.validate_deletion(&requester.verifying_key(), &request)?;
+        let entry = Entry::sign_delete(requester, request);
+        self.pending.push(entry);
+        Ok(())
+    }
+
+    /// Corrects a data set (§V-A "Corrections: Change information, which
+    /// maybe submitted wrongly"): atomically enqueues an authorised
+    /// deletion of `target` plus a fresh signed entry with the corrected
+    /// record. The corrected entry gets its own new id; the old data
+    /// disappears at the next merge like any other deletion.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`SelectiveLedger::request_deletion`]; on failure nothing
+    /// is enqueued.
+    pub fn correct_entry(
+        &mut self,
+        requester: &SigningKey,
+        target: EntryId,
+        corrected: DataRecord,
+    ) -> Result<(), CoreError> {
+        if !self.schemas.is_empty() {
+            self.schemas.validate(&corrected)?;
+        }
+        let request = DeleteRequest::new(target, "correction");
+        self.validate_deletion(&requester.verifying_key(), &request)?;
+        self.pending.push(Entry::sign_delete(requester, request));
+        self.pending.push(Entry::sign_data(requester, corrected));
+        Ok(())
+    }
+
+    /// Seals the mempool into the next block at virtual time `now`.
+    ///
+    /// With an empty mempool an [`BlockKind::Empty`] filler block is sealed
+    /// instead. Any due summary slot is filled automatically afterwards,
+    /// which may merge and cut old sequences. Returns the number of the
+    /// sealed (non-summary) block.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::TimestampTooOld`] when `now` is behind the tip;
+    /// chain errors are propagated.
+    pub fn seal_block(&mut self, now: Timestamp) -> Result<BlockNumber, CoreError> {
+        let tip_ts = self.chain.tip().timestamp();
+        if now < tip_ts {
+            return Err(CoreError::TimestampTooOld { given: now, tip: tip_ts });
+        }
+        let number = self.chain.tip().number().next();
+        debug_assert!(
+            !self.config.is_summary_slot(number),
+            "summary slots are filled automatically"
+        );
+        let entries: Vec<Entry> = std::mem::take(&mut self.pending);
+        let body = if entries.is_empty() {
+            BlockBody::Empty
+        } else {
+            BlockBody::Normal { entries }
+        };
+        let prev = self.chain.tip().hash();
+        let block = Block::new(number, now, prev, body, Seal::Deterministic);
+        self.chain.push(block)?;
+        self.blocks_appended += 1;
+        let sealed_entries = self.chain.tip().entries().len();
+        if sealed_entries > 0 {
+            self.events.push_back(LedgerEvent::BlockSealed {
+                number,
+                entries: sealed_entries,
+            });
+        } else {
+            self.events.push_back(LedgerEvent::EmptyBlockAdded { number });
+        }
+        self.post_include(number, now);
+        self.maybe_summarize(now);
+        Ok(number)
+    }
+
+    /// Applies a block sealed elsewhere (leader → replica flow in the node
+    /// layer). Summary blocks are rejected: every node derives its own Σ
+    /// locally (§IV-B: the summary block "do[es] not need to be propagated
+    /// by itself").
+    ///
+    /// # Errors
+    ///
+    /// Chain linkage errors, plus [`CoreError::Chain`] with a payload
+    /// mismatch for summary-kind blocks.
+    pub fn apply_block(&mut self, block: Block) -> Result<(), CoreError> {
+        if block.kind() == BlockKind::Summary || block.kind() == BlockKind::Genesis {
+            return Err(CoreError::Chain(seldel_chain::ChainError::GenesisMisplaced {
+                number: block.number(),
+            }));
+        }
+        let number = block.number();
+        let now = block.timestamp();
+        self.chain.push(block)?;
+        self.blocks_appended += 1;
+        self.post_include(number, now);
+        self.maybe_summarize(now);
+        Ok(())
+    }
+
+    /// Advances virtual time, appending idle filler blocks per the
+    /// configured policy (§IV-D3). Returns the number of blocks appended
+    /// (including automatic summaries).
+    pub fn tick(&mut self, now: Timestamp) -> usize {
+        let Some(policy) = self.config.idle_fill else {
+            return 0;
+        };
+        let mut appended = 0;
+        while now.since(self.chain.tip().timestamp()) >= policy.max_idle_ms {
+            let ts = self.chain.tip().timestamp() + policy.max_idle_ms;
+            let number = self.chain.tip().number().next();
+            let prev = self.chain.tip().hash();
+            let block = Block::new(number, ts, prev, BlockBody::Empty, Seal::Deterministic);
+            self.chain.push(block).expect("filler blocks always link");
+            self.blocks_appended += 1;
+            self.events.push_back(LedgerEvent::EmptyBlockAdded { number });
+            appended += 1;
+            let before = self.chain.tip().number();
+            self.maybe_summarize(ts);
+            appended += (self.chain.tip().number().value() - before.value()) as usize;
+        }
+        appended
+    }
+
+    /// Looks up a data record by id, wherever it lives.
+    pub fn record(&self, id: EntryId) -> Option<&DataRecord> {
+        self.chain.locate(id).and_then(|l| l.data())
+    }
+
+    /// Whether the data set is live (exists and is not deletion-marked).
+    pub fn is_live(&self, id: EntryId) -> bool {
+        !self.deletions.is_marked(id) && self.record(id).is_some()
+    }
+
+    /// The deletion record for a target, if any.
+    pub fn deletion_status(&self, target: EntryId) -> Option<&DeletionRecord> {
+        self.deletions.get(target)
+    }
+
+    /// Drains accumulated events.
+    pub fn drain_events(&mut self) -> Vec<LedgerEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> LedgerStats {
+        LedgerStats {
+            marker: self.chain.marker(),
+            tip: self.chain.tip().number(),
+            live_blocks: self.chain.len(),
+            live_bytes: self.chain.total_byte_size(),
+            live_records: self.chain.record_count(),
+            pending_entries: self.pending.len(),
+            pending_deletions: self.deletions.pending_count(),
+            executed_deletions: self.deletions.executed_count(),
+            expired_records: self.expired_total,
+            summaries_created: self.summaries_created,
+            blocks_appended: self.blocks_appended,
+            retired_blocks: self.retired_blocks,
+            covered_timespan: self.chain.covered_timespan(),
+        }
+    }
+
+    /// Validates a deletion request without submitting it.
+    ///
+    /// # Errors
+    ///
+    /// The same ladder applied at inclusion time: duplicate check, target
+    /// lookup, role/ownership authorisation (§IV-D1), dependency cohesion
+    /// plus stacked automatic policies (§IV-D2).
+    pub fn validate_deletion(
+        &self,
+        requester: &VerifyingKey,
+        request: &DeleteRequest,
+    ) -> Result<(), CoreError> {
+        let target = request.target();
+        if self.deletions.is_marked(target) {
+            return Err(CoreError::DuplicateDeletion(target));
+        }
+        let located = self
+            .chain
+            .locate(target)
+            .ok_or(CoreError::TargetNotFound(target))?;
+        let record = located.data().ok_or(CoreError::TargetNotFound(target))?;
+        let owner = located.author();
+
+        authorize_deletion(requester, &owner, &self.roles, self.master.as_ref(), request)?;
+
+        let live_dependents: Vec<(EntryId, VerifyingKey)> = self
+            .dependents
+            .get(&target)
+            .map(|m| m.iter().map(|(id, key)| (*id, *key)).collect())
+            .unwrap_or_default();
+        let empty_history = BTreeSet::new();
+        let history = self
+            .history
+            .get(&requester.to_bytes())
+            .unwrap_or(&empty_history);
+        let ctx = CohesionContext {
+            request,
+            requester: *requester,
+            target_author: owner,
+            target_schema: record.schema(),
+            target_level: record.get("classification").and_then(|v| v.as_u64()),
+            live_dependents: &live_dependents,
+            requester_history: history,
+        };
+        DependencyPolicy.check(&ctx)?;
+        for policy in &self.policies {
+            policy.check(&ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Post-inclusion processing of a sealed/applied block: index data
+    /// entries, evaluate deletion requests.
+    fn post_include(&mut self, number: BlockNumber, now: Timestamp) {
+        let block = self.chain.get(number).expect("just pushed").clone();
+        for (i, entry) in block.entries().iter().enumerate() {
+            let id = EntryId::new(number, EntryNumber(i as u32));
+            match entry.payload() {
+                EntryPayload::Data(record) => {
+                    for dep in entry.depends_on() {
+                        self.dependents
+                            .entry(*dep)
+                            .or_default()
+                            .insert(id, entry.author());
+                    }
+                    self.history
+                        .entry(entry.author().to_bytes())
+                        .or_default()
+                        .insert(record.schema().to_string());
+                }
+                EntryPayload::Delete(request) => {
+                    let requester = entry.author();
+                    match self.validate_deletion(&requester, request) {
+                        Ok(()) => {
+                            self.deletions
+                                .mark(request.target(), requester, id, now);
+                            self.events.push_back(LedgerEvent::DeletionMarked {
+                                target: request.target(),
+                                requester,
+                            });
+                        }
+                        Err(err) => {
+                            self.events.push_back(LedgerEvent::DeletionIneffective {
+                                target: request.target(),
+                                reason: err.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fills a due summary slot, merging and cutting per retention policy.
+    fn maybe_summarize(&mut self, now: Timestamp) {
+        let next = self.chain.tip().number().next();
+        if !self.config.is_summary_slot(next) {
+            return;
+        }
+        let (block, outcome) =
+            build_summary_block(&self.chain, &self.config, &self.deletions, next);
+        self.chain.push(block).expect("summary blocks always link");
+        self.blocks_appended += 1;
+        self.summaries_created += 1;
+        self.events.push_back(LedgerEvent::SummaryCreated {
+            number: next,
+            records: outcome.carried,
+            anchored: outcome.anchored,
+        });
+
+        if let Some(plan) = &outcome.plan {
+            let old_marker = self.chain.marker();
+            self.chain
+                .truncate_front(plan.new_marker)
+                .expect("plan markers are live");
+            self.retired_blocks += plan.retired_blocks();
+            self.events.push_back(LedgerEvent::SequencesRetired {
+                from: plan.first(),
+                to: plan.last(),
+                carried: outcome.carried,
+            });
+            self.events.push_back(LedgerEvent::MarkerShifted {
+                old: old_marker,
+                new: plan.new_marker,
+            });
+        }
+
+        for id in &outcome.deleted {
+            self.deletions.execute(*id, now);
+            self.events.push_back(LedgerEvent::DeletionExecuted {
+                target: *id,
+                at: now,
+            });
+        }
+        for id in &outcome.expired {
+            self.expired_total += 1;
+            self.events.push_back(LedgerEvent::RecordExpired { origin: *id });
+        }
+
+        if outcome.plan.is_some() {
+            self.rebuild_dependency_index();
+        }
+    }
+
+    /// Rebuilds the live dependency index from chain contents. Called after
+    /// merges so edges from dropped entries disappear.
+    fn rebuild_dependency_index(&mut self) {
+        let mut fresh: BTreeMap<EntryId, BTreeMap<EntryId, VerifyingKey>> = BTreeMap::new();
+        for block in self.chain.iter() {
+            match block.kind() {
+                BlockKind::Normal => {
+                    for (i, entry) in block.entries().iter().enumerate() {
+                        let id = EntryId::new(block.number(), EntryNumber(i as u32));
+                        if entry.is_delete_request() {
+                            continue;
+                        }
+                        for dep in entry.depends_on() {
+                            fresh.entry(*dep).or_default().insert(id, entry.author());
+                        }
+                    }
+                }
+                BlockKind::Summary => {
+                    for record in block.summary_records() {
+                        for dep in record.depends_on() {
+                            fresh
+                                .entry(*dep)
+                                .or_default()
+                                .insert(record.origin(), record.author());
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.dependents = fresh;
+    }
+
+    /// Direct read access to a located data set.
+    pub fn locate(&self, id: EntryId) -> Option<Located<'_>> {
+        self.chain.locate(id)
+    }
+
+    /// Adopts a replacement chain (fork recovery / bootstrap sync).
+    ///
+    /// §V-B3: nodes "only accept a blockchain which is traceable from its
+    /// current status quo" — the adopted chain is validated structurally
+    /// and cryptographically from its own marker, then replaces the local
+    /// chain. Ledger-side state (deletion marks, dependency index, history)
+    /// is rebuilt deterministically from the adopted blocks. In honest
+    /// histories this reproduces the incremental state exactly, because no
+    /// valid entry may depend on deletion-marked data (§IV-D3), so
+    /// re-validating old deletion requests against the full live chain
+    /// reaches the same verdicts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures; the ledger is unchanged on error.
+    pub fn adopt_chain(&mut self, blocks: Vec<Block>) -> Result<(), CoreError> {
+        let chain = Blockchain::from_blocks(blocks)?;
+        seldel_chain::validate_chain(&chain, &seldel_chain::ValidationOptions::default())?;
+
+        let old_marker = self.chain.marker();
+        let retired_estimate = chain.marker().value();
+        self.chain = chain;
+        self.deletions = DeletionRegistry::new();
+        self.dependents = BTreeMap::new();
+        self.history = BTreeMap::new();
+        self.pending.clear();
+        self.blocks_appended = self.chain.tip().number().value() + 1;
+        self.retired_blocks = retired_estimate;
+        self.summaries_created = self
+            .chain
+            .iter()
+            .filter(|b| b.kind() == BlockKind::Summary)
+            .count() as u64;
+
+        // Rebuild indexes and deletion marks in block order.
+        let numbers: Vec<(BlockNumber, Timestamp)> = self
+            .chain
+            .iter()
+            .map(|b| (b.number(), b.timestamp()))
+            .collect();
+        for (number, ts) in numbers {
+            self.post_include(number, ts);
+        }
+        self.rebuild_dependency_index();
+        self.events.push_back(LedgerEvent::MarkerShifted {
+            old: old_marker,
+            new: self.chain.marker(),
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authz::{Role, RoleTable};
+    use crate::config::{IdleFillPolicy, RetentionPolicy};
+    use seldel_chain::Expiry;
+
+    fn key(seed: u8) -> SigningKey {
+        SigningKey::from_seed([seed; 32])
+    }
+
+    fn data(user: &str, n: u64) -> DataRecord {
+        DataRecord::new("login").with("user", user).with("n", n)
+    }
+
+    fn paper_ledger() -> SelectiveLedger {
+        SelectiveLedger::new(ChainConfig::paper_evaluation())
+    }
+
+    /// Grows the ledger: one data entry per user per block, `blocks` normal
+    /// blocks.
+    fn grow(ledger: &mut SelectiveLedger, blocks: u64, users: &[&SigningKey]) {
+        for _ in 0..blocks {
+            let next_ts = Timestamp((ledger.stats().blocks_appended + 1) * 10);
+            for (u, k) in users.iter().enumerate() {
+                let n = ledger.stats().blocks_appended * 10 + u as u64;
+                ledger.submit_entry(Entry::sign_data(k, data("U", n))).unwrap();
+            }
+            ledger.seal_block(next_ts).unwrap();
+        }
+    }
+
+    #[test]
+    fn summary_blocks_appear_automatically() {
+        let mut ledger = paper_ledger();
+        let alice = key(1);
+        grow(&mut ledger, 2, &[&alice]);
+        // l = 3: blocks 0,1 then Σ2, then 3, 4 then Σ5...
+        let kinds: Vec<BlockKind> = ledger.chain().iter().map(|b| b.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                BlockKind::Genesis,
+                BlockKind::Normal,
+                BlockKind::Summary,
+                BlockKind::Normal,
+            ]
+        );
+        assert_eq!(ledger.stats().summaries_created, 1);
+    }
+
+    #[test]
+    fn chain_length_stays_bounded() {
+        let mut ledger = paper_ledger(); // l_max = 6
+        let alice = key(1);
+        grow(&mut ledger, 40, &[&alice]);
+        let stats = ledger.stats();
+        assert!(stats.live_blocks <= 6 + 3, "live = {}", stats.live_blocks);
+        assert!(stats.retired_blocks > 0);
+        assert!(stats.marker > BlockNumber(0));
+        // All records still reachable.
+        assert_eq!(stats.live_records, 40);
+        seldel_chain::validate_chain(
+            ledger.chain(),
+            &seldel_chain::ValidationOptions::default(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn deletion_flow_end_to_end() {
+        let mut ledger = paper_ledger();
+        let alice = key(1);
+        let bravo = key(2);
+        // Block 1: entries 0 (alice), 1 (bravo).
+        ledger.submit_entry(Entry::sign_data(&alice, data("ALPHA", 1))).unwrap();
+        ledger.submit_entry(Entry::sign_data(&bravo, data("BRAVO", 2))).unwrap();
+        ledger.seal_block(Timestamp(10)).unwrap();
+        let target = EntryId::new(BlockNumber(1), EntryNumber(1));
+
+        // Bravo requests deletion of their own entry.
+        ledger.request_deletion(&bravo, target, "gdpr").unwrap();
+        ledger.seal_block(Timestamp(30)).unwrap(); // block 3 (after Σ2)
+        assert!(ledger.deletion_status(target).is_some());
+        assert!(!ledger.is_live(target));
+        // Data still physically present (delayed deletion).
+        assert!(ledger.record(target).is_some());
+
+        // Grow until the sequence holding block 1 is merged out.
+        let mut executed = false;
+        for i in 0..20u64 {
+            ledger.seal_block(Timestamp(40 + i * 10)).unwrap();
+            if ledger
+                .drain_events()
+                .iter()
+                .any(|e| matches!(e, LedgerEvent::DeletionExecuted { target: t, .. } if *t == target))
+            {
+                executed = true;
+                break;
+            }
+        }
+        assert!(executed, "deletion was never executed");
+        assert!(ledger.record(target).is_none(), "record must be gone");
+        // Alice's neighbouring entry survived the merge.
+        assert!(ledger
+            .record(EntryId::new(BlockNumber(1), EntryNumber(0)))
+            .is_some());
+    }
+
+    #[test]
+    fn foreign_deletion_rejected_for_users() {
+        let mut ledger = paper_ledger();
+        let alice = key(1);
+        let bravo = key(2);
+        ledger.submit_entry(Entry::sign_data(&alice, data("ALPHA", 1))).unwrap();
+        ledger.seal_block(Timestamp(10)).unwrap();
+        let target = EntryId::new(BlockNumber(1), EntryNumber(0));
+        let err = ledger.request_deletion(&bravo, target, "").unwrap_err();
+        assert!(matches!(err, CoreError::NotAuthorized(_)));
+    }
+
+    #[test]
+    fn admin_may_delete_foreign_entries() {
+        let admin = key(9);
+        let alice = key(1);
+        let roles = RoleTable::new().with(admin.verifying_key(), Role::Admin);
+        let mut ledger = SelectiveLedger::builder(ChainConfig::paper_evaluation())
+            .roles(roles)
+            .build();
+        ledger.submit_entry(Entry::sign_data(&alice, data("ALPHA", 1))).unwrap();
+        ledger.seal_block(Timestamp(10)).unwrap();
+        ledger
+            .request_deletion(&admin, EntryId::new(BlockNumber(1), EntryNumber(0)), "illegal content")
+            .unwrap();
+    }
+
+    #[test]
+    fn ineffective_deletion_included_without_effect() {
+        // Raw submission of an invalid delete request: included on chain,
+        // no mark, DeletionIneffective event (paper §V).
+        let mut ledger = paper_ledger();
+        let alice = key(1);
+        let bravo = key(2);
+        ledger.submit_entry(Entry::sign_data(&alice, data("ALPHA", 1))).unwrap();
+        ledger.seal_block(Timestamp(10)).unwrap();
+        let target = EntryId::new(BlockNumber(1), EntryNumber(0));
+        // Bravo forges a raw delete entry bypassing request_deletion.
+        let entry = Entry::sign_delete(&bravo, DeleteRequest::new(target, "not mine"));
+        ledger.submit_entry(entry).unwrap();
+        ledger.seal_block(Timestamp(20)).unwrap();
+        assert!(ledger.deletion_status(target).is_none());
+        assert!(ledger
+            .drain_events()
+            .iter()
+            .any(|e| matches!(e, LedgerEvent::DeletionIneffective { .. })));
+        assert!(ledger.is_live(target));
+    }
+
+    #[test]
+    fn entries_on_marked_data_rejected() {
+        let mut ledger = paper_ledger();
+        let alice = key(1);
+        ledger.submit_entry(Entry::sign_data(&alice, data("ALPHA", 1))).unwrap();
+        ledger.seal_block(Timestamp(10)).unwrap();
+        let target = EntryId::new(BlockNumber(1), EntryNumber(0));
+        ledger.request_deletion(&alice, target, "").unwrap();
+        ledger.seal_block(Timestamp(20)).unwrap();
+        // A new entry depending on the marked data must be refused.
+        let dependent = Entry::sign_data_with(
+            &alice,
+            data("ALPHA", 2),
+            None,
+            vec![target],
+        );
+        assert!(matches!(
+            ledger.submit_entry(dependent),
+            Err(CoreError::DependsOnDeleted(_))
+        ));
+    }
+
+    #[test]
+    fn dependent_entries_block_foreign_deletion() {
+        let mut ledger = paper_ledger();
+        let alice = key(1);
+        ledger.submit_entry(Entry::sign_data(&alice, data("ALPHA", 1))).unwrap();
+        ledger.seal_block(Timestamp(10)).unwrap();
+        let base = EntryId::new(BlockNumber(1), EntryNumber(0));
+        // Bravo builds on Alice's entry.
+        let bravo = key(2);
+        ledger
+            .submit_entry(Entry::sign_data_with(&bravo, data("BRAVO", 2), None, vec![base]))
+            .unwrap();
+        ledger.seal_block(Timestamp(20)).unwrap();
+        // Alice deleting her own entry is blocked by Bravo's dependent.
+        let err = ledger.request_deletion(&alice, base, "").unwrap_err();
+        assert!(matches!(err, CoreError::Cohesion(_)));
+        // With Bravo's co-signature it goes through.
+        let mut request = DeleteRequest::new(base, "approved");
+        let sig = bravo.sign(&request.cosign_message());
+        request = request.with_cosignature(bravo.verifying_key(), sig);
+        ledger.request_deletion_with(&alice, request).unwrap();
+    }
+
+    #[test]
+    fn duplicate_deletion_rejected() {
+        let mut ledger = paper_ledger();
+        let alice = key(1);
+        ledger.submit_entry(Entry::sign_data(&alice, data("ALPHA", 1))).unwrap();
+        ledger.seal_block(Timestamp(10)).unwrap();
+        let target = EntryId::new(BlockNumber(1), EntryNumber(0));
+        ledger.request_deletion(&alice, target, "").unwrap();
+        ledger.seal_block(Timestamp(20)).unwrap();
+        assert!(matches!(
+            ledger.request_deletion(&alice, target, ""),
+            Err(CoreError::DuplicateDeletion(_))
+        ));
+    }
+
+    #[test]
+    fn temporary_entries_expire() {
+        let mut ledger = paper_ledger();
+        let alice = key(1);
+        let entry = Entry::sign_data_with(
+            &alice,
+            data("ALPHA", 1),
+            Some(Expiry::AtTimestamp(Timestamp(25))),
+            vec![],
+        );
+        ledger.submit_entry(entry).unwrap();
+        ledger.seal_block(Timestamp(10)).unwrap();
+        let id = EntryId::new(BlockNumber(1), EntryNumber(0));
+        assert!(ledger.record(id).is_some());
+        // Keep sealing until the merge drops the expired record.
+        for i in 0..20u64 {
+            ledger.seal_block(Timestamp(30 + i * 10)).unwrap();
+            if ledger.record(id).is_none() {
+                break;
+            }
+        }
+        assert!(ledger.record(id).is_none(), "expired entry survived");
+        assert!(ledger.stats().expired_records >= 1);
+    }
+
+    #[test]
+    fn idle_filler_appends_blocks() {
+        let mut config = ChainConfig::paper_evaluation();
+        config.idle_fill = Some(IdleFillPolicy { max_idle_ms: 50 });
+        let mut ledger = SelectiveLedger::builder(config).build();
+        let appended = ledger.tick(Timestamp(220));
+        assert!(appended >= 4, "appended {appended}");
+        // Summaries were auto-inserted too.
+        assert!(ledger.stats().summaries_created >= 1);
+        // No filler without enough idle time.
+        assert_eq!(ledger.tick(Timestamp(230)), 0);
+    }
+
+    #[test]
+    fn schema_enforcement() {
+        let mut schemas = SchemaRegistry::new();
+        schemas
+            .register_yaml("record: login\nfields:\n  user: str\n  n: u64\n")
+            .unwrap();
+        let mut ledger = SelectiveLedger::builder(ChainConfig::paper_evaluation())
+            .schemas(schemas)
+            .build();
+        let alice = key(1);
+        ledger.submit_entry(Entry::sign_data(&alice, data("ALPHA", 1))).unwrap();
+        let bad = Entry::sign_data(&alice, DataRecord::new("login").with("wrong", 1u64));
+        assert!(matches!(
+            ledger.submit_entry(bad),
+            Err(CoreError::Schema(_))
+        ));
+        let unknown = Entry::sign_data(&alice, DataRecord::new("mystery").with("x", 1u64));
+        assert!(matches!(
+            ledger.submit_entry(unknown),
+            Err(CoreError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_dependency_rejected() {
+        let mut ledger = paper_ledger();
+        let alice = key(1);
+        let entry = Entry::sign_data_with(
+            &alice,
+            data("A", 1),
+            None,
+            vec![EntryId::new(BlockNumber(77), EntryNumber(0))],
+        );
+        assert!(matches!(
+            ledger.submit_entry(entry),
+            Err(CoreError::UnknownDependency(_))
+        ));
+    }
+
+    #[test]
+    fn timestamp_regression_rejected() {
+        let mut ledger = paper_ledger();
+        ledger.seal_block(Timestamp(100)).unwrap();
+        assert!(matches!(
+            ledger.seal_block(Timestamp(50)),
+            Err(CoreError::TimestampTooOld { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mut ledger = paper_ledger();
+        let alice = key(1);
+        grow(&mut ledger, 10, &[&alice]);
+        let stats = ledger.stats();
+        assert_eq!(
+            stats.blocks_appended,
+            stats.live_blocks + stats.retired_blocks
+        );
+        assert_eq!(stats.tip.value() + 1, stats.blocks_appended);
+    }
+
+    #[test]
+    fn external_blocks_apply_and_summaries_stay_local() {
+        // Build a source ledger, replay its normal blocks into a replica;
+        // both must derive identical summary blocks (I2).
+        let mut source = paper_ledger();
+        let alice = key(1);
+        grow(&mut source, 8, &[&alice]);
+
+        let replica = paper_ledger();
+        // Collect source's non-summary blocks in order. Note: pruning may
+        // have removed early blocks, so replay only works while the replica
+        // tracks live history; use a fresh unpruned config for the test.
+        let mut source2 = SelectiveLedger::builder(ChainConfig {
+            retention: RetentionPolicy::keep_forever(),
+            ..ChainConfig::paper_evaluation()
+        })
+        .build();
+        let mut replica2 = SelectiveLedger::builder(ChainConfig {
+            retention: RetentionPolicy::keep_forever(),
+            ..ChainConfig::paper_evaluation()
+        })
+        .build();
+        for i in 1..=8u64 {
+            source2
+                .submit_entry(Entry::sign_data(&alice, data("A", i)))
+                .unwrap();
+            source2.seal_block(Timestamp(i * 10)).unwrap();
+        }
+        for block in source2.chain().iter() {
+            match block.kind() {
+                BlockKind::Normal | BlockKind::Empty => {
+                    replica2.apply_block(block.clone()).unwrap();
+                }
+                _ => {} // genesis pre-exists; summaries derived locally
+            }
+        }
+        assert_eq!(
+            source2.chain().tip().hash(),
+            replica2.chain().tip().hash(),
+            "replica derived different summary blocks"
+        );
+        let _ = replica; // silence unused
+    }
+
+    #[test]
+    fn correct_entry_replaces_wrong_data() {
+        let mut ledger = paper_ledger();
+        let alice = key(1);
+        ledger
+            .submit_entry(Entry::sign_data(&alice, data("ALHPA", 1))) // typo
+            .unwrap();
+        ledger.seal_block(Timestamp(10)).unwrap();
+        let wrong = EntryId::new(BlockNumber(1), EntryNumber(0));
+
+        ledger
+            .correct_entry(&alice, wrong, data("ALPHA", 1))
+            .unwrap();
+        let block = ledger.seal_block(Timestamp(20)).unwrap();
+
+        // The correction block holds the delete request + the new entry.
+        let sealed = ledger.chain().get(block).unwrap();
+        assert_eq!(sealed.entries().len(), 2);
+        assert!(sealed.entries()[0].is_delete_request());
+        // Old data marked; new data live under its new id.
+        assert!(!ledger.is_live(wrong));
+        let corrected = EntryId::new(block, EntryNumber(1));
+        assert_eq!(
+            ledger.record(corrected).unwrap().get("user").unwrap().as_str(),
+            Some("ALPHA")
+        );
+        // The wrong record physically disappears at a later merge.
+        for i in 3..=14u64 {
+            ledger.seal_block(Timestamp(i * 10)).unwrap();
+        }
+        assert!(ledger.record(wrong).is_none());
+        assert!(ledger.record(corrected).is_some());
+    }
+
+    #[test]
+    fn correct_entry_requires_authorisation() {
+        let mut ledger = paper_ledger();
+        let alice = key(1);
+        let bravo = key(2);
+        ledger
+            .submit_entry(Entry::sign_data(&alice, data("ALPHA", 1)))
+            .unwrap();
+        ledger.seal_block(Timestamp(10)).unwrap();
+        let target = EntryId::new(BlockNumber(1), EntryNumber(0));
+        let err = ledger
+            .correct_entry(&bravo, target, data("MALLORY", 1))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NotAuthorized(_)));
+        // Nothing was enqueued.
+        assert_eq!(ledger.stats().pending_entries, 0);
+    }
+
+    #[test]
+    fn offchain_references_flow_through_ledger() {
+        use crate::offchain::{ContentStore, OFFCHAIN_SCHEMA_YAML};
+
+        let mut schemas = SchemaRegistry::new();
+        schemas.register_yaml(OFFCHAIN_SCHEMA_YAML).unwrap();
+        let mut ledger = SelectiveLedger::builder(ChainConfig::paper_evaluation())
+            .schemas(schemas)
+            .build();
+        let alice = key(1);
+        let mut store = ContentStore::new();
+
+        // Large payload stays off-chain; only the reference is recorded.
+        let reference = store.put("medical-report", vec![0x5A; 100_000]);
+        ledger
+            .submit_entry(Entry::sign_data(&alice, reference.clone()))
+            .unwrap();
+        ledger.seal_block(Timestamp(10)).unwrap();
+        let id = EntryId::new(BlockNumber(1), EntryNumber(0));
+
+        // Resolvable through the chain-stored reference.
+        let stored_ref = ledger.record(id).unwrap().clone();
+        assert_eq!(store.resolve(&stored_ref).unwrap().len(), 100_000);
+        // The block is tiny compared to the payload.
+        assert!(ledger.chain().get(BlockNumber(1)).unwrap().byte_size() < 1024);
+
+        // Erasure: blob dropped immediately; reference deleted on-chain.
+        let digest = ContentStore::reference_digest(&stored_ref).unwrap();
+        assert!(store.erase(&digest));
+        assert!(store.resolve(&stored_ref).is_err());
+        ledger.request_deletion(&alice, id, "erasure").unwrap();
+        ledger.seal_block(Timestamp(20)).unwrap();
+        for i in 3..=14u64 {
+            ledger.seal_block(Timestamp(i * 10)).unwrap();
+        }
+        assert!(ledger.record(id).is_none());
+    }
+
+    #[test]
+    fn adopt_chain_rejects_tampered_input_and_stays_unchanged() {
+        let alice = key(1);
+        let mut source = paper_ledger();
+        source.submit_entry(Entry::sign_data(&alice, data("A", 1))).unwrap();
+        source.seal_block(Timestamp(10)).unwrap();
+
+        let mut joiner = paper_ledger();
+        joiner.submit_entry(Entry::sign_data(&alice, data("B", 2))).unwrap();
+        joiner.seal_block(Timestamp(10)).unwrap();
+        let before_tip = joiner.chain().tip().hash();
+
+        // Tamper with a middle block: linkage breaks.
+        let mut blocks = source.chain().export_blocks();
+        blocks[1] = Block::new(
+            blocks[1].number(),
+            blocks[1].timestamp() + 1,
+            blocks[1].header().prev_hash,
+            blocks[1].body().clone(),
+            Seal::Deterministic,
+        );
+        assert!(joiner.adopt_chain(blocks).is_err());
+        // Ledger unchanged on failure.
+        assert_eq!(joiner.chain().tip().hash(), before_tip);
+    }
+
+    #[test]
+    fn sealing_empty_mempool_creates_empty_block() {
+        let mut ledger = paper_ledger();
+        let number = ledger.seal_block(Timestamp(10)).unwrap();
+        assert_eq!(
+            ledger.chain().get(number).unwrap().kind(),
+            BlockKind::Empty
+        );
+    }
+
+    #[test]
+    fn events_report_the_block_lifecycle_in_order() {
+        let mut ledger = paper_ledger();
+        let alice = key(1);
+        ledger.submit_entry(Entry::sign_data(&alice, data("A", 1))).unwrap();
+        ledger.seal_block(Timestamp(10)).unwrap();
+        let events = ledger.drain_events();
+        assert!(matches!(events[0], LedgerEvent::BlockSealed { entries: 1, .. }));
+        assert!(matches!(events[1], LedgerEvent::SummaryCreated { .. }));
+        // Drained: second call yields nothing.
+        assert!(ledger.drain_events().is_empty());
+    }
+
+    #[test]
+    fn tick_without_idle_policy_is_noop() {
+        let mut ledger = paper_ledger();
+        assert_eq!(ledger.tick(Timestamp(10_000)), 0);
+        assert_eq!(ledger.chain().len(), 1);
+    }
+
+    #[test]
+    fn apply_block_rejects_summary_blocks() {
+        let mut a = paper_ledger();
+        let mut b = paper_ledger();
+        let alice = key(1);
+        grow(&mut a, 2, &[&alice]);
+        let summary = a
+            .chain()
+            .iter()
+            .find(|blk| blk.kind() == BlockKind::Summary)
+            .unwrap()
+            .clone();
+        // Force the replica to tip 1 so numbers could line up; it must be
+        // rejected on kind grounds regardless.
+        grow(&mut b, 1, &[&alice]);
+        assert!(b.apply_block(summary).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Off-chain payload storage via hash references (§V-B2).
+//!
+//! "The copying of much information can be avoided by working with hash
+//! references. The data packets are stored separately and only linked in
+//! the blockchain, as with other off-chain approaches."
+//!
+//! [`ContentStore`] keeps payload blobs outside the chain; entries carry a
+//! small fixed-size *reference record* (`schema "offchain-ref"`) holding
+//! the SHA-256 of the blob. Benefits for selective deletion:
+//!
+//! * summary blocks stay small — merging copies only the references;
+//! * erasure can be *immediate* for the payload: dropping the blob from
+//!   every store renders the data unreadable even before the reference is
+//!   merged out (the related-work "encrypted / off-chain" pattern the
+//!   paper discusses in §III, combined with its own summary mechanism).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use seldel_codec::DataRecord;
+use seldel_crypto::{sha256, Digest32};
+
+/// Schema name of reference records.
+pub const OFFCHAIN_SCHEMA: &str = "offchain-ref";
+
+/// YAML schema for reference records (register in the ledger's registry
+/// when schema validation is on).
+pub const OFFCHAIN_SCHEMA_YAML: &str = "\
+record: offchain-ref
+fields:
+  digest: bytes
+  len: u64
+  label: str?
+";
+
+/// Errors from the content store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OffChainError {
+    /// No blob stored under this digest (never stored, or erased).
+    NotFound(Digest32),
+    /// The record is not a well-formed off-chain reference.
+    MalformedReference,
+    /// Stored blob does not hash to the requested digest (store
+    /// corruption).
+    DigestMismatch {
+        /// The digest the reference claims.
+        expected: Digest32,
+        /// The digest of the stored bytes.
+        actual: Digest32,
+    },
+}
+
+impl fmt::Display for OffChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OffChainError::NotFound(d) => write!(f, "no blob stored for digest {}", d.short()),
+            OffChainError::MalformedReference => f.write_str("malformed off-chain reference"),
+            OffChainError::DigestMismatch { expected, actual } => write!(
+                f,
+                "blob digest mismatch: expected {}, found {}",
+                expected.short(),
+                actual.short()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OffChainError {}
+
+/// A content-addressed blob store (one per node; erasure must be executed
+/// on every store, which is the trust trade-off of all off-chain schemes).
+#[derive(Debug, Clone, Default)]
+pub struct ContentStore {
+    blobs: BTreeMap<[u8; 32], Vec<u8>>,
+}
+
+impl ContentStore {
+    /// Creates an empty store.
+    pub fn new() -> ContentStore {
+        ContentStore::default()
+    }
+
+    /// Stores a blob and returns a reference record for the chain.
+    pub fn put(&mut self, label: &str, payload: Vec<u8>) -> DataRecord {
+        let digest = sha256(&payload);
+        let len = payload.len() as u64;
+        self.blobs.insert(digest.into_bytes(), payload);
+        DataRecord::new(OFFCHAIN_SCHEMA)
+            .with("digest", seldel_codec::Value::Bytes(digest.as_bytes().to_vec()))
+            .with("len", len)
+            .with("label", label)
+    }
+
+    /// Resolves a reference record to its payload, verifying the digest.
+    ///
+    /// # Errors
+    ///
+    /// [`OffChainError::MalformedReference`] for non-reference records,
+    /// [`OffChainError::NotFound`] when the blob was erased, and
+    /// [`OffChainError::DigestMismatch`] on store corruption.
+    pub fn resolve(&self, reference: &DataRecord) -> Result<&[u8], OffChainError> {
+        let digest = Self::reference_digest(reference)?;
+        let blob = self
+            .blobs
+            .get(digest.as_bytes())
+            .ok_or(OffChainError::NotFound(digest))?;
+        let actual = sha256(blob);
+        if actual != digest {
+            return Err(OffChainError::DigestMismatch {
+                expected: digest,
+                actual,
+            });
+        }
+        Ok(blob)
+    }
+
+    /// Extracts the digest from a reference record.
+    ///
+    /// # Errors
+    ///
+    /// [`OffChainError::MalformedReference`] when the record does not carry
+    /// a 32-byte `digest` field under the off-chain schema.
+    pub fn reference_digest(reference: &DataRecord) -> Result<Digest32, OffChainError> {
+        if reference.schema() != OFFCHAIN_SCHEMA {
+            return Err(OffChainError::MalformedReference);
+        }
+        let bytes = reference
+            .get("digest")
+            .and_then(|v| v.as_bytes())
+            .ok_or(OffChainError::MalformedReference)?;
+        if bytes.len() != 32 {
+            return Err(OffChainError::MalformedReference);
+        }
+        let mut array = [0u8; 32];
+        array.copy_from_slice(bytes);
+        Ok(Digest32::from_bytes(array))
+    }
+
+    /// Erases a blob — the off-chain half of the right to erasure. The
+    /// on-chain reference becomes permanently unresolvable and is cleaned
+    /// up by the normal deletion/summary machinery.
+    ///
+    /// Returns `true` when a blob was present.
+    pub fn erase(&mut self, digest: &Digest32) -> bool {
+        self.blobs.remove(digest.as_bytes()).is_some()
+    }
+
+    /// Number of stored blobs.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Total stored payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.blobs.values().map(|b| b.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_resolve_round_trip() {
+        let mut store = ContentStore::new();
+        let reference = store.put("report", b"large payload".to_vec());
+        assert_eq!(reference.schema(), OFFCHAIN_SCHEMA);
+        assert_eq!(store.resolve(&reference).unwrap(), b"large payload");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.total_bytes(), 13);
+    }
+
+    #[test]
+    fn reference_is_small_regardless_of_payload() {
+        let mut store = ContentStore::new();
+        let small = store.put("s", vec![0u8; 10]);
+        let large = store.put("l", vec![1u8; 1_000_000]);
+        let small_len = seldel_codec::Codec::to_canonical_bytes(&small).len();
+        let large_len = seldel_codec::Codec::to_canonical_bytes(&large).len();
+        assert!(large_len <= small_len + 8, "references must stay fixed-size");
+        assert!(large_len < 200);
+    }
+
+    #[test]
+    fn erase_makes_reference_unresolvable() {
+        let mut store = ContentStore::new();
+        let reference = store.put("x", b"personal data".to_vec());
+        let digest = ContentStore::reference_digest(&reference).unwrap();
+        assert!(store.erase(&digest));
+        assert!(matches!(
+            store.resolve(&reference),
+            Err(OffChainError::NotFound(_))
+        ));
+        // Idempotent.
+        assert!(!store.erase(&digest));
+    }
+
+    #[test]
+    fn malformed_references_rejected() {
+        let store = ContentStore::new();
+        let wrong_schema = DataRecord::new("other").with("digest", seldel_codec::Value::Bytes(vec![0; 32]));
+        assert_eq!(
+            store.resolve(&wrong_schema),
+            Err(OffChainError::MalformedReference)
+        );
+        let short_digest = DataRecord::new(OFFCHAIN_SCHEMA)
+            .with("digest", seldel_codec::Value::Bytes(vec![0; 16]))
+            .with("len", 0u64);
+        assert_eq!(
+            store.resolve(&short_digest),
+            Err(OffChainError::MalformedReference)
+        );
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut store = ContentStore::new();
+        let reference = store.put("x", b"abc".to_vec());
+        let digest = ContentStore::reference_digest(&reference).unwrap();
+        // Corrupt the stored blob directly.
+        store.blobs.insert(digest.into_bytes(), b"evil".to_vec());
+        assert!(matches!(
+            store.resolve(&reference),
+            Err(OffChainError::DigestMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn schema_yaml_parses() {
+        seldel_codec::schema::RecordSchema::parse_yaml(OFFCHAIN_SCHEMA_YAML).unwrap();
+    }
+}

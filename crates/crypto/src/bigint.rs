@@ -1,0 +1,251 @@
+//! Minimal fixed-width big-integer helpers used by the Ed25519 scalar
+//! arithmetic (crate-private).
+//!
+//! Values are little-endian `u64` limb arrays. Only the operations needed
+//! for reduction modulo the group order ℓ are provided: 256×256→512-bit
+//! multiplication, 512-bit add/sub/compare and single-bit shifts.
+
+/// 512-bit unsigned integer as 8 little-endian limbs.
+pub(crate) type U512 = [u64; 8];
+
+/// 256-bit unsigned integer as 4 little-endian limbs.
+pub(crate) type U256 = [u64; 4];
+
+/// Schoolbook 256×256→512-bit multiplication.
+pub(crate) fn mul_256(a: &U256, b: &U256) -> U512 {
+    let mut out = [0u64; 8];
+    for i in 0..4 {
+        let mut carry: u128 = 0;
+        for j in 0..4 {
+            let cur = out[i + j] as u128 + (a[i] as u128) * (b[j] as u128) + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + 4;
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// `a + b`, wrapping on 512-bit overflow (callers guarantee no overflow).
+pub(crate) fn add_512(a: &U512, b: &U512) -> U512 {
+    let mut out = [0u64; 8];
+    let mut carry: u128 = 0;
+    for i in 0..8 {
+        let cur = a[i] as u128 + b[i] as u128 + carry;
+        out[i] = cur as u64;
+        carry = cur >> 64;
+    }
+    debug_assert_eq!(carry, 0, "512-bit addition overflow");
+    out
+}
+
+/// `a - b`; caller must ensure `a >= b`.
+pub(crate) fn sub_512(a: &U512, b: &U512) -> U512 {
+    let mut out = [0u64; 8];
+    let mut borrow: i128 = 0;
+    for i in 0..8 {
+        let cur = a[i] as i128 - b[i] as i128 - borrow;
+        if cur < 0 {
+            out[i] = (cur + (1i128 << 64)) as u64;
+            borrow = 1;
+        } else {
+            out[i] = cur as u64;
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "512-bit subtraction underflow");
+    out
+}
+
+/// Returns `true` when `a >= b`.
+pub(crate) fn ge_512(a: &U512, b: &U512) -> bool {
+    for i in (0..8).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// Logical left shift by `bits` (0..512).
+pub(crate) fn shl_512(a: &U512, bits: usize) -> U512 {
+    debug_assert!(bits < 512);
+    let limb_shift = bits / 64;
+    let bit_shift = bits % 64;
+    let mut out = [0u64; 8];
+    for i in (0..8).rev() {
+        if i < limb_shift {
+            continue;
+        }
+        let src = i - limb_shift;
+        let mut v = a[src] << bit_shift;
+        if bit_shift > 0 && src > 0 {
+            v |= a[src - 1] >> (64 - bit_shift);
+        }
+        out[i] = v;
+    }
+    out
+}
+
+/// Logical right shift by one bit.
+pub(crate) fn shr1_512(a: &U512) -> U512 {
+    let mut out = [0u64; 8];
+    for i in 0..8 {
+        out[i] = a[i] >> 1;
+        if i + 1 < 8 {
+            out[i] |= a[i + 1] << 63;
+        }
+    }
+    out
+}
+
+/// Index of the highest set bit, or `None` for zero.
+pub(crate) fn top_bit(a: &U512) -> Option<usize> {
+    for i in (0..8).rev() {
+        if a[i] != 0 {
+            return Some(i * 64 + 63 - a[i].leading_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// `a mod m` by binary long division. `m` must be non-zero.
+pub(crate) fn mod_512(a: &U512, m: &U512) -> U512 {
+    let mut rem = *a;
+    let m_top = top_bit(m).expect("modulus must be non-zero");
+    loop {
+        let Some(r_top) = top_bit(&rem) else {
+            return rem;
+        };
+        if r_top < m_top {
+            return rem;
+        }
+        let mut shift = r_top - m_top;
+        let mut shifted = shl_512(m, shift);
+        // shl may have pushed the top bit past rem; step back if so.
+        if !ge_512(&rem, &shifted) {
+            if shift == 0 {
+                return rem;
+            }
+            shift -= 1;
+            shifted = shr1_512(&shifted);
+        }
+        loop {
+            if ge_512(&rem, &shifted) {
+                rem = sub_512(&rem, &shifted);
+            }
+            if shift == 0 {
+                break;
+            }
+            shift -= 1;
+            shifted = shr1_512(&shifted);
+        }
+        if top_bit(&rem).map(|t| t < m_top).unwrap_or(true) {
+            return rem;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_u128(v: u128) -> U512 {
+        let mut out = [0u64; 8];
+        out[0] = v as u64;
+        out[1] = (v >> 64) as u64;
+        out
+    }
+
+    fn to_u128(v: &U512) -> u128 {
+        assert!(v[2..].iter().all(|&l| l == 0));
+        (v[0] as u128) | ((v[1] as u128) << 64)
+    }
+
+    #[test]
+    fn mul_small() {
+        let a = [3, 0, 0, 0];
+        let b = [7, 0, 0, 0];
+        assert_eq!(mul_256(&a, &b)[0], 21);
+    }
+
+    #[test]
+    fn mul_cross_limb() {
+        let a = [u64::MAX, 0, 0, 0];
+        let b = [u64::MAX, 0, 0, 0];
+        let r = mul_256(&a, &b);
+        let expected = (u64::MAX as u128) * (u64::MAX as u128);
+        assert_eq!(to_u128(&r), expected);
+    }
+
+    #[test]
+    fn mul_max() {
+        // (2^256 - 1)^2 = 2^512 - 2^257 + 1
+        let a = [u64::MAX; 4];
+        let r = mul_256(&a, &a);
+        assert_eq!(r[0], 1);
+        assert_eq!(r[1], 0);
+        assert_eq!(r[2], 0);
+        assert_eq!(r[3], 0);
+        assert_eq!(r[4], u64::MAX - 1);
+        assert_eq!(r[5], u64::MAX);
+        assert_eq!(r[6], u64::MAX);
+        assert_eq!(r[7], u64::MAX);
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = from_u128(123456789123456789);
+        let b = from_u128(987654321);
+        let s = add_512(&a, &b);
+        assert_eq!(sub_512(&s, &b), a);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = from_u128(0x8000_0000_0000_0001);
+        let l = shl_512(&a, 65);
+        assert_eq!(l[1], 2);
+        assert_eq!(l[2], 1);
+        assert_eq!(shr1_512(&shl_512(&a, 1)), a);
+    }
+
+    #[test]
+    fn shl_across_many_limbs() {
+        let a = from_u128(1);
+        let l = shl_512(&a, 300);
+        assert_eq!(top_bit(&l), Some(300));
+    }
+
+    #[test]
+    fn mod_matches_u128_arithmetic() {
+        let cases: [(u128, u128); 6] = [
+            (0, 97),
+            (96, 97),
+            (97, 97),
+            (98, 97),
+            (123456789123456789123456789, 1000000007),
+            (u128::MAX, 0xffff_ffff_ffff_fffe),
+        ];
+        for (a, m) in cases {
+            let r = mod_512(&from_u128(a), &from_u128(m));
+            assert_eq!(to_u128(&r), a % m, "case {a} mod {m}");
+        }
+    }
+
+    #[test]
+    fn top_bit_cases() {
+        assert_eq!(top_bit(&[0; 8]), None);
+        assert_eq!(top_bit(&from_u128(1)), Some(0));
+        assert_eq!(top_bit(&from_u128(2)), Some(1));
+        let mut high = [0u64; 8];
+        high[7] = 1 << 63;
+        assert_eq!(top_bit(&high), Some(511));
+    }
+}

@@ -1,0 +1,371 @@
+//! Arithmetic in GF(2^255 − 19) with radix-2^51 limbs.
+//!
+//! The representation follows the well-known "five 51-bit limbs in `u64`"
+//! layout. Operations are variable-time (documented crate-wide); correctness
+//! is what matters for the selective-deletion prototype, and it is enforced
+//! by RFC 8032 vectors plus property tests.
+
+use std::fmt;
+
+pub(crate) const MASK: u64 = (1u64 << 51) - 1;
+
+/// `p − 2` as little-endian bytes, the inversion exponent.
+const P_MINUS_2: [u8; 32] = [
+    0xeb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0x7f,
+];
+
+/// `(p − 5) / 8` as little-endian bytes, the square-root exponent.
+const P58: [u8; 32] = [
+    0xfd, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0x0f,
+];
+
+/// An element of GF(2^255 − 19).
+#[derive(Clone, Copy)]
+pub(crate) struct FieldElement(pub(crate) [u64; 5]);
+
+impl fmt::Debug for FieldElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FieldElement({})", crate::hex::encode(self.to_bytes()))
+    }
+}
+
+impl PartialEq for FieldElement {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+}
+
+impl Eq for FieldElement {}
+
+impl FieldElement {
+    pub(crate) const ZERO: FieldElement = FieldElement([0; 5]);
+    pub(crate) const ONE: FieldElement = FieldElement([1, 0, 0, 0, 0]);
+
+    /// Loads 32 little-endian bytes; bit 255 is ignored (values are taken
+    /// modulo 2^255, not modulo p — callers needing canonicality must check
+    /// separately via [`FieldElement::is_canonical_encoding`]).
+    pub(crate) fn from_bytes(bytes: &[u8; 32]) -> FieldElement {
+        let load8 = |b: &[u8]| -> u64 {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(b);
+            u64::from_le_bytes(word)
+        };
+        FieldElement([
+            load8(&bytes[0..8]) & MASK,
+            (load8(&bytes[6..14]) >> 3) & MASK,
+            (load8(&bytes[12..20]) >> 6) & MASK,
+            (load8(&bytes[19..27]) >> 1) & MASK,
+            (load8(&bytes[24..32]) >> 12) & MASK,
+        ])
+    }
+
+    /// Returns `true` when `bytes` (with bit 255 cleared) encodes a value
+    /// `< p`, i.e. is the canonical encoding of the element it decodes to.
+    pub(crate) fn is_canonical_encoding(bytes: &[u8; 32]) -> bool {
+        let mut cleared = *bytes;
+        cleared[31] &= 0x7f;
+        FieldElement::from_bytes(&cleared).to_bytes() == cleared
+    }
+
+    /// Canonical 32-byte little-endian encoding (value fully reduced mod p).
+    pub(crate) fn to_bytes(self) -> [u8; 32] {
+        // Bring limbs below 2^52 first.
+        let mut l = carry_once(self.0);
+        l = carry_once(l);
+        // q = 1 iff value >= p; uses the (value + 19) >> 255 trick.
+        let mut q = (l[0].wrapping_add(19)) >> 51;
+        q = (l[1] + q) >> 51;
+        q = (l[2] + q) >> 51;
+        q = (l[3] + q) >> 51;
+        q = (l[4] + q) >> 51;
+        l[0] += 19 * q;
+        // Carry and discard bit 255, i.e. subtract q*p overall.
+        let mut carry = l[0] >> 51;
+        l[0] &= MASK;
+        l[1] += carry;
+        carry = l[1] >> 51;
+        l[1] &= MASK;
+        l[2] += carry;
+        carry = l[2] >> 51;
+        l[2] &= MASK;
+        l[3] += carry;
+        carry = l[3] >> 51;
+        l[3] &= MASK;
+        l[4] += carry;
+        l[4] &= MASK;
+
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for &limb in &l {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 {
+                out[idx] = acc as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        if idx < 32 {
+            out[idx] = acc as u8;
+        }
+        out
+    }
+
+    pub(crate) fn add(&self, rhs: &FieldElement) -> FieldElement {
+        let mut l = [0u64; 5];
+        for (out, (a, b)) in l.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *out = a + b;
+        }
+        FieldElement(carry_once(l))
+    }
+
+    pub(crate) fn sub(&self, rhs: &FieldElement) -> FieldElement {
+        // Add 16p before subtracting so all limbs stay non-negative even for
+        // weakly-reduced inputs (limbs < 2^52 < 16 * 2^51 - small).
+        const SIXTEEN_P: [u64; 5] = [
+            36028797018963664, // 16 * (2^51 - 19)
+            36028797018963952, // 16 * (2^51 - 1)
+            36028797018963952,
+            36028797018963952,
+            36028797018963952,
+        ];
+        let mut l = [0u64; 5];
+        for (i, out) in l.iter_mut().enumerate() {
+            *out = self.0[i] + SIXTEEN_P[i] - rhs.0[i];
+        }
+        FieldElement(carry_once(carry_once(l)))
+    }
+
+    pub(crate) fn neg(&self) -> FieldElement {
+        FieldElement::ZERO.sub(self)
+    }
+
+    pub(crate) fn mul(&self, rhs: &FieldElement) -> FieldElement {
+        let a = &self.0;
+        let b = &rhs.0;
+        let m = |x: u64, y: u64| (x as u128) * (y as u128);
+
+        let r0 = m(a[0], b[0]) + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        let r1 = m(a[0], b[1]) + m(a[1], b[0]) + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        let r2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        let r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + 19 * m(a[4], b[4]);
+        let r4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        reduce_wide([r0, r1, r2, r3, r4])
+    }
+
+    pub(crate) fn square(&self) -> FieldElement {
+        self.mul(self)
+    }
+
+    /// `self^exp` where `exp` is a little-endian byte string.
+    pub(crate) fn pow(&self, exp_le: &[u8]) -> FieldElement {
+        let mut result = FieldElement::ONE;
+        let mut started = false;
+        for byte_idx in (0..exp_le.len()).rev() {
+            for bit in (0..8).rev() {
+                if started {
+                    result = result.square();
+                }
+                if (exp_le[byte_idx] >> bit) & 1 == 1 {
+                    if started {
+                        result = result.mul(self);
+                    } else {
+                        result = *self;
+                        started = true;
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse (`0` maps to `0`).
+    pub(crate) fn invert(&self) -> FieldElement {
+        self.pow(&P_MINUS_2)
+    }
+
+    /// `self^((p-5)/8)`, the core of the decompression square root.
+    pub(crate) fn pow_p58(&self) -> FieldElement {
+        self.pow(&P58)
+    }
+
+    pub(crate) fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// "Negative" in the RFC 8032 sense: the least significant bit of the
+    /// canonical encoding.
+    pub(crate) fn is_negative(&self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+}
+
+/// One carry pass: brings limbs below 2^52 when inputs are below 2^63.
+fn carry_once(mut l: [u64; 5]) -> [u64; 5] {
+    let mut c;
+    c = l[0] >> 51;
+    l[0] &= MASK;
+    l[1] += c;
+    c = l[1] >> 51;
+    l[1] &= MASK;
+    l[2] += c;
+    c = l[2] >> 51;
+    l[2] &= MASK;
+    l[3] += c;
+    c = l[3] >> 51;
+    l[3] &= MASK;
+    l[4] += c;
+    c = l[4] >> 51;
+    l[4] &= MASK;
+    l[0] += c * 19;
+    l
+}
+
+/// Reduces the wide (u128) result of a multiplication.
+fn reduce_wide(mut r: [u128; 5]) -> FieldElement {
+    const WIDE_MASK: u128 = MASK as u128;
+    for _ in 0..2 {
+        let mut c: u128 = 0;
+        for item in r.iter_mut() {
+            *item += c;
+            c = *item >> 51;
+            *item &= WIDE_MASK;
+        }
+        r[0] += c * 19;
+    }
+    let l = [r[0] as u64, r[1] as u64, r[2] as u64, r[3] as u64, r[4] as u64];
+    FieldElement(carry_once(l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(n: u64) -> FieldElement {
+        FieldElement([n, 0, 0, 0, 0])
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = fe(12345);
+        let b = fe(67890);
+        assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn sub_underflow_wraps_mod_p() {
+        // 0 - 1 == p - 1
+        let r = FieldElement::ZERO.sub(&FieldElement::ONE);
+        let mut expected = [0xffu8; 32];
+        expected[0] = 0xec; // p - 1 = 2^255 - 20
+        expected[31] = 0x7f;
+        assert_eq!(r.to_bytes(), expected);
+    }
+
+    #[test]
+    fn mul_matches_small_integers() {
+        assert_eq!(fe(7).mul(&fe(11)), fe(77));
+        assert_eq!(fe(0).mul(&fe(11)), FieldElement::ZERO);
+        assert_eq!(fe(1).mul(&fe(11)), fe(11));
+    }
+
+    #[test]
+    fn mul_commutative_associative() {
+        let a = FieldElement::from_bytes(&[17u8; 32]);
+        let b = FieldElement::from_bytes(&[99u8; 32]);
+        let c = FieldElement::from_bytes(&[201u8; 32]);
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn distributive() {
+        let a = FieldElement::from_bytes(&[3u8; 32]);
+        let b = FieldElement::from_bytes(&[5u8; 32]);
+        let c = FieldElement::from_bytes(&[7u8; 32]);
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn invert_round_trip() {
+        let a = fe(987654321);
+        assert_eq!(a.mul(&a.invert()), FieldElement::ONE);
+    }
+
+    #[test]
+    fn invert_of_two() {
+        // 2 * inv(2) == 1
+        let two = fe(2);
+        let half = two.invert();
+        assert_eq!(two.mul(&half), FieldElement::ONE);
+    }
+
+    #[test]
+    fn p_encodes_as_zero() {
+        // p itself: 0xed, 0xff.., 0x7f
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        let z = FieldElement::from_bytes(&p_bytes);
+        assert!(z.is_zero());
+        assert!(!FieldElement::is_canonical_encoding(&p_bytes));
+        let one = [1u8; 1];
+        let mut canonical = [0u8; 32];
+        canonical[0] = one[0];
+        assert!(FieldElement::is_canonical_encoding(&canonical));
+    }
+
+    #[test]
+    fn bit_255_is_ignored_on_load() {
+        let mut bytes = [0u8; 32];
+        bytes[0] = 5;
+        let plain = FieldElement::from_bytes(&bytes);
+        bytes[31] |= 0x80;
+        let with_sign = FieldElement::from_bytes(&bytes);
+        assert_eq!(plain, with_sign);
+    }
+
+    #[test]
+    fn to_from_bytes_round_trip() {
+        let cases = [[0u8; 32], [1u8; 32], [0x55u8; 32], {
+            let mut b = [0xffu8; 32];
+            b[31] = 0x3f;
+            b
+        }];
+        for bytes in cases {
+            let fe = FieldElement::from_bytes(&bytes);
+            let fe2 = FieldElement::from_bytes(&fe.to_bytes());
+            assert_eq!(fe, fe2);
+        }
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        const SQRT_M1: [u8; 32] = [
+            0xb0, 0xa0, 0x0e, 0x4a, 0x27, 0x1b, 0xee, 0xc4, 0x78, 0xe4, 0x2f, 0xad, 0x06, 0x18,
+            0x43, 0x2f, 0xa7, 0xd7, 0xfb, 0x3d, 0x99, 0x00, 0x4d, 0x2b, 0x0b, 0xdf, 0xc1, 0x4f,
+            0x80, 0x24, 0x83, 0x2b,
+        ];
+        let i = FieldElement::from_bytes(&SQRT_M1);
+        let minus_one = FieldElement::ZERO.sub(&FieldElement::ONE);
+        assert_eq!(i.square(), minus_one);
+    }
+
+    #[test]
+    fn pow_small_exponents() {
+        let a = fe(3);
+        assert_eq!(a.pow(&[0]), FieldElement::ONE);
+        assert_eq!(a.pow(&[1]), a);
+        assert_eq!(a.pow(&[2]), fe(9));
+        assert_eq!(a.pow(&[5]), fe(243));
+        assert_eq!(a.pow(&[16]), fe(43046721));
+    }
+}

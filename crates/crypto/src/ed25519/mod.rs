@@ -1,0 +1,440 @@
+//! Ed25519 signatures (RFC 8032), implemented from scratch.
+//!
+//! Every blockchain entry carries the author's public key `K` and a
+//! signature `S`; the selective-deletion authorisation rule ("a user is only
+//! allowed to submit delete requests for his own transactions", §IV-D1 of
+//! the paper) compares these keys and verifies the deletion request's
+//! signature. The quorum's master signatures use the same scheme.
+//!
+//! # Example
+//!
+//! ```
+//! use seldel_crypto::ed25519::SigningKey;
+//!
+//! let key = SigningKey::from_seed([42u8; 32]);
+//! let msg = b"login user=ALPHA terminal=7";
+//! let sig = key.sign(msg);
+//! key.verifying_key().verify(msg, &sig).expect("fresh signature verifies");
+//! assert!(key.verifying_key().verify(b"tampered", &sig).is_err());
+//! ```
+
+mod field;
+mod point;
+mod scalar;
+
+use std::fmt;
+
+use crate::hex;
+use crate::sha512::Sha512;
+use point::EdwardsPoint;
+use scalar::Scalar;
+
+/// Errors arising from signature parsing or verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignatureError {
+    /// The 32-byte public key is not a valid curve point encoding.
+    InvalidPublicKey,
+    /// The `R` component of the signature is not a valid curve point.
+    InvalidSignaturePoint,
+    /// The `s` component is not a canonical scalar (`s >= ℓ`), which RFC
+    /// 8032 requires rejecting to prevent malleability.
+    NonCanonicalScalar,
+    /// The verification equation `[s]B = R + [k]A` does not hold.
+    VerificationFailed,
+}
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignatureError::InvalidPublicKey => f.write_str("invalid public key encoding"),
+            SignatureError::InvalidSignaturePoint => {
+                f.write_str("invalid signature point encoding")
+            }
+            SignatureError::NonCanonicalScalar => {
+                f.write_str("signature scalar is not canonical")
+            }
+            SignatureError::VerificationFailed => f.write_str("signature verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// A detached Ed25519 signature (`R ‖ s`, 64 bytes).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    r_bytes: [u8; 32],
+    s_bytes: [u8; 32],
+}
+
+impl Signature {
+    /// Builds a signature from its 64-byte wire encoding.
+    ///
+    /// No validation happens here; invalid signatures are rejected during
+    /// [`VerifyingKey::verify`].
+    pub fn from_bytes(bytes: &[u8; 64]) -> Signature {
+        let mut r_bytes = [0u8; 32];
+        let mut s_bytes = [0u8; 32];
+        r_bytes.copy_from_slice(&bytes[..32]);
+        s_bytes.copy_from_slice(&bytes[32..]);
+        Signature { r_bytes, s_bytes }
+    }
+
+    /// The 64-byte wire encoding `R ‖ s`.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r_bytes);
+        out[32..].copy_from_slice(&self.s_bytes);
+        out
+    }
+
+    /// Lowercase hex of the wire encoding.
+    pub fn to_hex(&self) -> String {
+        hex::encode(self.to_bytes())
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// An Ed25519 public key — the `K` field of a blockchain entry.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VerifyingKey {
+    compressed: [u8; 32],
+}
+
+impl VerifyingKey {
+    /// Parses a compressed public key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError::InvalidPublicKey`] if the bytes do not
+    /// decode to a curve point.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<VerifyingKey, SignatureError> {
+        EdwardsPoint::decompress(bytes)
+            .map(|_| VerifyingKey { compressed: *bytes })
+            .ok_or(SignatureError::InvalidPublicKey)
+    }
+
+    /// The 32-byte compressed encoding.
+    pub const fn to_bytes(&self) -> [u8; 32] {
+        self.compressed
+    }
+
+    /// The 32-byte compressed encoding, borrowed.
+    pub const fn as_bytes(&self) -> &[u8; 32] {
+        &self.compressed
+    }
+
+    /// Lowercase hex of the compressed key.
+    pub fn to_hex(&self) -> String {
+        hex::encode(self.compressed)
+    }
+
+    /// Short uppercase prefix used by the console renderer (paper Figs 6–8
+    /// abbreviate user identities).
+    pub fn short(&self) -> String {
+        hex::encode_upper(&self.compressed[..3])[..5].to_string()
+    }
+
+    /// Verifies `signature` over `message`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SignatureError::InvalidPublicKey`] — the stored key fails to
+    ///   decompress (cannot happen for keys built via `from_bytes`/signing).
+    /// * [`SignatureError::InvalidSignaturePoint`] — `R` fails to decompress.
+    /// * [`SignatureError::NonCanonicalScalar`] — `s >= ℓ`.
+    /// * [`SignatureError::VerificationFailed`] — the equation does not hold.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), SignatureError> {
+        let a = EdwardsPoint::decompress(&self.compressed)
+            .ok_or(SignatureError::InvalidPublicKey)?;
+        let r = EdwardsPoint::decompress(&signature.r_bytes)
+            .ok_or(SignatureError::InvalidSignaturePoint)?;
+        let s = Scalar::from_canonical_bytes(&signature.s_bytes)
+            .ok_or(SignatureError::NonCanonicalScalar)?;
+
+        let k = challenge_scalar(&signature.r_bytes, &self.compressed, message);
+
+        // [s]B == R + [k]A
+        let lhs = EdwardsPoint::mul_base(&s.to_bytes());
+        let rhs = r.add(&a.scalar_mul(&k.to_bytes()));
+        if lhs == rhs {
+            Ok(())
+        } else {
+            Err(SignatureError::VerificationFailed)
+        }
+    }
+}
+
+impl fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VerifyingKey({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for VerifyingKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for VerifyingKey {
+    fn as_ref(&self) -> &[u8] {
+        &self.compressed
+    }
+}
+
+/// An Ed25519 private key derived from a 32-byte seed.
+#[derive(Clone)]
+pub struct SigningKey {
+    seed: [u8; 32],
+    /// Clamped secret scalar `a` (little-endian, as an integer; not reduced
+    /// mod ℓ — point multiplication handles the full 255-bit range).
+    secret_scalar: [u8; 32],
+    /// The `prefix` half of SHA-512(seed), used to derive nonces.
+    prefix: [u8; 32],
+    verifying: VerifyingKey,
+}
+
+impl SigningKey {
+    /// Derives a key pair from a seed (RFC 8032 §5.1.5).
+    pub fn from_seed(seed: [u8; 32]) -> SigningKey {
+        let mut h = Sha512::new();
+        h.update(seed);
+        let digest = h.finalize().into_bytes();
+
+        let mut secret_scalar = [0u8; 32];
+        secret_scalar.copy_from_slice(&digest[..32]);
+        secret_scalar[0] &= 248;
+        secret_scalar[31] &= 127;
+        secret_scalar[31] |= 64;
+
+        let mut prefix = [0u8; 32];
+        prefix.copy_from_slice(&digest[32..]);
+
+        let public_point = EdwardsPoint::mul_base(&secret_scalar);
+        let verifying = VerifyingKey {
+            compressed: public_point.compress(),
+        };
+
+        SigningKey {
+            seed,
+            secret_scalar,
+            prefix,
+            verifying,
+        }
+    }
+
+    /// The seed this key was derived from.
+    pub const fn seed(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    /// The corresponding public key.
+    pub const fn verifying_key(&self) -> VerifyingKey {
+        self.verifying
+    }
+
+    /// Signs `message` (RFC 8032 §5.1.6, deterministic).
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let r = {
+            let mut h = Sha512::new();
+            h.update(self.prefix);
+            h.update(message);
+            Scalar::from_bytes_wide(h.finalize().as_bytes())
+        };
+        let r_point = EdwardsPoint::mul_base(&r.to_bytes());
+        let r_bytes = r_point.compress();
+
+        let k = challenge_scalar(&r_bytes, &self.verifying.compressed, message);
+        let a = Scalar::from_bytes_mod_order(&self.secret_scalar);
+        let s = k.mul_add(&a, &r);
+
+        Signature {
+            r_bytes,
+            s_bytes: s.to_bytes(),
+        }
+    }
+}
+
+impl fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print secret material.
+        write!(f, "SigningKey(public = {})", self.verifying.to_hex())
+    }
+}
+
+/// `k = SHA-512(R ‖ A ‖ M) mod ℓ`.
+fn challenge_scalar(r_bytes: &[u8; 32], a_bytes: &[u8; 32], message: &[u8]) -> Scalar {
+    let mut h = Sha512::new();
+    h.update(r_bytes);
+    h.update(a_bytes);
+    h.update(message);
+    Scalar::from_bytes_wide(h.finalize().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn seed(hexstr: &str) -> [u8; 32] {
+        hex::decode_array::<32>(hexstr).unwrap()
+    }
+
+    // RFC 8032 §7.1 TEST 1
+    #[test]
+    fn rfc8032_test_1_empty_message() {
+        let key = SigningKey::from_seed(seed(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        ));
+        assert_eq!(
+            key.verifying_key().to_hex(),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+        );
+        let sig = key.sign(b"");
+        assert_eq!(
+            sig.to_hex(),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+        );
+        key.verifying_key().verify(b"", &sig).unwrap();
+    }
+
+    // RFC 8032 §7.1 TEST 2
+    #[test]
+    fn rfc8032_test_2_one_byte() {
+        let key = SigningKey::from_seed(seed(
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        ));
+        assert_eq!(
+            key.verifying_key().to_hex(),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+        );
+        let msg = [0x72u8];
+        let sig = key.sign(&msg);
+        assert_eq!(
+            sig.to_hex(),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+        );
+        key.verifying_key().verify(&msg, &sig).unwrap();
+    }
+
+    // RFC 8032 §7.1 TEST 3
+    #[test]
+    fn rfc8032_test_3_two_bytes() {
+        let key = SigningKey::from_seed(seed(
+            "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+        ));
+        assert_eq!(
+            key.verifying_key().to_hex(),
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025"
+        );
+        let msg = [0xafu8, 0x82];
+        let sig = key.sign(&msg);
+        assert_eq!(
+            sig.to_hex(),
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"
+        );
+        key.verifying_key().verify(&msg, &sig).unwrap();
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let key = SigningKey::from_seed([9u8; 32]);
+        let sig = key.sign(b"original");
+        assert_eq!(
+            key.verifying_key().verify(b"altered", &sig),
+            Err(SignatureError::VerificationFailed)
+        );
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let key = SigningKey::from_seed([10u8; 32]);
+        let sig = key.sign(b"message");
+        let mut bytes = sig.to_bytes();
+        bytes[0] ^= 0x01;
+        let bad = Signature::from_bytes(&bytes);
+        assert!(key.verifying_key().verify(b"message", &bad).is_err());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let key1 = SigningKey::from_seed([11u8; 32]);
+        let key2 = SigningKey::from_seed([12u8; 32]);
+        let sig = key1.sign(b"message");
+        assert!(key2.verifying_key().verify(b"message", &sig).is_err());
+    }
+
+    #[test]
+    fn non_canonical_s_rejected() {
+        let key = SigningKey::from_seed([13u8; 32]);
+        let sig = key.sign(b"message");
+        let mut bytes = sig.to_bytes();
+        // Force s >= ℓ by setting the top byte to 0xff.
+        bytes[63] = 0xff;
+        let bad = Signature::from_bytes(&bytes);
+        assert_eq!(
+            key.verifying_key().verify(b"message", &bad),
+            Err(SignatureError::NonCanonicalScalar)
+        );
+    }
+
+    #[test]
+    fn signatures_deterministic() {
+        let key = SigningKey::from_seed([14u8; 32]);
+        assert_eq!(key.sign(b"abc").to_bytes(), key.sign(b"abc").to_bytes());
+    }
+
+    #[test]
+    fn different_seeds_different_keys() {
+        let a = SigningKey::from_seed([1u8; 32]);
+        let b = SigningKey::from_seed([2u8; 32]);
+        assert_ne!(a.verifying_key(), b.verifying_key());
+    }
+
+    #[test]
+    fn sign_verify_various_lengths() {
+        let key = SigningKey::from_seed([21u8; 32]);
+        for len in [0usize, 1, 31, 32, 33, 63, 64, 65, 127, 128, 300] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 31 % 256) as u8).collect();
+            let sig = key.sign(&msg);
+            key.verifying_key()
+                .verify(&msg, &sig)
+                .unwrap_or_else(|e| panic!("len {len}: {e}"));
+        }
+    }
+
+    #[test]
+    fn debug_never_leaks_secret() {
+        let key = SigningKey::from_seed([3u8; 32]);
+        let rendered = format!("{key:?}");
+        assert!(!rendered.contains(&hex::encode([3u8; 32])));
+        assert!(rendered.contains(&key.verifying_key().to_hex()));
+    }
+
+    #[test]
+    fn invalid_public_key_encoding_rejected() {
+        // y = p (non-canonical) is rejected by decompression.
+        let mut bytes = [0xffu8; 32];
+        bytes[0] = 0xed;
+        bytes[31] = 0x7f;
+        assert_eq!(
+            VerifyingKey::from_bytes(&bytes),
+            Err(SignatureError::InvalidPublicKey)
+        );
+    }
+}

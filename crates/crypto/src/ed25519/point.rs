@@ -1,0 +1,376 @@
+//! Twisted Edwards curve points for edwards25519 in extended homogeneous
+//! coordinates `(X : Y : Z : T)` with `x = X/Z`, `y = Y/Z`, `xy = T/Z`.
+
+use std::fmt;
+
+use super::field::FieldElement;
+
+/// Curve constant `d = -121665/121666 (mod p)`.
+const D_BYTES: [u8; 32] = [
+    0xa3, 0x78, 0x59, 0x13, 0xca, 0x4d, 0xeb, 0x75, 0xab, 0xd8, 0x41, 0x41, 0x4d, 0x0a, 0x70,
+    0x00, 0x98, 0xe8, 0x79, 0x77, 0x79, 0x40, 0xc7, 0x8c, 0x73, 0xfe, 0x6f, 0x2b, 0xee, 0x6c,
+    0x03, 0x52,
+];
+
+/// `2d (mod p)`.
+const D2_BYTES: [u8; 32] = [
+    0x59, 0xf1, 0xb2, 0x26, 0x94, 0x9b, 0xd6, 0xeb, 0x56, 0xb1, 0x83, 0x82, 0x9a, 0x14, 0xe0,
+    0x00, 0x30, 0xd1, 0xf3, 0xee, 0xf2, 0x80, 0x8e, 0x19, 0xe7, 0xfc, 0xdf, 0x56, 0xdc, 0xd9,
+    0x06, 0x24,
+];
+
+/// `sqrt(-1) (mod p)`.
+const SQRT_M1_BYTES: [u8; 32] = [
+    0xb0, 0xa0, 0x0e, 0x4a, 0x27, 0x1b, 0xee, 0xc4, 0x78, 0xe4, 0x2f, 0xad, 0x06, 0x18, 0x43,
+    0x2f, 0xa7, 0xd7, 0xfb, 0x3d, 0x99, 0x00, 0x4d, 0x2b, 0x0b, 0xdf, 0xc1, 0x4f, 0x80, 0x24,
+    0x83, 0x2b,
+];
+
+/// Base point x coordinate.
+const BX_BYTES: [u8; 32] = [
+    0x1a, 0xd5, 0x25, 0x8f, 0x60, 0x2d, 0x56, 0xc9, 0xb2, 0xa7, 0x25, 0x95, 0x60, 0xc7, 0x2c,
+    0x69, 0x5c, 0xdc, 0xd6, 0xfd, 0x31, 0xe2, 0xa4, 0xc0, 0xfe, 0x53, 0x6e, 0xcd, 0xd3, 0x36,
+    0x69, 0x21,
+];
+
+/// Base point y coordinate (`4/5 mod p`).
+const BY_BYTES: [u8; 32] = [
+    0x58, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+    0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+    0x66, 0x66,
+];
+
+fn d() -> FieldElement {
+    FieldElement::from_bytes(&D_BYTES)
+}
+
+fn d2() -> FieldElement {
+    FieldElement::from_bytes(&D2_BYTES)
+}
+
+fn sqrt_m1() -> FieldElement {
+    FieldElement::from_bytes(&SQRT_M1_BYTES)
+}
+
+/// A point on edwards25519.
+#[derive(Clone, Copy)]
+pub(crate) struct EdwardsPoint {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+    t: FieldElement,
+}
+
+impl fmt::Debug for EdwardsPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EdwardsPoint({})", crate::hex::encode(self.compress()))
+    }
+}
+
+impl PartialEq for EdwardsPoint {
+    fn eq(&self, other: &Self) -> bool {
+        // (X1/Z1 == X2/Z2) && (Y1/Z1 == Y2/Z2) without divisions.
+        let x_eq = self.x.mul(&other.z) == other.x.mul(&self.z);
+        let y_eq = self.y.mul(&other.z) == other.y.mul(&self.z);
+        x_eq && y_eq
+    }
+}
+
+impl Eq for EdwardsPoint {}
+
+impl EdwardsPoint {
+    /// The neutral element (0, 1).
+    pub(crate) fn identity() -> EdwardsPoint {
+        EdwardsPoint {
+            x: FieldElement::ZERO,
+            y: FieldElement::ONE,
+            z: FieldElement::ONE,
+            t: FieldElement::ZERO,
+        }
+    }
+
+    /// The standard base point `B`.
+    pub(crate) fn basepoint() -> EdwardsPoint {
+        let x = FieldElement::from_bytes(&BX_BYTES);
+        let y = FieldElement::from_bytes(&BY_BYTES);
+        EdwardsPoint {
+            x,
+            y,
+            z: FieldElement::ONE,
+            t: x.mul(&y),
+        }
+    }
+
+    /// Point addition (add-2008-hwcd-3 for `a = -1`).
+    pub(crate) fn add(&self, other: &EdwardsPoint) -> EdwardsPoint {
+        let a = self.y.sub(&self.x).mul(&other.y.sub(&other.x));
+        let b = self.y.add(&self.x).mul(&other.y.add(&other.x));
+        let c = self.t.mul(&d2()).mul(&other.t);
+        let dd = self.z.mul(&other.z).add(&self.z.mul(&other.z));
+        let e = b.sub(&a);
+        let f = dd.sub(&c);
+        let g = dd.add(&c);
+        let h = b.add(&a);
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            t: e.mul(&h),
+            z: f.mul(&g),
+        }
+    }
+
+    /// Point doubling (dbl-2008-hwcd).
+    pub(crate) fn double(&self) -> EdwardsPoint {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().add(&self.z.square());
+        let d = a.neg(); // a = -1 twist
+        let e = self.x.add(&self.y).square().sub(&a).sub(&b);
+        let g = d.add(&b);
+        let f = g.sub(&c);
+        let h = d.sub(&b);
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            t: e.mul(&h),
+            z: f.mul(&g),
+        }
+    }
+
+    /// Point negation; exercised by the algebraic test suite.
+    #[allow(dead_code)]
+    pub(crate) fn neg(&self) -> EdwardsPoint {
+        EdwardsPoint {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
+    }
+
+    /// Variable-time scalar multiplication by a 256-bit little-endian
+    /// integer (not necessarily reduced mod ℓ — clamped secrets are fine).
+    pub(crate) fn scalar_mul(&self, scalar_le: &[u8; 32]) -> EdwardsPoint {
+        let mut acc = EdwardsPoint::identity();
+        for byte_idx in (0..32).rev() {
+            for bit in (0..8).rev() {
+                acc = acc.double();
+                if (scalar_le[byte_idx] >> bit) & 1 == 1 {
+                    acc = acc.add(self);
+                }
+            }
+        }
+        acc
+    }
+
+    /// `scalar * B` for the standard base point.
+    pub(crate) fn mul_base(scalar_le: &[u8; 32]) -> EdwardsPoint {
+        EdwardsPoint::basepoint().scalar_mul(scalar_le)
+    }
+
+    /// Compresses to the 32-byte RFC 8032 encoding: the `y` coordinate with
+    /// the sign of `x` in bit 255.
+    pub(crate) fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let mut out = y.to_bytes();
+        if x.is_negative() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompresses an RFC 8032 point encoding.
+    ///
+    /// Returns `None` for non-canonical `y`, a non-square `x²` candidate, or
+    /// the invalid "negative zero" encoding.
+    pub(crate) fn decompress(bytes: &[u8; 32]) -> Option<EdwardsPoint> {
+        if !FieldElement::is_canonical_encoding(bytes) {
+            return None;
+        }
+        let sign = (bytes[31] >> 7) & 1;
+        let y = FieldElement::from_bytes(bytes); // bit 255 ignored by loader
+        let yy = y.square();
+        let u = yy.sub(&FieldElement::ONE);
+        let v = d().mul(&yy).add(&FieldElement::ONE);
+
+        // x = u v^3 (u v^7)^((p-5)/8)
+        let v3 = v.square().mul(&v);
+        let v7 = v3.square().mul(&v);
+        let mut x = u.mul(&v3).mul(&u.mul(&v7).pow_p58());
+
+        let vxx = v.mul(&x.square());
+        if vxx == u {
+            // ok
+        } else if vxx == u.neg() {
+            x = x.mul(&sqrt_m1());
+        } else {
+            return None;
+        }
+
+        if x.is_zero() && sign == 1 {
+            return None;
+        }
+        if x.is_negative() != (sign == 1) {
+            x = x.neg();
+        }
+        Some(EdwardsPoint {
+            x,
+            y,
+            z: FieldElement::ONE,
+            t: x.mul(&y),
+        })
+    }
+
+    /// Whether the point satisfies the curve equation (test invariant)
+    /// `-x² + y² = 1 + d·x²·y²` and the extended-coordinate invariant.
+    #[allow(dead_code)] // exercised by the algebraic test suite
+    pub(crate) fn is_on_curve(&self) -> bool {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let xx = x.square();
+        let yy = y.square();
+        let lhs = yy.sub(&xx);
+        let rhs = FieldElement::ONE.add(&d().mul(&xx).mul(&yy));
+        let t_ok = self.t.mul(&self.z) == self.x.mul(&self.y);
+        lhs == rhs && t_ok
+    }
+
+    #[allow(dead_code)] // exercised by the algebraic test suite
+    pub(crate) fn is_identity(&self) -> bool {
+        *self == EdwardsPoint::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_le(n: u64) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        out[..8].copy_from_slice(&n.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn basepoint_on_curve() {
+        assert!(EdwardsPoint::basepoint().is_on_curve());
+    }
+
+    #[test]
+    fn identity_on_curve() {
+        assert!(EdwardsPoint::identity().is_on_curve());
+        assert!(EdwardsPoint::identity().is_identity());
+    }
+
+    #[test]
+    fn add_identity_is_noop() {
+        let b = EdwardsPoint::basepoint();
+        assert_eq!(b.add(&EdwardsPoint::identity()), b);
+        assert_eq!(EdwardsPoint::identity().add(&b), b);
+    }
+
+    #[test]
+    fn double_equals_add_self() {
+        let b = EdwardsPoint::basepoint();
+        assert_eq!(b.double(), b.add(&b));
+        let b4 = b.double().double();
+        assert_eq!(b4, b.add(&b).add(&b).add(&b));
+        assert!(b4.is_on_curve());
+    }
+
+    #[test]
+    fn add_commutative() {
+        let b = EdwardsPoint::basepoint();
+        let b2 = b.double();
+        assert_eq!(b.add(&b2), b2.add(&b));
+    }
+
+    #[test]
+    fn neg_cancels() {
+        let b = EdwardsPoint::basepoint();
+        assert!(b.add(&b.neg()).is_identity());
+    }
+
+    #[test]
+    fn scalar_mul_small_values() {
+        let b = EdwardsPoint::basepoint();
+        assert!(b.scalar_mul(&scalar_le(0)).is_identity());
+        assert_eq!(b.scalar_mul(&scalar_le(1)), b);
+        assert_eq!(b.scalar_mul(&scalar_le(2)), b.double());
+        assert_eq!(b.scalar_mul(&scalar_le(5)), b.double().double().add(&b));
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        // (3 + 4)B == 3B + 4B
+        let b = EdwardsPoint::basepoint();
+        let lhs = b.scalar_mul(&scalar_le(7));
+        let rhs = b.scalar_mul(&scalar_le(3)).add(&b.scalar_mul(&scalar_le(4)));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn order_l_times_base_is_identity() {
+        let l = super::super::scalar::L_BYTES;
+        assert!(EdwardsPoint::mul_base(&l).is_identity());
+    }
+
+    #[test]
+    fn compress_decompress_round_trip() {
+        for n in [1u64, 2, 3, 42, 987654321] {
+            let p = EdwardsPoint::mul_base(&scalar_le(n));
+            let bytes = p.compress();
+            let q = EdwardsPoint::decompress(&bytes).expect("valid encoding");
+            assert_eq!(p, q);
+            assert!(q.is_on_curve());
+        }
+    }
+
+    #[test]
+    fn basepoint_compresses_to_known_bytes() {
+        // The standard encoding of B: y = 4/5, sign(x) = 0.
+        let expected_hex = "5866666666666666666666666666666666666666666666666666666666666666";
+        assert_eq!(
+            crate::hex::encode(EdwardsPoint::basepoint().compress()),
+            expected_hex
+        );
+    }
+
+    #[test]
+    fn decompress_rejects_non_canonical_y() {
+        // y = p (non-canonical encoding of 0)
+        let mut bytes = [0xffu8; 32];
+        bytes[0] = 0xed;
+        bytes[31] = 0x7f;
+        assert!(EdwardsPoint::decompress(&bytes).is_none());
+    }
+
+    #[test]
+    fn decompress_rejects_negative_zero() {
+        // y = 1 => x = 0; sign bit set must be rejected.
+        let mut bytes = [0u8; 32];
+        bytes[0] = 1;
+        bytes[31] = 0x80;
+        assert!(EdwardsPoint::decompress(&bytes).is_none());
+    }
+
+    #[test]
+    fn decompress_rejects_off_curve_y() {
+        // y = 2 gives x^2 = (4-1)/(4d+1); check whether the implementation
+        // accepts only actual squares. If it decompresses, the point must lie
+        // on the curve; scan a few ys and assert consistency.
+        let mut rejected = 0;
+        for y in 2u8..20 {
+            let mut bytes = [0u8; 32];
+            bytes[0] = y;
+            match EdwardsPoint::decompress(&bytes) {
+                Some(p) => assert!(p.is_on_curve(), "y={y} decompressed off-curve"),
+                None => rejected += 1,
+            }
+        }
+        assert!(rejected > 0, "expected at least one non-square candidate");
+    }
+}

@@ -1,0 +1,176 @@
+//! Minimal hexadecimal encoding and decoding.
+//!
+//! Used throughout the workspace for rendering digests, keys and signatures
+//! in the console format of the paper's Figs. 6–8.
+
+use std::fmt;
+
+/// Error returned by [`decode`] for malformed hexadecimal input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHexError {
+    kind: ParseHexErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseHexErrorKind {
+    OddLength(usize),
+    InvalidDigit(char, usize),
+}
+
+impl fmt::Display for ParseHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseHexErrorKind::OddLength(len) => {
+                write!(f, "hex string has odd length {len}")
+            }
+            ParseHexErrorKind::InvalidDigit(c, idx) => {
+                write!(f, "invalid hex digit {c:?} at index {idx}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseHexError {}
+
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes `bytes` as a lowercase hexadecimal string.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(seldel_crypto::hex::encode([0xde, 0xad, 0xbe, 0xef]), "deadbeef");
+/// ```
+pub fn encode(bytes: impl AsRef<[u8]>) -> String {
+    let bytes = bytes.as_ref();
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Encodes `bytes` as an uppercase hexadecimal string.
+///
+/// The paper renders hash prefixes in uppercase (e.g. the genesis
+/// predecessor `DEADB`), so the console renderer uses this variant.
+pub fn encode_upper(bytes: impl AsRef<[u8]>) -> String {
+    encode(bytes).to_ascii_uppercase()
+}
+
+fn digit_value(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Decodes a hexadecimal string (either case) into bytes.
+///
+/// # Errors
+///
+/// Returns [`ParseHexError`] if the input has odd length or contains a
+/// non-hexadecimal character.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), seldel_crypto::hex::ParseHexError> {
+/// let bytes = seldel_crypto::hex::decode("DEADbeef")?;
+/// assert_eq!(bytes, [0xde, 0xad, 0xbe, 0xef]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(s: impl AsRef<str>) -> Result<Vec<u8>, ParseHexError> {
+    let s = s.as_ref();
+    if s.len() % 2 != 0 {
+        return Err(ParseHexError {
+            kind: ParseHexErrorKind::OddLength(s.len()),
+        });
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for i in (0..bytes.len()).step_by(2) {
+        let hi = digit_value(bytes[i]).ok_or(ParseHexError {
+            kind: ParseHexErrorKind::InvalidDigit(bytes[i] as char, i),
+        })?;
+        let lo = digit_value(bytes[i + 1]).ok_or(ParseHexError {
+            kind: ParseHexErrorKind::InvalidDigit(bytes[i + 1] as char, i + 1),
+        })?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+/// Decodes a hexadecimal string into a fixed-size array.
+///
+/// # Errors
+///
+/// Returns [`ParseHexError`] for malformed hex; panics are avoided by
+/// returning `None`-like errors for wrong lengths via `InvalidDigit` being
+/// inapplicable — the length mismatch is reported as an odd-length error when
+/// `s.len() != 2 * N`.
+pub fn decode_array<const N: usize>(s: impl AsRef<str>) -> Result<[u8; N], ParseHexError> {
+    let s = s.as_ref();
+    if s.len() != 2 * N {
+        return Err(ParseHexError {
+            kind: ParseHexErrorKind::OddLength(s.len()),
+        });
+    }
+    let v = decode(s)?;
+    let mut out = [0u8; N];
+    out.copy_from_slice(&v);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        let enc = encode(&data);
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode([]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn upper_and_mixed_case_decode() {
+        assert_eq!(decode("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(decode("DeAdBeEf").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn encode_upper_matches_paper_style() {
+        assert_eq!(encode_upper([0xde, 0xad, 0xb0]), "DEADB0");
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert!(decode("abc").is_err());
+        let err = decode("abc").unwrap_err();
+        assert!(err.to_string().contains("odd length"));
+    }
+
+    #[test]
+    fn invalid_digit_rejected() {
+        let err = decode("zz").unwrap_err();
+        assert!(err.to_string().contains("invalid hex digit"));
+    }
+
+    #[test]
+    fn decode_array_length_check() {
+        assert!(decode_array::<4>("deadbeef").is_ok());
+        assert!(decode_array::<4>("deadbe").is_err());
+        assert!(decode_array::<4>("deadbeefff").is_err());
+    }
+}

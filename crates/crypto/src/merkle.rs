@@ -1,0 +1,296 @@
+//! Binary Merkle trees over SHA-256 with audit proofs.
+//!
+//! Two uses in the selective-deletion design:
+//!
+//! * every block header commits to its entries via a Merkle root, and
+//! * the 51 %-attack hampering of the paper's Fig. 9 stores the Merkle root
+//!   of a **middle sequence** (ω_{lβ/2}) inside the merging summary block,
+//!   so pruned history keeps at least lβ/2 confirmations.
+//!
+//! Leaves and interior nodes are domain-separated (prefix `0x00` / `0x01`)
+//! to rule out second-preimage splicing attacks. Odd nodes are promoted one
+//! level (no duplication), so proofs are unambiguous.
+
+use std::fmt;
+
+use crate::sha256::{Digest32, Sha256};
+
+const LEAF_PREFIX: u8 = 0x00;
+const NODE_PREFIX: u8 = 0x01;
+
+/// Hashes a leaf payload with domain separation.
+pub fn leaf_hash(data: impl AsRef<[u8]>) -> Digest32 {
+    let mut h = Sha256::new();
+    h.update([LEAF_PREFIX]);
+    h.update(data);
+    h.finalize()
+}
+
+/// Hashes two child digests with domain separation.
+pub fn node_hash(left: &Digest32, right: &Digest32) -> Digest32 {
+    let mut h = Sha256::new();
+    h.update([NODE_PREFIX]);
+    h.update(left.as_bytes());
+    h.update(right.as_bytes());
+    h.finalize()
+}
+
+/// A Merkle tree with stored levels, supporting proof extraction.
+///
+/// # Example
+///
+/// ```
+/// use seldel_crypto::MerkleTree;
+///
+/// let tree = MerkleTree::from_leaves([b"a".as_slice(), b"b", b"c"]);
+/// let proof = tree.prove(2).unwrap();
+/// assert!(proof.verify(b"c", &tree.root()));
+/// assert!(!proof.verify(b"x", &tree.root()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaf digests, last level = `[root]`.
+    levels: Vec<Vec<Digest32>>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over raw leaf payloads.
+    ///
+    /// An empty input yields the conventional "empty root": the hash of the
+    /// empty string with the leaf prefix.
+    pub fn from_leaves<I, T>(leaves: I) -> MerkleTree
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[u8]>,
+    {
+        let digests: Vec<Digest32> = leaves.into_iter().map(|l| leaf_hash(l.as_ref())).collect();
+        Self::from_leaf_hashes(digests)
+    }
+
+    /// Builds a tree over already-hashed leaves (e.g. block hashes when
+    /// anchoring a whole sequence).
+    pub fn from_leaf_hashes(digests: Vec<Digest32>) -> MerkleTree {
+        if digests.is_empty() {
+            return MerkleTree {
+                levels: vec![vec![leaf_hash([])]],
+            };
+        }
+        let mut levels = vec![digests];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            let mut i = 0;
+            while i + 1 < prev.len() {
+                next.push(node_hash(&prev[i], &prev[i + 1]));
+                i += 2;
+            }
+            if i < prev.len() {
+                // Odd node: promote unchanged.
+                next.push(prev[i]);
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> Digest32 {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Whether the tree was built over zero leaves.
+    pub fn is_empty(&self) -> bool {
+        // The empty tree is encoded as a single sentinel leaf.
+        self.levels.len() == 1 && self.levels[0][0] == leaf_hash([])
+    }
+
+    /// Extracts an audit proof for leaf `index`.
+    ///
+    /// Returns `None` when `index` is out of bounds.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.levels[0].len() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = idx ^ 1;
+            if sibling < level.len() {
+                let side = if idx.is_multiple_of(2) {
+                    Side::Right
+                } else {
+                    Side::Left
+                };
+                path.push((side, level[sibling]));
+            }
+            idx /= 2;
+        }
+        Some(MerkleProof { index, path })
+    }
+}
+
+/// Which side a sibling digest is combined on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Left,
+    Right,
+}
+
+/// An audit path proving membership of one leaf under a root.
+#[derive(Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    index: usize,
+    path: Vec<(Side, Digest32)>,
+}
+
+impl fmt::Debug for MerkleProof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MerkleProof")
+            .field("index", &self.index)
+            .field("path_len", &self.path.len())
+            .finish()
+    }
+}
+
+impl MerkleProof {
+    /// Leaf index this proof commits to.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Path length (tree height along this branch).
+    pub fn path_len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Verifies the proof for a raw leaf payload.
+    pub fn verify(&self, leaf: impl AsRef<[u8]>, root: &Digest32) -> bool {
+        self.verify_leaf_hash(&leaf_hash(leaf), root)
+    }
+
+    /// Verifies the proof for an already-hashed leaf.
+    pub fn verify_leaf_hash(&self, leaf: &Digest32, root: &Digest32) -> bool {
+        let mut acc = *leaf;
+        for (side, sibling) in &self.path {
+            acc = match side {
+                Side::Left => node_hash(sibling, &acc),
+                Side::Right => node_hash(&acc, sibling),
+            };
+        }
+        acc == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("leaf-{i}")).collect()
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let tree = MerkleTree::from_leaves([b"only"]);
+        assert_eq!(tree.root(), leaf_hash(b"only"));
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn empty_tree_has_sentinel_root() {
+        let tree = MerkleTree::from_leaves(Vec::<&[u8]>::new());
+        assert!(tree.is_empty());
+        assert_eq!(tree.root(), leaf_hash([]));
+    }
+
+    #[test]
+    fn two_leaves() {
+        let tree = MerkleTree::from_leaves([b"a".as_slice(), b"b"]);
+        assert_eq!(
+            tree.root(),
+            node_hash(&leaf_hash(b"a"), &leaf_hash(b"b"))
+        );
+    }
+
+    #[test]
+    fn proofs_verify_for_all_sizes() {
+        for n in 1..=17 {
+            let leaves = strs(n);
+            let tree = MerkleTree::from_leaves(leaves.iter().map(|s| s.as_bytes()));
+            for (i, leaf) in leaves.iter().enumerate() {
+                let proof = tree.prove(i).expect("in bounds");
+                assert!(
+                    proof.verify(leaf.as_bytes(), &tree.root()),
+                    "size {n} index {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proof_rejects_wrong_leaf() {
+        let leaves = strs(8);
+        let tree = MerkleTree::from_leaves(leaves.iter().map(|s| s.as_bytes()));
+        let proof = tree.prove(3).unwrap();
+        assert!(!proof.verify(b"not-the-leaf", &tree.root()));
+    }
+
+    #[test]
+    fn proof_rejects_wrong_root() {
+        let tree = MerkleTree::from_leaves(strs(5).iter().map(|s| s.as_bytes()));
+        let other = MerkleTree::from_leaves(strs(6).iter().map(|s| s.as_bytes()));
+        let proof = tree.prove(2).unwrap();
+        assert!(!proof.verify(b"leaf-2", &other.root()));
+    }
+
+    #[test]
+    fn out_of_bounds_proof_is_none() {
+        let tree = MerkleTree::from_leaves(strs(3).iter().map(|s| s.as_bytes()));
+        assert!(tree.prove(3).is_none());
+    }
+
+    #[test]
+    fn roots_differ_when_any_leaf_changes() {
+        let base = MerkleTree::from_leaves(strs(9).iter().map(|s| s.as_bytes()));
+        for i in 0..9 {
+            let mut leaves = strs(9);
+            leaves[i] = "mutated".to_string();
+            let tree = MerkleTree::from_leaves(leaves.iter().map(|s| s.as_bytes()));
+            assert_ne!(tree.root(), base.root(), "mutation at {i} undetected");
+        }
+    }
+
+    #[test]
+    fn order_matters() {
+        let a = MerkleTree::from_leaves([b"a".as_slice(), b"b"]);
+        let b = MerkleTree::from_leaves([b"b".as_slice(), b"a"]);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn leaf_and_node_domains_separated() {
+        // A leaf whose payload equals the concatenation of two digests must
+        // not produce the same hash as the interior node of those digests.
+        let l = leaf_hash(b"x");
+        let r = leaf_hash(b"y");
+        let mut concat = Vec::new();
+        concat.extend_from_slice(l.as_bytes());
+        concat.extend_from_slice(r.as_bytes());
+        assert_ne!(leaf_hash(&concat), node_hash(&l, &r));
+    }
+
+    #[test]
+    fn from_leaf_hashes_matches_from_leaves() {
+        let leaves = strs(7);
+        let a = MerkleTree::from_leaves(leaves.iter().map(|s| s.as_bytes()));
+        let b = MerkleTree::from_leaf_hashes(
+            leaves.iter().map(|s| leaf_hash(s.as_bytes())).collect(),
+        );
+        assert_eq!(a.root(), b.root());
+    }
+}

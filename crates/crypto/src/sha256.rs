@@ -1,0 +1,359 @@
+//! SHA-256 (FIPS 180-4).
+//!
+//! Used for every block hash, entry hash and Merkle node in the workspace.
+//! The streaming [`Sha256`] type follows the usual `update`/`finalize`
+//! hasher shape; [`sha256`] is the one-shot convenience function.
+
+use std::fmt;
+
+use crate::hex;
+
+/// Round constants: first 32 bits of the fractional parts of the cube roots
+/// of the first 64 primes.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash state: first 32 bits of the fractional parts of the square
+/// roots of the first 8 primes.
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// A 32-byte SHA-256 digest.
+///
+/// This is the hash type used for block hashes, previous-hash links, Merkle
+/// roots and entry digests throughout the workspace.
+///
+/// # Example
+///
+/// ```
+/// use seldel_crypto::sha256;
+///
+/// let d = sha256(b"abc");
+/// assert_eq!(
+///     d.to_hex(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Digest32([u8; 32]);
+
+impl Digest32 {
+    /// The all-zero digest, used as a sentinel (e.g. the payload hash of an
+    /// empty block body before hashing).
+    pub const ZERO: Digest32 = Digest32([0u8; 32]);
+
+    /// Wraps raw digest bytes.
+    pub const fn from_bytes(bytes: [u8; 32]) -> Self {
+        Digest32(bytes)
+    }
+
+    /// Returns the digest bytes.
+    pub const fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Consumes the digest and returns the bytes.
+    pub const fn into_bytes(self) -> [u8; 32] {
+        self.0
+    }
+
+    /// Lowercase hexadecimal rendering of the full digest.
+    pub fn to_hex(&self) -> String {
+        hex::encode(self.0)
+    }
+
+    /// Uppercase five-character prefix, the console style of the paper's
+    /// Figs. 6–8 (e.g. genesis predecessor `DEADB`).
+    pub fn short(&self) -> String {
+        let full = hex::encode_upper(&self.0[..3]);
+        full[..5].to_string()
+    }
+
+    /// Parses a digest from a 64-character hex string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`hex::ParseHexError`] when the string is not exactly 64
+    /// hexadecimal characters.
+    pub fn parse_hex(s: &str) -> Result<Self, hex::ParseHexError> {
+        hex::decode_array::<32>(s).map(Digest32)
+    }
+}
+
+impl fmt::Debug for Digest32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest32({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest32 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Digest32 {
+    fn from(bytes: [u8; 32]) -> Self {
+        Digest32(bytes)
+    }
+}
+
+/// Streaming SHA-256 hasher.
+///
+/// # Example
+///
+/// ```
+/// use seldel_crypto::{sha256, Sha256};
+///
+/// let mut h = Sha256::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize(), sha256(b"abc"));
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    length_bytes: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Sha256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sha256")
+            .field("length_bytes", &self.length_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffered: 0,
+            length_bytes: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: impl AsRef<[u8]>) -> &mut Self {
+        let mut data = data.as_ref();
+        self.length_bytes = self.length_bytes.wrapping_add(data.len() as u64);
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+        self
+    }
+
+    /// Completes the hash and returns the digest.
+    pub fn finalize(mut self) -> Digest32 {
+        let bit_len = self.length_bytes.wrapping_mul(8);
+        // Padding: 0x80, zeros, 64-bit big-endian bit length.
+        self.raw_update(&[0x80]);
+        while self.buffered != 56 {
+            self.raw_update(&[0]);
+        }
+        self.raw_update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buffered, 0);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest32(out)
+    }
+
+    /// Update without tracking message length (used for padding only).
+    fn raw_update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.buffer[self.buffered] = b;
+            self.buffered += 1;
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256 of `data`.
+pub fn sha256(data: impl AsRef<[u8]>) -> Digest32 {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex_of(data: &[u8]) -> String {
+        sha256(data).to_hex()
+    }
+
+    #[test]
+    fn nist_vector_empty() {
+        assert_eq!(
+            hex_of(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn nist_vector_abc() {
+        assert_eq!(
+            hex_of(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn nist_vector_448_bits() {
+        assert_eq!(
+            hex_of(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn nist_vector_896_bits() {
+        let msg = b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+        assert_eq!(
+            hex_of(msg),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let msg = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex_of(&msg),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn streaming_equals_oneshot_at_all_boundaries() {
+        let data: Vec<u8> = (0u32..300).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 55, 56, 63, 64, 65, 127, 128, 129, 200, 300] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha256(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn digest_short_is_five_uppercase_chars() {
+        let d = sha256(b"x");
+        let s = d.short();
+        assert_eq!(s.len(), 5);
+        assert!(s.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn digest_parse_hex_round_trip() {
+        let d = sha256(b"round trip");
+        assert_eq!(Digest32::parse_hex(&d.to_hex()).unwrap(), d);
+        assert!(Digest32::parse_hex("abcd").is_err());
+    }
+
+    #[test]
+    fn chunked_update_one_byte_at_a_time() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Sha256::new();
+        for b in data.iter() {
+            h.update([*b]);
+        }
+        assert_eq!(h.finalize(), sha256(data));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the cryptographic substrate.
+
+use proptest::prelude::*;
+
+use seldel_crypto::hmac::{hmac_sha256, verify_hmac_sha256};
+use seldel_crypto::{hex, sha256, sha512, MerkleTree, Sha256, Sha512, SigningKey};
+
+proptest! {
+    #[test]
+    fn sha256_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048), split in any::<usize>()) {
+        let split = if data.is_empty() { 0 } else { split % data.len() };
+        let mut hasher = Sha256::new();
+        hasher.update(&data[..split]);
+        hasher.update(&data[split..]);
+        prop_assert_eq!(hasher.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn sha512_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048), split in any::<usize>()) {
+        let split = if data.is_empty() { 0 } else { split % data.len() };
+        let mut hasher = Sha512::new();
+        hasher.update(&data[..split]);
+        hasher.update(&data[split..]);
+        prop_assert_eq!(hasher.finalize(), sha512(&data));
+    }
+
+    #[test]
+    fn sha256_is_injective_in_practice(a in proptest::collection::vec(any::<u8>(), 0..256), b in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if a != b {
+            prop_assert_ne!(sha256(&a), sha256(&b));
+        }
+    }
+
+    #[test]
+    fn hex_round_trip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let encoded = hex::encode(&data);
+        prop_assert_eq!(hex::decode(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn hmac_verifies_and_rejects(key in proptest::collection::vec(any::<u8>(), 0..128), msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let tag = hmac_sha256(&key, &msg);
+        prop_assert!(verify_hmac_sha256(&key, &msg, &tag));
+        let mut other = msg.clone();
+        other.push(0x17);
+        prop_assert!(!verify_hmac_sha256(&key, &other, &tag));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ed25519_round_trip_and_cross_rejection(
+        seed_a in any::<[u8; 32]>(),
+        seed_b in any::<[u8; 32]>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let a = SigningKey::from_seed(seed_a);
+        let sig = a.sign(&msg);
+        prop_assert!(a.verifying_key().verify(&msg, &sig).is_ok());
+        if seed_a != seed_b {
+            let b = SigningKey::from_seed(seed_b);
+            prop_assert!(b.verifying_key().verify(&msg, &sig).is_err());
+        }
+    }
+
+    #[test]
+    fn ed25519_signature_bit_flips_rejected(seed in any::<[u8; 32]>(), msg in proptest::collection::vec(any::<u8>(), 1..64), pos in any::<u16>()) {
+        let key = SigningKey::from_seed(seed);
+        let sig = key.sign(&msg);
+        let mut bytes = sig.to_bytes();
+        let idx = (pos as usize) % 64;
+        bytes[idx] ^= 1 << (pos % 8);
+        let tampered = seldel_crypto::Signature::from_bytes(&bytes);
+        prop_assert!(key.verifying_key().verify(&msg, &tampered).is_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merkle_root_changes_when_any_leaf_changes(
+        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..24), 1..24),
+        which in any::<u16>(),
+    ) {
+        let tree = MerkleTree::from_leaves(&leaves);
+        let mut mutated = leaves.clone();
+        let idx = (which as usize) % mutated.len();
+        mutated[idx].push(0xFF);
+        let other = MerkleTree::from_leaves(&mutated);
+        prop_assert_ne!(tree.root(), other.root());
+    }
+
+    #[test]
+    fn merkle_proof_lengths_logarithmic(leaf_count in 1usize..200) {
+        let leaves: Vec<Vec<u8>> = (0..leaf_count).map(|i| vec![i as u8, (i >> 8) as u8]).collect();
+        let tree = MerkleTree::from_leaves(&leaves);
+        let bound = usize::BITS - (leaf_count - 1).leading_zeros();
+        for i in [0, leaf_count / 2, leaf_count - 1] {
+            let proof = tree.prove(i).unwrap();
+            prop_assert!(proof.path_len() <= bound as usize);
+        }
+    }
+}

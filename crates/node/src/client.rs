@@ -1,0 +1,217 @@
+//! Client nodes: lightweight participants that submit entries and obtain
+//! the chain status quo from several anchors.
+//!
+//! §V-B4: "the blockchain system has to have some anchor nodes, whereas
+//! clients obtain the current status quo of the blockchain" — consulting
+//! *several* anchors and taking the majority view is the standard defence
+//! against node-isolation (eclipse) attacks, and is what
+//! [`ClientNode::majority_status`] implements.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use seldel_chain::EntryId;
+use seldel_codec::DataRecord;
+use seldel_network::{Context, NodeId, SimNode};
+
+use crate::messages::{NodeMessage, StatusQuo};
+
+/// A client connected to a set of anchor nodes.
+#[derive(Debug)]
+pub struct ClientNode {
+    anchors: Vec<NodeId>,
+    /// Status-quo replies keyed by the answering anchor.
+    status_replies: BTreeMap<NodeId, StatusQuo>,
+    /// Last query results: id → (record, live).
+    query_results: BTreeMap<EntryId, (Option<DataRecord>, bool)>,
+    /// Entries forwarded to anchors.
+    submitted: u64,
+}
+
+impl ClientNode {
+    /// Creates a client talking to the given anchors.
+    pub fn new(anchors: Vec<NodeId>) -> ClientNode {
+        ClientNode {
+            anchors,
+            status_replies: BTreeMap::new(),
+            query_results: BTreeMap::new(),
+            submitted: 0,
+        }
+    }
+
+    /// The anchors this client consults.
+    pub fn anchors(&self) -> &[NodeId] {
+        &self.anchors
+    }
+
+    /// Number of entries submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// All status-quo replies received since the last check.
+    pub fn status_replies(&self) -> &BTreeMap<NodeId, StatusQuo> {
+        &self.status_replies
+    }
+
+    /// The majority status quo among received replies, with its vote count.
+    ///
+    /// Returns `None` before any reply arrives. An eclipsed client (most of
+    /// its anchors controlled or filtered by an attacker) receives a
+    /// skewed majority — the eclipse experiment measures exactly this.
+    pub fn majority_status(&self) -> Option<(StatusQuo, usize)> {
+        let mut votes: BTreeMap<(u64, [u8; 32]), (StatusQuo, usize)> = BTreeMap::new();
+        for sq in self.status_replies.values() {
+            let key = (sq.tip.value(), *sq.tip_hash.as_bytes());
+            let slot = votes.entry(key).or_insert((*sq, 0));
+            slot.1 += 1;
+        }
+        votes.into_values().max_by_key(|(_, count)| *count)
+    }
+
+    /// The last answer to a query for `id`.
+    pub fn query_result(&self, id: EntryId) -> Option<&(Option<DataRecord>, bool)> {
+        self.query_results.get(&id)
+    }
+}
+
+impl SimNode<NodeMessage> for ClientNode {
+    fn on_message(&mut self, from: NodeId, msg: NodeMessage, ctx: &mut Context<'_, NodeMessage>) {
+        match msg {
+            // Driver commands.
+            NodeMessage::ClientSubmit(entry) => {
+                // Submit to the first anchor; anchors forward to the leader.
+                if let Some(anchor) = self.anchors.first() {
+                    ctx.send(*anchor, NodeMessage::Submit(entry));
+                    self.submitted += 1;
+                }
+            }
+            NodeMessage::ClientCheckStatus => {
+                self.status_replies.clear();
+                for anchor in &self.anchors {
+                    ctx.send(*anchor, NodeMessage::StatusQuoRequest);
+                }
+            }
+            NodeMessage::ClientQuery { id } => {
+                if let Some(anchor) = self.anchors.first() {
+                    ctx.send(*anchor, NodeMessage::Query { id });
+                }
+            }
+            // Anchor replies.
+            NodeMessage::StatusQuoReply(sq) => {
+                self.status_replies.insert(from, sq);
+            }
+            NodeMessage::QueryReply { id, record, live } => {
+                self.query_results.insert(id, (record, live));
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anchor::AnchorNode;
+    use seldel_chain::{BlockNumber, Entry, EntryNumber};
+    use seldel_codec::DataRecord;
+    use seldel_core::{ChainConfig, SelectiveLedger};
+    use seldel_crypto::SigningKey;
+    use seldel_network::{NetConfig, SimNetwork};
+
+    fn entry(seed: u8, n: u64) -> Entry {
+        Entry::sign_data(
+            &SigningKey::from_seed([seed; 32]),
+            DataRecord::new("login").with("user", "A").with("n", n),
+        )
+    }
+
+    fn cluster_with_client() -> (SimNetwork<NodeMessage>, Vec<NodeId>, NodeId) {
+        let mut net = SimNetwork::new(NetConfig::default());
+        let leader = NodeId(0);
+        let anchors: Vec<NodeId> = (0..3)
+            .map(|_| {
+                let ledger = SelectiveLedger::new(ChainConfig::paper_evaluation());
+                net.add_node(Box::new(AnchorNode::new(ledger, leader, 100)))
+            })
+            .collect();
+        for id in &anchors {
+            net.schedule_tick(*id, 100);
+        }
+        let client = net.add_node(Box::new(ClientNode::new(anchors.clone())));
+        (net, anchors, client)
+    }
+
+    #[test]
+    fn client_submission_reaches_chain() {
+        let (mut net, anchors, client) = cluster_with_client();
+        net.send_external(client, NodeMessage::ClientSubmit(entry(1, 1)));
+        net.run_until(500);
+        let leader = net.node_as::<AnchorNode>(anchors[0]).unwrap();
+        assert_eq!(leader.stats().entries_accepted, 1);
+        assert!(leader.ledger().chain().record_count() >= 1);
+        assert_eq!(net.node_as::<ClientNode>(client).unwrap().submitted(), 1);
+    }
+
+    #[test]
+    fn client_majority_status_consistent() {
+        let (mut net, _anchors, client) = cluster_with_client();
+        net.send_external(client, NodeMessage::ClientSubmit(entry(1, 1)));
+        net.run_until(400);
+        net.send_external(client, NodeMessage::ClientCheckStatus);
+        net.run_until(600);
+        let c = net.node_as::<ClientNode>(client).unwrap();
+        let (sq, votes) = c.majority_status().expect("replies arrived");
+        assert_eq!(votes, 3, "all anchors agree");
+        assert!(sq.tip >= BlockNumber(1));
+    }
+
+    #[test]
+    fn eclipsed_client_sees_stale_majority() {
+        let (mut net, anchors, client) = cluster_with_client();
+        // Warm up with some traffic.
+        for i in 0..4u64 {
+            net.send_external(client, NodeMessage::ClientSubmit(entry(1, i)));
+            net.run_until(net.now() + 100);
+        }
+        // Eclipse: client may only talk to anchor 2, which we also cut off
+        // from the others (attacker-controlled stale view).
+        net.partition(vec![vec![anchors[0], anchors[1]], vec![anchors[2], client]]);
+        for i in 4..10u64 {
+            net.send_external(anchors[0], NodeMessage::Submit(entry(1, i)));
+            net.run_until(net.now() + 100);
+        }
+        net.send_external(client, NodeMessage::ClientCheckStatus);
+        net.run_until(net.now() + 200);
+        let c = net.node_as::<ClientNode>(client).unwrap();
+        let (stale, votes) = c.majority_status().expect("one reply");
+        assert_eq!(votes, 1, "only the eclipsing anchor answered");
+        let honest_tip = net
+            .node_as::<AnchorNode>(anchors[0])
+            .unwrap()
+            .status_quo()
+            .tip;
+        assert!(stale.tip < honest_tip, "eclipsed view must lag");
+    }
+
+    #[test]
+    fn client_query_round_trip() {
+        let (mut net, _anchors, client) = cluster_with_client();
+        net.send_external(client, NodeMessage::ClientSubmit(entry(1, 1)));
+        net.run_until(400);
+        let id = EntryId::new(BlockNumber(1), EntryNumber(0));
+        net.send_external(client, NodeMessage::ClientQuery { id });
+        net.run_until(net.now() + 200);
+        let c = net.node_as::<ClientNode>(client).unwrap();
+        let (record, live) = c.query_result(id).expect("query answered");
+        assert!(live);
+        assert_eq!(
+            record.as_ref().unwrap().get("user").unwrap().as_str(),
+            Some("A")
+        );
+    }
+}

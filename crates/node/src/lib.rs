@@ -1,0 +1,19 @@
+//! Node layer: anchor nodes and clients over the simulated network.
+//!
+//! This crate assembles the distributed deployment of the paper's §V
+//! prototype: anchor nodes hold full chain copies and form the quorum
+//! (§IV-A); a sealing leader distributes normal blocks; **summary blocks
+//! are derived locally by every anchor and never travel on the wire**
+//! (§IV-B) — their hashes do, as synchronisation checks. Clients submit
+//! entries and obtain the status quo from several anchors (§V-B4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anchor;
+pub mod client;
+pub mod messages;
+
+pub use anchor::{AnchorNode, AnchorStats};
+pub use client::ClientNode;
+pub use messages::{NodeMessage, StatusQuo};

@@ -1,0 +1,298 @@
+//! Attack simulations (Fig. 9 and §V-B).
+//!
+//! * **51 % rewrite race** — an attacker with hash-power fraction `q`
+//!   secretly re-mines history. Without summary anchoring, rewriting the
+//!   newest summary block suffices to forge pruned history (depth 1);
+//!   with the Fig. 9 anchor, "each entry that is longer than lβ/2 in the
+//!   blockchain has at least lβ/2 confirmations at each time", so the
+//!   attacker "has to run the attack for a[t] least lβ/2 number of
+//!   blocks". The Monte-Carlo race quantifies how much that depth costs.
+//! * **Eclipse** — a client consulting k anchors accepts the majority
+//!   status quo; the attack succeeds when attacker-controlled anchors form
+//!   that majority (§V-B4).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of the 51 % rewrite race.
+#[derive(Debug, Clone, Copy)]
+pub struct RaceConfig {
+    /// Attacker's fraction of block-creation power (0..1).
+    pub attacker_fraction: f64,
+    /// Blocks the attacker must redo (1 without anchoring; lβ/2 with).
+    pub depth: u64,
+    /// Monte-Carlo trials.
+    pub trials: u32,
+    /// Abort a trial once the honest lead reaches this many blocks.
+    pub give_up_lead: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RaceConfig {
+    fn default() -> Self {
+        RaceConfig {
+            attacker_fraction: 0.3,
+            depth: 6,
+            trials: 10_000,
+            give_up_lead: 200,
+            seed: 0x51AC,
+        }
+    }
+}
+
+/// Result of a Monte-Carlo race.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaceResult {
+    /// Fraction of trials where the attacker caught up.
+    pub success_rate: f64,
+    /// Mean blocks the attacker produced per successful trial.
+    pub mean_attacker_blocks: f64,
+    /// Trials run.
+    pub trials: u32,
+}
+
+/// Analytic catch-up probability `(q/p)^z` for q < p (gambler's ruin).
+pub fn analytic_catch_up(q: f64, depth: u64) -> f64 {
+    if q <= 0.0 {
+        return 0.0;
+    }
+    if q >= 0.5 {
+        return 1.0;
+    }
+    let p = 1.0 - q;
+    (q / p).powi(depth as i32)
+}
+
+/// Simulates the rewrite race: the attacker starts `depth` blocks behind
+/// and wins when the deficit reaches zero before the honest lead hits the
+/// give-up bound.
+pub fn simulate_race(cfg: &RaceConfig) -> RaceResult {
+    assert!(
+        (0.0..=1.0).contains(&cfg.attacker_fraction),
+        "attacker fraction must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut successes = 0u32;
+    let mut attacker_blocks_on_success = 0u64;
+
+    for _ in 0..cfg.trials {
+        let mut deficit = cfg.depth as i64;
+        let mut attacker_blocks = 0u64;
+        loop {
+            if rng.random_range(0.0..1.0) < cfg.attacker_fraction {
+                deficit -= 1;
+                attacker_blocks += 1;
+            } else {
+                deficit += 1;
+            }
+            if deficit <= 0 {
+                successes += 1;
+                attacker_blocks_on_success += attacker_blocks;
+                break;
+            }
+            if deficit >= cfg.give_up_lead as i64 {
+                break;
+            }
+        }
+    }
+
+    RaceResult {
+        success_rate: successes as f64 / cfg.trials as f64,
+        mean_attacker_blocks: if successes > 0 {
+            attacker_blocks_on_success as f64 / successes as f64
+        } else {
+            0.0
+        },
+        trials: cfg.trials,
+    }
+}
+
+/// The Fig. 9 comparison: success probability of rewriting pruned history
+/// without anchoring (depth 1) versus with the middle-sequence anchor
+/// (depth lβ/2), for a live chain of length `l_beta`.
+pub fn compare_anchoring(l_beta: u64, attacker_fraction: f64, trials: u32, seed: u64) -> (RaceResult, RaceResult) {
+    let without = simulate_race(&RaceConfig {
+        attacker_fraction,
+        depth: 1,
+        trials,
+        seed,
+        ..Default::default()
+    });
+    let with = simulate_race(&RaceConfig {
+        attacker_fraction,
+        depth: (l_beta / 2).max(1),
+        trials,
+        seed: seed ^ 0xFFFF,
+        ..Default::default()
+    });
+    (without, with)
+}
+
+/// Parameters of the eclipse experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct EclipseConfig {
+    /// Total anchor nodes.
+    pub anchors: usize,
+    /// Anchors controlled by the attacker.
+    pub controlled: usize,
+    /// Anchors a client consults per status-quo check.
+    pub consulted: usize,
+    /// Monte-Carlo trials.
+    pub trials: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EclipseConfig {
+    fn default() -> Self {
+        EclipseConfig {
+            anchors: 10,
+            controlled: 3,
+            consulted: 5,
+            trials: 20_000,
+            seed: 0xEC11,
+        }
+    }
+}
+
+/// Probability that a uniformly chosen consultation set has an
+/// attacker-controlled majority.
+pub fn eclipse_success_rate(cfg: &EclipseConfig) -> f64 {
+    assert!(cfg.consulted <= cfg.anchors, "cannot consult more anchors than exist");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut successes = 0u32;
+    let mut pool: Vec<usize> = (0..cfg.anchors).collect();
+    for _ in 0..cfg.trials {
+        // Partial Fisher-Yates to draw `consulted` anchors.
+        for i in 0..cfg.consulted {
+            let j = rng.random_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        let controlled_in_sample = pool[..cfg.consulted]
+            .iter()
+            .filter(|&&a| a < cfg.controlled)
+            .count();
+        if controlled_in_sample * 2 > cfg.consulted {
+            successes += 1;
+        }
+    }
+    successes as f64 / cfg.trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn race_matches_analytic_probability() {
+        for q in [0.1, 0.25, 0.4] {
+            for depth in [1u64, 3, 6] {
+                let result = simulate_race(&RaceConfig {
+                    attacker_fraction: q,
+                    depth,
+                    trials: 20_000,
+                    // Catch-up from 60 behind at q ≤ 0.4 is ≤ (q/p)^60 ≈ 0;
+                    // the tight bound keeps the walk short.
+                    give_up_lead: 60,
+                    ..Default::default()
+                });
+                let expected = analytic_catch_up(q, depth);
+                assert!(
+                    (result.success_rate - expected).abs() < 0.02,
+                    "q={q} z={depth}: simulated {} vs analytic {expected}",
+                    result.success_rate
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn majority_attacker_always_wins() {
+        let result = simulate_race(&RaceConfig {
+            attacker_fraction: 0.6,
+            depth: 10,
+            trials: 2_000,
+            ..Default::default()
+        });
+        assert!(result.success_rate > 0.95);
+    }
+
+    #[test]
+    fn anchoring_makes_attack_exponentially_harder() {
+        let (without, with) = compare_anchoring(24, 0.3, 20_000, 7);
+        // Depth 1 attack succeeds often (q/p ≈ 0.43).
+        assert!(without.success_rate > 0.3);
+        // Depth 12 is nearly hopeless ((q/p)^12 ≈ 4e-5).
+        assert!(with.success_rate < 0.01);
+        assert!(with.success_rate < without.success_rate / 10.0);
+    }
+
+    #[test]
+    fn successful_attacks_cost_at_least_depth_blocks() {
+        let result = simulate_race(&RaceConfig {
+            attacker_fraction: 0.45,
+            depth: 8,
+            trials: 5_000,
+            ..Default::default()
+        });
+        if result.success_rate > 0.0 {
+            assert!(result.mean_attacker_blocks >= 8.0);
+        }
+    }
+
+    #[test]
+    fn analytic_edge_cases() {
+        assert_eq!(analytic_catch_up(0.0, 5), 0.0);
+        assert_eq!(analytic_catch_up(0.5, 5), 1.0);
+        assert_eq!(analytic_catch_up(0.7, 3), 1.0);
+        assert!(analytic_catch_up(0.25, 6) < 0.002);
+    }
+
+    #[test]
+    fn eclipse_worsens_with_more_controlled_anchors() {
+        let few = eclipse_success_rate(&EclipseConfig {
+            controlled: 2,
+            ..Default::default()
+        });
+        let many = eclipse_success_rate(&EclipseConfig {
+            controlled: 6,
+            ..Default::default()
+        });
+        assert!(few < many, "{few} vs {many}");
+        assert!(few < 0.2);
+        assert!(many > 0.5);
+    }
+
+    #[test]
+    fn eclipse_zero_and_total_control() {
+        let none = eclipse_success_rate(&EclipseConfig {
+            controlled: 0,
+            ..Default::default()
+        });
+        assert_eq!(none, 0.0);
+        let all = eclipse_success_rate(&EclipseConfig {
+            controlled: 10,
+            ..Default::default()
+        });
+        assert_eq!(all, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot consult")]
+    fn eclipse_rejects_oversized_sample() {
+        eclipse_success_rate(&EclipseConfig {
+            consulted: 11,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn race_deterministic_per_seed() {
+        let cfg = RaceConfig {
+            trials: 1_000,
+            ..Default::default()
+        };
+        assert_eq!(simulate_race(&cfg), simulate_race(&cfg));
+    }
+}

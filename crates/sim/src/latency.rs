@@ -1,0 +1,234 @@
+//! Experiment E2 — deletion latency (§IV-D3, "Delayed Deletion").
+//!
+//! Deletion is executed only when the target's sequence is merged out, so
+//! latency depends on the target's position, l, l_max and traffic. The
+//! idle filler ("extend the blockchain with empty blocks") bounds latency
+//! on quiet chains; this experiment measures both configurations.
+
+use seldel_chain::{BlockNumber, Entry, EntryId, EntryNumber, Timestamp};
+use seldel_codec::DataRecord;
+use seldel_core::{
+    ChainConfig, DeletionStatus, IdleFillPolicy, LedgerEvent, RetentionPolicy, RetireMode,
+    SelectiveLedger,
+};
+use seldel_crypto::SigningKey;
+
+/// Latency experiment parameters.
+#[derive(Debug, Clone)]
+pub struct LatencyConfig {
+    /// Sequence length l.
+    pub sequence_length: u64,
+    /// Retention limit l_max.
+    pub l_max: u64,
+    /// Payload blocks to drive after the deletion request.
+    pub horizon_blocks: u64,
+    /// Block cadence in virtual ms.
+    pub block_interval_ms: u64,
+    /// Enable the idle filler at this interval (ms).
+    pub idle_fill_ms: Option<u64>,
+    /// How many deletion requests to measure.
+    pub deletions: usize,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            sequence_length: 5,
+            l_max: 30,
+            horizon_blocks: 400,
+            block_interval_ms: 10,
+            idle_fill_ms: None,
+            deletions: 10,
+        }
+    }
+}
+
+/// One measured deletion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySample {
+    /// The deleted data set.
+    pub target: EntryId,
+    /// Block height when the request was marked.
+    pub requested_at_block: BlockNumber,
+    /// Virtual time when the request was marked.
+    pub requested_at: Timestamp,
+    /// Block height of the merge that dropped the record.
+    pub executed_at_block: BlockNumber,
+    /// Virtual time of execution.
+    pub executed_at: Timestamp,
+}
+
+impl LatencySample {
+    /// Latency in blocks.
+    pub fn blocks(&self) -> u64 {
+        self.executed_at_block.value() - self.requested_at_block.value()
+    }
+
+    /// Latency in virtual ms.
+    pub fn millis(&self) -> u64 {
+        self.executed_at.since(self.requested_at)
+    }
+}
+
+fn chain_config(cfg: &LatencyConfig) -> ChainConfig {
+    ChainConfig {
+        sequence_length: cfg.sequence_length,
+        retention: RetentionPolicy {
+            max_live_blocks: Some(cfg.l_max),
+            min_live_blocks: cfg.sequence_length,
+            min_live_summaries: 1,
+            min_timespan: None,
+            mode: RetireMode::MinimumNeeded,
+        },
+        idle_fill: cfg.idle_fill_ms.map(|ms| IdleFillPolicy { max_idle_ms: ms }),
+        ..Default::default()
+    }
+}
+
+/// Runs the latency experiment: writes one entry per block, issues
+/// `deletions` requests against fresh entries, and records when each is
+/// physically executed.
+pub fn run_latency(cfg: &LatencyConfig) -> Vec<LatencySample> {
+    let key = SigningKey::from_seed([0x52; 32]);
+    let mut ledger = SelectiveLedger::new(chain_config(cfg));
+    let mut now = Timestamp(0);
+    let mut samples: Vec<LatencySample> = Vec::new();
+    let mut pending: Vec<EntryId> = Vec::new();
+    let mut issued = 0usize;
+    let mut counter = 0u64;
+
+    // Space the deletion requests across the first half of the horizon.
+    let request_every = (cfg.horizon_blocks / (2 * cfg.deletions as u64)).max(1);
+
+    for step in 0..cfg.horizon_blocks {
+        now += cfg.block_interval_ms;
+        counter += 1;
+        ledger
+            .submit_entry(Entry::sign_data(
+                &key,
+                DataRecord::new("log").with("n", counter),
+            ))
+            .expect("valid entry");
+        let sealed = ledger.seal_block(now).expect("monotone time");
+
+        // Issue a deletion request for the entry just written.
+        if issued < cfg.deletions && step % request_every == 0 {
+            let target = EntryId::new(sealed, EntryNumber(0));
+            if ledger.request_deletion(&key, target, "latency probe").is_ok() {
+                pending.push(target);
+                issued += 1;
+            }
+        }
+
+        if let Some(idle) = cfg.idle_fill_ms {
+            // Let virtual time pass between blocks to trigger the filler.
+            now += idle;
+            ledger.tick(now);
+        }
+
+        for event in ledger.drain_events() {
+            if let LedgerEvent::DeletionExecuted { target, at } = event {
+                if let Some(record) = ledger.deletion_status(target) {
+                    if pending.contains(&target) {
+                        samples.push(LatencySample {
+                            target,
+                            requested_at_block: record.request_entry.block,
+                            requested_at: record.requested_at,
+                            executed_at_block: ledger.chain().tip().number(),
+                            executed_at: at,
+                        });
+                        if let DeletionStatus::Executed { .. } = record.status {}
+                    }
+                }
+            }
+        }
+    }
+    samples
+}
+
+/// Convenience: mean latency in blocks for a configuration.
+pub fn mean_latency_blocks(cfg: &LatencyConfig) -> f64 {
+    let samples = run_latency(cfg);
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    samples.iter().map(|s| s.blocks() as f64).sum::<f64>() / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_requested_deletions_execute() {
+        let cfg = LatencyConfig::default();
+        let samples = run_latency(&cfg);
+        assert_eq!(samples.len(), cfg.deletions, "all probes must execute");
+        for s in &samples {
+            assert!(s.blocks() > 0);
+            assert!(s.millis() > 0);
+        }
+    }
+
+    #[test]
+    fn latency_bounded_by_chain_parameters() {
+        let cfg = LatencyConfig::default();
+        let samples = run_latency(&cfg);
+        // A fresh entry sits at most l_max + l blocks away from its merge.
+        let bound = cfg.l_max + 2 * cfg.sequence_length;
+        for s in &samples {
+            assert!(
+                s.blocks() <= bound,
+                "latency {} blocks exceeds bound {bound}",
+                s.blocks()
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_l_max_means_lower_latency() {
+        let quick = LatencyConfig {
+            l_max: 10,
+            sequence_length: 5,
+            ..Default::default()
+        };
+        let slow = LatencyConfig {
+            l_max: 60,
+            sequence_length: 5,
+            ..Default::default()
+        };
+        let quick_mean = mean_latency_blocks(&quick);
+        let slow_mean = mean_latency_blocks(&slow);
+        assert!(
+            quick_mean < slow_mean,
+            "l_max 10 → {quick_mean}, l_max 60 → {slow_mean}"
+        );
+    }
+
+    #[test]
+    fn idle_filler_bounds_wall_clock_latency() {
+        // Sparse traffic: long virtual gaps between payload blocks.
+        let without = LatencyConfig {
+            horizon_blocks: 200,
+            block_interval_ms: 1000,
+            idle_fill_ms: None,
+            deletions: 5,
+            ..Default::default()
+        };
+        let with = LatencyConfig {
+            idle_fill_ms: Some(100),
+            ..without.clone()
+        };
+        let lat_without = run_latency(&without);
+        let lat_with = run_latency(&with);
+        assert!(!lat_with.is_empty());
+        let mean_ms_without: f64 =
+            lat_without.iter().map(|s| s.millis() as f64).sum::<f64>() / lat_without.len() as f64;
+        let mean_ms_with: f64 =
+            lat_with.iter().map(|s| s.millis() as f64).sum::<f64>() / lat_with.len() as f64;
+        assert!(
+            mean_ms_with < mean_ms_without,
+            "filler must reduce virtual-time latency: {mean_ms_with} vs {mean_ms_without}"
+        );
+    }
+}

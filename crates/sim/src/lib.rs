@@ -1,0 +1,33 @@
+//! Workloads, attack simulations and experiment drivers reproducing the
+//! paper's evaluation (§V) and threat discussion (§V-B).
+//!
+//! * [`login`] — the Fig. 6–8 login-audit scenario (ALPHA/BRAVO/CHARLIE).
+//! * [`token`] — account tokens: cohesion-guarded history, lost-coin
+//!   recovery (§V-A "Recovery").
+//! * [`supply`] — Industry-4.0 product lifecycle with best-before TTL.
+//! * [`growth`] — experiment E1: bounded growth vs the baseline chain.
+//! * [`latency`] — experiment E2: delayed-deletion latency distributions.
+//! * [`attacks`] — Fig. 9's 51 % race ± anchoring, eclipse quantification.
+//! * [`metrics`] — summary statistics for the harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod growth;
+pub mod latency;
+pub mod login;
+pub mod metrics;
+pub mod supply;
+pub mod token;
+
+pub use attacks::{
+    analytic_catch_up, compare_anchoring, eclipse_success_rate, simulate_race, EclipseConfig,
+    RaceConfig, RaceResult,
+};
+pub use growth::{run_growth, sweep_l_max, GrowthConfig, GrowthSample};
+pub use latency::{mean_latency_blocks, run_latency, LatencyConfig, LatencySample};
+pub use login::{LoginAudit, LOGIN_SCHEMA_YAML, USERS};
+pub use metrics::{mean, percentile, stddev, Summary};
+pub use supply::{SupplyChain, PRODUCT_SCHEMA_YAML};
+pub use token::{TokenError, TokenLedger, TOKEN_SCHEMA_YAML};

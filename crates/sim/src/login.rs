@@ -1,0 +1,294 @@
+//! The paper's evaluation scenario (§V): login auditing with users ALPHA,
+//! BRAVO and CHARLIE, a summary block every third block, and BRAVO's
+//! deletion request — the exact storyline of Figs. 6, 7 and 8.
+
+use std::collections::BTreeMap;
+
+use seldel_chain::render::render_chain;
+use seldel_chain::{BlockNumber, Entry, EntryId, EntryNumber, Timestamp};
+use seldel_codec::schema::SchemaRegistry;
+use seldel_codec::DataRecord;
+use seldel_core::{ChainConfig, CoreError, SelectiveLedger};
+use seldel_crypto::{SigningKey, VerifyingKey};
+
+/// The cast of the paper's test setup.
+pub const USERS: [&str; 3] = ["ALPHA", "BRAVO", "CHARLIE"];
+
+/// The YAML schema of a login entry (the paper specifies entry structure
+/// "beforehand by a YAML schema").
+pub const LOGIN_SCHEMA_YAML: &str = "\
+record: login
+fields:
+  user: str
+  terminal: u64
+";
+
+/// Driver for the login-audit scenario.
+#[derive(Debug, Clone)]
+pub struct LoginAudit {
+    ledger: SelectiveLedger,
+    keys: BTreeMap<&'static str, SigningKey>,
+    now: Timestamp,
+}
+
+impl Default for LoginAudit {
+    fn default() -> Self {
+        Self::paper_setup()
+    }
+}
+
+impl LoginAudit {
+    /// Builds the paper's test setup: l = 3, l_max = 6 with full
+    /// compaction, login schema registered, one key per user.
+    pub fn paper_setup() -> LoginAudit {
+        let mut schemas = SchemaRegistry::new();
+        schemas
+            .register_yaml(LOGIN_SCHEMA_YAML)
+            .expect("static schema parses");
+        let ledger = SelectiveLedger::builder(ChainConfig::paper_evaluation())
+            .schemas(schemas)
+            .build();
+        let keys = USERS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (*name, SigningKey::from_seed([0xA0 + i as u8; 32])))
+            .collect();
+        LoginAudit {
+            ledger,
+            keys,
+            now: Timestamp(0),
+        }
+    }
+
+    /// The underlying ledger.
+    pub fn ledger(&self) -> &SelectiveLedger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access for extended experiments.
+    pub fn ledger_mut(&mut self) -> &mut SelectiveLedger {
+        &mut self.ledger
+    }
+
+    /// The signing key of a user.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown user names.
+    pub fn key_of(&self, user: &str) -> &SigningKey {
+        self.keys
+            .get(user)
+            .unwrap_or_else(|| panic!("unknown user {user:?}"))
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Records a login event into the mempool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ledger intake errors (schema, signature).
+    pub fn login(&mut self, user: &str, terminal: u64) -> Result<(), CoreError> {
+        let key = self.key_of(user).clone();
+        self.ledger.submit_entry(Entry::sign_data(
+            &key,
+            DataRecord::new("login")
+                .with("user", user)
+                .with("terminal", terminal),
+        ))
+    }
+
+    /// Submits a deletion request for `target` on behalf of `user`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates authorisation/cohesion failures.
+    pub fn request_deletion(&mut self, user: &str, target: EntryId) -> Result<(), CoreError> {
+        let key = self.key_of(user).clone();
+        self.ledger.request_deletion(&key, target, "user request")
+    }
+
+    /// Seals the next block (advancing virtual time by 10 ms per block,
+    /// like the test tables in the paper's figures).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sealing errors.
+    pub fn seal(&mut self) -> Result<BlockNumber, CoreError> {
+        self.now += 10;
+        self.ledger.seal_block(self.now)
+    }
+
+    /// Renders the chain in the Fig. 6–8 console style with user names.
+    pub fn render(&self) -> String {
+        let names: BTreeMap<[u8; 32], String> = self
+            .keys
+            .iter()
+            .map(|(name, key)| (key.verifying_key().to_bytes(), name.to_string()))
+            .collect();
+        let resolver = move |key: &VerifyingKey| names.get(&key.to_bytes()).cloned();
+        render_chain(self.ledger.chain(), &resolver)
+    }
+
+    /// Plays the scenario up to the paper's Fig. 6: logins by every user in
+    /// blocks 1, 3 and 4; summary blocks Σ2 and Σ5 empty; nothing deleted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ledger errors (none occur in the scripted run).
+    pub fn run_fig6(&mut self) -> Result<(), CoreError> {
+        for block in [1u64, 3, 4] {
+            for (i, user) in USERS.iter().enumerate() {
+                self.login(user, block * 10 + i as u64)?;
+            }
+            self.seal()?;
+        }
+        Ok(())
+    }
+
+    /// Continues to Fig. 7: BRAVO requests deletion of block 3 entry 1 in
+    /// block 6; at Σ8 the first two sequences merge into the summary block
+    /// without the deleted entry and the marker shifts to 6.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ledger errors.
+    pub fn run_fig7(&mut self) -> Result<(), CoreError> {
+        let target = EntryId::new(BlockNumber(3), EntryNumber(1));
+        self.request_deletion("BRAVO", target)?;
+        self.seal()?; // block 6 (carries the deletion request)
+        self.seal()?; // block 7 (idle) → Σ8 merges and the marker shifts
+        Ok(())
+    }
+
+    /// Continues one merge cycle ahead to Fig. 8: by Σ14 the deletion
+    /// request itself is no longer stored anywhere in the live chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ledger errors.
+    pub fn run_fig8(&mut self) -> Result<(), CoreError> {
+        for _ in 0..4 {
+            self.seal()?; // blocks 9,10 → Σ11; blocks 12,13 → Σ14 merge
+        }
+        Ok(())
+    }
+
+    /// The id of BRAVO's entry targeted in Fig. 7.
+    pub fn bravo_target() -> EntryId {
+        EntryId::new(BlockNumber(3), EntryNumber(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldel_chain::BlockKind;
+
+    #[test]
+    fn fig6_state_matches_paper() {
+        let mut sim = LoginAudit::paper_setup();
+        sim.run_fig6().unwrap();
+        let chain = sim.ledger().chain();
+        // Blocks 0..=5; Σ2 and Σ5 empty; marker still 0.
+        assert_eq!(chain.marker(), BlockNumber(0));
+        assert_eq!(chain.tip().number(), BlockNumber(5));
+        for n in [2u64, 5] {
+            let block = chain.get(BlockNumber(n)).unwrap();
+            assert_eq!(block.kind(), BlockKind::Summary);
+            assert!(block.summary_records().is_empty(), "Σ{n} must be empty");
+        }
+        for n in [1u64, 3, 4] {
+            assert_eq!(chain.get(BlockNumber(n)).unwrap().entries().len(), 3);
+        }
+        let rendered = sim.render();
+        assert!(rendered.contains("DEADB"), "{rendered}");
+        assert!(rendered.contains("user=ALPHA"));
+        assert!(rendered.contains("K BRAVO"));
+    }
+
+    #[test]
+    fn fig7_deletion_and_double_merge() {
+        let mut sim = LoginAudit::paper_setup();
+        sim.run_fig6().unwrap();
+        sim.run_fig7().unwrap();
+        let chain = sim.ledger().chain();
+        // Marker shifted to 6; blocks before 6 deleted.
+        assert_eq!(chain.marker(), BlockNumber(6));
+        assert!(chain.get(BlockNumber(5)).is_none());
+        // Σ8 carries the merged records minus BRAVO's deleted entry:
+        // blocks 1,3,4 × 3 entries − 1 deleted = 8 records.
+        let summary = chain.get(BlockNumber(8)).unwrap();
+        assert_eq!(summary.kind(), BlockKind::Summary);
+        assert_eq!(summary.summary_records().len(), 8);
+        let target = LoginAudit::bravo_target();
+        assert!(summary
+            .summary_records()
+            .iter()
+            .all(|r| r.origin() != target));
+        // Original ids preserved (Fig. 4): records from block 1 keep α = 1.
+        assert!(summary
+            .summary_records()
+            .iter()
+            .any(|r| r.origin().block == BlockNumber(1)));
+        // The deletion request entry itself is in block 6 and still live.
+        assert_eq!(chain.get(BlockNumber(6)).unwrap().entries().len(), 1);
+        // Physically deleted.
+        assert!(sim.ledger().record(target).is_none());
+        // ALPHA's neighbour entry survived.
+        assert!(sim
+            .ledger()
+            .record(EntryId::new(BlockNumber(3), EntryNumber(0)))
+            .is_some());
+    }
+
+    #[test]
+    fn fig8_deletion_request_disappears() {
+        let mut sim = LoginAudit::paper_setup();
+        sim.run_fig6().unwrap();
+        sim.run_fig7().unwrap();
+        sim.run_fig8().unwrap();
+        let chain = sim.ledger().chain();
+        assert_eq!(chain.marker(), BlockNumber(12));
+        // No block in the live chain carries a deletion request anymore,
+        // and no summary record refers to one.
+        for block in chain.iter() {
+            assert!(block.entries().iter().all(|e| !e.is_delete_request()));
+        }
+        // The 8 surviving records are still reachable via Σ14.
+        assert_eq!(chain.record_count(), 8);
+        // BRAVO's other logins (blocks 1 and 4) survived both merges.
+        assert!(sim
+            .ledger()
+            .record(EntryId::new(BlockNumber(1), EntryNumber(1)))
+            .is_some());
+        assert!(sim
+            .ledger()
+            .record(EntryId::new(BlockNumber(4), EntryNumber(1)))
+            .is_some());
+    }
+
+    #[test]
+    fn render_marks_summary_blocks_with_s() {
+        let mut sim = LoginAudit::paper_setup();
+        sim.run_fig6().unwrap();
+        let rendered = sim.render();
+        assert!(rendered.contains("\nS2; "), "{rendered}");
+        assert!(rendered.contains("\nS5; "), "{rendered}");
+        assert!(rendered.contains("(empty)"));
+    }
+
+    #[test]
+    fn foreign_deletion_blocked_in_scenario() {
+        let mut sim = LoginAudit::paper_setup();
+        sim.run_fig6().unwrap();
+        // CHARLIE cannot delete BRAVO's entry.
+        let err = sim
+            .request_deletion("CHARLIE", LoginAudit::bravo_target())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NotAuthorized(_)));
+    }
+}

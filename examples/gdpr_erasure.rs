@@ -1,0 +1,83 @@
+//! GDPR right-to-erasure walkthrough (paper §II): authorisation rules,
+//! semantic cohesion with co-signatures, and an admin deletion of
+//! unwanted content.
+//!
+//! Run with `cargo run --example gdpr_erasure`.
+
+use selective_deletion::core::{Role, RoleTable};
+use selective_deletion::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let dpo = SigningKey::from_seed([0xD0; 32]); // data-protection officer
+    let alice = SigningKey::from_seed([1u8; 32]);
+    let bob = SigningKey::from_seed([2u8; 32]);
+
+    let roles = RoleTable::new().with(dpo.verifying_key(), Role::Admin);
+    let mut ledger = SelectiveLedger::builder(ChainConfig::paper_evaluation())
+        .roles(roles)
+        .build();
+
+    // Alice stores personal data; Bob links a follow-up record to it.
+    ledger.submit_entry(Entry::sign_data(
+        &alice,
+        DataRecord::new("profile").with("name", "Alice A."),
+    ))?;
+    ledger.seal_block(Timestamp(10))?;
+    let alice_profile = EntryId::new(BlockNumber(1), EntryNumber(0));
+
+    ledger.submit_entry(Entry::sign_data_with(
+        &bob,
+        DataRecord::new("review").with("text", "worked with Alice"),
+        None,
+        vec![alice_profile],
+    ))?;
+    ledger.seal_block(Timestamp(20))?;
+
+    // 1. A stranger cannot erase Alice's data (signature match fails).
+    match ledger.request_deletion(&bob, alice_profile, "not mine") {
+        Err(CoreError::NotAuthorized(reason)) => {
+            println!("bob's deletion rejected: {reason}")
+        }
+        other => panic!("expected authorisation failure, got {other:?}"),
+    }
+
+    // 2. Alice herself is blocked by Bob's dependent record (§IV-D2).
+    match ledger.request_deletion(&alice, alice_profile, "GDPR Art. 17") {
+        Err(CoreError::Cohesion(reason)) => {
+            println!("alice blocked by semantic cohesion: {reason}")
+        }
+        other => panic!("expected cohesion failure, got {other:?}"),
+    }
+
+    // 3. With Bob's co-signature the erasure is granted.
+    let mut request = DeleteRequest::new(alice_profile, "GDPR Art. 17");
+    let approval = bob.sign(&request.cosign_message());
+    request = request.with_cosignature(bob.verifying_key(), approval);
+    ledger.request_deletion_with(&alice, request)?;
+    ledger.seal_block(Timestamp(30))?;
+    println!("erasure marked with bob's approval; waiting for the merge …");
+
+    // 4. The data disappears physically at the next merge cycle.
+    for i in 4..=14u64 {
+        ledger.seal_block(Timestamp(i * 10))?;
+    }
+    println!(
+        "alice's profile physically erased: {}",
+        ledger.record(alice_profile).is_none()
+    );
+
+    // 5. The DPO (admin) can erase unlawful content without ownership.
+    ledger.submit_entry(Entry::sign_data(
+        &bob,
+        DataRecord::new("profile").with("name", "unlawful content"),
+    ))?;
+    let block = ledger.seal_block(Timestamp(150))?;
+    let bad = EntryId::new(block, EntryNumber(0));
+    ledger.request_deletion(&dpo, bad, "illegal content takedown")?;
+    ledger.seal_block(Timestamp(160))?;
+    println!(
+        "DPO takedown accepted: target live = {} (drops at the next merge)",
+        ledger.is_live(bad)
+    );
+    Ok(())
+}

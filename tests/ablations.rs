@@ -1,0 +1,193 @@
+//! Ablation tests for the design choices DESIGN.md calls out: retire mode,
+//! anchoring policy, idle filler, and sequence length.
+
+use selective_deletion::codec::DataRecord;
+use selective_deletion::crypto::SigningKey;
+use selective_deletion::prelude::*;
+
+fn drive(config: ChainConfig, blocks: u64) -> SelectiveLedger {
+    let key = SigningKey::from_seed([0x77; 32]);
+    let mut ledger = SelectiveLedger::new(config);
+    for i in 1..=blocks {
+        ledger
+            .submit_entry(Entry::sign_data(
+                &key,
+                DataRecord::new("log").with("n", i),
+            ))
+            .expect("valid entry");
+        ledger.seal_block(Timestamp(i * 10)).expect("monotone time");
+    }
+    ledger
+}
+
+fn config(mode: RetireMode, anchoring: AnchorPolicy) -> ChainConfig {
+    ChainConfig {
+        sequence_length: 3,
+        retention: RetentionPolicy {
+            max_live_blocks: Some(9),
+            min_live_blocks: 3,
+            min_live_summaries: 1,
+            min_timespan: None,
+            mode,
+        },
+        anchoring,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn retire_mode_full_compaction_keeps_chain_shorter() {
+    let minimal = drive(config(RetireMode::MinimumNeeded, AnchorPolicy::None), 40);
+    let compact = drive(config(RetireMode::FullCompaction, AnchorPolicy::None), 40);
+    // Both bounded…
+    assert!(minimal.stats().live_blocks <= 12);
+    assert!(compact.stats().live_blocks <= 12);
+    // …but compaction leaves fewer live blocks on average (it cuts to the
+    // open tail + Σ whenever it trips).
+    assert!(
+        compact.stats().live_blocks <= minimal.stats().live_blocks,
+        "compaction ({}) vs minimal ({})",
+        compact.stats().live_blocks,
+        minimal.stats().live_blocks
+    );
+    // Conservation holds in both modes.
+    assert_eq!(minimal.stats().live_records, 40);
+    assert_eq!(compact.stats().live_records, 40);
+}
+
+#[test]
+fn retire_modes_agree_on_content() {
+    // Same workload, different retirement aggressiveness: the *live data*
+    // (by origin id) must be identical; only block layout differs.
+    let minimal = drive(config(RetireMode::MinimumNeeded, AnchorPolicy::None), 30);
+    let compact = drive(config(RetireMode::FullCompaction, AnchorPolicy::None), 30);
+    let mut ids_a: Vec<EntryId> = minimal
+        .chain()
+        .live_records()
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect();
+    let mut ids_b: Vec<EntryId> = compact
+        .chain()
+        .live_records()
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect();
+    ids_a.sort();
+    ids_b.sort();
+    assert_eq!(ids_a, ids_b);
+}
+
+#[test]
+fn anchoring_costs_bytes_but_adds_confirmations() {
+    let plain = drive(config(RetireMode::MinimumNeeded, AnchorPolicy::None), 40);
+    let anchored = drive(
+        config(RetireMode::MinimumNeeded, AnchorPolicy::MiddleSequence),
+        40,
+    );
+    let anchors = anchored
+        .chain()
+        .iter()
+        .filter(|b| b.anchor().is_some())
+        .count();
+    assert!(anchors > 0, "anchoring produced no anchors");
+    assert_eq!(
+        plain
+            .chain()
+            .iter()
+            .filter(|b| b.anchor().is_some())
+            .count(),
+        0
+    );
+    // The anchored chain pays a small, bounded byte overhead (one digest +
+    // two block numbers per merging summary).
+    let overhead = anchored.stats().live_bytes as i64 - plain.stats().live_bytes as i64;
+    assert!(overhead >= 0);
+    assert!(overhead < 200 * anchors as i64);
+}
+
+#[test]
+fn sequence_length_trades_summary_frequency_for_latency() {
+    // Short sequences → more summaries (overhead) but lower deletion
+    // latency; long sequences → the reverse.
+    let short = drive(
+        ChainConfig {
+            sequence_length: 3,
+            retention: RetentionPolicy::bounded(12),
+            ..Default::default()
+        },
+        60,
+    );
+    let long = drive(
+        ChainConfig {
+            sequence_length: 6,
+            retention: RetentionPolicy::bounded(12),
+            ..Default::default()
+        },
+        60,
+    );
+    assert!(
+        short.stats().summaries_created > long.stats().summaries_created,
+        "short {} vs long {}",
+        short.stats().summaries_created,
+        long.stats().summaries_created
+    );
+}
+
+#[test]
+fn idle_filler_ablation_bounds_latency_only_when_enabled() {
+    let key = SigningKey::from_seed([0x78; 32]);
+    let run = |filler: Option<u64>| -> Option<u64> {
+        let mut config = ChainConfig::paper_evaluation();
+        config.idle_fill = filler.map(|ms| IdleFillPolicy { max_idle_ms: ms });
+        let mut ledger = SelectiveLedger::new(config);
+        ledger
+            .submit_entry(Entry::sign_data(&key, DataRecord::new("d").with("n", 1u64)))
+            .unwrap();
+        ledger.seal_block(Timestamp(10)).unwrap();
+        let target = EntryId::new(BlockNumber(1), EntryNumber(0));
+        ledger.request_deletion(&key, target, "").unwrap();
+        ledger.seal_block(Timestamp(20)).unwrap();
+        // Silence: only time passes (no traffic).
+        for step in 1..=100u64 {
+            ledger.tick(Timestamp(20 + step * 100));
+            if ledger.record(target).is_none() {
+                return Some(step * 100);
+            }
+        }
+        None
+    };
+    let with_filler = run(Some(50));
+    let without = run(None);
+    assert!(with_filler.is_some(), "filler must flush the deletion");
+    assert!(
+        without.is_none(),
+        "without filler and traffic, deletion latency is unbounded (the paper's trade-off)"
+    );
+}
+
+#[test]
+fn min_timespan_retention_preserves_audit_window() {
+    // §IV-D3: "a minimum time span coverage" — with the constraint, the
+    // live chain always covers at least the configured window.
+    let mut config = ChainConfig {
+        sequence_length: 3,
+        retention: RetentionPolicy {
+            max_live_blocks: Some(6),
+            min_live_blocks: 3,
+            min_live_summaries: 1,
+            min_timespan: Some(100),
+            mode: RetireMode::MinimumNeeded,
+        },
+        ..Default::default()
+    };
+    config.chain_note = "windowed".into();
+    let ledger = drive(config, 40);
+    assert!(
+        ledger.stats().covered_timespan >= 100,
+        "covered {} < 100",
+        ledger.stats().covered_timespan
+    );
+    // The trade-off: the chain may exceed l_max to honour the window.
+    assert!(ledger.stats().live_blocks >= 6);
+}

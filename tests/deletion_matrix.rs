@@ -1,0 +1,281 @@
+//! The full authorisation/cohesion decision matrix of §IV-D, including the
+//! stacked Bell-LaPadula and Brewer-Nash automatic models and quorum
+//! master signatures.
+
+use selective_deletion::codec::DataRecord;
+use selective_deletion::core::{
+    BellLaPadula, BrewerNash, MasterKeySet, Role, RoleTable,
+};
+use selective_deletion::crypto::SigningKey;
+use selective_deletion::prelude::*;
+
+fn key(seed: u8) -> SigningKey {
+    SigningKey::from_seed([seed; 32])
+}
+
+fn seal_one(ledger: &mut SelectiveLedger, t: u64) -> BlockNumber {
+    ledger.seal_block(Timestamp(t)).expect("monotone time")
+}
+
+#[test]
+fn owner_yes_stranger_no_admin_yes_auditor_no() {
+    let owner = key(1);
+    let stranger = key(2);
+    let admin = key(3);
+    let auditor = key(4);
+    let roles = RoleTable::new()
+        .with(admin.verifying_key(), Role::Admin)
+        .with(auditor.verifying_key(), Role::Auditor);
+    let mut ledger = SelectiveLedger::builder(ChainConfig::paper_evaluation())
+        .roles(roles)
+        .build();
+
+    for i in 0..4u64 {
+        ledger
+            .submit_entry(Entry::sign_data(
+                &owner,
+                DataRecord::new("d").with("n", i),
+            ))
+            .unwrap();
+    }
+    let block = seal_one(&mut ledger, 10);
+    let id = |e: u32| EntryId::new(block, EntryNumber(e));
+
+    // Owner: allowed.
+    ledger.request_deletion(&owner, id(0), "").unwrap();
+    // Stranger: refused.
+    assert!(matches!(
+        ledger.request_deletion(&stranger, id(1), ""),
+        Err(CoreError::NotAuthorized(_))
+    ));
+    // Admin: allowed on foreign data.
+    ledger.request_deletion(&admin, id(1), "").unwrap();
+    // Auditor: refused even on... everything.
+    assert!(matches!(
+        ledger.request_deletion(&auditor, id(2), ""),
+        Err(CoreError::NotAuthorized(_))
+    ));
+}
+
+#[test]
+fn master_signature_overrides_ownership() {
+    let owner = key(1);
+    let requester = key(2);
+    let q: Vec<SigningKey> = (10..13).map(key).collect();
+    let master = MasterKeySet::new(q.iter().map(|k| k.verifying_key()).collect(), 2);
+    let mut ledger = SelectiveLedger::builder(ChainConfig::paper_evaluation())
+        .master_keys(master)
+        .build();
+
+    ledger
+        .submit_entry(Entry::sign_data(&owner, DataRecord::new("d").with("n", 1u64)))
+        .unwrap();
+    let block = seal_one(&mut ledger, 10);
+    let target = EntryId::new(block, EntryNumber(0));
+
+    // Without co-signatures the threshold is unmet.
+    assert!(matches!(
+        ledger.request_deletion(&requester, target, "takedown"),
+        Err(CoreError::NotAuthorized(_))
+    ));
+
+    // With 2-of-3 quorum co-signatures it is granted.
+    let mut request = DeleteRequest::new(target, "takedown");
+    let message = request.cosign_message();
+    request = request
+        .with_cosignature(q[0].verifying_key(), q[0].sign(&message))
+        .with_cosignature(q[2].verifying_key(), q[2].sign(&message));
+    ledger.request_deletion_with(&requester, request).unwrap();
+}
+
+#[test]
+fn bell_lapadula_blocks_low_clearance() {
+    let officer = key(1); // clearance 3
+    let clerk = key(2); // clearance 1
+    let blp = BellLaPadula::new()
+        .with_clearance(officer.verifying_key(), 3)
+        .with_clearance(clerk.verifying_key(), 1);
+    // Both users share data ownership via admin role to isolate the BLP
+    // effect (otherwise ownership would already refuse the clerk).
+    let roles = RoleTable::new()
+        .with(officer.verifying_key(), Role::Admin)
+        .with(clerk.verifying_key(), Role::Admin);
+    let mut ledger = SelectiveLedger::builder(ChainConfig::paper_evaluation())
+        .roles(roles)
+        .cohesion_policy(blp)
+        .build();
+
+    // A classified record (level 2).
+    ledger
+        .submit_entry(Entry::sign_data(
+            &officer,
+            DataRecord::new("intel")
+                .with("classification", 2u64)
+                .with("text", "secret"),
+        ))
+        .unwrap();
+    let block = seal_one(&mut ledger, 10);
+    let target = EntryId::new(block, EntryNumber(0));
+
+    assert!(matches!(
+        ledger.request_deletion(&clerk, target, ""),
+        Err(CoreError::Cohesion(_))
+    ));
+    ledger.request_deletion(&officer, target, "").unwrap();
+}
+
+#[test]
+fn brewer_nash_blocks_conflicting_class() {
+    let consultant = key(1);
+    let bank_a_clerk = key(2);
+    let wall = BrewerNash::new().with_class("banks", ["bank-a", "bank-b"]);
+    let roles = RoleTable::new().with(consultant.verifying_key(), Role::Admin);
+    let mut ledger = SelectiveLedger::builder(ChainConfig::paper_evaluation())
+        .roles(roles)
+        .cohesion_policy(wall)
+        .build();
+
+    // The consultant has produced entries for bank-b; bank-a's data comes
+    // from its own clerk.
+    ledger
+        .submit_entry(Entry::sign_data(
+            &consultant,
+            DataRecord::new("bank-b").with("doc", 1u64),
+        ))
+        .unwrap();
+    ledger
+        .submit_entry(Entry::sign_data(
+            &bank_a_clerk,
+            DataRecord::new("bank-a").with("doc", 2u64),
+        ))
+        .unwrap();
+    let block = seal_one(&mut ledger, 10);
+
+    // The consultant (admin) deleting bank-a data while having bank-b
+    // history breaches the Chinese wall.
+    let bank_a = EntryId::new(block, EntryNumber(1));
+    assert!(matches!(
+        ledger.request_deletion(&consultant, bank_a, ""),
+        Err(CoreError::Cohesion(_))
+    ));
+    // Deleting inside the consultant's own class side is fine.
+    let bank_b = EntryId::new(block, EntryNumber(0));
+    ledger.request_deletion(&consultant, bank_b, "").unwrap();
+}
+
+#[test]
+fn dependency_chain_requires_all_dependents() {
+    let a = key(1);
+    let b = key(2);
+    let c = key(3);
+    let mut ledger = SelectiveLedger::new(ChainConfig::paper_evaluation());
+
+    ledger
+        .submit_entry(Entry::sign_data(&a, DataRecord::new("d").with("n", 0u64)))
+        .unwrap();
+    let b0 = seal_one(&mut ledger, 10);
+    let root = EntryId::new(b0, EntryNumber(0));
+
+    // Two dependents by different parties.
+    ledger
+        .submit_entry(Entry::sign_data_with(
+            &b,
+            DataRecord::new("d").with("n", 1u64),
+            None,
+            vec![root],
+        ))
+        .unwrap();
+    ledger
+        .submit_entry(Entry::sign_data_with(
+            &c,
+            DataRecord::new("d").with("n", 2u64),
+            None,
+            vec![root],
+        ))
+        .unwrap();
+    seal_one(&mut ledger, 20);
+
+    // One co-signature is not enough.
+    let mut partial = DeleteRequest::new(root, "");
+    let msg = partial.cosign_message();
+    partial = partial.with_cosignature(b.verifying_key(), b.sign(&msg));
+    assert!(matches!(
+        ledger.request_deletion_with(&a, partial),
+        Err(CoreError::Cohesion(_))
+    ));
+
+    // Both dependents approving unlocks the deletion.
+    let mut full = DeleteRequest::new(root, "");
+    let msg = full.cosign_message();
+    full = full
+        .with_cosignature(b.verifying_key(), b.sign(&msg))
+        .with_cosignature(c.verifying_key(), c.sign(&msg));
+    ledger.request_deletion_with(&a, full).unwrap();
+}
+
+#[test]
+fn deleting_dependent_first_unlocks_root() {
+    let a = key(1);
+    let b = key(2);
+    let mut ledger = SelectiveLedger::new(ChainConfig::paper_evaluation());
+
+    ledger
+        .submit_entry(Entry::sign_data(&a, DataRecord::new("d").with("n", 0u64)))
+        .unwrap();
+    let b0 = seal_one(&mut ledger, 10);
+    let root = EntryId::new(b0, EntryNumber(0));
+    ledger
+        .submit_entry(Entry::sign_data_with(
+            &b,
+            DataRecord::new("d").with("n", 1u64),
+            None,
+            vec![root],
+        ))
+        .unwrap();
+    let b2 = seal_one(&mut ledger, 20);
+    let dependent = EntryId::new(b2, EntryNumber(0));
+
+    // Root blocked by the dependent.
+    assert!(ledger.request_deletion(&a, root, "").is_err());
+    // B deletes their own dependent; after it is *physically* gone the
+    // root becomes deletable (marks alone already unblock new attempts
+    // once the dependent is dropped from the live chain).
+    ledger.request_deletion(&b, dependent, "").unwrap();
+    seal_one(&mut ledger, 30);
+    for i in 4..=14u64 {
+        seal_one(&mut ledger, i * 10);
+        if ledger.record(dependent).is_none() {
+            break;
+        }
+    }
+    assert!(ledger.record(dependent).is_none(), "dependent never dropped");
+    ledger.request_deletion(&a, root, "").unwrap();
+}
+
+#[test]
+fn wrong_requests_have_no_effect_on_chain_state() {
+    // §V: "wrong request of deletions can be included in the blockchain,
+    // but these have no further effects."
+    let owner = key(1);
+    let stranger = key(2);
+    let mut ledger = SelectiveLedger::new(ChainConfig::paper_evaluation());
+    ledger
+        .submit_entry(Entry::sign_data(&owner, DataRecord::new("d").with("n", 1u64)))
+        .unwrap();
+    let block = seal_one(&mut ledger, 10);
+    let target = EntryId::new(block, EntryNumber(0));
+
+    // Raw (unvalidated) submission of a bogus delete entry.
+    ledger
+        .submit_entry(Entry::sign_delete(&stranger, DeleteRequest::new(target, "")))
+        .unwrap();
+    seal_one(&mut ledger, 20);
+
+    // Included but ineffective: target stays live through merges.
+    for i in 3..=14u64 {
+        seal_one(&mut ledger, i * 10);
+    }
+    assert!(ledger.is_live(target));
+    assert!(ledger.record(target).is_some());
+    assert!(ledger.deletion_status(target).is_none());
+}

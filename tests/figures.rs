@@ -1,0 +1,181 @@
+//! Golden tests for the paper's figures (DESIGN.md rows F1–F8).
+//!
+//! Each test checks the *behavioural* content of a figure: block numbering
+//! and timestamps (F1), sequence partitioning (F2), the round-robin merge
+//! (F3), the summary record layout (F4), selective non-copying (F5), and
+//! the three console outputs (F6–F8).
+
+use selective_deletion::prelude::*;
+use selective_deletion::sim::LoginAudit;
+
+#[test]
+fn f1_summary_block_insertion() {
+    let mut sim = LoginAudit::paper_setup();
+    sim.login("ALPHA", 1).unwrap();
+    sim.seal().unwrap();
+    let chain = sim.ledger().chain();
+    let block1 = chain.get(BlockNumber(1)).unwrap();
+    let sigma2 = chain.get(BlockNumber(2)).unwrap();
+    // "the block number αΣ of the summary block is increased by one as
+    // normal blocks. The summary block has the same timestamp τ as the
+    // block before."
+    assert_eq!(sigma2.number(), block1.number().next());
+    assert_eq!(sigma2.timestamp(), block1.timestamp());
+    assert_eq!(sigma2.kind(), BlockKind::Summary);
+    assert_eq!(sigma2.header().prev_hash, block1.hash());
+}
+
+#[test]
+fn f2_sequences_partition_the_chain() {
+    let mut sim = LoginAudit::paper_setup();
+    sim.run_fig6().unwrap();
+    let spans = selective_deletion::core::live_sequences(sim.ledger().chain());
+    assert_eq!(spans.len(), 2);
+    for span in &spans {
+        assert!(span.closed);
+        assert_eq!(span.len(), 3, "l = 3 sequences");
+    }
+    assert_eq!(spans[0].start, BlockNumber(0));
+    assert_eq!(spans[0].end, BlockNumber(2));
+    assert_eq!(spans[1].start, BlockNumber(3));
+    assert_eq!(spans[1].end, BlockNumber(5));
+}
+
+#[test]
+fn f3_round_robin_merge_and_marker_shift() {
+    let mut sim = LoginAudit::paper_setup();
+    sim.run_fig6().unwrap();
+    assert_eq!(sim.ledger().chain().marker(), BlockNumber(0));
+    sim.run_fig7().unwrap();
+    let chain = sim.ledger().chain();
+    assert_eq!(chain.marker(), BlockNumber(6));
+    // Old blocks physically gone.
+    for n in 0..6u64 {
+        assert!(chain.get(BlockNumber(n)).is_none(), "block {n} still live");
+    }
+    // Their content lives in Σ8.
+    let sigma8 = chain.get(BlockNumber(8)).unwrap();
+    assert!(!sigma8.summary_records().is_empty());
+}
+
+#[test]
+fn f4_summary_records_keep_original_position_fields() {
+    let mut sim = LoginAudit::paper_setup();
+    sim.run_fig6().unwrap();
+    sim.run_fig7().unwrap();
+    let chain = sim.ledger().chain();
+    let sigma8 = chain.get(BlockNumber(8)).unwrap();
+    // "the block number, the timestamp and the entry number are keeped the
+    // same as initially integrated."
+    let expected: Vec<(u64, u32, u64)> = vec![
+        (1, 0, 10),
+        (1, 1, 10),
+        (1, 2, 10),
+        (3, 0, 20),
+        (3, 2, 20), // 3:1 deleted
+        (4, 0, 30),
+        (4, 1, 30),
+        (4, 2, 30),
+    ];
+    let actual: Vec<(u64, u32, u64)> = sigma8
+        .summary_records()
+        .iter()
+        .map(|r| {
+            (
+                r.origin().block.value(),
+                r.origin().entry.value(),
+                r.origin_timestamp().millis(),
+            )
+        })
+        .collect();
+    assert_eq!(actual, expected);
+    // Carried signatures still verify (authorship preserved).
+    for record in sigma8.summary_records() {
+        record.verify().unwrap();
+    }
+}
+
+#[test]
+fn f5_marked_entry_not_copied() {
+    let mut sim = LoginAudit::paper_setup();
+    sim.run_fig6().unwrap();
+    let target = LoginAudit::bravo_target();
+    assert!(sim.ledger().record(target).is_some());
+    sim.run_fig7().unwrap();
+    assert!(sim.ledger().record(target).is_none());
+    assert!(matches!(
+        sim.ledger().deletion_status(target).map(|d| d.status),
+        Some(selective_deletion::core::DeletionStatus::Executed { .. })
+    ));
+}
+
+#[test]
+fn f6_console_output() {
+    let mut sim = LoginAudit::paper_setup();
+    sim.run_fig6().unwrap();
+    let rendered = sim.render();
+    // Genesis with predecessor DEADB.
+    assert!(rendered.contains("0; 0; DEADB; "), "{rendered}");
+    // Blocks 1, 3, 4 carry one entry per user.
+    for user in ["ALPHA", "BRAVO", "CHARLIE"] {
+        assert_eq!(
+            rendered.matches(&format!("K {user} S")).count(),
+            3,
+            "{user} should appear three times\n{rendered}"
+        );
+    }
+    // Summary blocks S2 and S5 present and empty.
+    assert!(rendered.contains("\nS2; 10; "), "{rendered}");
+    assert!(rendered.contains("\nS5; 30; "), "{rendered}");
+    assert_eq!(rendered.matches("(empty)").count(), 2, "{rendered}");
+    assert!(rendered.starts_with("marker m = 0\n"));
+}
+
+#[test]
+fn f7_console_output() {
+    let mut sim = LoginAudit::paper_setup();
+    sim.run_fig6().unwrap();
+    sim.run_fig7().unwrap();
+    let rendered = sim.render();
+    // Marker moved to 6 (paper: "The maker for the Genesis Block is
+    // changed to block number 6. All information before block 6 is
+    // deleted.").
+    assert!(rendered.starts_with("marker m = 6\n"), "{rendered}");
+    assert!(!rendered.contains("DEADB"), "genesis must be gone\n{rendered}");
+    // The deletion request is visible in block 6.
+    assert!(rendered.contains("0: DEL 3:1 K BRAVO"), "{rendered}");
+    // Σ8 holds the merged records; BRAVO's 3:1 entry was not copied.
+    assert!(rendered.contains("\nS8; 50; "), "{rendered}");
+    assert!(rendered.contains("1:1@τ10"), "{rendered}");
+    assert!(!rendered.contains("3:1@τ20"), "{rendered}");
+}
+
+#[test]
+fn f8_console_output() {
+    let mut sim = LoginAudit::paper_setup();
+    sim.run_fig6().unwrap();
+    sim.run_fig7().unwrap();
+    sim.run_fig8().unwrap();
+    let rendered = sim.render();
+    // One merge cycle ahead: marker at 12, no deletion request anywhere
+    // ("deletion entries are never transferred").
+    assert!(rendered.starts_with("marker m = 12\n"), "{rendered}");
+    assert!(!rendered.contains("DEL"), "{rendered}");
+    // The eight surviving records are still listed, ids intact.
+    for origin in ["1:0@τ10", "1:1@τ10", "1:2@τ10", "3:0@τ20", "3:2@τ20", "4:0@τ30", "4:1@τ30", "4:2@τ30"] {
+        assert!(rendered.contains(origin), "missing {origin}\n{rendered}");
+    }
+    assert!(!rendered.contains("3:1@τ20"), "{rendered}");
+}
+
+#[test]
+fn figures_are_deterministic() {
+    let run = || {
+        let mut sim = LoginAudit::paper_setup();
+        sim.run_fig6().unwrap();
+        sim.run_fig7().unwrap();
+        sim.run_fig8().unwrap();
+        sim.render()
+    };
+    assert_eq!(run(), run());
+}

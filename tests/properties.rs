@@ -1,0 +1,317 @@
+//! Property-based tests for the DESIGN.md invariants (I1–I10), spanning
+//! all workspace crates.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use selective_deletion::chain::{validate_chain, ValidationOptions};
+use selective_deletion::codec::{Codec, DataRecord, Value};
+use selective_deletion::crypto::{MerkleTree, SigningKey};
+use selective_deletion::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<u64>().prop_map(Value::U64),
+        any::<i64>().prop_map(Value::I64),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-zA-Z0-9 _.-]{0,24}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(Value::Bytes),
+    ]
+}
+
+fn record_strategy() -> impl Strategy<Value = DataRecord> {
+    (
+        "[a-z][a-z0-9_]{0,11}",
+        proptest::collection::btree_map("[a-z][a-z0-9]{0,7}", value_strategy(), 0..6),
+    )
+        .prop_map(|(schema, fields)| {
+            let mut record = DataRecord::new(schema);
+            for (name, value) in fields {
+                record.insert(name, value);
+            }
+            record
+        })
+}
+
+/// One step of the random ledger workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Submit a data entry as user `user % USERS`, with optional TTL.
+    Submit { user: u8, ttl: Option<u8> },
+    /// Seal a block, advancing time.
+    Seal,
+    /// Request deletion of the `pick`-th previously submitted entry by its
+    /// own author (always authorised; may still fail for other reasons).
+    Delete { pick: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u8>(), proptest::option::of(1u8..20)).prop_map(|(user, ttl)| Op::Submit { user, ttl }),
+        2 => Just(Op::Seal),
+        1 => any::<u8>().prop_map(|pick| Op::Delete { pick }),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// I9: codec round-trips
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn i9_value_codec_round_trip(value in value_strategy()) {
+        let bytes = value.to_canonical_bytes();
+        let decoded = Value::from_canonical_bytes(&bytes).expect("round trip");
+        prop_assert_eq!(decoded, value);
+    }
+
+    #[test]
+    fn i9_record_codec_round_trip(record in record_strategy()) {
+        let bytes = record.to_canonical_bytes();
+        let decoded = DataRecord::from_canonical_bytes(&bytes).expect("round trip");
+        prop_assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn i9_encoding_is_deterministic(record in record_strategy()) {
+        prop_assert_eq!(record.to_canonical_bytes(), record.to_canonical_bytes());
+    }
+
+    #[test]
+    fn i9_truncated_input_never_panics(record in record_strategy(), cut in 0usize..64) {
+        let bytes = record.to_canonical_bytes();
+        let cut = cut.min(bytes.len());
+        // Must error or produce a value, never panic.
+        let _ = DataRecord::from_canonical_bytes(&bytes[..cut]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// I8: signatures
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn i8_sign_verify_round_trip(seed in any::<[u8; 32]>(), msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let key = SigningKey::from_seed(seed);
+        let sig = key.sign(&msg);
+        prop_assert!(key.verifying_key().verify(&msg, &sig).is_ok());
+    }
+
+    #[test]
+    fn i8_bit_flip_rejected(seed in any::<[u8; 32]>(), msg in proptest::collection::vec(any::<u8>(), 1..128), flip in any::<u16>()) {
+        let key = SigningKey::from_seed(seed);
+        let sig = key.sign(&msg);
+        let mut tampered = msg.clone();
+        let idx = (flip as usize) % tampered.len();
+        tampered[idx] ^= 1 << (flip % 8) as u8;
+        if tampered != msg {
+            prop_assert!(key.verifying_key().verify(&tampered, &sig).is_err());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Merkle proofs
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn merkle_proofs_hold_for_every_leaf(
+        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..40)
+    ) {
+        let tree = MerkleTree::from_leaves(&leaves);
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = tree.prove(i).expect("in bounds");
+            prop_assert!(proof.verify(leaf, &tree.root()));
+        }
+    }
+
+    #[test]
+    fn merkle_rejects_cross_leaf_proofs(
+        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 2..20),
+        a in any::<u16>(),
+        b in any::<u16>(),
+    ) {
+        let tree = MerkleTree::from_leaves(&leaves);
+        let a = (a as usize) % leaves.len();
+        let b = (b as usize) % leaves.len();
+        if leaves[a] != leaves[b] {
+            let proof = tree.prove(a).expect("in bounds");
+            prop_assert!(!proof.verify(&leaves[b], &tree.root()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// I1–I6: ledger invariants under random workloads
+// ---------------------------------------------------------------------------
+
+fn users() -> Vec<SigningKey> {
+    (1..=4u8).map(|i| SigningKey::from_seed([i; 32])).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ledger_invariants_under_random_workload(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let users = users();
+        let config = ChainConfig {
+            sequence_length: 3,
+            retention: RetentionPolicy {
+                max_live_blocks: Some(9),
+                min_live_blocks: 3,
+                min_live_summaries: 1,
+                min_timespan: None,
+                mode: RetireMode::MinimumNeeded,
+            },
+            ..Default::default()
+        };
+        let mut ledger = SelectiveLedger::new(config);
+        let mut now = Timestamp(0);
+        // (id, owner index, record) of every successfully placed data entry.
+        let mut placed: Vec<(EntryId, usize, DataRecord)> = Vec::new();
+        // Pending mempool slots in submission order; None = deletion
+        // request (occupies an entry number but is not a data record).
+        let mut pending_batch: Vec<Option<(usize, DataRecord)>> = Vec::new();
+        let mut requested_deletions: Vec<EntryId> = Vec::new();
+        let mut last_marker = BlockNumber(0);
+        let mut submitted = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Submit { user, ttl } => {
+                    let user = (user as usize) % users.len();
+                    submitted += 1;
+                    let record = DataRecord::new("log").with("n", submitted).with("u", user as u64);
+                    let expiry = ttl.map(|t| Expiry::AtTimestamp(now + (t as u64) * 10));
+                    let entry = Entry::sign_data_with(&users[user], record.clone(), expiry, vec![]);
+                    ledger.submit_entry(entry).expect("valid entries accepted");
+                    pending_batch.push(Some((user, record)));
+                }
+                Op::Seal => {
+                    now += 10;
+                    let number = ledger.seal_block(now).expect("monotone time");
+                    for (i, slot) in pending_batch.drain(..).enumerate() {
+                        if let Some((user, record)) = slot {
+                            placed.push((EntryId::new(number, EntryNumber(i as u32)), user, record));
+                        }
+                    }
+                }
+                Op::Delete { pick } => {
+                    if placed.is_empty() { continue; }
+                    let (id, owner, _) = placed[(pick as usize) % placed.len()].clone();
+                    // Owners delete their own entries; duplicates and gone
+                    // targets are allowed to fail.
+                    match ledger.request_deletion(&users[owner], id, "prop") {
+                        Ok(()) => {
+                            requested_deletions.push(id);
+                            pending_batch.push(None);
+                        }
+                        Err(CoreError::DuplicateDeletion(_)) |
+                        Err(CoreError::TargetNotFound(_)) => {}
+                        Err(other) => panic!("unexpected rejection: {other}"),
+                    }
+                }
+            }
+
+            // I4: marker monotonicity + bounded length.
+            let stats = ledger.stats();
+            prop_assert!(stats.marker >= last_marker, "marker went backwards");
+            last_marker = stats.marker;
+            prop_assert!(
+                stats.live_blocks <= 9 + 3,
+                "live blocks {} exceed l_max + l", stats.live_blocks
+            );
+        }
+
+        // Seal whatever is still in the mempool (with bookkeeping), then
+        // flush pending deletions through enough merge cycles.
+        if !pending_batch.is_empty() {
+            now += 10;
+            let number = ledger.seal_block(now).expect("monotone time");
+            for (i, slot) in pending_batch.drain(..).enumerate() {
+                if let Some((user, record)) = slot {
+                    placed.push((EntryId::new(number, EntryNumber(i as u32)), user, record));
+                }
+            }
+        }
+        for _ in 0..12 {
+            now += 10;
+            ledger.seal_block(now).expect("monotone time");
+        }
+
+        // I1: the chain validates fully.
+        validate_chain(ledger.chain(), &ValidationOptions::default()).expect("valid chain");
+
+        // I5: executed deletions never resurface.
+        for id in &requested_deletions {
+            prop_assert!(ledger.record(*id).is_none(), "deleted {id} still present");
+        }
+
+        // I3 (conservation) and I6 (stable origins): every placed entry is
+        // either live with its original content, deleted on request, or
+        // expired.
+        let stats = ledger.stats();
+        let live: BTreeMap<EntryId, DataRecord> = ledger
+            .chain()
+            .live_records()
+            .into_iter()
+            .map(|(id, r)| (id, r.clone()))
+            .collect();
+        let mut accounted = 0u64;
+        for (id, _, original) in &placed {
+            if let Some(found) = live.get(id) {
+                prop_assert_eq!(found, original, "content of {} changed", id);
+                accounted += 1;
+            }
+        }
+        let vanished = placed.len() as u64 - accounted;
+        prop_assert_eq!(
+            vanished,
+            stats.executed_deletions as u64 + stats.expired_records,
+            "conservation violated: {} vanished, {} deleted, {} expired",
+            vanished, stats.executed_deletions, stats.expired_records
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// I2: summary determinism
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn i2_identical_histories_identical_tips(blocks in 1u64..20) {
+        let drive = || {
+            let key = SigningKey::from_seed([9u8; 32]);
+            let mut ledger = SelectiveLedger::new(ChainConfig::paper_evaluation());
+            for i in 1..=blocks {
+                ledger
+                    .submit_entry(Entry::sign_data(
+                        &key,
+                        DataRecord::new("log").with("n", i),
+                    ))
+                    .expect("valid");
+                ledger.seal_block(Timestamp(i * 10)).expect("monotone");
+            }
+            ledger
+        };
+        let a = drive();
+        let b = drive();
+        prop_assert_eq!(a.chain().tip().hash(), b.chain().tip().hash());
+        prop_assert_eq!(a.chain().export_bytes(), b.chain().export_bytes());
+    }
+}
