@@ -6,7 +6,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use seldel_bench::{bench_config, build_ledger, build_unbounded_ledger, workload_entry, workload_key};
+use seldel_bench::{
+    bench_config, build_ledger, build_unbounded_ledger, workload_entry, workload_key,
+};
 use seldel_chain::{validate_chain, BaselineChain, Timestamp, ValidationOptions};
 use seldel_core::SelectiveLedger;
 
@@ -57,11 +59,7 @@ fn bench_validation(c: &mut Criterion) {
         group.throughput(Throughput::Elements(selective.stats().live_blocks));
         group.bench_function(BenchmarkId::new("selective_full", blocks), |b| {
             b.iter(|| {
-                validate_chain(
-                    black_box(selective.chain()),
-                    &ValidationOptions::default(),
-                )
-                .unwrap()
+                validate_chain(black_box(selective.chain()), &ValidationOptions::default()).unwrap()
             })
         });
         group.bench_function(BenchmarkId::new("selective_structural", blocks), |b| {
@@ -78,11 +76,7 @@ fn bench_validation(c: &mut Criterion) {
         let unbounded = build_unbounded_ledger(blocks, 2);
         group.bench_function(BenchmarkId::new("unbounded_full", blocks), |b| {
             b.iter(|| {
-                validate_chain(
-                    black_box(unbounded.chain()),
-                    &ValidationOptions::default(),
-                )
-                .unwrap()
+                validate_chain(black_box(unbounded.chain()), &ValidationOptions::default()).unwrap()
             })
         });
     }

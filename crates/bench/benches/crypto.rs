@@ -33,9 +33,7 @@ fn bench_ed25519(c: &mut Criterion) {
     let signature = key.sign(message);
     let verifying = key.verifying_key();
 
-    c.bench_function("ed25519/sign", |b| {
-        b.iter(|| key.sign(black_box(message)))
-    });
+    c.bench_function("ed25519/sign", |b| b.iter(|| key.sign(black_box(message))));
     c.bench_function("ed25519/verify", |b| {
         b.iter(|| verifying.verify(black_box(message), black_box(&signature)))
     });
@@ -47,7 +45,9 @@ fn bench_ed25519(c: &mut Criterion) {
 fn bench_merkle(c: &mut Criterion) {
     let mut group = c.benchmark_group("merkle");
     for leaves in [16usize, 256, 2048] {
-        let data: Vec<Vec<u8>> = (0..leaves).map(|i| format!("leaf-{i}").into_bytes()).collect();
+        let data: Vec<Vec<u8>> = (0..leaves)
+            .map(|i| format!("leaf-{i}").into_bytes())
+            .collect();
         group.throughput(Throughput::Elements(leaves as u64));
         group.bench_function(BenchmarkId::new("build", leaves), |b| {
             b.iter(|| MerkleTree::from_leaves(black_box(&data)))

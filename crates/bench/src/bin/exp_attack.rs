@@ -60,12 +60,7 @@ fn main() {
     println!("{}", cmp.render());
 
     println!("§V-B4: eclipse — majority of consulted anchors controlled by attacker\n");
-    let mut eclipse = TextTable::new([
-        "anchors",
-        "controlled",
-        "consulted",
-        "stale majority",
-    ]);
+    let mut eclipse = TextTable::new(["anchors", "controlled", "consulted", "stale majority"]);
     for controlled in [1usize, 2, 3, 4, 5, 6] {
         let cfg = EclipseConfig {
             anchors: 10,

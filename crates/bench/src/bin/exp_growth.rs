@@ -47,11 +47,7 @@ fn main() {
     println!("l_max sweep after 400 appended blocks:");
     let mut sweep = TextTable::new(["l_max", "live blocks", "live size"]);
     for (l_max, blocks, bytes) in sweep_l_max(400, &[10, 20, 40, 80, 160]) {
-        sweep.row([
-            l_max.to_string(),
-            blocks.to_string(),
-            human_bytes(bytes),
-        ]);
+        sweep.row([l_max.to_string(), blocks.to_string(), human_bytes(bytes)]);
     }
     println!("{}", sweep.render());
 

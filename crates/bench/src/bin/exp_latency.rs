@@ -19,14 +19,7 @@ fn main() {
     println!("E2: deletion latency = request → physical drop at the next merge\n");
 
     let mut table = TextTable::new([
-        "l",
-        "l_max",
-        "filler",
-        "executed",
-        "mean blk",
-        "p50 blk",
-        "p90 blk",
-        "mean ms",
+        "l", "l_max", "filler", "executed", "mean blk", "p50 blk", "p90 blk", "mean ms",
     ]);
     for (l, l_max) in [(3u64, 9u64), (5, 15), (5, 30), (10, 30), (10, 60)] {
         let cfg = LatencyConfig {

@@ -15,12 +15,7 @@ use seldel_codec::render::{human_bytes, TextTable};
 
 fn main() {
     println!("E3a: summary block size/build time vs merged records\n");
-    let mut table = TextTable::new([
-        "records merged",
-        "Σ size",
-        "bytes/record",
-        "build time",
-    ]);
+    let mut table = TextTable::new(["records merged", "Σ size", "bytes/record", "build time"]);
     for entries_per_block in [2usize, 8, 32, 64] {
         // A manual chain stopped at tip 38 (l=10, l_max=20): the next slot
         // (39) merges sequence [10..19] — nine payload blocks of entries.
@@ -29,8 +24,7 @@ fn main() {
         let next = chain.tip().number().next();
         assert!(config.is_summary_slot(next));
         let started = Instant::now();
-        let (block, outcome) =
-            seldel_core::build_summary_block(&chain, &config, &deletions, next);
+        let (block, outcome) = seldel_core::build_summary_block(&chain, &config, &deletions, next);
         let elapsed = started.elapsed();
         let size = block.byte_size() as u64;
         table.row([

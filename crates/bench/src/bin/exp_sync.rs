@@ -11,7 +11,7 @@
 use seldel_chain::{BlockNumber, Entry, EntryId, EntryNumber, Timestamp};
 use seldel_codec::render::TextTable;
 use seldel_codec::DataRecord;
-use seldel_core::{build_summary_block, DeletionRegistry, ChainConfig, SelectiveLedger};
+use seldel_core::{build_summary_block, ChainConfig, DeletionRegistry, SelectiveLedger};
 use seldel_crypto::SigningKey;
 use seldel_network::{NetConfig, NodeId, SimNetwork};
 use seldel_node::{AnchorNode, NodeMessage};

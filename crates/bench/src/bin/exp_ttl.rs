@@ -18,12 +18,7 @@ fn main() {
     println!("E6a: mixed workload — permanent, τ-expiring and α-expiring entries\n");
     let key = SigningKey::from_seed([0x41; 32]);
     let mut ledger = SelectiveLedger::new(ChainConfig::paper_evaluation());
-    let mut table = TextTable::new([
-        "tip block",
-        "τ now",
-        "live records",
-        "expired total",
-    ]);
+    let mut table = TextTable::new(["tip block", "τ now", "live records", "expired total"]);
     for b in 1..=24u64 {
         let ts = Timestamp(b * 10);
         // One permanent record per block; one expiring at τ=120; one
@@ -31,7 +26,9 @@ fn main() {
         ledger
             .submit_entry(Entry::sign_data(
                 &key,
-                DataRecord::new("log").with("kind", "permanent").with("n", b),
+                DataRecord::new("log")
+                    .with("kind", "permanent")
+                    .with("n", b),
             ))
             .unwrap();
         ledger

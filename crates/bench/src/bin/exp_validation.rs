@@ -15,7 +15,10 @@ use seldel_codec::render::TextTable;
 fn time_validation(chain: &seldel_chain::Blockchain, opts: &ValidationOptions) -> (f64, u64) {
     let started = Instant::now();
     let report = validate_chain(chain, opts).expect("chains are valid");
-    (started.elapsed().as_secs_f64() * 1000.0, report.blocks_checked)
+    (
+        started.elapsed().as_secs_f64() * 1000.0,
+        report.blocks_checked,
+    )
 }
 
 fn main() {

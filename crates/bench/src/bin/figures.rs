@@ -25,7 +25,11 @@ fn fig1_summary_block_insertion() {
     let chain = sim.ledger().chain();
     let block1 = chain.get(seldel_chain::BlockNumber(1)).unwrap();
     let sigma = chain.get(seldel_chain::BlockNumber(2)).unwrap();
-    println!("block 1: number={} τ={}", block1.number(), block1.timestamp());
+    println!(
+        "block 1: number={} τ={}",
+        block1.number(),
+        block1.timestamp()
+    );
     println!(
         "Σ2:      number={} τ={} (same τ as predecessor: {})",
         sigma.number(),
@@ -46,7 +50,10 @@ fn fig2_sequences() {
     for span in seldel_core::live_sequences(sim.ledger().chain()) {
         println!(
             "ω[{}..={}] len={} closed={}",
-            span.start, span.end, span.len(), span.closed
+            span.start,
+            span.end,
+            span.len(),
+            span.closed
         );
     }
 }
@@ -56,8 +63,12 @@ fn fig3_summarisation() {
     let mut sim = LoginAudit::paper_setup();
     sim.run_fig6().expect("scripted run");
     println!("before: marker m = {}", sim.ledger().chain().marker());
-    sim.ledger_mut().seal_block(seldel_chain::Timestamp(60)).unwrap();
-    sim.ledger_mut().seal_block(seldel_chain::Timestamp(70)).unwrap();
+    sim.ledger_mut()
+        .seal_block(seldel_chain::Timestamp(60))
+        .unwrap();
+    sim.ledger_mut()
+        .seal_block(seldel_chain::Timestamp(70))
+        .unwrap();
     let chain = sim.ledger().chain();
     println!(
         "after Σ8: marker m = {} (old sequences copied into Σ8 and cut off)",
@@ -94,9 +105,17 @@ fn fig5_selective_deletion() {
     let mut sim = LoginAudit::paper_setup();
     sim.run_fig6().expect("scripted run");
     let target = LoginAudit::bravo_target();
-    println!("target {} live before merge: {}", target, sim.ledger().record(target).is_some());
+    println!(
+        "target {} live before merge: {}",
+        target,
+        sim.ledger().record(target).is_some()
+    );
     sim.run_fig7().expect("scripted run");
-    println!("target {} live after merge:  {}", target, sim.ledger().record(target).is_some());
+    println!(
+        "target {} live after merge:  {}",
+        target,
+        sim.ledger().record(target).is_some()
+    );
     println!(
         "deletion status: {:?}",
         sim.ledger().deletion_status(target).map(|d| d.status)

@@ -11,9 +11,7 @@
 
 use seldel_chain::{Entry, Timestamp};
 use seldel_codec::DataRecord;
-use seldel_core::{
-    ChainConfig, RetentionPolicy, RetireMode, SelectiveLedger,
-};
+use seldel_core::{ChainConfig, RetentionPolicy, RetireMode, SelectiveLedger};
 use seldel_crypto::SigningKey;
 
 /// Deterministic workload key shared by fixtures.
@@ -102,10 +100,14 @@ pub fn build_ttl_ledger(
             let entry = Entry::sign_data_with(
                 &key,
                 DataRecord::new("log").with("n", counter),
-                Some(seldel_chain::Expiry::AtTimestamp(Timestamp(ts.millis() + ttl_ms))),
+                Some(seldel_chain::Expiry::AtTimestamp(Timestamp(
+                    ts.millis() + ttl_ms,
+                ))),
                 vec![],
             );
-            ledger.submit_entry(entry).expect("workload entries are valid");
+            ledger
+                .submit_entry(entry)
+                .expect("workload entries are valid");
         }
         ledger.seal_block(ts).expect("monotone time");
     }

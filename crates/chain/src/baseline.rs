@@ -114,7 +114,9 @@ mod tests {
     #[test]
     fn append_and_lookup() {
         let mut base = BaselineChain::new("base", Timestamp(0));
-        let b1 = base.append(Timestamp(10), vec![entry(1), entry(2)]).unwrap();
+        let b1 = base
+            .append(Timestamp(10), vec![entry(1), entry(2)])
+            .unwrap();
         assert_eq!(b1, BlockNumber(1));
         assert_eq!(base.len(), 2);
         let rec = base.get_record(BaselineChain::id(1, 1)).unwrap();

@@ -27,9 +27,8 @@ const BLOCK_HASH_DOMAIN: &[u8] = b"seldel/block/v1";
 /// The paper's Fig. 6 shows the genesis block with previous hash `DEADB`;
 /// this constant renders exactly that via [`Digest32::short`].
 pub const GENESIS_PREV_HASH: Digest32 = Digest32::from_bytes([
-    0xde, 0xad, 0xb0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
-    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
-    0x00, 0x00,
+    0xde, 0xad, 0xb0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
 ]);
 
 /// Block kinds (discriminants are part of the wire format).
@@ -250,9 +249,9 @@ impl BlockBody {
     /// domain hash for genesis/empty bodies.
     pub fn payload_hash(&self) -> Digest32 {
         match self {
-            BlockBody::Genesis { note } => seldel_crypto::sha256(
-                [b"seldel/genesis/v1".as_slice(), note.as_bytes()].concat(),
-            ),
+            BlockBody::Genesis { note } => {
+                seldel_crypto::sha256([b"seldel/genesis/v1".as_slice(), note.as_bytes()].concat())
+            }
             BlockBody::Normal { entries } => {
                 MerkleTree::from_leaves(entries.iter().map(|e| e.to_canonical_bytes())).root()
             }
@@ -262,9 +261,8 @@ impl BlockBody {
                 if let Some(anchor) = anchor {
                     leaves.push(anchor.to_canonical_bytes());
                 }
-                let tree = MerkleTree::from_leaf_hashes(
-                    leaves.iter().map(merkle::leaf_hash).collect(),
-                );
+                let tree =
+                    MerkleTree::from_leaf_hashes(leaves.iter().map(merkle::leaf_hash).collect());
                 tree.root()
             }
             BlockBody::Empty => seldel_crypto::sha256(b"seldel/empty/v1"),
@@ -399,8 +397,7 @@ impl Block {
 
     /// Whether the header's payload commitment and kind match the body.
     pub fn is_payload_consistent(&self) -> bool {
-        self.header.kind == self.body.kind()
-            && self.header.payload_hash == self.body.payload_hash()
+        self.header.kind == self.body.kind() && self.header.payload_hash == self.body.payload_hash()
     }
 
     /// Entries of a normal block (empty slice otherwise).
@@ -438,7 +435,11 @@ impl fmt::Display for Block {
         write!(
             f,
             "{}{}; {}; {}; {}",
-            if self.kind() == BlockKind::Summary { "S" } else { "" },
+            if self.kind() == BlockKind::Summary {
+                "S"
+            } else {
+                ""
+            },
             self.number(),
             self.timestamp(),
             self.header.prev_hash.short(),
@@ -638,7 +639,10 @@ mod tests {
                 seldel_crypto::sha256(b"r"),
             )),
         };
-        assert_ne!(body_no_anchor.payload_hash(), body_with_anchor.payload_hash());
+        assert_ne!(
+            body_no_anchor.payload_hash(),
+            body_with_anchor.payload_hash()
+        );
     }
 
     #[test]

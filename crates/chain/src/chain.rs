@@ -193,11 +193,7 @@ impl Blockchain {
                 return Some(Located::InBlock { block, entry });
             }
             // The id may address a record *inside* a summary block.
-            if let Some(record) = block
-                .summary_records()
-                .iter()
-                .find(|r| r.origin() == id)
-            {
+            if let Some(record) = block.summary_records().iter().find(|r| r.origin() == id) {
                 return Some(Located::InSummary { block, record });
             }
         }
@@ -222,10 +218,7 @@ impl Blockchain {
                 BlockKind::Normal => {
                     for (i, entry) in block.entries().iter().enumerate() {
                         if let EntryPayload::Data(record) = entry.payload() {
-                            out.push((
-                                EntryId::new(block.number(), EntryNumber(i as u32)),
-                                record,
-                            ));
+                            out.push((EntryId::new(block.number(), EntryNumber(i as u32)), record));
                         }
                     }
                 }
@@ -480,8 +473,12 @@ mod tests {
     #[test]
     fn locate_missing_returns_none() {
         let chain = chain_with_blocks(2);
-        assert!(chain.locate(EntryId::new(BlockNumber(9), EntryNumber(0))).is_none());
-        assert!(chain.locate(EntryId::new(BlockNumber(1), EntryNumber(9))).is_none());
+        assert!(chain
+            .locate(EntryId::new(BlockNumber(9), EntryNumber(0)))
+            .is_none());
+        assert!(chain
+            .locate(EntryId::new(BlockNumber(1), EntryNumber(9)))
+            .is_none());
     }
 
     #[test]

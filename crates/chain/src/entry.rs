@@ -344,7 +344,9 @@ mod tests {
     }
 
     fn record() -> DataRecord {
-        DataRecord::new("login").with("user", "ALPHA").with("terminal", 1u64)
+        DataRecord::new("login")
+            .with("user", "ALPHA")
+            .with("terminal", 1u64)
     }
 
     #[test]
@@ -430,7 +432,10 @@ mod tests {
         // The cosignature itself must verify.
         decoded_req.cosignatures()[0]
             .signer
-            .verify(&decoded_req.cosign_message(), &decoded_req.cosignatures()[0].signature)
+            .verify(
+                &decoded_req.cosign_message(),
+                &decoded_req.cosignatures()[0].signature,
+            )
             .unwrap();
     }
 

@@ -105,10 +105,18 @@ impl fmt::Display for ChainError {
             ChainError::GenesisMisplaced { number } => {
                 write!(f, "genesis-kind block at non-zero number {number}")
             }
-            ChainError::EntrySignatureInvalid { block, entry, source } => {
+            ChainError::EntrySignatureInvalid {
+                block,
+                entry,
+                source,
+            } => {
                 write!(f, "invalid signature on entry {block}:{entry}: {source}")
             }
-            ChainError::RecordSignatureInvalid { block, origin, source } => {
+            ChainError::RecordSignatureInvalid {
+                block,
+                origin,
+                source,
+            } => {
                 write!(
                     f,
                     "invalid carried signature in summary block {block} for record {origin}: {source}"

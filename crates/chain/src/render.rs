@@ -47,7 +47,11 @@ fn display_user(names: &impl NameResolver, key: &VerifyingKey) -> String {
 /// Renders one block in the console format.
 pub fn render_block(block: &Block, names: &impl NameResolver) -> String {
     let mut out = String::new();
-    let prefix = if block.kind() == BlockKind::Summary { "S" } else { "" };
+    let prefix = if block.kind() == BlockKind::Summary {
+        "S"
+    } else {
+        ""
+    };
     out.push_str(&format!(
         "{prefix}{}; {}; {}; {}",
         block.number(),
@@ -78,10 +82,7 @@ pub fn render_block(block: &Block, names: &impl NameResolver) -> String {
                         }
                     }
                     EntryPayload::Delete(req) => {
-                        out.push_str(&format!(
-                            "\n  {i}: DEL {} K {user} S {sig}",
-                            req.target()
-                        ));
+                        out.push_str(&format!("\n  {i}: DEL {} K {user} S {sig}", req.target()));
                     }
                 }
             }
@@ -196,7 +197,10 @@ mod tests {
     #[test]
     fn entries_rendered_with_d_k_s() {
         let rendered = render_chain(&demo_chain(), &names);
-        assert!(rendered.contains("0: D login{user=ALPHA} K ALPHA S "), "{rendered}");
+        assert!(
+            rendered.contains("0: D login{user=ALPHA} K ALPHA S "),
+            "{rendered}"
+        );
         assert!(rendered.contains("1: DEL 1:0 K ALPHA S "), "{rendered}");
         assert!(rendered.contains(" T τ8888"), "{rendered}");
     }

@@ -33,7 +33,11 @@ impl SummaryRecord {
     ///
     /// Returns `None` for deletion-request entries: "deletion requests …
     /// will never be copied into a summary block" (§IV-D3).
-    pub fn from_entry(entry: &Entry, origin: EntryId, timestamp: Timestamp) -> Option<SummaryRecord> {
+    pub fn from_entry(
+        entry: &Entry,
+        origin: EntryId,
+        timestamp: Timestamp,
+    ) -> Option<SummaryRecord> {
         match entry.payload() {
             EntryPayload::Data(record) => Some(SummaryRecord {
                 origin,
@@ -230,10 +234,7 @@ mod tests {
     }
 
     fn entry(seed: u8) -> Entry {
-        Entry::sign_data(
-            &key(seed),
-            DataRecord::new("login").with("user", "ALPHA"),
-        )
+        Entry::sign_data(&key(seed), DataRecord::new("login").with("user", "ALPHA"))
     }
 
     fn origin() -> EntryId {

@@ -248,7 +248,10 @@ impl Codec for Expiry {
         match dec.take_u8()? {
             0 => Ok(Expiry::AtTimestamp(Timestamp::decode(dec)?)),
             1 => Ok(Expiry::AtBlock(BlockNumber::decode(dec)?)),
-            tag => Err(DecodeError::InvalidTag { what: "Expiry", tag }),
+            tag => Err(DecodeError::InvalidTag {
+                what: "Expiry",
+                tag,
+            }),
         }
     }
 }
@@ -305,13 +308,19 @@ mod tests {
     #[test]
     fn codec_round_trips() {
         let id = EntryId::new(BlockNumber(42), EntryNumber(7));
-        assert_eq!(EntryId::from_canonical_bytes(&id.to_canonical_bytes()).unwrap(), id);
+        assert_eq!(
+            EntryId::from_canonical_bytes(&id.to_canonical_bytes()).unwrap(),
+            id
+        );
 
         for e in [
             Expiry::AtTimestamp(Timestamp(8888)),
             Expiry::AtBlock(BlockNumber(4711)),
         ] {
-            assert_eq!(Expiry::from_canonical_bytes(&e.to_canonical_bytes()).unwrap(), e);
+            assert_eq!(
+                Expiry::from_canonical_bytes(&e.to_canonical_bytes()).unwrap(),
+                e
+            );
         }
     }
 

@@ -189,10 +189,7 @@ mod tests {
                     Timestamp(i * 10),
                     prev,
                     BlockBody::Normal {
-                        entries: vec![Entry::sign_data(
-                            &key,
-                            DataRecord::new("x").with("n", i),
-                        )],
+                        entries: vec![Entry::sign_data(&key, DataRecord::new("x").with("n", i))],
                     },
                     Seal::Deterministic,
                 ))

@@ -15,12 +15,7 @@ fn build_chain(block_count: u64, entries_per_block: u8) -> Blockchain {
     for b in 1..=block_count {
         let prev = chain.tip().hash();
         let entries: Vec<Entry> = (0..entries_per_block)
-            .map(|i| {
-                Entry::sign_data(
-                    &key,
-                    DataRecord::new("log").with("n", b * 100 + i as u64),
-                )
-            })
+            .map(|i| Entry::sign_data(&key, DataRecord::new("log").with("n", b * 100 + i as u64)))
             .collect();
         chain
             .push(Block::new(

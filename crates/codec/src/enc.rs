@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use bytes::{BufMut, BytesMut};
-
 /// Error produced when decoding malformed or truncated input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
@@ -39,7 +37,10 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remaining")
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+                )
             }
             DecodeError::LengthOverflow(len) => write!(f, "length prefix {len} too large"),
             DecodeError::InvalidTag { what, tag } => {
@@ -75,63 +76,63 @@ const MAX_LEN: u64 = 1 << 30;
 /// ```
 #[derive(Debug, Default)]
 pub struct Encoder {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Encoder {
     /// Creates an empty encoder.
     pub fn new() -> Encoder {
-        Encoder { buf: BytesMut::new() }
+        Encoder { buf: Vec::new() }
     }
 
     /// Creates an encoder with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Encoder {
         Encoder {
-            buf: BytesMut::with_capacity(cap),
+            buf: Vec::with_capacity(cap),
         }
     }
 
     /// Appends a single byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Appends a `u16` (little-endian).
     pub fn put_u16(&mut self, v: u16) {
-        self.buf.put_u16_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a `u32` (little-endian).
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a `u64` (little-endian).
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends an `i64` (little-endian two's complement).
     pub fn put_i64(&mut self, v: i64) {
-        self.buf.put_i64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a bool as one byte (0/1).
     pub fn put_bool(&mut self, v: bool) {
-        self.buf.put_u8(u8::from(v));
+        self.buf.push(u8::from(v));
     }
 
     /// Appends raw bytes *without* a length prefix (for fixed-size fields
     /// such as hashes, keys and signatures).
     pub fn put_raw(&mut self, bytes: &[u8]) {
-        self.buf.put_slice(bytes);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Appends variable-length bytes with a `u32` length prefix.
     pub fn put_bytes(&mut self, bytes: &[u8]) {
         debug_assert!((bytes.len() as u64) < MAX_LEN);
-        self.buf.put_u32_le(bytes.len() as u32);
-        self.buf.put_slice(bytes);
+        self.put_u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Appends a UTF-8 string with a `u32` length prefix.
@@ -142,12 +143,12 @@ impl Encoder {
     /// Appends a container length (`u32`).
     pub fn put_len(&mut self, len: usize) {
         debug_assert!((len as u64) < MAX_LEN);
-        self.buf.put_u32_le(len as u32);
+        self.put_u32(len as u32);
     }
 
     /// Finishes encoding and returns the buffer.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 
     /// Number of bytes written so far.
@@ -396,7 +397,10 @@ impl<T: Codec> Codec for Option<T> {
         match dec.take_u8()? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(dec)?)),
-            tag => Err(DecodeError::InvalidTag { what: "Option", tag }),
+            tag => Err(DecodeError::InvalidTag {
+                what: "Option",
+                tag,
+            }),
         }
     }
 }
@@ -530,7 +534,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = DecodeError::UnexpectedEof { needed: 8, remaining: 3 };
+        let e = DecodeError::UnexpectedEof {
+            needed: 8,
+            remaining: 3,
+        };
         assert!(e.to_string().contains("needed 8"));
         assert!(DecodeError::InvalidUtf8.to_string().contains("UTF-8"));
     }

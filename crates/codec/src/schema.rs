@@ -2,7 +2,7 @@
 //!
 //! The paper's prototype specifies entry structure "beforehand by a YAML
 //! schema" (§V). This module provides the equivalent: a [`RecordSchema`]
-//! declares the typed fields a [`DataRecord`](crate::DataRecord) must carry,
+//! declares the typed fields a [`DataRecord`] must carry,
 //! a [`SchemaRegistry`] validates incoming records, and
 //! [`RecordSchema::parse_yaml`] reads the subset of YAML needed for flat
 //! record declarations:
@@ -467,8 +467,7 @@ fields:
 
     #[test]
     fn parse_rejects_duplicate_field() {
-        let err =
-            RecordSchema::parse_yaml("record: x\nfields:\n  a: str\n  a: u64\n").unwrap_err();
+        let err = RecordSchema::parse_yaml("record: x\nfields:\n  a: str\n  a: u64\n").unwrap_err();
         assert!(matches!(err, SchemaError::Parse { line: 4, .. }));
     }
 

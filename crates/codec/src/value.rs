@@ -240,10 +240,7 @@ impl DataRecord {
 
     /// Looks up a field by name.
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.fields
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v)
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
     }
 
     /// Iterates fields in insertion order.

@@ -6,7 +6,7 @@
 //! concrete: engines seal and verify **normal and empty** blocks, while
 //! genesis and summary blocks are always [`Seal::Deterministic`] — summary
 //! blocks must be derivable by every node on its own, so they can never
-//! carry engine-specific data ("the nonce … [is] not needed anymore").
+//! carry engine-specific data ("the nonce … \[is\] not needed anymore").
 
 use std::fmt;
 
@@ -52,7 +52,10 @@ impl fmt::Display for SealError {
                 write!(f, "seal kind does not match engine {engine}")
             }
             SealError::InsufficientWork { got, needed } => {
-                write!(f, "insufficient work: {got} leading zero bits, need {needed}")
+                write!(
+                    f,
+                    "insufficient work: {got} leading zero bits, need {needed}"
+                )
             }
             SealError::BadAuthority => f.write_str("invalid authority signature"),
             SealError::NotASigner => f.write_str("engine has no signing key"),
@@ -219,7 +222,11 @@ pub struct ProofOfAuthority {
 
 impl fmt::Display for ProofOfAuthority {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "proof-of-authority ({} authorities)", self.authorities.len())
+        write!(
+            f,
+            "proof-of-authority ({} authorities)",
+            self.authorities.len()
+        )
     }
 }
 
@@ -371,8 +378,7 @@ mod tests {
     #[test]
     fn poa_seal_and_verify() {
         let auth = SigningKey::from_seed([1u8; 32]);
-        let engine =
-            ProofOfAuthority::new(vec![auth.verifying_key()]).with_signer(auth.clone());
+        let engine = ProofOfAuthority::new(vec![auth.verifying_key()]).with_signer(auth.clone());
         let mut header = draft(BlockKind::Normal);
         header.seal = engine.seal(&header).unwrap();
         engine.verify(&header).unwrap();
@@ -382,8 +388,8 @@ mod tests {
     fn poa_rejects_outsider() {
         let auth = SigningKey::from_seed([1u8; 32]);
         let outsider = SigningKey::from_seed([2u8; 32]);
-        let sealer = ProofOfAuthority::new(vec![outsider.verifying_key()])
-            .with_signer(outsider.clone());
+        let sealer =
+            ProofOfAuthority::new(vec![outsider.verifying_key()]).with_signer(outsider.clone());
         let verifier = ProofOfAuthority::new(vec![auth.verifying_key()]);
         let mut header = draft(BlockKind::Normal);
         header.seal = sealer.seal(&header).unwrap();
@@ -393,8 +399,7 @@ mod tests {
     #[test]
     fn poa_rejects_tampered_header() {
         let auth = SigningKey::from_seed([1u8; 32]);
-        let engine =
-            ProofOfAuthority::new(vec![auth.verifying_key()]).with_signer(auth.clone());
+        let engine = ProofOfAuthority::new(vec![auth.verifying_key()]).with_signer(auth.clone());
         let mut header = draft(BlockKind::Normal);
         header.seal = engine.seal(&header).unwrap();
         header.timestamp = Timestamp(51); // tamper after sealing

@@ -20,6 +20,10 @@ pub mod election;
 pub mod engine;
 pub mod quorum;
 
-pub use election::{ByParticipation, ByStake, Candidate, ElectionStrategy, FixedSet, RandomCommittee};
-pub use engine::{leading_zero_bits, ConsensusEngine, NullEngine, ProofOfAuthority, ProofOfWork, SealError};
+pub use election::{
+    ByParticipation, ByStake, Candidate, ElectionStrategy, FixedSet, RandomCommittee,
+};
+pub use engine::{
+    leading_zero_bits, ConsensusEngine, NullEngine, ProofOfAuthority, ProofOfWork, SealError,
+};
 pub use quorum::{Ballot, QuorumConfig, TallyState, VoteError, VoteSubject, VoteTally};

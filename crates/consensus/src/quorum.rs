@@ -1,7 +1,7 @@
 //! Quorum voting (§IV-A, §IV-C).
 //!
 //! "The agreement on the same blockchain is usually done by some core
-//! nodes, called anchor nodes. These node[s] manage the full copy of the
+//! nodes, called anchor nodes. These node\[s\] manage the full copy of the
 //! blockchain and build the quorum. … By a majority vote, the quorum
 //! determines the new first Block and the time of the changeover."
 //!
@@ -145,7 +145,12 @@ pub struct Ballot {
 
 impl Ballot {
     /// Signs a ballot.
-    pub fn sign(key: &SigningKey, subject: VoteSubject, accept: bool, cast_at: Timestamp) -> Ballot {
+    pub fn sign(
+        key: &SigningKey,
+        subject: VoteSubject,
+        accept: bool,
+        cast_at: Timestamp,
+    ) -> Ballot {
         let message = Ballot::signing_message(&subject, accept);
         Ballot {
             subject,
@@ -303,11 +308,15 @@ mod tests {
         let config = QuorumConfig::majority(members.iter().map(|k| k.verifying_key()).collect());
         let mut tally = VoteTally::new(config, subject());
         assert_eq!(
-            tally.add(&Ballot::sign(&members[0], subject(), true, Timestamp(1))).unwrap(),
+            tally
+                .add(&Ballot::sign(&members[0], subject(), true, Timestamp(1)))
+                .unwrap(),
             TallyState::Pending
         );
         assert_eq!(
-            tally.add(&Ballot::sign(&members[1], subject(), true, Timestamp(2))).unwrap(),
+            tally
+                .add(&Ballot::sign(&members[1], subject(), true, Timestamp(2)))
+                .unwrap(),
             TallyState::Accepted
         );
         assert_eq!(tally.accepts(), 2);
@@ -318,7 +327,9 @@ mod tests {
         let members = keys(3);
         let config = QuorumConfig::majority(members.iter().map(|k| k.verifying_key()).collect());
         let mut tally = VoteTally::new(config, subject());
-        tally.add(&Ballot::sign(&members[0], subject(), false, Timestamp(1))).unwrap();
+        tally
+            .add(&Ballot::sign(&members[0], subject(), false, Timestamp(1)))
+            .unwrap();
         let state = tally
             .add(&Ballot::sign(&members[1], subject(), false, Timestamp(2)))
             .unwrap();
@@ -343,7 +354,9 @@ mod tests {
         let members = keys(3);
         let config = QuorumConfig::majority(members.iter().map(|k| k.verifying_key()).collect());
         let mut tally = VoteTally::new(config, subject());
-        tally.add(&Ballot::sign(&members[0], subject(), true, Timestamp(1))).unwrap();
+        tally
+            .add(&Ballot::sign(&members[0], subject(), true, Timestamp(1)))
+            .unwrap();
         assert!(matches!(
             tally.add(&Ballot::sign(&members[0], subject(), false, Timestamp(2))),
             Err(VoteError::AlreadyVoted(_))

@@ -340,10 +340,7 @@ mod tests {
             &req,
         )
         .unwrap_err();
-        assert_eq!(
-            err,
-            AuthzError::MasterThresholdNotMet { got: 1, needed: 2 }
-        );
+        assert_eq!(err, AuthzError::MasterThresholdNotMet { got: 1, needed: 2 });
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl fmt::Display for CohesionViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CohesionViolation::UnapprovedDependent { dependent } => {
-                write!(f, "live entry {dependent} depends on the target and has not approved")
+                write!(
+                    f,
+                    "live entry {dependent} depends on the target and has not approved"
+                )
             }
             CohesionViolation::InsufficientClearance {
                 clearance,
@@ -296,7 +299,9 @@ mod tests {
         let err = DependencyPolicy.check(&ctx).unwrap_err();
         assert_eq!(
             err,
-            CohesionViolation::UnapprovedDependent { dependent: id(4, 0) }
+            CohesionViolation::UnapprovedDependent {
+                dependent: id(4, 0)
+            }
         );
     }
 
@@ -401,7 +406,9 @@ mod tests {
 
     #[test]
     fn violation_display() {
-        let v = CohesionViolation::UnapprovedDependent { dependent: id(4, 0) };
+        let v = CohesionViolation::UnapprovedDependent {
+            dependent: id(4, 0),
+        };
         assert!(v.to_string().contains("4:0"));
     }
 }

@@ -221,7 +221,7 @@ impl SelectiveLedger {
     /// dependencies, and the §IV-D3 rule that nothing may build on
     /// deletion-marked data. Deletion-request entries only need a valid
     /// signature here — their semantic validation happens at inclusion
-    /// time, because "wrong request[s] of deletions can be included in the
+    /// time, because "wrong request\[s\] of deletions can be included in the
     /// blockchain, but these have no further effects" (§V).
     ///
     /// # Errors
@@ -325,7 +325,10 @@ impl SelectiveLedger {
     pub fn seal_block(&mut self, now: Timestamp) -> Result<BlockNumber, CoreError> {
         let tip_ts = self.chain.tip().timestamp();
         if now < tip_ts {
-            return Err(CoreError::TimestampTooOld { given: now, tip: tip_ts });
+            return Err(CoreError::TimestampTooOld {
+                given: now,
+                tip: tip_ts,
+            });
         }
         let number = self.chain.tip().number().next();
         debug_assert!(
@@ -349,7 +352,8 @@ impl SelectiveLedger {
                 entries: sealed_entries,
             });
         } else {
-            self.events.push_back(LedgerEvent::EmptyBlockAdded { number });
+            self.events
+                .push_back(LedgerEvent::EmptyBlockAdded { number });
         }
         self.post_include(number, now);
         self.maybe_summarize(now);
@@ -358,7 +362,7 @@ impl SelectiveLedger {
 
     /// Applies a block sealed elsewhere (leader → replica flow in the node
     /// layer). Summary blocks are rejected: every node derives its own Σ
-    /// locally (§IV-B: the summary block "do[es] not need to be propagated
+    /// locally (§IV-B: the summary block "do\[es\] not need to be propagated
     /// by itself").
     ///
     /// # Errors
@@ -367,9 +371,11 @@ impl SelectiveLedger {
     /// mismatch for summary-kind blocks.
     pub fn apply_block(&mut self, block: Block) -> Result<(), CoreError> {
         if block.kind() == BlockKind::Summary || block.kind() == BlockKind::Genesis {
-            return Err(CoreError::Chain(seldel_chain::ChainError::GenesisMisplaced {
-                number: block.number(),
-            }));
+            return Err(CoreError::Chain(
+                seldel_chain::ChainError::GenesisMisplaced {
+                    number: block.number(),
+                },
+            ));
         }
         let number = block.number();
         let now = block.timestamp();
@@ -395,7 +401,8 @@ impl SelectiveLedger {
             let block = Block::new(number, ts, prev, BlockBody::Empty, Seal::Deterministic);
             self.chain.push(block).expect("filler blocks always link");
             self.blocks_appended += 1;
-            self.events.push_back(LedgerEvent::EmptyBlockAdded { number });
+            self.events
+                .push_back(LedgerEvent::EmptyBlockAdded { number });
             appended += 1;
             let before = self.chain.tip().number();
             self.maybe_summarize(ts);
@@ -466,7 +473,13 @@ impl SelectiveLedger {
         let record = located.data().ok_or(CoreError::TargetNotFound(target))?;
         let owner = located.author();
 
-        authorize_deletion(requester, &owner, &self.roles, self.master.as_ref(), request)?;
+        authorize_deletion(
+            requester,
+            &owner,
+            &self.roles,
+            self.master.as_ref(),
+            request,
+        )?;
 
         let live_dependents: Vec<(EntryId, VerifyingKey)> = self
             .dependents
@@ -517,8 +530,7 @@ impl SelectiveLedger {
                     let requester = entry.author();
                     match self.validate_deletion(&requester, request) {
                         Ok(()) => {
-                            self.deletions
-                                .mark(request.target(), requester, id, now);
+                            self.deletions.mark(request.target(), requester, id, now);
                             self.events.push_back(LedgerEvent::DeletionMarked {
                                 target: request.target(),
                                 requester,
@@ -579,7 +591,8 @@ impl SelectiveLedger {
         }
         for id in &outcome.expired {
             self.expired_total += 1;
-            self.events.push_back(LedgerEvent::RecordExpired { origin: *id });
+            self.events
+                .push_back(LedgerEvent::RecordExpired { origin: *id });
         }
 
         if outcome.plan.is_some() {
@@ -703,7 +716,9 @@ mod tests {
             let next_ts = Timestamp((ledger.stats().blocks_appended + 1) * 10);
             for (u, k) in users.iter().enumerate() {
                 let n = ledger.stats().blocks_appended * 10 + u as u64;
-                ledger.submit_entry(Entry::sign_data(k, data("U", n))).unwrap();
+                ledger
+                    .submit_entry(Entry::sign_data(k, data("U", n)))
+                    .unwrap();
             }
             ledger.seal_block(next_ts).unwrap();
         }
@@ -739,11 +754,8 @@ mod tests {
         assert!(stats.marker > BlockNumber(0));
         // All records still reachable.
         assert_eq!(stats.live_records, 40);
-        seldel_chain::validate_chain(
-            ledger.chain(),
-            &seldel_chain::ValidationOptions::default(),
-        )
-        .unwrap();
+        seldel_chain::validate_chain(ledger.chain(), &seldel_chain::ValidationOptions::default())
+            .unwrap();
     }
 
     #[test]
@@ -752,8 +764,12 @@ mod tests {
         let alice = key(1);
         let bravo = key(2);
         // Block 1: entries 0 (alice), 1 (bravo).
-        ledger.submit_entry(Entry::sign_data(&alice, data("ALPHA", 1))).unwrap();
-        ledger.submit_entry(Entry::sign_data(&bravo, data("BRAVO", 2))).unwrap();
+        ledger
+            .submit_entry(Entry::sign_data(&alice, data("ALPHA", 1)))
+            .unwrap();
+        ledger
+            .submit_entry(Entry::sign_data(&bravo, data("BRAVO", 2)))
+            .unwrap();
         ledger.seal_block(Timestamp(10)).unwrap();
         let target = EntryId::new(BlockNumber(1), EntryNumber(1));
 
@@ -769,11 +785,9 @@ mod tests {
         let mut executed = false;
         for i in 0..20u64 {
             ledger.seal_block(Timestamp(40 + i * 10)).unwrap();
-            if ledger
-                .drain_events()
-                .iter()
-                .any(|e| matches!(e, LedgerEvent::DeletionExecuted { target: t, .. } if *t == target))
-            {
+            if ledger.drain_events().iter().any(
+                |e| matches!(e, LedgerEvent::DeletionExecuted { target: t, .. } if *t == target),
+            ) {
                 executed = true;
                 break;
             }
@@ -791,7 +805,9 @@ mod tests {
         let mut ledger = paper_ledger();
         let alice = key(1);
         let bravo = key(2);
-        ledger.submit_entry(Entry::sign_data(&alice, data("ALPHA", 1))).unwrap();
+        ledger
+            .submit_entry(Entry::sign_data(&alice, data("ALPHA", 1)))
+            .unwrap();
         ledger.seal_block(Timestamp(10)).unwrap();
         let target = EntryId::new(BlockNumber(1), EntryNumber(0));
         let err = ledger.request_deletion(&bravo, target, "").unwrap_err();
@@ -806,10 +822,16 @@ mod tests {
         let mut ledger = SelectiveLedger::builder(ChainConfig::paper_evaluation())
             .roles(roles)
             .build();
-        ledger.submit_entry(Entry::sign_data(&alice, data("ALPHA", 1))).unwrap();
+        ledger
+            .submit_entry(Entry::sign_data(&alice, data("ALPHA", 1)))
+            .unwrap();
         ledger.seal_block(Timestamp(10)).unwrap();
         ledger
-            .request_deletion(&admin, EntryId::new(BlockNumber(1), EntryNumber(0)), "illegal content")
+            .request_deletion(
+                &admin,
+                EntryId::new(BlockNumber(1), EntryNumber(0)),
+                "illegal content",
+            )
             .unwrap();
     }
 
@@ -820,7 +842,9 @@ mod tests {
         let mut ledger = paper_ledger();
         let alice = key(1);
         let bravo = key(2);
-        ledger.submit_entry(Entry::sign_data(&alice, data("ALPHA", 1))).unwrap();
+        ledger
+            .submit_entry(Entry::sign_data(&alice, data("ALPHA", 1)))
+            .unwrap();
         ledger.seal_block(Timestamp(10)).unwrap();
         let target = EntryId::new(BlockNumber(1), EntryNumber(0));
         // Bravo forges a raw delete entry bypassing request_deletion.
@@ -839,18 +863,15 @@ mod tests {
     fn entries_on_marked_data_rejected() {
         let mut ledger = paper_ledger();
         let alice = key(1);
-        ledger.submit_entry(Entry::sign_data(&alice, data("ALPHA", 1))).unwrap();
+        ledger
+            .submit_entry(Entry::sign_data(&alice, data("ALPHA", 1)))
+            .unwrap();
         ledger.seal_block(Timestamp(10)).unwrap();
         let target = EntryId::new(BlockNumber(1), EntryNumber(0));
         ledger.request_deletion(&alice, target, "").unwrap();
         ledger.seal_block(Timestamp(20)).unwrap();
         // A new entry depending on the marked data must be refused.
-        let dependent = Entry::sign_data_with(
-            &alice,
-            data("ALPHA", 2),
-            None,
-            vec![target],
-        );
+        let dependent = Entry::sign_data_with(&alice, data("ALPHA", 2), None, vec![target]);
         assert!(matches!(
             ledger.submit_entry(dependent),
             Err(CoreError::DependsOnDeleted(_))
@@ -861,13 +882,20 @@ mod tests {
     fn dependent_entries_block_foreign_deletion() {
         let mut ledger = paper_ledger();
         let alice = key(1);
-        ledger.submit_entry(Entry::sign_data(&alice, data("ALPHA", 1))).unwrap();
+        ledger
+            .submit_entry(Entry::sign_data(&alice, data("ALPHA", 1)))
+            .unwrap();
         ledger.seal_block(Timestamp(10)).unwrap();
         let base = EntryId::new(BlockNumber(1), EntryNumber(0));
         // Bravo builds on Alice's entry.
         let bravo = key(2);
         ledger
-            .submit_entry(Entry::sign_data_with(&bravo, data("BRAVO", 2), None, vec![base]))
+            .submit_entry(Entry::sign_data_with(
+                &bravo,
+                data("BRAVO", 2),
+                None,
+                vec![base],
+            ))
             .unwrap();
         ledger.seal_block(Timestamp(20)).unwrap();
         // Alice deleting her own entry is blocked by Bravo's dependent.
@@ -884,7 +912,9 @@ mod tests {
     fn duplicate_deletion_rejected() {
         let mut ledger = paper_ledger();
         let alice = key(1);
-        ledger.submit_entry(Entry::sign_data(&alice, data("ALPHA", 1))).unwrap();
+        ledger
+            .submit_entry(Entry::sign_data(&alice, data("ALPHA", 1)))
+            .unwrap();
         ledger.seal_block(Timestamp(10)).unwrap();
         let target = EntryId::new(BlockNumber(1), EntryNumber(0));
         ledger.request_deletion(&alice, target, "").unwrap();
@@ -943,7 +973,9 @@ mod tests {
             .schemas(schemas)
             .build();
         let alice = key(1);
-        ledger.submit_entry(Entry::sign_data(&alice, data("ALPHA", 1))).unwrap();
+        ledger
+            .submit_entry(Entry::sign_data(&alice, data("ALPHA", 1)))
+            .unwrap();
         let bad = Entry::sign_data(&alice, DataRecord::new("login").with("wrong", 1u64));
         assert!(matches!(
             ledger.submit_entry(bad),
@@ -1062,7 +1094,12 @@ mod tests {
         assert!(!ledger.is_live(wrong));
         let corrected = EntryId::new(block, EntryNumber(1));
         assert_eq!(
-            ledger.record(corrected).unwrap().get("user").unwrap().as_str(),
+            ledger
+                .record(corrected)
+                .unwrap()
+                .get("user")
+                .unwrap()
+                .as_str(),
             Some("ALPHA")
         );
         // The wrong record physically disappears at a later merge.
@@ -1133,11 +1170,15 @@ mod tests {
     fn adopt_chain_rejects_tampered_input_and_stays_unchanged() {
         let alice = key(1);
         let mut source = paper_ledger();
-        source.submit_entry(Entry::sign_data(&alice, data("A", 1))).unwrap();
+        source
+            .submit_entry(Entry::sign_data(&alice, data("A", 1)))
+            .unwrap();
         source.seal_block(Timestamp(10)).unwrap();
 
         let mut joiner = paper_ledger();
-        joiner.submit_entry(Entry::sign_data(&alice, data("B", 2))).unwrap();
+        joiner
+            .submit_entry(Entry::sign_data(&alice, data("B", 2)))
+            .unwrap();
         joiner.seal_block(Timestamp(10)).unwrap();
         let before_tip = joiner.chain().tip().hash();
 
@@ -1159,20 +1200,22 @@ mod tests {
     fn sealing_empty_mempool_creates_empty_block() {
         let mut ledger = paper_ledger();
         let number = ledger.seal_block(Timestamp(10)).unwrap();
-        assert_eq!(
-            ledger.chain().get(number).unwrap().kind(),
-            BlockKind::Empty
-        );
+        assert_eq!(ledger.chain().get(number).unwrap().kind(), BlockKind::Empty);
     }
 
     #[test]
     fn events_report_the_block_lifecycle_in_order() {
         let mut ledger = paper_ledger();
         let alice = key(1);
-        ledger.submit_entry(Entry::sign_data(&alice, data("A", 1))).unwrap();
+        ledger
+            .submit_entry(Entry::sign_data(&alice, data("A", 1)))
+            .unwrap();
         ledger.seal_block(Timestamp(10)).unwrap();
         let events = ledger.drain_events();
-        assert!(matches!(events[0], LedgerEvent::BlockSealed { entries: 1, .. }));
+        assert!(matches!(
+            events[0],
+            LedgerEvent::BlockSealed { entries: 1, .. }
+        ));
         assert!(matches!(events[1], LedgerEvent::SummaryCreated { .. }));
         // Drained: second call yields nothing.
         assert!(ledger.drain_events().is_empty());

@@ -66,8 +66,7 @@ pub mod summary;
 
 pub use authz::{authorize_deletion, AuthzError, MasterKeySet, Role, RoleTable};
 pub use cohesion::{
-    BellLaPadula, BrewerNash, CohesionContext, CohesionPolicy, CohesionViolation,
-    DependencyPolicy,
+    BellLaPadula, BrewerNash, CohesionContext, CohesionPolicy, CohesionViolation, DependencyPolicy,
 };
 pub use config::{AnchorPolicy, ChainConfig, IdleFillPolicy, RetentionPolicy, RetireMode};
 pub use deletion::{DeletionRecord, DeletionRegistry, DeletionStatus};

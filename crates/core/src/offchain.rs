@@ -86,7 +86,10 @@ impl ContentStore {
         let len = payload.len() as u64;
         self.blobs.insert(digest.into_bytes(), payload);
         DataRecord::new(OFFCHAIN_SCHEMA)
-            .with("digest", seldel_codec::Value::Bytes(digest.as_bytes().to_vec()))
+            .with(
+                "digest",
+                seldel_codec::Value::Bytes(digest.as_bytes().to_vec()),
+            )
             .with("len", len)
             .with("label", label)
     }
@@ -182,7 +185,10 @@ mod tests {
         let large = store.put("l", vec![1u8; 1_000_000]);
         let small_len = seldel_codec::Codec::to_canonical_bytes(&small).len();
         let large_len = seldel_codec::Codec::to_canonical_bytes(&large).len();
-        assert!(large_len <= small_len + 8, "references must stay fixed-size");
+        assert!(
+            large_len <= small_len + 8,
+            "references must stay fixed-size"
+        );
         assert!(large_len < 200);
     }
 
@@ -203,7 +209,8 @@ mod tests {
     #[test]
     fn malformed_references_rejected() {
         let store = ContentStore::new();
-        let wrong_schema = DataRecord::new("other").with("digest", seldel_codec::Value::Bytes(vec![0; 32]));
+        let wrong_schema =
+            DataRecord::new("other").with("digest", seldel_codec::Value::Bytes(vec![0; 32]));
         assert_eq!(
             store.resolve(&wrong_schema),
             Err(OffChainError::MalformedReference)

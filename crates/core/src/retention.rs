@@ -133,7 +133,13 @@ mod tests {
                 BlockBody::Empty
             };
             chain
-                .push(Block::new(BlockNumber(i), ts, prev, body, Seal::Deterministic))
+                .push(Block::new(
+                    BlockNumber(i),
+                    ts,
+                    prev,
+                    body,
+                    Seal::Deterministic,
+                ))
                 .unwrap();
         }
         chain

@@ -68,7 +68,9 @@ pub fn live_sequences(chain: &Blockchain) -> Vec<SequenceSpan> {
 
 /// The sequence containing `number`, if live.
 pub fn sequence_of(chain: &Blockchain, number: BlockNumber) -> Option<SequenceSpan> {
-    live_sequences(chain).into_iter().find(|s| s.contains(number))
+    live_sequences(chain)
+        .into_iter()
+        .find(|s| s.contains(number))
 }
 
 /// The middle sequence ω_{lβ/2} used by the Fig. 9 anchor: the closed
@@ -84,7 +86,8 @@ pub fn middle_sequence(chain: &Blockchain) -> Option<SequenceSpan> {
     } else {
         // Fall back to the last closed sequence before the midpoint.
         live_sequences(chain)
-            .into_iter().rfind(|s| s.closed && s.end < mid)
+            .into_iter()
+            .rfind(|s| s.closed && s.end < mid)
     }
 }
 
@@ -114,7 +117,13 @@ mod tests {
                 BlockBody::Empty
             };
             chain
-                .push(Block::new(BlockNumber(i), ts, prev, body, Seal::Deterministic))
+                .push(Block::new(
+                    BlockNumber(i),
+                    ts,
+                    prev,
+                    body,
+                    Seal::Deterministic,
+                ))
                 .unwrap();
         }
         chain
@@ -125,9 +134,30 @@ mod tests {
         let chain = chain_l3(9); // blocks 0..8, summaries at 2,5,8
         let spans = live_sequences(&chain);
         assert_eq!(spans.len(), 3);
-        assert_eq!(spans[0], SequenceSpan { start: BlockNumber(0), end: BlockNumber(2), closed: true });
-        assert_eq!(spans[1], SequenceSpan { start: BlockNumber(3), end: BlockNumber(5), closed: true });
-        assert_eq!(spans[2], SequenceSpan { start: BlockNumber(6), end: BlockNumber(8), closed: true });
+        assert_eq!(
+            spans[0],
+            SequenceSpan {
+                start: BlockNumber(0),
+                end: BlockNumber(2),
+                closed: true
+            }
+        );
+        assert_eq!(
+            spans[1],
+            SequenceSpan {
+                start: BlockNumber(3),
+                end: BlockNumber(5),
+                closed: true
+            }
+        );
+        assert_eq!(
+            spans[2],
+            SequenceSpan {
+                start: BlockNumber(6),
+                end: BlockNumber(8),
+                closed: true
+            }
+        );
         assert!(spans.iter().all(|s| s.len() == 3));
     }
 

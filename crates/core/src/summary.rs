@@ -265,9 +265,15 @@ mod tests {
         assert_eq!(outcome.carried, 2);
         let records = block.summary_records();
         assert_eq!(records.len(), 2);
-        assert_eq!(records[0].origin(), EntryId::new(BlockNumber(1), EntryNumber(0)));
+        assert_eq!(
+            records[0].origin(),
+            EntryId::new(BlockNumber(1), EntryNumber(0))
+        );
         assert_eq!(records[0].origin_timestamp(), Timestamp(10));
-        assert_eq!(records[1].origin(), EntryId::new(BlockNumber(1), EntryNumber(1)));
+        assert_eq!(
+            records[1].origin(),
+            EntryId::new(BlockNumber(1), EntryNumber(1))
+        );
         // Carried signatures still verify.
         records.iter().for_each(|r| r.verify().unwrap());
     }
@@ -287,10 +293,7 @@ mod tests {
         let (block, outcome) = build_summary_block(&chain, &cfg, &deletions, BlockNumber(8));
         assert_eq!(outcome.deleted, vec![target]);
         assert_eq!(outcome.carried, 1);
-        assert!(block
-            .summary_records()
-            .iter()
-            .all(|r| r.origin() != target));
+        assert!(block.summary_records().iter().all(|r| r.origin() != target));
     }
 
     #[test]
@@ -340,7 +343,10 @@ mod tests {
         }
         let (block, outcome) = build_summary_block(&chain, &cfg, &deletions, BlockNumber(8));
         // τ at merge = 70 > 15 → the temporary entry expired.
-        assert_eq!(outcome.expired, vec![EntryId::new(BlockNumber(1), EntryNumber(1))]);
+        assert_eq!(
+            outcome.expired,
+            vec![EntryId::new(BlockNumber(1), EntryNumber(1))]
+        );
         assert_eq!(block.summary_records().len(), 1);
     }
 
@@ -447,11 +453,7 @@ mod tests {
             .spans
             .iter()
             .any(|s| s.contains(BlockNumber(8))));
-        let origins: Vec<EntryId> = b14
-            .summary_records()
-            .iter()
-            .map(|r| r.origin())
-            .collect();
+        let origins: Vec<EntryId> = b14.summary_records().iter().map(|r| r.origin()).collect();
         assert!(origins.contains(&EntryId::new(BlockNumber(1), EntryNumber(0))));
         assert!(origins.contains(&EntryId::new(BlockNumber(1), EntryNumber(1))));
     }

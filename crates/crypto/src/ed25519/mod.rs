@@ -50,9 +50,7 @@ impl fmt::Display for SignatureError {
             SignatureError::InvalidSignaturePoint => {
                 f.write_str("invalid signature point encoding")
             }
-            SignatureError::NonCanonicalScalar => {
-                f.write_str("signature scalar is not canonical")
-            }
+            SignatureError::NonCanonicalScalar => f.write_str("signature scalar is not canonical"),
             SignatureError::VerificationFailed => f.write_str("signature verification failed"),
         }
     }
@@ -156,8 +154,8 @@ impl VerifyingKey {
     /// * [`SignatureError::NonCanonicalScalar`] — `s >= ℓ`.
     /// * [`SignatureError::VerificationFailed`] — the equation does not hold.
     pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), SignatureError> {
-        let a = EdwardsPoint::decompress(&self.compressed)
-            .ok_or(SignatureError::InvalidPublicKey)?;
+        let a =
+            EdwardsPoint::decompress(&self.compressed).ok_or(SignatureError::InvalidPublicKey)?;
         let r = EdwardsPoint::decompress(&signature.r_bytes)
             .ok_or(SignatureError::InvalidSignaturePoint)?;
         let s = Scalar::from_canonical_bytes(&signature.s_bytes)

@@ -5,7 +5,7 @@
 //!
 //! * **Block and entry hashing** — blocks are chained by hash, and summary
 //!   blocks must hash bit-identically on every anchor node
-//!   ([`sha256`], [`Digest32`]).
+//!   ([`sha256()`], [`Digest32`]).
 //! * **Entry signatures** — every data entry carries the author key `K` and a
 //!   signature `S`; deletion requests are authorised by signature match
 //!   ([`ed25519`], [`SigningKey`], [`VerifyingKey`]).

@@ -211,10 +211,7 @@ mod tests {
     #[test]
     fn two_leaves() {
         let tree = MerkleTree::from_leaves([b"a".as_slice(), b"b"]);
-        assert_eq!(
-            tree.root(),
-            node_hash(&leaf_hash(b"a"), &leaf_hash(b"b"))
-        );
+        assert_eq!(tree.root(), node_hash(&leaf_hash(b"a"), &leaf_hash(b"b")));
     }
 
     #[test]
@@ -288,9 +285,8 @@ mod tests {
     fn from_leaf_hashes_matches_from_leaves() {
         let leaves = strs(7);
         let a = MerkleTree::from_leaves(leaves.iter().map(|s| s.as_bytes()));
-        let b = MerkleTree::from_leaf_hashes(
-            leaves.iter().map(|s| leaf_hash(s.as_bytes())).collect(),
-        );
+        let b =
+            MerkleTree::from_leaf_hashes(leaves.iter().map(|s| leaf_hash(s.as_bytes())).collect());
         assert_eq!(a.root(), b.root());
     }
 }

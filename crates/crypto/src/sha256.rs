@@ -337,7 +337,9 @@ ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
         let d = sha256(b"x");
         let s = d.short();
         assert_eq!(s.len(), 5);
-        assert!(s.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit()));
+        assert!(s
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit()));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::hex;
 
 /// Round constants: first 64 bits of the fractional parts of the cube roots
 /// of the first 80 primes.
+#[rustfmt::skip]
 const K: [u64; 80] = [
     0x428a2f98d728ae22, 0x7137449123ef65cd, 0xb5c0fbcfec4d3b2f, 0xe9b5dba58189dbbc,
     0x3956c25bf348b538, 0x59f111f1b605d019, 0x923f82a4af194f9b, 0xab1c5ed5da6d8118,
@@ -32,6 +33,7 @@ const K: [u64; 80] = [
 
 /// Initial hash state: first 64 bits of the fractional parts of the square
 /// roots of the first 8 primes.
+#[rustfmt::skip]
 const H0: [u64; 8] = [
     0x6a09e667f3bcc908, 0xbb67ae8584caa73b, 0x3c6ef372fe94f82b, 0xa54ff53a5f1d36f1,
     0x510e527fade682d1, 0x9b05688c2b3e6c1f, 0x1f83d9abfb41bd6b, 0x5be0cd19137e2179,

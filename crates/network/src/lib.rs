@@ -339,11 +339,7 @@ impl<M: Clone> SimNetwork<M> {
     /// # Panics
     ///
     /// Panics when the id is unknown or the node is mid-dispatch.
-    pub fn with_node_mut<R>(
-        &mut self,
-        id: NodeId,
-        f: impl FnOnce(&mut dyn SimNode<M>) -> R,
-    ) -> R {
+    pub fn with_node_mut<R>(&mut self, id: NodeId, f: impl FnOnce(&mut dyn SimNode<M>) -> R) -> R {
         let slot = self
             .nodes
             .get_mut(id.0 as usize)
@@ -517,7 +513,9 @@ mod tests {
         net.send_external(a, "x".into());
         net.run_until_idle();
         assert_eq!(net.node_as::<Relay>(b).unwrap().heard.len(), 1);
-        assert!(net.node_as::<Relay>(b).unwrap().heard[0].2.starts_with("fwd:"));
+        assert!(net.node_as::<Relay>(b).unwrap().heard[0]
+            .2
+            .starts_with("fwd:"));
     }
 
     #[test]
@@ -534,7 +532,12 @@ mod tests {
                 net.send_external(a, format!("m{i}"));
             }
             net.run_until_idle();
-            net.node_as::<Relay>(a).unwrap().heard.iter().map(|h| h.1).collect()
+            net.node_as::<Relay>(a)
+                .unwrap()
+                .heard
+                .iter()
+                .map(|h| h.1)
+                .collect()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
@@ -652,7 +655,9 @@ mod tests {
             }
         }
         let mut net: SimNetwork<String> = SimNetwork::new(NetConfig::default());
-        let ids: Vec<NodeId> = (0..4).map(|_| net.add_node(Box::new(Caster::default()))).collect();
+        let ids: Vec<NodeId> = (0..4)
+            .map(|_| net.add_node(Box::new(Caster::default())))
+            .collect();
         net.send_external(ids[0], "go".into());
         net.run_until_idle();
         assert_eq!(net.node_as::<Caster>(ids[0]).unwrap().heard, 1); // only "go"

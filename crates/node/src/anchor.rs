@@ -154,7 +154,12 @@ impl AnchorNode {
         }
     }
 
-    fn handle_new_block(&mut self, block: seldel_chain::Block, from: NodeId, ctx: &mut Context<'_, NodeMessage>) {
+    fn handle_new_block(
+        &mut self,
+        block: seldel_chain::Block,
+        from: NodeId,
+        ctx: &mut Context<'_, NodeMessage>,
+    ) {
         if self.am_leader(ctx) {
             return; // leaders ignore echoes
         }
@@ -304,7 +309,11 @@ mod tests {
 
     /// Asserts every replica's chain is a consistent prefix of the
     /// leader's (replicas may lag by in-flight blocks, but never diverge).
-    fn assert_prefix_consistent(net: &SimNetwork<NodeMessage>, leader: NodeId, replicas: &[NodeId]) {
+    fn assert_prefix_consistent(
+        net: &SimNetwork<NodeMessage>,
+        leader: NodeId,
+        replicas: &[NodeId],
+    ) {
         let leader_node = net.node_as::<AnchorNode>(leader).unwrap();
         for id in replicas {
             let replica = net.node_as::<AnchorNode>(*id).unwrap();
@@ -367,8 +376,20 @@ mod tests {
             net.run_until(net.now() + 100);
         }
         // Replica 2 is behind.
-        let behind = net.node_as::<AnchorNode>(ids[2]).unwrap().ledger().chain().tip().number();
-        let ahead = net.node_as::<AnchorNode>(ids[0]).unwrap().ledger().chain().tip().number();
+        let behind = net
+            .node_as::<AnchorNode>(ids[2])
+            .unwrap()
+            .ledger()
+            .chain()
+            .tip()
+            .number();
+        let ahead = net
+            .node_as::<AnchorNode>(ids[0])
+            .unwrap()
+            .ledger()
+            .chain()
+            .tip()
+            .number();
         assert!(behind < ahead);
         // Heal; subsequent blocks trigger rejection → sync → adoption.
         net.heal_partitions();
@@ -431,7 +452,12 @@ mod tests {
             query: Option<(EntryId, bool)>,
         }
         impl SimNode<NodeMessage> for Probe {
-            fn on_message(&mut self, _from: NodeId, msg: NodeMessage, _ctx: &mut Context<'_, NodeMessage>) {
+            fn on_message(
+                &mut self,
+                _from: NodeId,
+                msg: NodeMessage,
+                _ctx: &mut Context<'_, NodeMessage>,
+            ) {
                 match msg {
                     NodeMessage::StatusQuoReply(sq) => self.status = Some(sq),
                     NodeMessage::QueryReply { id, live, .. } => self.query = Some((id, live)),
@@ -471,6 +497,13 @@ mod tests {
         // Replies went to EXTERNAL (dropped); the point of this test is
         // that the anchor does not crash on driver-injected control
         // messages and keeps serving.
-        assert!(net.node_as::<AnchorNode>(anchor).unwrap().ledger().chain().len() >= 2);
+        assert!(
+            net.node_as::<AnchorNode>(anchor)
+                .unwrap()
+                .ledger()
+                .chain()
+                .len()
+                >= 2
+        );
     }
 }

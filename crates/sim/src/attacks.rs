@@ -5,7 +5,7 @@
 //!   newest summary block suffices to forge pruned history (depth 1);
 //!   with the Fig. 9 anchor, "each entry that is longer than lβ/2 in the
 //!   blockchain has at least lβ/2 confirmations at each time", so the
-//!   attacker "has to run the attack for a[t] least lβ/2 number of
+//!   attacker "has to run the attack for a\[t\] least lβ/2 number of
 //!   blocks". The Monte-Carlo race quantifies how much that depth costs.
 //! * **Eclipse** — a client consulting k anchors accepts the majority
 //!   status quo; the attack succeeds when attacker-controlled anchors form
@@ -111,7 +111,12 @@ pub fn simulate_race(cfg: &RaceConfig) -> RaceResult {
 /// The Fig. 9 comparison: success probability of rewriting pruned history
 /// without anchoring (depth 1) versus with the middle-sequence anchor
 /// (depth lβ/2), for a live chain of length `l_beta`.
-pub fn compare_anchoring(l_beta: u64, attacker_fraction: f64, trials: u32, seed: u64) -> (RaceResult, RaceResult) {
+pub fn compare_anchoring(
+    l_beta: u64,
+    attacker_fraction: f64,
+    trials: u32,
+    seed: u64,
+) -> (RaceResult, RaceResult) {
     let without = simulate_race(&RaceConfig {
         attacker_fraction,
         depth: 1,
@@ -159,7 +164,10 @@ impl Default for EclipseConfig {
 /// Probability that a uniformly chosen consultation set has an
 /// attacker-controlled majority.
 pub fn eclipse_success_rate(cfg: &EclipseConfig) -> f64 {
-    assert!(cfg.consulted <= cfg.anchors, "cannot consult more anchors than exist");
+    assert!(
+        cfg.consulted <= cfg.anchors,
+        "cannot consult more anchors than exist"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut successes = 0u32;
     let mut pool: Vec<usize> = (0..cfg.anchors).collect();

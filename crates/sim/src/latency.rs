@@ -80,7 +80,9 @@ fn chain_config(cfg: &LatencyConfig) -> ChainConfig {
             min_timespan: None,
             mode: RetireMode::MinimumNeeded,
         },
-        idle_fill: cfg.idle_fill_ms.map(|ms| IdleFillPolicy { max_idle_ms: ms }),
+        idle_fill: cfg
+            .idle_fill_ms
+            .map(|ms| IdleFillPolicy { max_idle_ms: ms }),
         ..Default::default()
     }
 }
@@ -114,7 +116,10 @@ pub fn run_latency(cfg: &LatencyConfig) -> Vec<LatencySample> {
         // Issue a deletion request for the entry just written.
         if issued < cfg.deletions && step % request_every == 0 {
             let target = EntryId::new(sealed, EntryNumber(0));
-            if ledger.request_deletion(&key, target, "latency probe").is_ok() {
+            if ledger
+                .request_deletion(&key, target, "latency probe")
+                .is_ok()
+            {
                 pending.push(target);
                 issued += 1;
             }

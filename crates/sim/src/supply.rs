@@ -172,8 +172,10 @@ mod tests {
         let mut s = sim();
         s.register("gearbox-1", Timestamp(1_000)).unwrap();
         s.seal(10).unwrap();
-        s.record_event("gearbox-1", "machined", "station-a").unwrap();
-        s.record_event("gearbox-1", "assembled", "station-b").unwrap();
+        s.record_event("gearbox-1", "machined", "station-a")
+            .unwrap();
+        s.record_event("gearbox-1", "assembled", "station-b")
+            .unwrap();
         s.seal(10).unwrap();
         assert_eq!(s.trace_len("gearbox-1"), 3);
         assert_eq!(s.live_products(), vec!["gearbox-1".to_string()]);

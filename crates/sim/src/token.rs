@@ -55,10 +55,7 @@ impl std::fmt::Display for TokenError {
                 account,
                 balance,
                 amount,
-            } => write!(
-                f,
-                "account {account:?} has {balance}, cannot move {amount}"
-            ),
+            } => write!(f, "account {account:?} has {balance}, cannot move {amount}"),
             TokenError::UnknownAccount(name) => write!(f, "unknown account {name:?}"),
             TokenError::Ledger(e) => write!(f, "ledger error: {e}"),
         }
@@ -186,7 +183,10 @@ impl TokenLedger {
     /// Propagates sealing errors.
     pub fn seal(&mut self, dt: u64) -> Result<(), TokenError> {
         self.now += dt;
-        let number = self.ledger.seal_block(self.now).map_err(TokenError::Ledger)?;
+        let number = self
+            .ledger
+            .seal_block(self.now)
+            .map_err(TokenError::Ledger)?;
         if let Some(block) = self.ledger.chain().get(number) {
             for (i, entry) in block.entries().iter().enumerate() {
                 if let Some(record) = entry.payload().as_data() {

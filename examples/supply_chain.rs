@@ -12,7 +12,9 @@ fn main() {
     let mut plant = SupplyChain::new(ChainConfig::paper_evaluation());
 
     // A perishable product and a durable one.
-    plant.register("yogurt-42", Timestamp(80)).expect("register");
+    plant
+        .register("yogurt-42", Timestamp(80))
+        .expect("register");
     plant.seal(10).expect("seal");
     plant
         .record_event("yogurt-42", "filled", "line-3")
@@ -31,7 +33,11 @@ fn main() {
         .expect("event");
     plant.seal(10).expect("seal");
 
-    println!("τ = {}: live products = {:?}", plant.now(), plant.live_products());
+    println!(
+        "τ = {}: live products = {:?}",
+        plant.now(),
+        plant.live_products()
+    );
     println!(
         "  yogurt-42 trace: {} records, gearbox-7 trace: {} records",
         plant.trace_len("yogurt-42"),
@@ -43,7 +49,11 @@ fn main() {
         plant.seal(10).expect("seal");
     }
 
-    println!("\nτ = {}: live products = {:?}", plant.now(), plant.live_products());
+    println!(
+        "\nτ = {}: live products = {:?}",
+        plant.now(),
+        plant.live_products()
+    );
     println!(
         "  yogurt-42 trace: {} records (self-erased), gearbox-7 trace: {} records",
         plant.trace_len("yogurt-42"),

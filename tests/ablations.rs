@@ -10,10 +10,7 @@ fn drive(config: ChainConfig, blocks: u64) -> SelectiveLedger {
     let mut ledger = SelectiveLedger::new(config);
     for i in 1..=blocks {
         ledger
-            .submit_entry(Entry::sign_data(
-                &key,
-                DataRecord::new("log").with("n", i),
-            ))
+            .submit_entry(Entry::sign_data(&key, DataRecord::new("log").with("n", i)))
             .expect("valid entry");
         ledger.seal_block(Timestamp(i * 10)).expect("monotone time");
     }

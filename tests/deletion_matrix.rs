@@ -3,9 +3,7 @@
 //! master signatures.
 
 use selective_deletion::codec::DataRecord;
-use selective_deletion::core::{
-    BellLaPadula, BrewerNash, MasterKeySet, Role, RoleTable,
-};
+use selective_deletion::core::{BellLaPadula, BrewerNash, MasterKeySet, Role, RoleTable};
 use selective_deletion::crypto::SigningKey;
 use selective_deletion::prelude::*;
 
@@ -32,10 +30,7 @@ fn owner_yes_stranger_no_admin_yes_auditor_no() {
 
     for i in 0..4u64 {
         ledger
-            .submit_entry(Entry::sign_data(
-                &owner,
-                DataRecord::new("d").with("n", i),
-            ))
+            .submit_entry(Entry::sign_data(&owner, DataRecord::new("d").with("n", i)))
             .unwrap();
     }
     let block = seal_one(&mut ledger, 10);
@@ -68,7 +63,10 @@ fn master_signature_overrides_ownership() {
         .build();
 
     ledger
-        .submit_entry(Entry::sign_data(&owner, DataRecord::new("d").with("n", 1u64)))
+        .submit_entry(Entry::sign_data(
+            &owner,
+            DataRecord::new("d").with("n", 1u64),
+        ))
         .unwrap();
     let block = seal_one(&mut ledger, 10);
     let target = EntryId::new(block, EntryNumber(0));
@@ -248,7 +246,10 @@ fn deleting_dependent_first_unlocks_root() {
             break;
         }
     }
-    assert!(ledger.record(dependent).is_none(), "dependent never dropped");
+    assert!(
+        ledger.record(dependent).is_none(),
+        "dependent never dropped"
+    );
     ledger.request_deletion(&a, root, "").unwrap();
 }
 
@@ -260,14 +261,20 @@ fn wrong_requests_have_no_effect_on_chain_state() {
     let stranger = key(2);
     let mut ledger = SelectiveLedger::new(ChainConfig::paper_evaluation());
     ledger
-        .submit_entry(Entry::sign_data(&owner, DataRecord::new("d").with("n", 1u64)))
+        .submit_entry(Entry::sign_data(
+            &owner,
+            DataRecord::new("d").with("n", 1u64),
+        ))
         .unwrap();
     let block = seal_one(&mut ledger, 10);
     let target = EntryId::new(block, EntryNumber(0));
 
     // Raw (unvalidated) submission of a bogus delete entry.
     ledger
-        .submit_entry(Entry::sign_delete(&stranger, DeleteRequest::new(target, "")))
+        .submit_entry(Entry::sign_delete(
+            &stranger,
+            DeleteRequest::new(target, ""),
+        ))
         .unwrap();
     seal_one(&mut ledger, 20);
 

@@ -141,7 +141,10 @@ fn f7_console_output() {
     // changed to block number 6. All information before block 6 is
     // deleted.").
     assert!(rendered.starts_with("marker m = 6\n"), "{rendered}");
-    assert!(!rendered.contains("DEADB"), "genesis must be gone\n{rendered}");
+    assert!(
+        !rendered.contains("DEADB"),
+        "genesis must be gone\n{rendered}"
+    );
     // The deletion request is visible in block 6.
     assert!(rendered.contains("0: DEL 3:1 K BRAVO"), "{rendered}");
     // Σ8 holds the merged records; BRAVO's 3:1 entry was not copied.
@@ -162,7 +165,9 @@ fn f8_console_output() {
     assert!(rendered.starts_with("marker m = 12\n"), "{rendered}");
     assert!(!rendered.contains("DEL"), "{rendered}");
     // The eight surviving records are still listed, ids intact.
-    for origin in ["1:0@τ10", "1:1@τ10", "1:2@τ10", "3:0@τ20", "3:2@τ20", "4:0@τ30", "4:1@τ30", "4:2@τ30"] {
+    for origin in [
+        "1:0@τ10", "1:1@τ10", "1:2@τ10", "3:0@τ20", "3:2@τ20", "4:0@τ30", "4:1@τ30", "4:2@τ30",
+    ] {
         assert!(rendered.contains(origin), "missing {origin}\n{rendered}");
     }
     assert!(!rendered.contains("3:1@τ20"), "{rendered}");

@@ -4,9 +4,7 @@
 
 use selective_deletion::chain::{validate_chain, ValidationOptions};
 use selective_deletion::codec::DataRecord;
-use selective_deletion::consensus::{
-    ConsensusEngine, NullEngine, ProofOfAuthority, ProofOfWork,
-};
+use selective_deletion::consensus::{ConsensusEngine, NullEngine, ProofOfAuthority, ProofOfWork};
 use selective_deletion::crypto::SigningKey;
 use selective_deletion::network::{NetConfig, NodeId, SimNetwork};
 use selective_deletion::node::{AnchorNode, ClientNode, NodeMessage};
@@ -19,10 +17,7 @@ fn login_entry(seed: u8, n: u64) -> Entry {
     )
 }
 
-fn cluster(
-    anchors: usize,
-    seed: u64,
-) -> (SimNetwork<NodeMessage>, Vec<NodeId>, NodeId) {
+fn cluster(anchors: usize, seed: u64) -> (SimNetwork<NodeMessage>, Vec<NodeId>, NodeId) {
     let mut net = SimNetwork::new(NetConfig {
         seed,
         ..NetConfig::default()
@@ -80,7 +75,10 @@ fn cluster_wide_deletion_workflow() {
             node.ledger().record(target).is_none(),
             "{id} still holds the deleted record"
         );
-        assert!(node.ledger().chain().marker().value() > 0, "{id} never pruned");
+        assert!(
+            node.ledger().chain().marker().value() > 0,
+            "{id} never pruned"
+        );
         validate_chain(node.ledger().chain(), &ValidationOptions::default())
             .unwrap_or_else(|e| panic!("{id} invalid after deletion: {e}"));
     }
@@ -191,7 +189,10 @@ fn adopted_chain_reconstructs_deletion_state() {
     let user = SigningKey::from_seed([3u8; 32]);
     let mut source = SelectiveLedger::new(ChainConfig::paper_evaluation());
     source
-        .submit_entry(Entry::sign_data(&user, DataRecord::new("x").with("n", 1u64)))
+        .submit_entry(Entry::sign_data(
+            &user,
+            DataRecord::new("x").with("n", 1u64),
+        ))
         .unwrap();
     source.seal_block(Timestamp(10)).unwrap();
     let target = EntryId::new(BlockNumber(1), EntryNumber(0));
@@ -201,7 +202,10 @@ fn adopted_chain_reconstructs_deletion_state() {
     let mut joiner = SelectiveLedger::new(ChainConfig::paper_evaluation());
     joiner.adopt_chain(source.chain().export_blocks()).unwrap();
     assert_eq!(joiner.chain().tip().hash(), source.chain().tip().hash());
-    assert!(joiner.deletion_status(target).is_some(), "mark lost in adoption");
+    assert!(
+        joiner.deletion_status(target).is_some(),
+        "mark lost in adoption"
+    );
     assert!(!joiner.is_live(target));
 
     // The joiner then behaves identically: the record is dropped at the
@@ -228,12 +232,7 @@ fn i10_baseline_and_selective_agree_without_deletions() {
     let mut baseline = selective_deletion::chain::BaselineChain::new("base", Timestamp(0));
     for b in 1..=25u64 {
         let entries: Vec<Entry> = (0..2)
-            .map(|i| {
-                Entry::sign_data(
-                    &key,
-                    DataRecord::new("log").with("n", b * 10 + i as u64),
-                )
-            })
+            .map(|i| Entry::sign_data(&key, DataRecord::new("log").with("n", b * 10 + i as u64)))
             .collect();
         for e in &entries {
             selective.submit_entry(e.clone()).unwrap();

@@ -1,0 +1,398 @@
+//! Vendored, dependency-free stand-in for the parts of `criterion` this
+//! workspace's benches use.
+//!
+//! The build environment is offline, so instead of the crates.io harness we
+//! ship a small wall-clock measurer with the same calling surface:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`Throughput`] and
+//! [`BenchmarkId`].
+//!
+//! Behaviour matches criterion's contract with cargo:
+//!
+//! * `cargo bench` passes `--bench`: each benchmark is warmed up and then
+//!   measured for the configured time; a mean ns/iter (plus derived
+//!   throughput where declared) is printed.
+//! * `cargo test` runs the executable *without* `--bench`: each benchmark
+//!   body executes exactly once as a smoke test, so benches stay correct
+//!   without slowing the test suite.
+//!
+//! There are no statistics, plots or baselines — this is a measurement
+//! stub, not an analysis framework.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// shim always materialises one input per routine call).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup call per routine call.
+    PerIteration,
+}
+
+/// Declared work per iteration, used to derive rate output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to every benchmark closure; drives the measured loop.
+pub struct Bencher<'a> {
+    mode: Mode,
+    settings: &'a Settings,
+    /// Mean nanoseconds per iteration, filled in by `iter*`.
+    mean_ns: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run the body once (under `cargo test`).
+    Test,
+    /// Warm up and measure (under `cargo bench`).
+    Measure,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine` called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Test => {
+                routine();
+            }
+            Mode::Measure => {
+                // Warm-up: run until the warm-up time elapses, counting
+                // iterations to size the measurement batches.
+                let warm_start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                while warm_start.elapsed() < self.settings.warm_up {
+                    routine();
+                    warm_iters += 1;
+                }
+                // Size the measured run from the *actual* elapsed warm-up
+                // time (a slow routine can blow well past the warm-up
+                // budget in its first iteration).
+                let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+                let budget = self.settings.measurement.as_secs_f64();
+                let total_iters = ((budget / per_iter.max(1e-9)) as u64)
+                    .clamp(self.settings.sample_size as u64, 10_000_000);
+                let start = Instant::now();
+                for _ in 0..total_iters {
+                    routine();
+                }
+                self.mean_ns = start.elapsed().as_nanos() as f64 / total_iters as f64;
+            }
+        }
+    }
+
+    /// Measures `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the reported mean.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Test => {
+                routine(setup());
+            }
+            Mode::Measure => {
+                let warm_start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                while warm_start.elapsed() < self.settings.warm_up {
+                    let input = setup();
+                    routine(input);
+                    warm_iters += 1;
+                }
+                let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+                let budget = self.settings.measurement.as_secs_f64();
+                let total_iters = ((budget / per_iter.max(1e-9)) as u64)
+                    .clamp(self.settings.sample_size as u64, 1_000_000);
+                let mut measured = Duration::ZERO;
+                for _ in 0..total_iters {
+                    let input = setup();
+                    let start = Instant::now();
+                    routine(input);
+                    measured += start.elapsed();
+                }
+                self.mean_ns = measured.as_nanos() as f64 / total_iters as f64;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 100,
+            measurement: Duration::from_secs(2),
+            warm_up: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    settings: Settings,
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Per cargo's contract, bench executables receive `--bench` only
+        // under `cargo bench`; under `cargo test` each body runs once.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            settings: Settings::default(),
+            mode: if measure { Mode::Measure } else { Mode::Test },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.settings.measurement = time;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, time: Duration) -> Self {
+        self.settings.warm_up = time;
+        self
+    }
+
+    /// Sets the minimum iteration count per measurement.
+    pub fn sample_size(mut self, size: usize) -> Self {
+        self.settings.sample_size = size;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let settings = self.settings.clone();
+        run_one(&id.into_id(), self.mode, &settings, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the minimum iteration count for this group.
+    pub fn sample_size(&mut self, size: usize) -> &mut Self {
+        self.sample_size = Some(size);
+        self
+    }
+
+    /// Declares per-iteration work for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut settings = self.criterion.settings.clone();
+        if let Some(size) = self.sample_size {
+            settings.sample_size = size;
+        }
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_one(&id, self.criterion.mode, &settings, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(id: &str, mode: Mode, settings: &Settings, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher<'_>),
+{
+    let mut bencher = Bencher {
+        mode,
+        settings,
+        mean_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    match mode {
+        Mode::Test => println!("test {id} ... ok (ran once)"),
+        Mode::Measure => {
+            let mean = bencher.mean_ns;
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) if mean > 0.0 => {
+                    format!("  {:>12.0} elem/s", n as f64 * 1e9 / mean)
+                }
+                Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                    format!(
+                        "  {:>12.1} MiB/s",
+                        n as f64 * 1e9 / mean / (1024.0 * 1024.0)
+                    )
+                }
+                _ => String::new(),
+            };
+            println!("{id:<48} {mean:>14.1} ns/iter{rate}");
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a configured
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench executable's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut criterion = Criterion {
+            settings: Settings::default(),
+            mode: Mode::Test,
+        };
+        let mut runs = 0u32;
+        criterion.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_reports_a_mean() {
+        let mut criterion = Criterion {
+            settings: Settings {
+                sample_size: 10,
+                measurement: Duration::from_millis(20),
+                warm_up: Duration::from_millis(5),
+            },
+            mode: Mode::Measure,
+        };
+        let mut group = criterion.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function(BenchmarkId::new("add", 4), |b| {
+            b.iter(|| std::hint::black_box(2u64 + 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn batched_setup_excluded_from_mean() {
+        let mut criterion = Criterion {
+            settings: Settings::default(),
+            mode: Mode::Test,
+        };
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        criterion.bench_function("batched", |b| {
+            b.iter_batched(|| setups += 1, |_| runs += 1, BatchSize::SmallInput)
+        });
+        assert_eq!((setups, runs), (1, 1));
+    }
+}

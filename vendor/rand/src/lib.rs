@@ -1,0 +1,187 @@
+//! Vendored, dependency-free stand-in for the parts of the `rand` crate this
+//! workspace uses.
+//!
+//! The build environment is fully offline, so instead of the crates.io
+//! `rand` we ship this minimal shim: a seedable xoshiro256** generator
+//! ([`rngs::StdRng`]) behind the [`SeedableRng`] / [`RngExt`] traits, with
+//! uniform range sampling for the integer and float ranges the simulator,
+//! consensus election and attack models draw from.
+//!
+//! Everything is deterministic by construction — `StdRng::seed_from_u64`
+//! with the same seed yields the same stream on every platform — which is
+//! exactly the property `seldel-network` and `seldel-sim` rely on.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a simple numeric seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it to the full
+    /// internal state with SplitMix64 (the conventional seeding scheme for
+    /// xoshiro generators).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Extension methods available on every [`RngCore`].
+pub trait RngExt: RngCore + Sized {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Panics if the range is empty, mirroring `rand`'s behaviour.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore + Sized> RngExt for T {}
+
+/// A range that knows how to sample itself uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Rejection sampling over the largest multiple of `bound` that fits in
+    // a u64, so the distribution is exactly uniform.
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let x = rng.next_u64();
+        if x < zone {
+            return x % bound;
+        }
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + sample_below(rng, span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as u64) - (start as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + sample_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic xoshiro256** generator seeded via SplitMix64.
+    ///
+    /// Not cryptographically secure — it backs simulations and elections,
+    /// never key material (keys come from `seldel-crypto`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut s = seed;
+            let state = [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ];
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.state;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(
+                a.random_range(0u64..=u64::MAX - 1),
+                b.random_range(0u64..=u64::MAX - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(5u64..=9);
+            assert!((5..=9).contains(&y));
+            let f = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..32)
+            .filter(|_| a.random_range(0u64..=u64::MAX - 1) == b.random_range(0u64..=u64::MAX - 1))
+            .count();
+        assert!(same < 4);
+    }
+}
