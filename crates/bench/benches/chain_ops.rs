@@ -9,7 +9,10 @@ use std::hint::black_box;
 use seldel_bench::{
     bench_config, build_ledger, build_unbounded_ledger, workload_entry, workload_key,
 };
-use seldel_chain::{validate_chain, BaselineChain, Timestamp, ValidationOptions};
+use seldel_chain::{
+    validate_chain, BaselineChain, BlockStore, MemStore, SealedBlock, SegStore, Timestamp,
+    ValidationOptions,
+};
 use seldel_core::SelectiveLedger;
 
 fn bench_seal_block(c: &mut Criterion) {
@@ -108,12 +111,84 @@ fn bench_locate(c: &mut Criterion) {
     });
 }
 
+fn bench_locate_indexed_vs_scan(c: &mut Criterion) {
+    // The maintained-index payoff: point lookups of the oldest summarised
+    // record, indexed (O(log n)) vs the historical full scan (O(n)), at
+    // growing live chain sizes.
+    let mut group = c.benchmark_group("locate_indexed_vs_scan");
+    group.sample_size(10);
+    for live in [1_000u64, 10_000] {
+        let ledger = build_ledger(10, live, live + 30, 1, 16);
+        // Lowest origin id → carried into a summary block by the first
+        // merge; the worst case for the historical newest-first scan.
+        let oldest = ledger
+            .chain()
+            .live_records()
+            .iter()
+            .map(|(id, _)| *id)
+            .min()
+            .expect("records exist");
+        assert!(matches!(
+            ledger.chain().locate(oldest),
+            Some(seldel_chain::Located::InSummary { .. })
+        ));
+        assert_eq!(
+            ledger.chain().locate(oldest),
+            ledger.chain().locate_scan(oldest),
+            "paths must agree before comparing their cost"
+        );
+        group.bench_function(BenchmarkId::new("indexed", live), |b| {
+            b.iter(|| black_box(ledger.chain().locate(black_box(oldest))))
+        });
+        group.bench_function(BenchmarkId::new("scan", live), |b| {
+            b.iter(|| black_box(ledger.chain().locate_scan(black_box(oldest))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_backends(c: &mut Criterion) {
+    // MemStore vs the append-only SegStore on the raw store operations
+    // (push / point get / drain_front), with sealing and signing hoisted
+    // out so backend cost differences are actually visible.
+    let sealed: Vec<SealedBlock> = build_ledger(10, 400, 300, 2, 32)
+        .chain()
+        .iter_sealed()
+        .cloned()
+        .collect();
+
+    fn drive<S: BlockStore>(blocks: &[SealedBlock]) -> u64 {
+        let mut store = S::default();
+        for block in blocks {
+            store.push(block.clone());
+            if store.len() > 40 {
+                store.drain_front(11);
+            }
+        }
+        (0..store.len())
+            .map(|i| store.get(i).expect("in range").block().number().value())
+            .sum()
+    }
+
+    let mut group = c.benchmark_group("store_backend");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(sealed.len() as u64));
+    group.bench_function("mem/push_get_drain", |b| {
+        b.iter(|| black_box(drive::<MemStore>(black_box(&sealed))))
+    });
+    group.bench_function("seg/push_get_drain", |b| {
+        b.iter(|| black_box(drive::<SegStore>(black_box(&sealed))))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500))
         .sample_size(20);
-    targets = bench_seal_block, bench_validation, bench_locate
+    targets = bench_seal_block, bench_validation, bench_locate,
+        bench_locate_indexed_vs_scan, bench_store_backends
 }
 criterion_main!(benches);

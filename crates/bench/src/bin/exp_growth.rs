@@ -2,10 +2,14 @@
 //! "Data Reduction").
 //!
 //! Prints the growth series of the selective-deletion chain against the
-//! conventional baseline, plus an l_max sweep.
+//! conventional baseline, plus an l_max sweep, and writes the
+//! machine-readable chain-operation timings to `BENCH_chain_ops.json`
+//! (indexed vs scan lookups, live-record materialisation, validation at
+//! 1k/10k live blocks) so CI archives the performance trajectory.
 //!
 //! Run with `cargo run -p seldel-bench --bin exp_growth --release`.
 
+use seldel_bench::report::write_chain_ops_report;
 use seldel_codec::render::{human_bytes, ratio, TextTable};
 use seldel_sim::{run_growth, sweep_l_max, GrowthConfig};
 
@@ -57,4 +61,26 @@ fn main() {
          within l_max + l ({} blocks) while retaining {} live records.",
         last.baseline_blocks, last.selective_blocks, last.selective_records
     );
+
+    println!("\nchain-op timings (written to BENCH_chain_ops.json):");
+    let ops = write_chain_ops_report("BENCH_chain_ops.json").expect("write BENCH_chain_ops.json");
+    let mut timings = TextTable::new([
+        "live blocks",
+        "locate indexed",
+        "locate scan",
+        "speedup",
+        "live_records",
+        "validate (structural)",
+    ]);
+    for s in &ops {
+        timings.row([
+            s.live_blocks.to_string(),
+            format!("{:.0} ns", s.locate_indexed_ns),
+            format!("{:.0} ns", s.locate_scan_ns),
+            format!("{:.1}x", s.locate_speedup()),
+            format!("{:.1} us", s.live_records_ns / 1_000.0),
+            format!("{:.1} us", s.validate_structural_ns / 1_000.0),
+        ]);
+    }
+    println!("{}", timings.render());
 }

@@ -9,10 +9,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use seldel_chain::{Entry, Timestamp};
+use seldel_chain::{BlockStore, Entry, MemStore, Timestamp};
 use seldel_codec::DataRecord;
 use seldel_core::{ChainConfig, RetentionPolicy, RetireMode, SelectiveLedger};
 use seldel_crypto::SigningKey;
+
+pub mod report;
 
 /// Deterministic workload key shared by fixtures.
 pub fn workload_key() -> SigningKey {
@@ -54,8 +56,21 @@ pub fn build_ledger(
     entries_per_block: usize,
     payload_bytes: usize,
 ) -> SelectiveLedger {
+    build_ledger_in::<MemStore>(l, l_max, blocks, entries_per_block, payload_bytes)
+}
+
+/// [`build_ledger`] on an explicit storage backend.
+pub fn build_ledger_in<S: BlockStore>(
+    l: u64,
+    l_max: u64,
+    blocks: u64,
+    entries_per_block: usize,
+    payload_bytes: usize,
+) -> SelectiveLedger<S> {
     let key = workload_key();
-    let mut ledger = SelectiveLedger::new(bench_config(l, l_max));
+    let mut ledger = SelectiveLedger::builder(bench_config(l, l_max))
+        .store_backend::<S>()
+        .build();
     let mut counter = 0u64;
     for b in 1..=blocks {
         for _ in 0..entries_per_block {

@@ -1,0 +1,192 @@
+//! Machine-readable chain-operation timings (`BENCH_chain_ops.json`).
+//!
+//! The experiment binaries historically printed human tables only, which
+//! left the repository's performance trajectory unrecorded. This module
+//! measures the hot read paths the storage refactor targets — point
+//! lookups (indexed vs full scan), `live_records` materialisation, chain
+//! validation — on 1k- and 10k-live-block chains, and serialises the
+//! result as JSON so CI can archive it run over run.
+//!
+//! The JSON writer is hand-rolled: the workspace is dependency-free by
+//! design (no serde), and the report is a flat list of numbers.
+
+use std::time::Instant;
+
+use seldel_chain::{validate_chain, EntryId, ValidationOptions};
+use seldel_core::SelectiveLedger;
+
+use crate::build_ledger;
+
+/// Timings for one chain size, in nanoseconds per operation.
+#[derive(Debug, Clone)]
+pub struct ChainOpsSample {
+    /// Live blocks in the measured chain.
+    pub live_blocks: u64,
+    /// Live data sets.
+    pub live_records: u64,
+    /// Indexed `locate` of the oldest (summarised) record.
+    pub locate_indexed_ns: f64,
+    /// Full-scan `locate_scan` of the same record (the pre-index path).
+    pub locate_scan_ns: f64,
+    /// One `live_records()` materialisation.
+    pub live_records_ns: f64,
+    /// One structural validation pass (cached-hash linkage checks).
+    pub validate_structural_ns: f64,
+    /// One full validation pass (signatures + anchors).
+    pub validate_full_ns: f64,
+}
+
+impl ChainOpsSample {
+    /// Scan-vs-index speedup for point lookups.
+    pub fn locate_speedup(&self) -> f64 {
+        if self.locate_indexed_ns <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.locate_scan_ns / self.locate_indexed_ns
+    }
+}
+
+/// Times `op` over `iters` runs and returns nanoseconds per run.
+fn time_ns<T>(iters: u32, mut op: impl FnMut() -> T) -> f64 {
+    assert!(iters > 0);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(op());
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// Measures chain operations on a freshly built ledger with roughly
+/// `live_blocks` live blocks (l = 10, one entry per payload block).
+pub fn measure_chain_ops(live_blocks: u64) -> ChainOpsSample {
+    // Drive enough payload blocks past l_max that merges happened and the
+    // oldest records live in summary blocks near the marker — the worst
+    // case for the historical newest-first scan. The +3l overshoot
+    // guarantees summary slots beyond the l_max threshold actually fire.
+    let ledger: SelectiveLedger = build_ledger(10, live_blocks, live_blocks + 30, 1, 16);
+    let chain = ledger.chain();
+    // The record with the lowest origin id: its original block was pruned
+    // by the first merge, so it lives in a summary block near the marker.
+    let oldest = chain
+        .live_records()
+        .iter()
+        .map(|(id, _)| *id)
+        .min()
+        .expect("workload leaves records");
+    assert!(
+        matches!(
+            chain.locate(oldest),
+            Some(seldel_chain::Located::InSummary { .. })
+        ),
+        "oldest record must be summarised for a meaningful comparison"
+    );
+
+    let locate_indexed_ns = time_ns(10_000, || chain.locate(std::hint::black_box(oldest)));
+    let locate_scan_ns = time_ns(50, || chain.locate_scan(std::hint::black_box(oldest)));
+    let live_records_ns = time_ns(10, || chain.live_records().len());
+    let validate_structural_ns = time_ns(3, || {
+        validate_chain(chain, &ValidationOptions::structural()).expect("chain is valid")
+    });
+    // Averaged over a few passes: a single cold run is too noisy for the
+    // cross-PR regression tracking this report feeds.
+    let validate_full_ns = time_ns(3, || {
+        validate_chain(chain, &ValidationOptions::default()).expect("chain is valid")
+    });
+
+    ChainOpsSample {
+        live_blocks: chain.len(),
+        live_records: chain.record_count(),
+        locate_indexed_ns,
+        locate_scan_ns,
+        live_records_ns,
+        validate_structural_ns,
+        validate_full_ns,
+    }
+}
+
+/// Verifies the indexed and scan paths agree on a sample of ids (sanity
+/// guard so the speedup numbers compare equal work).
+pub fn check_lookup_agreement(ledger: &SelectiveLedger, ids: &[EntryId]) -> bool {
+    let chain = ledger.chain();
+    ids.iter()
+        .all(|id| chain.locate(*id) == chain.locate_scan(*id))
+}
+
+/// Renders the samples as the `BENCH_chain_ops.json` document.
+pub fn to_json(samples: &[ChainOpsSample]) -> String {
+    let mut out =
+        String::from("{\n  \"benchmark\": \"chain_ops\",\n  \"unit\": \"ns\",\n  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"live_blocks\": {}, \"live_records\": {}, \
+             \"locate_indexed_ns\": {:.1}, \"locate_scan_ns\": {:.1}, \
+             \"locate_speedup\": {:.1}, \"live_records_ns\": {:.1}, \
+             \"validate_structural_ns\": {:.1}, \"validate_full_ns\": {:.1}}}{}\n",
+            s.live_blocks,
+            s.live_records,
+            s.locate_indexed_ns,
+            s.locate_scan_ns,
+            s.locate_speedup(),
+            s.live_records_ns,
+            s.validate_structural_ns,
+            s.validate_full_ns,
+            if i + 1 == samples.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Measures the standard 1k/10k sizes and writes `BENCH_chain_ops.json`
+/// into the current directory. Returns the samples for printing.
+///
+/// # Errors
+///
+/// Propagates the I/O error when the file cannot be written.
+pub fn write_chain_ops_report(path: &str) -> std::io::Result<Vec<ChainOpsSample>> {
+    let samples: Vec<ChainOpsSample> = [1_000u64, 10_000]
+        .iter()
+        .map(|&n| measure_chain_ops(n))
+        .collect();
+    std::fs::write(path, to_json(&samples))?;
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let sample = ChainOpsSample {
+            live_blocks: 100,
+            live_records: 90,
+            locate_indexed_ns: 50.0,
+            locate_scan_ns: 5000.0,
+            live_records_ns: 1000.0,
+            validate_structural_ns: 2000.0,
+            validate_full_ns: 9000.0,
+        };
+        assert!((sample.locate_speedup() - 100.0).abs() < 1e-9);
+        let json = to_json(&[sample.clone(), sample]);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"live_blocks\"").count(), 2);
+        // Exactly one separating comma between the two sample objects.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn small_measurement_runs_and_agrees() {
+        let sample = measure_chain_ops(60);
+        assert!(sample.live_blocks >= 55 && sample.live_blocks <= 70);
+        assert!(sample.locate_indexed_ns > 0.0);
+        let ledger: SelectiveLedger = build_ledger(10, 60, 90, 1, 16);
+        let ids: Vec<EntryId> = ledger
+            .chain()
+            .live_records()
+            .iter()
+            .map(|(id, _)| *id)
+            .collect();
+        assert!(check_lookup_agreement(&ledger, &ids));
+    }
+}

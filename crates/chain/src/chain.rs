@@ -1,18 +1,30 @@
 //! The live blockchain β: a contiguous run of blocks starting at the
 //! shifting genesis marker `m`.
 //!
-//! Block numbers never restart — after pruning, the front of the deque is
+//! Block numbers never restart — after pruning, the front of the store is
 //! simply a later number. "A Marker m is used to indicate the shifting
 //! Genesis Block, holding the block number" (§IV-C); here the marker is the
 //! number of the first retained block.
-
-use std::collections::VecDeque;
+//!
+//! Storage is pluggable ([`BlockStore`]; see [`crate::store`]) and the
+//! chain maintains two derived structures incrementally:
+//!
+//! * an [`EntryIndex`] mapping every live data set to its holder block, so
+//!   [`Blockchain::locate`] is O(log n) instead of a full summary scan;
+//! * a cached digest per stored block ([`SealedBlock`]), computed once at
+//!   push, so linkage checks, validation, summary derivation and Σ-hash
+//!   sync checks never re-hash an immutable block.
+//!
+//! Both are derived state: rebuildable from the blocks, never hashed
+//! (invariant I2 is untouched).
 
 use seldel_codec::{Codec, DataRecord};
 
 use crate::block::{Block, BlockKind};
 use crate::entry::{Entry, EntryPayload};
 use crate::error::ChainError;
+use crate::index::{EntryIndex, Location};
+use crate::store::{BlockStore, MemStore, SealedBlock};
 use crate::summary::SummaryRecord;
 use crate::types::{BlockNumber, EntryId, EntryNumber};
 
@@ -62,37 +74,67 @@ impl<'a> Located<'a> {
     }
 }
 
-/// The live chain.
+/// The live chain, generic over its storage backend.
+///
+/// The default parameter keeps the historical spelling working: a plain
+/// `Blockchain` is a [`MemStore`]-backed chain. Use
+/// [`Blockchain::with_genesis`] / [`Blockchain::assemble`] with an explicit
+/// type to pick another backend, e.g.
+/// `Blockchain::<SegStore>::with_genesis(...)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Blockchain {
-    blocks: VecDeque<Block>,
+pub struct Blockchain<S: BlockStore = MemStore> {
+    store: S,
+    index: EntryIndex,
 }
 
 impl Blockchain {
-    /// Starts a chain from its first block (usually [`Block::genesis`]).
+    /// Starts a [`MemStore`]-backed chain from its first block (usually
+    /// [`Block::genesis`]).
     pub fn new(first: Block) -> Blockchain {
-        let mut blocks = VecDeque::new();
-        blocks.push_back(first);
-        Blockchain { blocks }
+        Blockchain::with_genesis(first)
     }
 
-    /// Reconstructs a chain from contiguous blocks (e.g. a sync response).
+    /// Reconstructs a [`MemStore`]-backed chain from contiguous blocks
+    /// (e.g. a sync response).
     ///
     /// # Errors
     ///
     /// Returns the first linkage violation found; `blocks` must be
     /// non-empty.
     pub fn from_blocks(blocks: Vec<Block>) -> Result<Blockchain, ChainError> {
+        Blockchain::assemble(blocks)
+    }
+}
+
+impl<S: BlockStore> Blockchain<S> {
+    /// Starts a chain from its first block in an empty store of type `S`.
+    pub fn with_genesis(first: Block) -> Blockchain<S> {
+        let mut index = EntryIndex::new();
+        index.index_block(&first);
+        let mut store = S::default();
+        store.push(SealedBlock::seal(first));
+        Blockchain { store, index }
+    }
+
+    /// Reconstructs a chain from contiguous blocks into a store of type
+    /// `S`, rebuilding the entry index and hash cache along the way.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first linkage violation found; `blocks` must be
+    /// non-empty.
+    pub fn assemble(blocks: Vec<Block>) -> Result<Blockchain<S>, ChainError> {
         let mut iter = blocks.into_iter();
         let first = iter.next().ok_or(ChainError::EmptyChain)?;
-        let mut chain = Blockchain::new(first);
+        let mut chain = Blockchain::with_genesis(first);
         for block in iter {
             chain.push(block)?;
         }
         Ok(chain)
     }
 
-    /// Appends a block after checking linkage rules.
+    /// Appends a block after checking linkage rules. The block is hashed
+    /// exactly once here; all later reads use the cached digest.
     ///
     /// # Errors
     ///
@@ -104,11 +146,11 @@ impl Blockchain {
     /// * [`ChainError::PayloadMismatch`] — header must commit to the body.
     /// * [`ChainError::GenesisMisplaced`] — genesis kind only at block 0.
     pub fn push(&mut self, block: Block) -> Result<(), ChainError> {
-        let tip = self.tip();
+        let tip = self.store.last().expect("chain is never empty");
         let number = block.number();
-        if number != tip.number().next() {
+        if number != tip.block().number().next() {
             return Err(ChainError::NonContiguousNumber {
-                expected: tip.number().next(),
+                expected: tip.block().number().next(),
                 found: number,
             });
         }
@@ -117,7 +159,7 @@ impl Blockchain {
         }
         match block.kind() {
             BlockKind::Summary => {
-                if block.timestamp() != tip.timestamp() {
+                if block.timestamp() != tip.block().timestamp() {
                     return Err(ChainError::SummaryTimestampMismatch { number });
                 }
             }
@@ -125,7 +167,7 @@ impl Blockchain {
                 return Err(ChainError::GenesisMisplaced { number });
             }
             _ => {
-                if block.timestamp() < tip.timestamp() {
+                if block.timestamp() < tip.block().timestamp() {
                     return Err(ChainError::TimestampRegression { number });
                 }
             }
@@ -133,28 +175,38 @@ impl Blockchain {
         if !block.is_payload_consistent() {
             return Err(ChainError::PayloadMismatch { number });
         }
-        self.blocks.push_back(block);
+        self.index.index_block(&block);
+        self.store.push(SealedBlock::seal(block));
         Ok(())
     }
 
     /// The shifting genesis marker `m`: number of the first live block.
     pub fn marker(&self) -> BlockNumber {
-        self.blocks.front().expect("chain is never empty").number()
+        self.store
+            .first()
+            .expect("chain is never empty")
+            .block()
+            .number()
     }
 
     /// The newest block.
     pub fn tip(&self) -> &Block {
-        self.blocks.back().expect("chain is never empty")
+        self.store.last().expect("chain is never empty").block()
+    }
+
+    /// The cached digest of the newest block.
+    pub fn tip_hash(&self) -> seldel_crypto::Digest32 {
+        self.store.last().expect("chain is never empty").hash()
     }
 
     /// The oldest live block (the block the marker points at).
     pub fn first(&self) -> &Block {
-        self.blocks.front().expect("chain is never empty")
+        self.store.first().expect("chain is never empty").block()
     }
 
     /// Live length lβ in blocks.
     pub fn len(&self) -> u64 {
-        self.blocks.len() as u64
+        self.store.len() as u64
     }
 
     /// A chain is never empty; provided for API completeness.
@@ -169,24 +221,63 @@ impl Blockchain {
 
     /// Looks up a live block by number.
     pub fn get(&self, number: BlockNumber) -> Option<&Block> {
+        self.sealed(number).map(SealedBlock::block)
+    }
+
+    /// Looks up a live block with its cached digest by number.
+    pub fn sealed(&self, number: BlockNumber) -> Option<&SealedBlock> {
         let marker = self.marker();
         if number < marker {
             return None;
         }
         let index = (number.value() - marker.value()) as usize;
-        self.blocks.get(index)
+        self.store.get(index)
+    }
+
+    /// The cached digest of a live block.
+    pub fn hash_of(&self, number: BlockNumber) -> Option<seldel_crypto::Digest32> {
+        self.sealed(number).map(SealedBlock::hash)
     }
 
     /// Iterates live blocks from marker to tip.
     pub fn iter(&self) -> impl Iterator<Item = &Block> {
-        self.blocks.iter()
+        self.store.iter().map(SealedBlock::block)
+    }
+
+    /// Iterates live blocks with their cached digests.
+    pub fn iter_sealed(&self) -> impl Iterator<Item = &SealedBlock> {
+        self.store.iter()
+    }
+
+    /// The maintained entry index (derived state; see [`crate::index`]).
+    pub fn entry_index(&self) -> &EntryIndex {
+        &self.index
+    }
+
+    /// Rebuilds the entry index from a full block scan.
+    ///
+    /// The maintained index must always equal this rebuild — the property
+    /// tests pin that (`tests/properties.rs`, citing I1/I3).
+    pub fn rebuilt_index(&self) -> EntryIndex {
+        let mut fresh = EntryIndex::new();
+        for block in self.iter() {
+            fresh.index_block(block);
+        }
+        fresh
+    }
+
+    /// Whether every cached digest matches a from-scratch recomputation.
+    ///
+    /// Always true for immutable blocks; exposed for the property tests.
+    pub fn verify_cached_hashes(&self) -> bool {
+        self.iter_sealed().all(|s| s.hash() == s.block().hash())
     }
 
     /// Finds where the data set `id` currently lives.
     ///
-    /// Checks the original block first; if that block was pruned (or the
-    /// id points into a summary), scans summary blocks newest-first for a
-    /// record with matching origin.
+    /// Checks the original block first (O(1) by number); if that block was
+    /// pruned, the maintained [`EntryIndex`] resolves the carrying summary
+    /// block in O(log n) — no chain scan on any path.
     pub fn locate(&self, id: EntryId) -> Option<Located<'_>> {
         if let Some(block) = self.get(id.block) {
             if let Some(entry) = block.entries().get(id.entry.value() as usize) {
@@ -197,8 +288,36 @@ impl Blockchain {
                 return Some(Located::InSummary { block, record });
             }
         }
-        for block in self.blocks.iter().rev() {
-            if block.kind() != BlockKind::Summary {
+        match self.index.get(id)? {
+            Location::InSummary { holder, slot } => {
+                let block = self.get(holder)?;
+                let record = block.summary_records().get(slot as usize)?;
+                debug_assert_eq!(record.origin(), id, "index slot must match origin");
+                Some(Located::InSummary { block, record })
+            }
+            // An InBlock entry would have been found by the direct lookup
+            // above; reaching this arm means the id is not live.
+            Location::InBlock => None,
+        }
+    }
+
+    /// Reference implementation of [`Blockchain::locate`] by full scan.
+    ///
+    /// Kept as the oracle the index-backed path is benchmarked and
+    /// property-tested against. Note the scan skips the block already
+    /// checked by the direct lookup (historically it was re-visited).
+    pub fn locate_scan(&self, id: EntryId) -> Option<Located<'_>> {
+        if let Some(block) = self.get(id.block) {
+            if let Some(entry) = block.entries().get(id.entry.value() as usize) {
+                return Some(Located::InBlock { block, entry });
+            }
+            if let Some(record) = block.summary_records().iter().find(|r| r.origin() == id) {
+                return Some(Located::InSummary { block, record });
+            }
+        }
+        for i in (0..self.store.len()).rev() {
+            let block = self.store.get(i).expect("index in range").block();
+            if block.kind() != BlockKind::Summary || block.number() == id.block {
                 continue;
             }
             if let Some(record) = block.summary_records().iter().find(|r| r.origin() == id) {
@@ -212,8 +331,8 @@ impl Blockchain {
     /// their original blocks plus carried summary records. Deletion-request
     /// entries are excluded (they are transport, not data).
     pub fn live_records(&self) -> Vec<(EntryId, &DataRecord)> {
-        let mut out = Vec::new();
-        for block in &self.blocks {
+        let mut out = Vec::with_capacity(self.index.len());
+        for block in self.iter() {
             match block.kind() {
                 BlockKind::Normal => {
                     for (i, entry) in block.entries().iter().enumerate() {
@@ -236,7 +355,8 @@ impl Blockchain {
     /// Cuts off all blocks before `new_marker` and returns them oldest-first.
     ///
     /// This is the physical deletion step of §IV-C, executed *after* the
-    /// carried-forward summary block is already part of the chain.
+    /// carried-forward summary block is already part of the chain. The
+    /// entry index retires the ids whose holder blocks were cut.
     ///
     /// # Errors
     ///
@@ -256,21 +376,29 @@ impl Blockchain {
             });
         }
         let cut = (new_marker.value() - live_start.value()) as usize;
-        let removed: Vec<Block> = self.blocks.drain(..cut).collect();
+        let removed: Vec<Block> = self
+            .store
+            .drain_front(cut)
+            .into_iter()
+            .map(SealedBlock::into_block)
+            .collect();
+        self.index.retire_before(new_marker);
         Ok(removed)
     }
 
     /// Total canonical byte size of all live blocks.
     pub fn total_byte_size(&self) -> u64 {
-        self.blocks.iter().map(|b| b.byte_size() as u64).sum()
+        self.iter().map(|b| b.byte_size() as u64).sum()
     }
 
-    /// Counts live data sets (entries + summary records).
+    /// Counts live data sets (entries + summary records) from the
+    /// maintained index — O(1), no chain scan.
     pub fn record_count(&self) -> u64 {
-        self.live_records().len() as u64
+        self.index.len() as u64
     }
 
     /// Block hashes for a live range (used to build / verify anchors).
+    /// Served from the per-block digest cache.
     pub fn block_hashes(
         &self,
         start: BlockNumber,
@@ -282,7 +410,7 @@ impl Blockchain {
         let mut out = Vec::with_capacity((end.value() - start.value() + 1) as usize);
         let mut n = start;
         while n <= end {
-            out.push(self.get(n)?.hash());
+            out.push(self.hash_of(n)?);
             n = n.next();
         }
         Some(out)
@@ -290,14 +418,14 @@ impl Blockchain {
 
     /// Serialises all live blocks (sync responses, persistence).
     pub fn export_blocks(&self) -> Vec<Block> {
-        self.blocks.iter().cloned().collect()
+        self.iter().cloned().collect()
     }
 
     /// Canonical encoding of the whole live chain.
     pub fn export_bytes(&self) -> Vec<u8> {
         let mut enc = seldel_codec::Encoder::new();
-        enc.put_len(self.blocks.len());
-        for block in &self.blocks {
+        enc.put_len(self.store.len());
+        for block in self.iter() {
             block.encode(&mut enc);
         }
         enc.into_bytes()
@@ -308,6 +436,7 @@ impl Blockchain {
 mod tests {
     use super::*;
     use crate::block::{BlockBody, Seal};
+    use crate::store::SegStore;
     use crate::types::Timestamp;
     use seldel_crypto::SigningKey;
 
@@ -319,10 +448,10 @@ mod tests {
         Entry::sign_data(&key(seed), DataRecord::new("login").with("user", user))
     }
 
-    fn chain_with_blocks(n: u64) -> Blockchain {
-        let mut chain = Blockchain::new(Block::genesis("test", Timestamp(0)));
+    fn chain_with_blocks_in<S: BlockStore>(n: u64) -> Blockchain<S> {
+        let mut chain = Blockchain::with_genesis(Block::genesis("test", Timestamp(0)));
         for i in 1..=n {
-            let prev = chain.tip().hash();
+            let prev = chain.tip_hash();
             chain
                 .push(Block::new(
                     BlockNumber(i),
@@ -336,6 +465,10 @@ mod tests {
                 .unwrap();
         }
         chain
+    }
+
+    fn chain_with_blocks(n: u64) -> Blockchain {
+        chain_with_blocks_in::<MemStore>(n)
     }
 
     #[test]
@@ -352,7 +485,7 @@ mod tests {
     #[test]
     fn push_rejects_bad_number() {
         let mut chain = chain_with_blocks(1);
-        let prev = chain.tip().hash();
+        let prev = chain.tip_hash();
         let block = Block::new(
             BlockNumber(5),
             Timestamp(100),
@@ -385,7 +518,7 @@ mod tests {
     #[test]
     fn push_rejects_timestamp_regression() {
         let mut chain = chain_with_blocks(2);
-        let prev = chain.tip().hash();
+        let prev = chain.tip_hash();
         let block = Block::new(
             BlockNumber(3),
             Timestamp(5), // earlier than block 2's 20
@@ -402,7 +535,7 @@ mod tests {
     #[test]
     fn push_enforces_summary_timestamp_rule() {
         let mut chain = chain_with_blocks(2);
-        let prev = chain.tip().hash();
+        let prev = chain.tip_hash();
         // Wrong: summary with a newer timestamp.
         let bad = Block::new(
             BlockNumber(3),
@@ -435,7 +568,7 @@ mod tests {
     #[test]
     fn push_rejects_second_genesis() {
         let mut chain = chain_with_blocks(1);
-        let prev = chain.tip().hash();
+        let prev = chain.tip_hash();
         let bad = Block::from_parts(
             crate::block::BlockHeader {
                 number: BlockNumber(2),
@@ -481,6 +614,93 @@ mod tests {
             .is_none());
     }
 
+    /// Builds a chain whose block 1 was carried into summary block 3 and
+    /// then pruned, leaving the carried record reachable only through the
+    /// summary block.
+    fn pruned_with_summary() -> Blockchain {
+        let mut chain = chain_with_blocks(2);
+        let origin = EntryId::new(BlockNumber(1), EntryNumber(0));
+        let carried = chain.locate(origin).unwrap();
+        let record = match carried {
+            Located::InBlock { entry, .. } => {
+                SummaryRecord::from_entry(entry, origin, Timestamp(10)).unwrap()
+            }
+            _ => unreachable!("entry is live"),
+        };
+        let prev = chain.tip_hash();
+        let ts = chain.tip().timestamp();
+        chain
+            .push(Block::new(
+                BlockNumber(3),
+                ts,
+                prev,
+                BlockBody::Summary {
+                    records: vec![record],
+                    anchor: None,
+                },
+                Seal::Deterministic,
+            ))
+            .unwrap();
+        chain.truncate_front(BlockNumber(2)).unwrap();
+        chain
+    }
+
+    #[test]
+    fn locate_resolves_carried_record_via_index() {
+        let chain = pruned_with_summary();
+        let origin = EntryId::new(BlockNumber(1), EntryNumber(0));
+        let located = chain.locate(origin).expect("carried record is live");
+        assert!(matches!(located, Located::InSummary { .. }));
+        assert_eq!(located.holder().number(), BlockNumber(3));
+        assert_eq!(
+            located.data().unwrap().get("user").unwrap().as_str(),
+            Some("ALPHA")
+        );
+        // Entry 1:1 was not carried → gone on both paths.
+        let gone = EntryId::new(BlockNumber(1), EntryNumber(1));
+        assert!(chain.locate(gone).is_none());
+        assert!(chain.locate_scan(gone).is_none());
+    }
+
+    /// Regression test for the historical `locate` double-scan: when the
+    /// direct lookup already inspected `id.block`, the fallback sweep must
+    /// not re-visit it. The indexed path and the (fixed) scan path must
+    /// agree on every id, present or not.
+    #[test]
+    fn locate_agrees_with_scan_reference() {
+        let chain = pruned_with_summary();
+        let ids = [
+            EntryId::new(BlockNumber(1), EntryNumber(0)), // carried
+            EntryId::new(BlockNumber(1), EntryNumber(1)), // pruned, not carried
+            EntryId::new(BlockNumber(2), EntryNumber(0)), // live in block
+            EntryId::new(BlockNumber(3), EntryNumber(0)), // summary slot itself
+            EntryId::new(BlockNumber(9), EntryNumber(0)), // never existed
+        ];
+        for id in ids {
+            assert_eq!(chain.locate(id), chain.locate_scan(id), "id {id}");
+        }
+    }
+
+    #[test]
+    fn maintained_index_matches_rebuild_and_hash_cache_holds() {
+        let mut chain = pruned_with_summary();
+        let prev = chain.tip_hash();
+        chain
+            .push(Block::new(
+                BlockNumber(4),
+                Timestamp(40),
+                prev,
+                BlockBody::Normal {
+                    entries: vec![entry("CHARLIE", 3)],
+                },
+                Seal::Deterministic,
+            ))
+            .unwrap();
+        assert_eq!(chain.entry_index(), &chain.rebuilt_index());
+        assert!(chain.verify_cached_hashes());
+        assert_eq!(chain.record_count(), 4); // 1 carried + 2 in block 2 + 1 in block 4
+    }
+
     #[test]
     fn truncate_front_shifts_marker() {
         let mut chain = chain_with_blocks(5);
@@ -491,6 +711,11 @@ mod tests {
         // Old numbers no longer resolvable.
         assert!(chain.get(BlockNumber(2)).is_none());
         assert!(chain.get(BlockNumber(3)).is_some());
+        // The index dropped the pruned ids with their blocks.
+        assert!(!chain
+            .entry_index()
+            .contains(EntryId::new(BlockNumber(2), EntryNumber(0))));
+        assert_eq!(chain.entry_index(), &chain.rebuilt_index());
     }
 
     #[test]
@@ -533,6 +758,25 @@ mod tests {
         let mut blocks = chain.export_blocks();
         blocks.remove(2);
         assert!(Blockchain::from_blocks(blocks).is_err());
+    }
+
+    #[test]
+    fn seg_store_backend_behaves_identically() {
+        let mem = chain_with_blocks(40);
+        let mut seg = chain_with_blocks_in::<SegStore>(40);
+        assert_eq!(mem.export_bytes(), seg.export_bytes());
+        assert_eq!(mem.tip_hash(), seg.tip_hash());
+        assert_eq!(mem.record_count(), seg.record_count());
+
+        seg.truncate_front(BlockNumber(17)).unwrap();
+        let mut mem2 = mem.clone();
+        mem2.truncate_front(BlockNumber(17)).unwrap();
+        assert_eq!(mem2.export_bytes(), seg.export_bytes());
+        assert_eq!(seg.entry_index(), &seg.rebuilt_index());
+
+        // Cross-backend reassembly keeps the canonical bytes stable.
+        let crossed: Blockchain<SegStore> = Blockchain::assemble(mem2.export_blocks()).unwrap();
+        assert_eq!(crossed.export_bytes(), mem2.export_bytes());
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! * [`summary`] — carried-forward summary records (Fig. 4) and Fig. 9
 //!   anchors;
 //! * [`chain`] — the live chain β with its shifting genesis marker `m`;
+//! * [`store`] — pluggable block storage ([`MemStore`], [`SegStore`]) with
+//!   per-block sealed-hash caching;
+//! * [`index`] — the maintained `EntryId → Location` index backing O(log n)
+//!   lookups;
 //! * [`validate`] — status-quo-anchored validation (§V-B3);
 //! * [`baseline`] — the conventional ever-growing chain used as the
 //!   experimental comparator;
@@ -37,7 +41,9 @@ pub mod block;
 pub mod chain;
 pub mod entry;
 pub mod error;
+pub mod index;
 pub mod render;
+pub mod store;
 pub mod summary;
 pub mod types;
 pub mod validate;
@@ -47,6 +53,8 @@ pub use block::{Block, BlockBody, BlockHeader, BlockKind, Seal, GENESIS_PREV_HAS
 pub use chain::{Blockchain, Located};
 pub use entry::{CoSignature, DeleteRequest, Entry, EntryPayload};
 pub use error::ChainError;
+pub use index::{EntryIndex, Location};
+pub use store::{BlockStore, MemStore, SealedBlock, SegStore};
 pub use summary::{Anchor, SummaryRecord};
 pub use types::{BlockNumber, EntryId, EntryNumber, Expiry, Timestamp};
 pub use validate::{

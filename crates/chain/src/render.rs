@@ -115,7 +115,10 @@ pub fn render_block(block: &Block, names: &impl NameResolver) -> String {
 /// Renders the whole live chain, one block per paragraph, with the marker
 /// line on top (Fig. 7: "The maker for the Genesis Block is changed to
 /// block number 6").
-pub fn render_chain(chain: &Blockchain, names: &impl NameResolver) -> String {
+pub fn render_chain<S: crate::store::BlockStore>(
+    chain: &Blockchain<S>,
+    names: &impl NameResolver,
+) -> String {
     let mut out = format!("marker m = {}\n", chain.marker());
     for block in chain.iter() {
         out.push_str(&render_block(block, names));

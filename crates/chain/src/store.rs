@@ -1,0 +1,398 @@
+//! Pluggable block storage for the live chain β.
+//!
+//! [`Blockchain`](crate::chain::Blockchain) is generic over a
+//! [`BlockStore`]: the ordered container holding the live blocks between
+//! the shifting genesis marker `m` and the tip. Two backends ship with the
+//! crate:
+//!
+//! * [`MemStore`] — a plain `VecDeque`, the historical behaviour and the
+//!   default type parameter;
+//! * [`SegStore`] — an append-only segmented store. Blocks are written
+//!   into fixed-size segments that are never mutated after being filled;
+//!   pruning the front (the §IV-C physical deletion step) advances a
+//!   cursor and drops whole retired segments. This is the in-memory shape
+//!   of a file-backed log (one segment per file) and the stepping stone to
+//!   durable storage.
+//!
+//! Stores hold [`SealedBlock`]s, not raw [`Block`]s: a sealed block pairs
+//! the immutable block with its digest, computed **once** when the block
+//! enters the store. Every later consumer — validation, summary
+//! derivation, Σ-hash sync checks, anchor building — reads the cached
+//! digest instead of re-encoding and re-hashing the block.
+
+use std::collections::VecDeque;
+
+use seldel_crypto::Digest32;
+
+use crate::block::Block;
+
+/// A block plus its digest, computed once when the block was stored.
+///
+/// Blocks are immutable after sealing (the chain never mutates a stored
+/// block; it only appends and prunes), so the cached digest can never go
+/// stale. Equality compares the block only — the digest is derived state.
+#[derive(Debug, Clone)]
+pub struct SealedBlock {
+    block: Block,
+    hash: Digest32,
+}
+
+impl SealedBlock {
+    /// Seals a block, computing its digest exactly once.
+    pub fn seal(block: Block) -> SealedBlock {
+        let hash = block.hash();
+        SealedBlock { block, hash }
+    }
+
+    /// The block.
+    pub fn block(&self) -> &Block {
+        &self.block
+    }
+
+    /// The cached block digest.
+    pub fn hash(&self) -> Digest32 {
+        self.hash
+    }
+
+    /// Unwraps the block, discarding the cached digest.
+    pub fn into_block(self) -> Block {
+        self.block
+    }
+}
+
+impl PartialEq for SealedBlock {
+    fn eq(&self, other: &Self) -> bool {
+        // The digest is a pure function of the block; comparing it again
+        // would be redundant.
+        self.block == other.block
+    }
+}
+
+impl Eq for SealedBlock {}
+
+/// Ordered storage for the live blocks of a chain.
+///
+/// Index 0 is the oldest live block (the marker block); `len() - 1` is the
+/// tip. Implementations must behave like a deque of [`SealedBlock`]s:
+/// `push` appends at the back, `drain_front` removes from the front.
+/// Logical equality (same blocks in the same order) must hold regardless
+/// of internal layout, because [`Blockchain`](crate::chain::Blockchain)
+/// derives its own `PartialEq` from the store's.
+pub trait BlockStore: Default + Clone + PartialEq + Eq + std::fmt::Debug + 'static {
+    /// Iterator over stored blocks, oldest first.
+    type Iter<'a>: Iterator<Item = &'a SealedBlock> + 'a
+    where
+        Self: 'a;
+
+    /// Appends a sealed block at the back.
+    fn push(&mut self, block: SealedBlock);
+
+    /// The block at `index` (0 = oldest live).
+    fn get(&self, index: usize) -> Option<&SealedBlock>;
+
+    /// Number of stored blocks.
+    fn len(&self) -> usize;
+
+    /// Removes the first `count` blocks and returns them oldest-first.
+    fn drain_front(&mut self, count: usize) -> Vec<SealedBlock>;
+
+    /// Iterates stored blocks oldest-first.
+    fn iter(&self) -> Self::Iter<'_>;
+
+    /// Whether the store holds no blocks.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The oldest stored block.
+    fn first(&self) -> Option<&SealedBlock> {
+        self.get(0)
+    }
+
+    /// The newest stored block.
+    fn last(&self) -> Option<&SealedBlock> {
+        self.len().checked_sub(1).and_then(|i| self.get(i))
+    }
+}
+
+/// The default in-memory store: a `VecDeque` of sealed blocks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemStore {
+    blocks: VecDeque<SealedBlock>,
+}
+
+impl BlockStore for MemStore {
+    type Iter<'a> = std::collections::vec_deque::Iter<'a, SealedBlock>;
+
+    fn push(&mut self, block: SealedBlock) {
+        self.blocks.push_back(block);
+    }
+
+    fn get(&self, index: usize) -> Option<&SealedBlock> {
+        self.blocks.get(index)
+    }
+
+    fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn drain_front(&mut self, count: usize) -> Vec<SealedBlock> {
+        let count = count.min(self.blocks.len());
+        self.blocks.drain(..count).collect()
+    }
+
+    fn iter(&self) -> Self::Iter<'_> {
+        self.blocks.iter()
+    }
+}
+
+/// Number of blocks per [`SegStore`] segment.
+///
+/// Segments mirror the paper's sequences ω: retirement always cuts whole
+/// sequence prefixes, so moderately sized segments retire cleanly without
+/// long partial-segment tails.
+pub const SEGMENT_CAPACITY: usize = 64;
+
+/// An append-only segmented store.
+///
+/// Blocks are appended into fixed-capacity segments; the append path never
+/// rewrites a filled segment. Pruning moves retired blocks *out* of their
+/// slots (physical deletion — the pruned data must not linger in memory,
+/// §IV-C), advances `front_skip`, and drops whole exhausted segments, so
+/// the store appends at the back and releases at the front — exactly the
+/// access pattern of the marker-shift rule (DESIGN.md §Marker-shift
+/// rules), and the shape a file-backed segment log would have.
+#[derive(Debug, Clone, Default)]
+pub struct SegStore {
+    /// All live segments; every segment except the last holds exactly
+    /// [`SEGMENT_CAPACITY`] slots, so logical index arithmetic stays O(1).
+    /// Slots below `front_skip` in the first segment are `None`: their
+    /// blocks were handed out by `drain_front` and are physically gone.
+    segments: VecDeque<Vec<Option<SealedBlock>>>,
+    /// Slots of the front segment already pruned (always < the front
+    /// segment's length while the store is non-empty).
+    front_skip: usize,
+    /// Logical number of live blocks.
+    len: usize,
+}
+
+impl SegStore {
+    /// Physical position of logical `index`: `(segment, offset)`.
+    fn position(&self, index: usize) -> (usize, usize) {
+        let absolute = self.front_skip + index;
+        (absolute / SEGMENT_CAPACITY, absolute % SEGMENT_CAPACITY)
+    }
+
+    /// Number of retained segments (diagnostics / tests).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+impl PartialEq for SegStore {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical equality: same blocks in the same order, regardless of
+        // how pruning left the segment layout.
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for SegStore {}
+
+impl BlockStore for SegStore {
+    type Iter<'a> = SegIter<'a>;
+
+    fn push(&mut self, block: SealedBlock) {
+        match self.segments.back_mut() {
+            Some(segment) if segment.len() < SEGMENT_CAPACITY => segment.push(Some(block)),
+            _ => {
+                let mut segment = Vec::with_capacity(SEGMENT_CAPACITY);
+                segment.push(Some(block));
+                self.segments.push_back(segment);
+            }
+        }
+        self.len += 1;
+    }
+
+    fn get(&self, index: usize) -> Option<&SealedBlock> {
+        if index >= self.len {
+            return None;
+        }
+        let (segment, offset) = self.position(index);
+        self.segments.get(segment)?.get(offset)?.as_ref()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn drain_front(&mut self, count: usize) -> Vec<SealedBlock> {
+        let count = count.min(self.len);
+        // Physical deletion: the blocks are *moved* out of their slots (the
+        // slot becomes None immediately), then the cursor advances and
+        // exhausted front segments are dropped whole.
+        let removed: Vec<SealedBlock> = (0..count)
+            .map(|i| {
+                let (segment, offset) = self.position(i);
+                self.segments[segment][offset]
+                    .take()
+                    .expect("live slots hold blocks")
+            })
+            .collect();
+        self.front_skip += count;
+        self.len -= count;
+        if self.len == 0 {
+            self.segments.clear();
+            self.front_skip = 0;
+        } else {
+            while self.front_skip >= SEGMENT_CAPACITY {
+                self.segments.pop_front();
+                self.front_skip -= SEGMENT_CAPACITY;
+            }
+        }
+        removed
+    }
+
+    fn iter(&self) -> Self::Iter<'_> {
+        SegIter {
+            store: self,
+            next: 0,
+        }
+    }
+}
+
+/// Oldest-first iterator over a [`SegStore`].
+#[derive(Debug)]
+pub struct SegIter<'a> {
+    store: &'a SegStore,
+    next: usize,
+}
+
+impl<'a> Iterator for SegIter<'a> {
+    type Item = &'a SealedBlock;
+
+    fn next(&mut self) -> Option<&'a SealedBlock> {
+        let item = self.store.get(self.next)?;
+        self.next += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.store.len.saturating_sub(self.next);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SegIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockBody, Seal};
+    use crate::types::{BlockNumber, Timestamp};
+
+    fn sealed(n: u64) -> SealedBlock {
+        SealedBlock::seal(Block::new(
+            BlockNumber(n),
+            Timestamp(n * 10),
+            seldel_crypto::sha256(n.to_le_bytes()),
+            BlockBody::Empty,
+            Seal::Deterministic,
+        ))
+    }
+
+    fn drive<S: BlockStore>(pushes: u64, drains: &[usize]) -> S {
+        let mut store = S::default();
+        let mut drains = drains.iter();
+        for next in 0..pushes {
+            store.push(sealed(next));
+            if let Some(&n) = drains.next() {
+                store.drain_front(n.min(store.len().saturating_sub(1)));
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn sealed_block_caches_the_digest() {
+        let s = sealed(7);
+        assert_eq!(s.hash(), s.block().hash());
+        assert_eq!(s.clone(), s);
+    }
+
+    #[test]
+    fn mem_and_seg_stores_agree() {
+        let mem: MemStore = drive(200, &[3, 10, 0, 60, 7]);
+        let seg: SegStore = drive(200, &[3, 10, 0, 60, 7]);
+        assert_eq!(mem.len(), seg.len());
+        assert!(mem.iter().eq(seg.iter()));
+        for i in 0..mem.len() {
+            assert_eq!(mem.get(i), seg.get(i));
+        }
+        assert_eq!(mem.first(), seg.first());
+        assert_eq!(mem.last(), seg.last());
+    }
+
+    #[test]
+    fn seg_store_drops_exhausted_segments() {
+        let mut store = SegStore::default();
+        for n in 0..(3 * SEGMENT_CAPACITY as u64) {
+            store.push(sealed(n));
+        }
+        assert_eq!(store.segment_count(), 3);
+        let removed = store.drain_front(2 * SEGMENT_CAPACITY + 5);
+        assert_eq!(removed.len(), 2 * SEGMENT_CAPACITY + 5);
+        assert_eq!(removed[0].block().number(), BlockNumber(0));
+        assert_eq!(store.segment_count(), 1);
+        assert_eq!(store.len(), SEGMENT_CAPACITY - 5);
+        assert_eq!(
+            store.first().unwrap().block().number(),
+            BlockNumber(2 * SEGMENT_CAPACITY as u64 + 5)
+        );
+    }
+
+    #[test]
+    fn drained_slots_are_physically_cleared() {
+        // §IV-C physical deletion: pruned blocks must not linger in the
+        // store's memory behind the cursor.
+        let mut store = SegStore::default();
+        for n in 0..10 {
+            store.push(sealed(n));
+        }
+        let removed = store.drain_front(4);
+        assert_eq!(removed.len(), 4);
+        assert!(store.segments[0][..4].iter().all(Option::is_none));
+        assert_eq!(store.get(0).unwrap().block().number(), BlockNumber(4));
+    }
+
+    #[test]
+    fn seg_store_logical_equality_ignores_layout() {
+        // Same logical content, different pruning history.
+        let mut a = SegStore::default();
+        let mut b = SegStore::default();
+        for n in 0..10 {
+            a.push(sealed(n));
+        }
+        a.drain_front(4);
+        for n in 4..10 {
+            b.push(sealed(n));
+        }
+        assert_eq!(a, b);
+        b.push(sealed(10));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn drain_to_empty_resets_cursor() {
+        let mut store = SegStore::default();
+        for n in 0..5 {
+            store.push(sealed(n));
+        }
+        let removed = store.drain_front(9);
+        assert_eq!(removed.len(), 5);
+        assert!(store.is_empty());
+        store.push(sealed(5));
+        assert_eq!(store.get(0).unwrap().block().number(), BlockNumber(5));
+        assert_eq!(store.iter().count(), 1);
+    }
+}

@@ -11,6 +11,7 @@ use seldel_crypto::MerkleTree;
 use crate::block::BlockKind;
 use crate::chain::Blockchain;
 use crate::error::ChainError;
+use crate::store::{BlockStore, SealedBlock};
 use crate::summary::Anchor;
 use crate::types::BlockNumber;
 
@@ -61,17 +62,22 @@ pub struct ValidationReport {
 
 /// Validates the live chain from the marker to the tip.
 ///
+/// Hash-link checks read the per-block digest cache (computed once when
+/// each block entered the store); payload commitments are still re-derived
+/// from the bodies, so tampering with a stored body is caught regardless.
+///
 /// # Errors
 ///
 /// Returns the first violation found, as a [`ChainError`].
-pub fn validate_chain(
-    chain: &Blockchain,
+pub fn validate_chain<S: BlockStore>(
+    chain: &Blockchain<S>,
     opts: &ValidationOptions,
 ) -> Result<ValidationReport, ChainError> {
     let mut report = ValidationReport::default();
-    let mut prev: Option<&crate::block::Block> = None;
+    let mut prev: Option<&SealedBlock> = None;
 
-    for block in chain.iter() {
+    for sealed in chain.iter_sealed() {
+        let block = sealed.block();
         let number = block.number();
 
         if !block.is_payload_consistent() {
@@ -81,14 +87,15 @@ pub fn validate_chain(
             return Err(ChainError::GenesisMisplaced { number });
         }
 
-        if let Some(prev_block) = prev {
+        if let Some(prev_sealed) = prev {
+            let prev_block = prev_sealed.block();
             if number != prev_block.number().next() {
                 return Err(ChainError::NonContiguousNumber {
                     expected: prev_block.number().next(),
                     found: number,
                 });
             }
-            if block.header().prev_hash != prev_block.hash() {
+            if block.header().prev_hash != prev_sealed.hash() {
                 return Err(ChainError::PrevHashMismatch { number });
             }
             match block.kind() {
@@ -143,7 +150,7 @@ pub fn validate_chain(
         }
 
         report.blocks_checked += 1;
-        prev = Some(block);
+        prev = Some(sealed);
     }
 
     Ok(report)
@@ -152,7 +159,7 @@ pub fn validate_chain(
 /// Recomputes an anchor's Merkle root from live block hashes.
 ///
 /// Returns `false` when the range is not live or the root mismatches.
-pub fn verify_anchor(chain: &Blockchain, anchor: &Anchor) -> bool {
+pub fn verify_anchor<S: BlockStore>(chain: &Blockchain<S>, anchor: &Anchor) -> bool {
     let Some(hashes) = chain.block_hashes(anchor.start, anchor.end) else {
         return false;
     };
@@ -163,7 +170,11 @@ pub fn verify_anchor(chain: &Blockchain, anchor: &Anchor) -> bool {
 /// Builds a Fig. 9 anchor over a live block range.
 ///
 /// Returns `None` when the range is not fully live.
-pub fn build_anchor(chain: &Blockchain, start: BlockNumber, end: BlockNumber) -> Option<Anchor> {
+pub fn build_anchor<S: BlockStore>(
+    chain: &Blockchain<S>,
+    start: BlockNumber,
+    end: BlockNumber,
+) -> Option<Anchor> {
     let hashes = chain.block_hashes(start, end)?;
     let tree = MerkleTree::from_leaf_hashes(hashes);
     Some(Anchor::new(start, end, tree.root()))

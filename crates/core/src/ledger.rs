@@ -27,11 +27,12 @@
 //! ```
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 use seldel_chain::{
-    Block, BlockBody, BlockKind, BlockNumber, Blockchain, DeleteRequest, Entry, EntryId,
-    EntryNumber, EntryPayload, Located, Seal, Timestamp,
+    Block, BlockBody, BlockKind, BlockNumber, BlockStore, Blockchain, DeleteRequest, Entry,
+    EntryId, EntryNumber, EntryPayload, Located, MemStore, Seal, Timestamp,
 };
 use seldel_codec::schema::SchemaRegistry;
 use seldel_codec::DataRecord;
@@ -76,17 +77,33 @@ pub struct LedgerStats {
     pub covered_timespan: u64,
 }
 
-/// Builder for [`SelectiveLedger`] (roles, master keys, schemas, policies).
-pub struct SelectiveLedgerBuilder {
+/// Builder for [`SelectiveLedger`] (roles, master keys, schemas, policies,
+/// storage backend).
+pub struct SelectiveLedgerBuilder<S: BlockStore = MemStore> {
     config: ChainConfig,
     roles: RoleTable,
     master: Option<MasterKeySet>,
     schemas: SchemaRegistry,
     policies: Vec<Arc<dyn CohesionPolicy>>,
     genesis_time: Timestamp,
+    _store: PhantomData<S>,
 }
 
-impl SelectiveLedgerBuilder {
+impl<S: BlockStore> SelectiveLedgerBuilder<S> {
+    /// Switches the storage backend the built ledger will use, e.g.
+    /// `.store_backend::<SegStore>()`. Backends change performance
+    /// characteristics only; chain semantics and hashes are identical.
+    pub fn store_backend<T: BlockStore>(self) -> SelectiveLedgerBuilder<T> {
+        SelectiveLedgerBuilder {
+            config: self.config,
+            roles: self.roles,
+            master: self.master,
+            schemas: self.schemas,
+            policies: self.policies,
+            genesis_time: self.genesis_time,
+            _store: PhantomData,
+        }
+    }
     /// Sets the role table (§IV-D1).
     pub fn roles(mut self, roles: RoleTable) -> Self {
         self.roles = roles;
@@ -126,9 +143,9 @@ impl SelectiveLedgerBuilder {
     ///
     /// Panics when the configuration is internally inconsistent (see
     /// [`ChainConfig::assert_valid`]).
-    pub fn build(self) -> SelectiveLedger {
+    pub fn build(self) -> SelectiveLedger<S> {
         self.config.assert_valid();
-        let chain = Blockchain::new(Block::genesis(
+        let chain = Blockchain::with_genesis(Block::genesis(
             self.config.chain_note.clone(),
             self.genesis_time,
         ));
@@ -153,10 +170,10 @@ impl SelectiveLedgerBuilder {
 }
 
 /// The selective-deletion ledger (single-node view; the node layer wraps it
-/// for distributed operation).
+/// for distributed operation), generic over the chain's storage backend.
 #[derive(Clone)]
-pub struct SelectiveLedger {
-    chain: Blockchain,
+pub struct SelectiveLedger<S: BlockStore = MemStore> {
+    chain: Blockchain<S>,
     config: ChainConfig,
     deletions: DeletionRegistry,
     roles: RoleTable,
@@ -175,7 +192,7 @@ pub struct SelectiveLedger {
     expired_total: u64,
 }
 
-impl std::fmt::Debug for SelectiveLedger {
+impl<S: BlockStore> std::fmt::Debug for SelectiveLedger<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SelectiveLedger")
             .field("marker", &self.chain.marker())
@@ -187,7 +204,9 @@ impl std::fmt::Debug for SelectiveLedger {
 }
 
 impl SelectiveLedger {
-    /// Starts building a ledger with the given configuration.
+    /// Starts building a [`MemStore`]-backed ledger with the given
+    /// configuration; use
+    /// [`store_backend`](SelectiveLedgerBuilder::store_backend) to switch.
     pub fn builder(config: ChainConfig) -> SelectiveLedgerBuilder {
         SelectiveLedgerBuilder {
             config,
@@ -196,6 +215,7 @@ impl SelectiveLedger {
             schemas: SchemaRegistry::new(),
             policies: Vec::new(),
             genesis_time: Timestamp::ZERO,
+            _store: PhantomData,
         }
     }
 
@@ -203,9 +223,11 @@ impl SelectiveLedger {
     pub fn new(config: ChainConfig) -> SelectiveLedger {
         SelectiveLedger::builder(config).build()
     }
+}
 
+impl<S: BlockStore> SelectiveLedger<S> {
     /// The live chain (read-only).
-    pub fn chain(&self) -> &Blockchain {
+    pub fn chain(&self) -> &Blockchain<S> {
         &self.chain
     }
 
@@ -341,7 +363,7 @@ impl SelectiveLedger {
         } else {
             BlockBody::Normal { entries }
         };
-        let prev = self.chain.tip().hash();
+        let prev = self.chain.tip_hash();
         let block = Block::new(number, now, prev, body, Seal::Deterministic);
         self.chain.push(block)?;
         self.blocks_appended += 1;
@@ -397,7 +419,7 @@ impl SelectiveLedger {
         while now.since(self.chain.tip().timestamp()) >= policy.max_idle_ms {
             let ts = self.chain.tip().timestamp() + policy.max_idle_ms;
             let number = self.chain.tip().number().next();
-            let prev = self.chain.tip().hash();
+            let prev = self.chain.tip_hash();
             let block = Block::new(number, ts, prev, BlockBody::Empty, Seal::Deterministic);
             self.chain.push(block).expect("filler blocks always link");
             self.blocks_appended += 1;
@@ -654,7 +676,7 @@ impl SelectiveLedger {
     ///
     /// Propagates validation failures; the ledger is unchanged on error.
     pub fn adopt_chain(&mut self, blocks: Vec<Block>) -> Result<(), CoreError> {
-        let chain = Blockchain::from_blocks(blocks)?;
+        let chain: Blockchain<S> = Blockchain::assemble(blocks)?;
         seldel_chain::validate_chain(&chain, &seldel_chain::ValidationOptions::default())?;
 
         let old_marker = self.chain.marker();

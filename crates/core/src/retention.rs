@@ -6,7 +6,7 @@
 //! sequences can also being combined in one summary block." Minimum-length
 //! guards (§IV-D3) stop retirement before the chain gets too short.
 
-use seldel_chain::{BlockKind, BlockNumber, Blockchain};
+use seldel_chain::{BlockKind, BlockNumber, BlockStore, Blockchain};
 
 use crate::config::ChainConfig;
 use crate::sequence::{live_sequences, SequenceSpan};
@@ -42,7 +42,10 @@ impl RetirePlan {
 /// `chain` is the chain *before* the new summary block; the projection
 /// accounts for the +1 block and +1 summary the new Σ adds. Returns `None`
 /// when nothing needs to (or may) be retired.
-pub fn plan_retirement(chain: &Blockchain, config: &ChainConfig) -> Option<RetirePlan> {
+pub fn plan_retirement<S: BlockStore>(
+    chain: &Blockchain<S>,
+    config: &ChainConfig,
+) -> Option<RetirePlan> {
     let max = config.retention.max_live_blocks?;
     let min_blocks = config.retention.min_live_blocks;
     let min_summaries = config.retention.min_live_summaries;

@@ -5,7 +5,7 @@
 //! sequences by its summary blocks; the newest blocks after the last
 //! summary form the (open) tail.
 
-use seldel_chain::{BlockKind, BlockNumber, Blockchain};
+use seldel_chain::{BlockKind, BlockNumber, BlockStore, Blockchain};
 
 /// A contiguous block range `[start, end]`, where `end` is the closing
 /// summary block for closed sequences.
@@ -40,7 +40,7 @@ impl SequenceSpan {
 ///
 /// Closed sequences end at summary blocks; if blocks follow the last
 /// summary, they form one final open span.
-pub fn live_sequences(chain: &Blockchain) -> Vec<SequenceSpan> {
+pub fn live_sequences<S: BlockStore>(chain: &Blockchain<S>) -> Vec<SequenceSpan> {
     let mut spans = Vec::new();
     let mut start: Option<BlockNumber> = None;
     for block in chain.iter() {
@@ -67,7 +67,10 @@ pub fn live_sequences(chain: &Blockchain) -> Vec<SequenceSpan> {
 }
 
 /// The sequence containing `number`, if live.
-pub fn sequence_of(chain: &Blockchain, number: BlockNumber) -> Option<SequenceSpan> {
+pub fn sequence_of<S: BlockStore>(
+    chain: &Blockchain<S>,
+    number: BlockNumber,
+) -> Option<SequenceSpan> {
     live_sequences(chain)
         .into_iter()
         .find(|s| s.contains(number))
@@ -78,7 +81,7 @@ pub fn sequence_of(chain: &Blockchain, number: BlockNumber) -> Option<SequenceSp
 ///
 /// Returns `None` when there is no closed sequence at the midpoint (e.g.
 /// a very short chain).
-pub fn middle_sequence(chain: &Blockchain) -> Option<SequenceSpan> {
+pub fn middle_sequence<S: BlockStore>(chain: &Blockchain<S>) -> Option<SequenceSpan> {
     let mid = BlockNumber(chain.marker().value() + chain.len() / 2);
     let span = sequence_of(chain, mid)?;
     if span.closed {

@@ -8,7 +8,7 @@
 //! compares.
 
 use seldel_chain::{
-    Block, BlockBody, BlockKind, BlockNumber, EntryId, EntryNumber, Seal, SummaryRecord,
+    Block, BlockBody, BlockKind, BlockNumber, BlockStore, EntryId, EntryNumber, Seal, SummaryRecord,
 };
 
 use crate::config::{AnchorPolicy, ChainConfig};
@@ -49,8 +49,8 @@ pub struct SummaryOutcome {
 ///
 /// Panics when `number` is not the next block number or not a summary slot
 /// — both indicate a driver bug, not runtime input.
-pub fn build_summary_block(
-    chain: &seldel_chain::Blockchain,
+pub fn build_summary_block<S: BlockStore>(
+    chain: &seldel_chain::Blockchain<S>,
     config: &ChainConfig,
     deletions: &DeletionRegistry,
     number: BlockNumber,
@@ -153,7 +153,7 @@ pub fn build_summary_block(
     let block = Block::new(
         number,
         now_ts,
-        tip.hash(),
+        chain.tip_hash(), // cached sealed-block digest, no re-hash
         BlockBody::Summary { records, anchor },
         Seal::Deterministic,
     );

@@ -11,7 +11,7 @@
 
 use std::any::Any;
 
-use seldel_chain::{BlockKind, BlockNumber, Entry, EntryId};
+use seldel_chain::{BlockKind, BlockNumber, BlockStore, Entry, EntryId, MemStore};
 use seldel_core::{LedgerEvent, SelectiveLedger};
 use seldel_crypto::Digest32;
 use seldel_network::{Context, NodeId, SimNode};
@@ -39,10 +39,12 @@ pub struct AnchorStats {
     pub entries_rejected: u64,
 }
 
-/// An anchor node wrapping a [`SelectiveLedger`].
+/// An anchor node wrapping a [`SelectiveLedger`], generic over the
+/// ledger's storage backend (replicas can run [`MemStore`] or the
+/// segmented store interchangeably — Σ hashes are backend-independent).
 #[derive(Debug)]
-pub struct AnchorNode {
-    ledger: SelectiveLedger,
+pub struct AnchorNode<S: BlockStore = MemStore> {
+    ledger: SelectiveLedger<S>,
     leader: NodeId,
     me: Option<NodeId>,
     block_interval_ms: u64,
@@ -53,10 +55,14 @@ pub struct AnchorNode {
     pub events: Vec<LedgerEvent>,
 }
 
-impl AnchorNode {
+impl<S: BlockStore> AnchorNode<S> {
     /// Creates an anchor. `leader` is the sealing anchor's node id;
     /// `block_interval_ms` is the leader's sealing cadence.
-    pub fn new(ledger: SelectiveLedger, leader: NodeId, block_interval_ms: u64) -> AnchorNode {
+    pub fn new(
+        ledger: SelectiveLedger<S>,
+        leader: NodeId,
+        block_interval_ms: u64,
+    ) -> AnchorNode<S> {
         AnchorNode {
             ledger,
             leader,
@@ -69,7 +75,7 @@ impl AnchorNode {
     }
 
     /// The wrapped ledger (read-only).
-    pub fn ledger(&self) -> &SelectiveLedger {
+    pub fn ledger(&self) -> &SelectiveLedger<S> {
         &self.ledger
     }
 
@@ -83,7 +89,7 @@ impl AnchorNode {
         StatusQuo {
             marker: self.ledger.chain().marker(),
             tip: self.ledger.chain().tip().number(),
-            tip_hash: self.ledger.chain().tip().hash(),
+            tip_hash: self.ledger.chain().tip_hash(),
         }
     }
 
@@ -127,9 +133,10 @@ impl AnchorNode {
         let tip_now = self.ledger.chain().tip().number();
         let mut n = tip_before.next();
         while n <= tip_now {
-            if let Some(block) = self.ledger.chain().get(n) {
-                if block.kind() == BlockKind::Summary {
-                    let check = (block.number(), block.hash());
+            if let Some(sealed) = self.ledger.chain().sealed(n) {
+                if sealed.block().kind() == BlockKind::Summary {
+                    // The Σ-hash sync check reads the cached sealed digest.
+                    let check = (sealed.block().number(), sealed.hash());
                     self.last_summary = Some(check);
                     ctx.broadcast(NodeMessage::SyncCheck {
                         number: check.0,
@@ -191,8 +198,9 @@ impl AnchorNode {
     ) {
         // Checks for blocks we have not reached yet (in-flight NewBlock
         // racing the SyncCheck) or already pruned are not divergence —
-        // catch-up is handled by the NewBlock rejection path.
-        match self.ledger.chain().get(number).map(|b| b.hash()) {
+        // catch-up is handled by the NewBlock rejection path. The local
+        // digest comes from the sealed-hash cache, never a re-hash.
+        match self.ledger.chain().hash_of(number) {
             Some(hash) if hash == summary_hash => {} // in sync
             Some(_) => {
                 // Same height, different hash: a real fork (§IV-B warns a
@@ -236,7 +244,7 @@ impl AnchorNode {
     }
 }
 
-impl SimNode<NodeMessage> for AnchorNode {
+impl<S: BlockStore> SimNode<NodeMessage> for AnchorNode<S> {
     fn on_message(&mut self, from: NodeId, msg: NodeMessage, ctx: &mut Context<'_, NodeMessage>) {
         self.me = Some(ctx.me());
         match msg {
@@ -350,6 +358,45 @@ mod tests {
             assert!(node.ledger().stats().summaries_created >= 2);
             assert_eq!(node.stats().sync_mismatches, 0);
         }
+    }
+
+    #[test]
+    fn mixed_store_backends_stay_in_sync() {
+        // A SegStore replica follows a MemStore leader: summary blocks are
+        // derived locally on both backends and the Σ-hash sync checks must
+        // never flag a mismatch (hashes are storage-independent).
+        use seldel_chain::SegStore;
+        let mut net = SimNetwork::new(NetConfig::default());
+        let leader = NodeId(0);
+        let mem_leader = net.add_node(Box::new(AnchorNode::new(
+            SelectiveLedger::new(ChainConfig::paper_evaluation()),
+            leader,
+            100,
+        )));
+        let seg_replica = net.add_node(Box::new(AnchorNode::new(
+            SelectiveLedger::builder(ChainConfig::paper_evaluation())
+                .store_backend::<SegStore>()
+                .build(),
+            leader,
+            100,
+        )));
+        net.schedule_tick(mem_leader, 100);
+        net.schedule_tick(seg_replica, 100);
+        for i in 0..12u64 {
+            net.send_external(mem_leader, NodeMessage::Submit(entry(1, i)));
+            net.run_until(net.now() + 100);
+        }
+        net.run_until(net.now() + 500);
+        let l = net.node_as::<AnchorNode>(mem_leader).unwrap();
+        let r = net.node_as::<AnchorNode<SegStore>>(seg_replica).unwrap();
+        assert!(l.ledger().stats().summaries_created >= 2);
+        assert_eq!(r.stats().sync_mismatches, 0);
+        let replica_tip = r.ledger().chain().tip().number();
+        assert_eq!(
+            l.ledger().chain().hash_of(replica_tip),
+            r.ledger().chain().hash_of(replica_tip),
+            "backends diverged at block {replica_tip}"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! Feeds an identical workload to a [`SelectiveLedger`] and a
 //! [`BaselineChain`] and samples live size over time; also sweeps l_max.
 
-use seldel_chain::{BaselineChain, Entry, Timestamp};
+use seldel_chain::{BaselineChain, BlockStore, Entry, Timestamp};
 use seldel_codec::DataRecord;
 use seldel_core::{ChainConfig, RetentionPolicy, RetireMode, SelectiveLedger};
 use seldel_crypto::SigningKey;
@@ -89,8 +89,16 @@ pub fn growth_chain_config(cfg: &GrowthConfig) -> ChainConfig {
 /// reduction the workload marks a slice of entries as temporary: every 4th
 /// entry expires after `ttl_ms`.
 pub fn run_growth(cfg: &GrowthConfig) -> Vec<GrowthSample> {
+    run_growth_in::<seldel_chain::MemStore>(cfg).1
+}
+
+/// [`run_growth`] on an explicit storage backend, also returning the final
+/// ledger so callers can compare backends (tip hashes, export bytes).
+pub fn run_growth_in<S: BlockStore>(cfg: &GrowthConfig) -> (SelectiveLedger<S>, Vec<GrowthSample>) {
     let key = SigningKey::from_seed([0x61; 32]);
-    let mut selective = SelectiveLedger::new(growth_chain_config(cfg));
+    let mut selective = SelectiveLedger::builder(growth_chain_config(cfg))
+        .store_backend::<S>()
+        .build();
     let mut baseline = BaselineChain::new("baseline", Timestamp(0));
     let mut samples = Vec::new();
     let mut counter = 0u64;
@@ -138,7 +146,7 @@ pub fn run_growth(cfg: &GrowthConfig) -> Vec<GrowthSample> {
             });
         }
     }
-    samples
+    (selective, samples)
 }
 
 /// Sweeps l_max, returning `(l_max, final live blocks, final live bytes)`.
@@ -201,6 +209,26 @@ mod tests {
         assert_eq!(sweep.len(), 3);
         assert!(sweep[0].1 <= sweep[1].1);
         assert!(sweep[1].1 <= sweep[2].1);
+    }
+
+    #[test]
+    fn storage_backends_produce_identical_chains() {
+        // I2 across backends: the same workload on MemStore and SegStore
+        // yields bit-identical live chains and identical samples.
+        use seldel_chain::{MemStore, SegStore};
+        let cfg = GrowthConfig {
+            blocks: 90,
+            ..Default::default()
+        };
+        let (mem, mem_samples) = run_growth_in::<MemStore>(&cfg);
+        let (seg, seg_samples) = run_growth_in::<SegStore>(&cfg);
+        assert_eq!(mem_samples, seg_samples);
+        assert_eq!(mem.chain().tip_hash(), seg.chain().tip_hash());
+        assert_eq!(mem.chain().export_bytes(), seg.chain().export_bytes());
+        assert_eq!(
+            mem.chain().entry_index().iter().collect::<Vec<_>>(),
+            seg.chain().entry_index().iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]

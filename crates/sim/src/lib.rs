@@ -25,7 +25,7 @@ pub use attacks::{
     analytic_catch_up, compare_anchoring, eclipse_success_rate, simulate_race, EclipseConfig,
     RaceConfig, RaceResult,
 };
-pub use growth::{run_growth, sweep_l_max, GrowthConfig, GrowthSample};
+pub use growth::{run_growth, run_growth_in, sweep_l_max, GrowthConfig, GrowthSample};
 pub use latency::{mean_latency_blocks, run_latency, LatencyConfig, LatencySample};
 pub use login::{LoginAudit, LOGIN_SCHEMA_YAML, USERS};
 pub use metrics::{mean, percentile, stddev, Summary};

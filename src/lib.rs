@@ -18,7 +18,7 @@
 //! |--------|-------|----------|
 //! | [`crypto`] | `seldel-crypto` | SHA-2, HMAC, Merkle trees, Ed25519 (from scratch) |
 //! | [`codec`] | `seldel-codec` | canonical encoding, YAML-subset schemas, console rendering |
-//! | [`chain`] | `seldel-chain` | blocks, entries, summary records, the live chain β |
+//! | [`chain`] | `seldel-chain` | blocks, entries, summary records, the live chain β, pluggable `BlockStore` backends + entry index |
 //! | [`core`] | `seldel-core` | the paper's contribution: [`core::SelectiveLedger`] |
 //! | [`consensus`] | `seldel-consensus` | pluggable engines, quorum votes, elections |
 //! | [`network`] | `seldel-network` | deterministic simnet with fault injection |
@@ -64,8 +64,8 @@ pub use seldel_sim as sim;
 /// The most common imports in one place.
 pub mod prelude {
     pub use seldel_chain::{
-        Block, BlockKind, BlockNumber, Blockchain, DeleteRequest, Entry, EntryId, EntryNumber,
-        Expiry, Timestamp,
+        Block, BlockKind, BlockNumber, BlockStore, Blockchain, DeleteRequest, Entry, EntryId,
+        EntryNumber, Expiry, MemStore, SegStore, Timestamp,
     };
     pub use seldel_codec::{DataRecord, Value};
     pub use seldel_core::{

@@ -287,6 +287,133 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Storage layer: maintained entry index and sealed-hash cache.
+//
+// The EntryIndex and the per-block digest cache are *derived* state: they
+// must stay exactly reconstructible from the blocks at all times, or the
+// invariants they serve break silently — I1 (chain validity: every linkage
+// check reads the cached digests, so a stale cache would let an invalid
+// chain validate) and I3 (conservation: locate/is_live answer through the
+// index, so a drifted index would lose or resurrect data sets).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn index_and_hash_cache_agree_with_full_rebuild(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        use selective_deletion::chain::SegStore;
+
+        let users = users();
+        let config = || ChainConfig {
+            sequence_length: 3,
+            retention: RetentionPolicy {
+                max_live_blocks: Some(9),
+                min_live_blocks: 3,
+                min_live_summaries: 1,
+                min_timespan: None,
+                mode: RetireMode::MinimumNeeded,
+            },
+            ..Default::default()
+        };
+        // The same random workload drives both storage backends.
+        let mut mem = SelectiveLedger::builder(config()).build();
+        let mut seg = SelectiveLedger::builder(config())
+            .store_backend::<SegStore>()
+            .build();
+        let mut now = Timestamp(0);
+        // Every id ever observed live, as (id, owner index) — deletion
+        // candidates and, at the end, lookup-agreement probes.
+        let mut seen: Vec<(EntryId, usize)> = Vec::new();
+        let mut submitted = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Submit { user, ttl } => {
+                    let user = (user as usize) % users.len();
+                    submitted += 1;
+                    let record = DataRecord::new("log").with("n", submitted);
+                    let expiry = ttl.map(|t| Expiry::AtTimestamp(now + (t as u64) * 10));
+                    let entry = Entry::sign_data_with(&users[user], record, expiry, vec![]);
+                    mem.submit_entry(entry.clone()).expect("valid entries accepted");
+                    seg.submit_entry(entry).expect("valid entries accepted");
+                }
+                Op::Seal => {
+                    now += 10;
+                    mem.seal_block(now).expect("monotone time");
+                    seg.seal_block(now).expect("monotone time");
+                    for (id, record) in mem.chain().live_records() {
+                        if !seen.iter().any(|(s, _)| *s == id) {
+                            let owner = record.get("n").and_then(|v| v.as_u64());
+                            // Recover the owner from the author key.
+                            let author = mem.chain().locate(id).expect("live").author();
+                            let owner = users
+                                .iter()
+                                .position(|k| k.verifying_key() == author)
+                                .unwrap_or_else(|| panic!("unknown author for n={owner:?}"));
+                            seen.push((id, owner));
+                        }
+                    }
+
+                    // After every chain mutation (seal, automatic Σ, merge,
+                    // truncate) the maintained index must equal a fresh
+                    // full-scan rebuild, and every cached digest must equal
+                    // recomputation (I1).
+                    let chain = mem.chain();
+                    prop_assert_eq!(chain.entry_index(), &chain.rebuilt_index());
+                    prop_assert!(chain.verify_cached_hashes());
+                    prop_assert_eq!(
+                        chain.record_count() as usize,
+                        chain.live_records().len(),
+                        "index cardinality drifted from the live data sets (I3)"
+                    );
+                }
+                Op::Delete { pick } => {
+                    if seen.is_empty() { continue; }
+                    let (id, owner) = seen[(pick as usize) % seen.len()];
+                    match mem.request_deletion(&users[owner], id, "prop") {
+                        Ok(()) => {
+                            // Identical state on both backends → same verdict.
+                            seg.request_deletion(&users[owner], id, "prop")
+                                .expect("backends agree on deletion verdicts");
+                        }
+                        Err(CoreError::DuplicateDeletion(_)) |
+                        Err(CoreError::TargetNotFound(_)) => {}
+                        Err(other) => panic!("unexpected rejection: {other}"),
+                    }
+                }
+            }
+        }
+        now += 10;
+        mem.seal_block(now).expect("monotone time");
+        seg.seal_block(now).expect("monotone time");
+
+        let chain = mem.chain();
+        prop_assert_eq!(chain.entry_index(), &chain.rebuilt_index());
+        prop_assert!(chain.verify_cached_hashes());
+
+        // The indexed lookup and the reference full scan agree on every id
+        // ever observed, live or since gone (I3: nothing extra, nothing
+        // missing), plus a never-existing probe.
+        for (id, _) in &seen {
+            prop_assert_eq!(chain.locate(*id), chain.locate_scan(*id), "id {}", id);
+        }
+        let ghost = EntryId::new(BlockNumber(u64::MAX - 1), EntryNumber(0));
+        prop_assert_eq!(chain.locate(ghost), chain.locate_scan(ghost));
+
+        // Backends are an implementation detail: bit-identical live chains.
+        prop_assert_eq!(chain.export_bytes(), seg.chain().export_bytes());
+        prop_assert_eq!(chain.tip_hash(), seg.chain().tip_hash());
+        prop_assert_eq!(
+            seg.chain().entry_index(),
+            &seg.chain().rebuilt_index()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // I2: summary determinism
 // ---------------------------------------------------------------------------
 
