@@ -63,7 +63,8 @@ fn main() {
     );
 
     println!("\nchain-op timings (written to BENCH_chain_ops.json):");
-    let ops = write_chain_ops_report("BENCH_chain_ops.json").expect("write BENCH_chain_ops.json");
+    let (ops, backends) =
+        write_chain_ops_report("BENCH_chain_ops.json").expect("write BENCH_chain_ops.json");
     let mut timings = TextTable::new([
         "live blocks",
         "locate indexed",
@@ -83,4 +84,26 @@ fn main() {
         ]);
     }
     println!("{}", timings.render());
+
+    println!(
+        "store backends on the same 1k-live-block workload (FileStore is\n\
+         disk-rooted: sealing pays real segment writes and fsyncs):"
+    );
+    let mut table = TextTable::new([
+        "backend",
+        "seal throughput",
+        "locate indexed",
+        "locate scan",
+        "validate (structural)",
+    ]);
+    for b in &backends {
+        table.row([
+            b.backend.to_string(),
+            format!("{:.0} blocks/s", b.seal_blocks_per_s()),
+            format!("{:.0} ns", b.locate_indexed_ns),
+            format!("{:.0} ns", b.locate_scan_ns),
+            format!("{:.1} us", b.validate_structural_ns / 1_000.0),
+        ]);
+    }
+    println!("{}", table.render());
 }

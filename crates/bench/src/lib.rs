@@ -67,10 +67,37 @@ pub fn build_ledger_in<S: BlockStore>(
     entries_per_block: usize,
     payload_bytes: usize,
 ) -> SelectiveLedger<S> {
-    let key = workload_key();
-    let mut ledger = SelectiveLedger::builder(bench_config(l, l_max))
+    let ledger = SelectiveLedger::builder(bench_config(l, l_max))
         .store_backend::<S>()
         .build();
+    drive_ledger(ledger, blocks, entries_per_block, payload_bytes)
+}
+
+/// [`build_ledger`] over a caller-provided store instance — the way to
+/// bench a **rooted** durable backend (e.g. a `FileStore` opened on a
+/// scratch directory) instead of its in-memory default.
+pub fn build_ledger_with_store<S: BlockStore>(
+    store: S,
+    l: u64,
+    l_max: u64,
+    blocks: u64,
+    entries_per_block: usize,
+    payload_bytes: usize,
+) -> SelectiveLedger<S> {
+    let ledger = SelectiveLedger::builder(bench_config(l, l_max))
+        .store_backend::<S>()
+        .open_store(store)
+        .expect("bench stores open on fresh directories");
+    drive_ledger(ledger, blocks, entries_per_block, payload_bytes)
+}
+
+fn drive_ledger<S: BlockStore>(
+    mut ledger: SelectiveLedger<S>,
+    blocks: u64,
+    entries_per_block: usize,
+    payload_bytes: usize,
+) -> SelectiveLedger<S> {
+    let key = workload_key();
     let mut counter = 0u64;
     for b in 1..=blocks {
         for _ in 0..entries_per_block {

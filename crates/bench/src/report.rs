@@ -4,18 +4,24 @@
 //! left the repository's performance trajectory unrecorded. This module
 //! measures the hot read paths the storage refactor targets — point
 //! lookups (indexed vs full scan), `live_records` materialisation, chain
-//! validation — on 1k- and 10k-live-block chains, and serialises the
-//! result as JSON so CI can archive it run over run.
+//! validation — on 1k- and 10k-live-block chains, plus two series the
+//! ROADMAP asked for: **seal throughput** (blocks/s through the full
+//! submit→seal→Σ pipeline) and **per-backend timings** comparing
+//! `MemStore`, `SegStore` and a disk-rooted `FileStore` on the same
+//! workload. Everything is serialised as JSON so CI can archive the
+//! trajectory run over run.
 //!
 //! The JSON writer is hand-rolled: the workspace is dependency-free by
 //! design (no serde), and the report is a flat list of numbers.
 
 use std::time::Instant;
 
-use seldel_chain::{validate_chain, EntryId, ValidationOptions};
+use seldel_chain::{
+    validate_chain, BlockStore, EntryId, FileStore, MemStore, SegStore, ValidationOptions,
+};
 use seldel_core::SelectiveLedger;
 
-use crate::build_ledger;
+use crate::{build_ledger, build_ledger_with_store};
 
 /// Timings for one chain size, in nanoseconds per operation.
 #[derive(Debug, Clone)]
@@ -43,6 +49,35 @@ impl ChainOpsSample {
             return f64::INFINITY;
         }
         self.locate_scan_ns / self.locate_indexed_ns
+    }
+}
+
+/// Per-backend timings on an identically sized, identically built chain.
+#[derive(Debug, Clone)]
+pub struct BackendSample {
+    /// Backend name (`MemStore` / `SegStore` / `FileStore`).
+    pub backend: &'static str,
+    /// Live blocks in the measured chain.
+    pub live_blocks: u64,
+    /// Nanoseconds per sealed block through the full submit→seal→Σ
+    /// pipeline (entry intake, linkage checks, automatic summaries,
+    /// retention pruning — and, for `FileStore`, the disk writes).
+    pub seal_ns: f64,
+    /// Indexed `locate` of the oldest (summarised) record.
+    pub locate_indexed_ns: f64,
+    /// Full-scan `locate_scan` of the same record.
+    pub locate_scan_ns: f64,
+    /// One structural validation pass.
+    pub validate_structural_ns: f64,
+}
+
+impl BackendSample {
+    /// Seal throughput in blocks per second.
+    pub fn seal_blocks_per_s(&self) -> f64 {
+        if self.seal_ns <= 0.0 {
+            return f64::INFINITY;
+        }
+        1e9 / self.seal_ns
     }
 }
 
@@ -104,6 +139,57 @@ pub fn measure_chain_ops(live_blocks: u64) -> ChainOpsSample {
     }
 }
 
+/// Measures seal throughput and the hot read paths on one backend.
+///
+/// The ledger is driven through `live_blocks + 3l` payload blocks (same
+/// shape as [`measure_chain_ops`]); sealing is timed over the whole build
+/// so the number covers merges, Σ derivation and retention pruning — the
+/// operations a durable backend pays disk I/O for.
+pub fn measure_backend_ops<S: BlockStore>(
+    backend: &'static str,
+    store: S,
+    live_blocks: u64,
+) -> BackendSample {
+    let blocks = live_blocks + 30;
+    let start = Instant::now();
+    let ledger = build_ledger_with_store(store, 10, live_blocks, blocks, 1, 16);
+    let seal_ns = start.elapsed().as_nanos() as f64 / blocks as f64;
+
+    let chain = ledger.chain();
+    let oldest = chain
+        .live_records()
+        .iter()
+        .map(|(id, _)| *id)
+        .min()
+        .expect("workload leaves records");
+    let locate_indexed_ns = time_ns(10_000, || chain.locate(std::hint::black_box(oldest)));
+    let locate_scan_ns = time_ns(50, || chain.locate_scan(std::hint::black_box(oldest)));
+    let validate_structural_ns = time_ns(3, || {
+        validate_chain(chain, &ValidationOptions::structural()).expect("chain is valid")
+    });
+    BackendSample {
+        backend,
+        live_blocks: chain.len(),
+        seal_ns,
+        locate_indexed_ns,
+        locate_scan_ns,
+        validate_structural_ns,
+    }
+}
+
+/// Measures all three shipped backends on `live_blocks`-sized chains. The
+/// `FileStore` runs rooted in a scratch directory (real disk writes),
+/// which is removed afterwards.
+pub fn measure_backends(live_blocks: u64) -> Vec<BackendSample> {
+    let scratch = seldel_chain::testutil::ScratchDir::new("bench-fstore");
+    let file_store = FileStore::open(scratch.path()).expect("scratch store opens");
+    vec![
+        measure_backend_ops("MemStore", MemStore::default(), live_blocks),
+        measure_backend_ops("SegStore", SegStore::default(), live_blocks),
+        measure_backend_ops("FileStore", file_store, live_blocks),
+    ]
+}
+
 /// Verifies the indexed and scan paths agree on a sample of ids (sanity
 /// guard so the speedup numbers compare equal work).
 pub fn check_lookup_agreement(ledger: &SelectiveLedger, ids: &[EntryId]) -> bool {
@@ -113,7 +199,7 @@ pub fn check_lookup_agreement(ledger: &SelectiveLedger, ids: &[EntryId]) -> bool
 }
 
 /// Renders the samples as the `BENCH_chain_ops.json` document.
-pub fn to_json(samples: &[ChainOpsSample]) -> String {
+pub fn to_json(samples: &[ChainOpsSample], backends: &[BackendSample]) -> String {
     let mut out =
         String::from("{\n  \"benchmark\": \"chain_ops\",\n  \"unit\": \"ns\",\n  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
@@ -133,23 +219,44 @@ pub fn to_json(samples: &[ChainOpsSample]) -> String {
             if i + 1 == samples.len() { "" } else { "," },
         ));
     }
+    out.push_str("  ],\n  \"backends\": [\n");
+    for (i, b) in backends.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"live_blocks\": {}, \
+             \"seal_ns\": {:.1}, \"seal_blocks_per_s\": {:.0}, \
+             \"locate_indexed_ns\": {:.1}, \"locate_scan_ns\": {:.1}, \
+             \"validate_structural_ns\": {:.1}}}{}\n",
+            b.backend,
+            b.live_blocks,
+            b.seal_ns,
+            b.seal_blocks_per_s(),
+            b.locate_indexed_ns,
+            b.locate_scan_ns,
+            b.validate_structural_ns,
+            if i + 1 == backends.len() { "" } else { "," },
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
 
-/// Measures the standard 1k/10k sizes and writes `BENCH_chain_ops.json`
-/// into the current directory. Returns the samples for printing.
+/// Measures the standard 1k/10k sizes plus the per-backend series and
+/// writes `BENCH_chain_ops.json` into the current directory. Returns the
+/// measurements for printing.
 ///
 /// # Errors
 ///
 /// Propagates the I/O error when the file cannot be written.
-pub fn write_chain_ops_report(path: &str) -> std::io::Result<Vec<ChainOpsSample>> {
+pub fn write_chain_ops_report(
+    path: &str,
+) -> std::io::Result<(Vec<ChainOpsSample>, Vec<BackendSample>)> {
     let samples: Vec<ChainOpsSample> = [1_000u64, 10_000]
         .iter()
         .map(|&n| measure_chain_ops(n))
         .collect();
-    std::fs::write(path, to_json(&samples))?;
-    Ok(samples)
+    let backends = measure_backends(1_000);
+    std::fs::write(path, to_json(&samples, &backends))?;
+    Ok((samples, backends))
 }
 
 #[cfg(test)]
@@ -168,11 +275,32 @@ mod tests {
             validate_full_ns: 9000.0,
         };
         assert!((sample.locate_speedup() - 100.0).abs() < 1e-9);
-        let json = to_json(&[sample.clone(), sample]);
+        let backend = BackendSample {
+            backend: "MemStore",
+            live_blocks: 100,
+            seal_ns: 2_000_000.0,
+            locate_indexed_ns: 50.0,
+            locate_scan_ns: 5000.0,
+            validate_structural_ns: 2000.0,
+        };
+        assert!((backend.seal_blocks_per_s() - 500.0).abs() < 1e-9);
+        let json = to_json(&[sample.clone(), sample], &[backend.clone(), backend]);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert_eq!(json.matches("\"live_blocks\"").count(), 2);
-        // Exactly one separating comma between the two sample objects.
-        assert_eq!(json.matches("},\n").count(), 1);
+        assert_eq!(json.matches("\"live_blocks\"").count(), 4);
+        assert_eq!(json.matches("\"seal_blocks_per_s\"").count(), 2);
+        // Exactly one separating comma inside each of the two arrays.
+        assert_eq!(json.matches("},\n").count(), 2);
+    }
+
+    #[test]
+    fn backend_measurement_covers_all_three_backends() {
+        let backends = measure_backends(60);
+        let names: Vec<&str> = backends.iter().map(|b| b.backend).collect();
+        assert_eq!(names, ["MemStore", "SegStore", "FileStore"]);
+        for b in &backends {
+            assert!(b.seal_ns > 0.0, "{}: no seal time", b.backend);
+            assert!(b.live_blocks >= 55 && b.live_blocks <= 70, "{b:?}");
+        }
     }
 
     #[test]

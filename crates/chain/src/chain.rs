@@ -74,6 +74,42 @@ impl<'a> Located<'a> {
     }
 }
 
+/// The linkage rules for a block extending `prev` — shared by the live
+/// append path ([`Blockchain::push`]) and the recovery path
+/// ([`Blockchain::from_store`]), so a rule added to one can never be
+/// missed by the other.
+fn check_link(prev: &SealedBlock, block: &Block) -> Result<(), ChainError> {
+    let number = block.number();
+    if number != prev.block().number().next() {
+        return Err(ChainError::NonContiguousNumber {
+            expected: prev.block().number().next(),
+            found: number,
+        });
+    }
+    if block.header().prev_hash != prev.hash() {
+        return Err(ChainError::PrevHashMismatch { number });
+    }
+    match block.kind() {
+        BlockKind::Summary => {
+            if block.timestamp() != prev.block().timestamp() {
+                return Err(ChainError::SummaryTimestampMismatch { number });
+            }
+        }
+        BlockKind::Genesis => {
+            return Err(ChainError::GenesisMisplaced { number });
+        }
+        _ => {
+            if block.timestamp() < prev.block().timestamp() {
+                return Err(ChainError::TimestampRegression { number });
+            }
+        }
+    }
+    if !block.is_payload_consistent() {
+        return Err(ChainError::PayloadMismatch { number });
+    }
+    Ok(())
+}
+
 /// The live chain, generic over its storage backend.
 ///
 /// The default parameter keeps the historical spelling working: a plain
@@ -109,11 +145,101 @@ impl Blockchain {
 impl<S: BlockStore> Blockchain<S> {
     /// Starts a chain from its first block in an empty store of type `S`.
     pub fn with_genesis(first: Block) -> Blockchain<S> {
+        Blockchain::with_genesis_in(S::default(), first)
+    }
+
+    /// Starts a chain from its first block in a caller-provided **empty**
+    /// store — the way to root a chain in a durable backend (e.g. a
+    /// [`FileStore`](crate::fstore::FileStore) opened on a fresh
+    /// directory).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `store` is not empty; reconstructing a chain from a
+    /// pre-filled store is [`Blockchain::from_store`]'s job.
+    pub fn with_genesis_in(mut store: S, first: Block) -> Blockchain<S> {
+        assert!(
+            store.is_empty(),
+            "with_genesis_in requires an empty store; use from_store to reopen"
+        );
         let mut index = EntryIndex::new();
         index.index_block(&first);
-        let mut store = S::default();
         store.push(SealedBlock::seal(first));
         Blockchain { store, index }
+    }
+
+    /// Reconstructs a chain from a store that already holds blocks — the
+    /// recovery path for durable backends: a
+    /// [`FileStore`](crate::fstore::FileStore) replays its segments on
+    /// open, and this constructor turns the replayed blocks back into a
+    /// chain, re-checking linkage and rebuilding the [`EntryIndex`]
+    /// (the sealed-hash cache was rebuilt by the store itself).
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::EmptyChain`] for an empty store, otherwise the first
+    /// linkage/consistency violation found (same rules as
+    /// [`Blockchain::push`]).
+    pub fn from_store(store: S) -> Result<Blockchain<S>, ChainError> {
+        let mut index = EntryIndex::new();
+        {
+            let mut prev: Option<&SealedBlock> = None;
+            for sealed in store.iter() {
+                let block = sealed.block();
+                if let Some(prev) = prev {
+                    // The same rules `push` applies when appending live.
+                    check_link(prev, block)?;
+                } else {
+                    if block.kind() == BlockKind::Genesis && block.number() != BlockNumber::GENESIS
+                    {
+                        return Err(ChainError::GenesisMisplaced {
+                            number: block.number(),
+                        });
+                    }
+                    if !block.is_payload_consistent() {
+                        return Err(ChainError::PayloadMismatch {
+                            number: block.number(),
+                        });
+                    }
+                }
+                index.index_block(block);
+                prev = Some(sealed);
+            }
+            if prev.is_none() {
+                return Err(ChainError::EmptyChain);
+            }
+        }
+        Ok(Blockchain { store, index })
+    }
+
+    /// Replaces this chain's contents with `blocks`, **reusing the
+    /// existing store** — for rooted stores (e.g.
+    /// [`FileStore`](crate::fstore::FileStore)) the adopted chain lands in
+    /// the same directory instead of silently migrating to a fresh default
+    /// store. The blocks are linked and validated exactly like
+    /// [`Blockchain::assemble`]; on error the chain is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// The first linkage violation found; `blocks` must be non-empty.
+    pub fn replace_blocks(&mut self, blocks: Vec<Block>) -> Result<(), ChainError> {
+        let staged: Blockchain<MemStore> = Blockchain::assemble(blocks)?;
+        self.replace_with(&staged);
+        Ok(())
+    }
+
+    /// Like [`Blockchain::replace_blocks`] but takes an already-assembled
+    /// chain, so callers that staged (and validated) one — e.g. ledger
+    /// adoption — do not pay a second assembly pass re-hashing every
+    /// block.
+    pub fn replace_with<S2: BlockStore>(&mut self, source: &Blockchain<S2>) {
+        self.store.reset();
+        self.index = EntryIndex::new();
+        for sealed in source.store.iter() {
+            self.index.index_block(sealed.block());
+            // Cloning the sealed block keeps the cached digest: no re-hash.
+            self.store.push(sealed.clone());
+        }
     }
 
     /// Reconstructs a chain from contiguous blocks into a store of type
@@ -147,34 +273,7 @@ impl<S: BlockStore> Blockchain<S> {
     /// * [`ChainError::GenesisMisplaced`] — genesis kind only at block 0.
     pub fn push(&mut self, block: Block) -> Result<(), ChainError> {
         let tip = self.store.last().expect("chain is never empty");
-        let number = block.number();
-        if number != tip.block().number().next() {
-            return Err(ChainError::NonContiguousNumber {
-                expected: tip.block().number().next(),
-                found: number,
-            });
-        }
-        if block.header().prev_hash != tip.hash() {
-            return Err(ChainError::PrevHashMismatch { number });
-        }
-        match block.kind() {
-            BlockKind::Summary => {
-                if block.timestamp() != tip.block().timestamp() {
-                    return Err(ChainError::SummaryTimestampMismatch { number });
-                }
-            }
-            BlockKind::Genesis => {
-                return Err(ChainError::GenesisMisplaced { number });
-            }
-            _ => {
-                if block.timestamp() < tip.block().timestamp() {
-                    return Err(ChainError::TimestampRegression { number });
-                }
-            }
-        }
-        if !block.is_payload_consistent() {
-            return Err(ChainError::PayloadMismatch { number });
-        }
+        check_link(tip, &block)?;
         self.index.index_block(&block);
         self.store.push(SealedBlock::seal(block));
         Ok(())
@@ -777,6 +876,63 @@ mod tests {
         // Cross-backend reassembly keeps the canonical bytes stable.
         let crossed: Blockchain<SegStore> = Blockchain::assemble(mem2.export_blocks()).unwrap();
         assert_eq!(crossed.export_bytes(), mem2.export_bytes());
+    }
+
+    #[test]
+    fn from_store_rebuilds_chain_and_index() {
+        let chain = chain_with_blocks_in::<SegStore>(12);
+        // Hand the populated store to from_store: identical chain.
+        let rebuilt = Blockchain::from_store(chain.store.clone()).unwrap();
+        assert_eq!(rebuilt, chain);
+        assert_eq!(rebuilt.entry_index(), &rebuilt.rebuilt_index());
+        assert!(rebuilt.verify_cached_hashes());
+    }
+
+    #[test]
+    fn from_store_rejects_tampered_and_empty_stores() {
+        assert!(matches!(
+            Blockchain::<MemStore>::from_store(MemStore::default()),
+            Err(ChainError::EmptyChain)
+        ));
+        let chain = chain_with_blocks(4);
+        let mut store = MemStore::default();
+        for (i, sealed) in chain.iter_sealed().enumerate() {
+            if i == 2 {
+                continue; // drop a middle block: linkage breaks
+            }
+            store.push(sealed.clone());
+        }
+        assert!(matches!(
+            Blockchain::<MemStore>::from_store(store),
+            Err(ChainError::NonContiguousNumber { .. })
+        ));
+    }
+
+    #[test]
+    fn with_genesis_in_uses_the_given_store_and_rejects_populated_ones() {
+        let chain: Blockchain<SegStore> =
+            Blockchain::with_genesis_in(SegStore::default(), Block::genesis("x", Timestamp(0)));
+        assert_eq!(chain.len(), 1);
+        let populated = chain_with_blocks_in::<SegStore>(2);
+        let result = std::panic::catch_unwind(|| {
+            Blockchain::with_genesis_in(populated.store.clone(), Block::genesis("y", Timestamp(0)))
+        });
+        assert!(result.is_err(), "populated store must be rejected");
+    }
+
+    #[test]
+    fn replace_blocks_swaps_content_in_place() {
+        let source = chain_with_blocks(6);
+        let mut target = chain_with_blocks_in::<SegStore>(2);
+        target.replace_blocks(source.export_blocks()).unwrap();
+        assert_eq!(target.export_bytes(), source.export_bytes());
+        assert_eq!(target.entry_index(), &target.rebuilt_index());
+        // Invalid input leaves the chain untouched.
+        let mut bad = source.export_blocks();
+        bad.remove(3);
+        let before = target.export_bytes();
+        assert!(target.replace_blocks(bad).is_err());
+        assert_eq!(target.export_bytes(), before);
     }
 
     #[test]

@@ -1,0 +1,1195 @@
+//! `FileStore` — the durable, file-backed segment log.
+//!
+//! [`SegStore`](crate::store::SegStore) is "the in-memory shape of a
+//! file-backed log"; this module is that log made real. A rooted
+//! [`FileStore`] keeps the live chain in a directory:
+//!
+//! ```text
+//! <root>/MANIFEST            versioned store metadata (see below)
+//! <root>/seg-0000000000.seg  length-prefixed block frames, oldest segment
+//! <root>/seg-0000000001.seg  ...
+//! ```
+//!
+//! Every segment file holds up to `segment_capacity` frames; a frame is a
+//! `u32` little-endian length followed by the block's canonical
+//! `seldel-codec` encoding. The manifest records the format version, the
+//! segment capacity, the id of the first live segment and the number of
+//! the first live block — everything replay needs that the frames alone
+//! cannot say.
+//!
+//! # Durability contract (fsync points)
+//!
+//! * a segment file is fsynced when it **fills** (seals);
+//! * the **manifest** is written via temp-file + atomic rename and fsynced
+//!   on every update, with a directory fsync after;
+//! * before a prune's manifest update the current tail segment is fsynced,
+//!   so a carried-forward summary block is always durable **before** the
+//!   pruned blocks it absorbs become unrecoverable (§IV-C ordering);
+//! * appends between those barriers are *not* fsynced — a crash may lose a
+//!   suffix of recent frames, which the node layer re-syncs from peers.
+//!
+//! # Physical deletion (§IV-C)
+//!
+//! Pruning the front is executed on disk, not just in memory: wholly
+//! retired segments are **unlinked**, and a partially retired front
+//! segment is **rewritten** (temp file + rename) without the pruned
+//! frames. After [`BlockStore::drain_front`] returns, the deleted entry
+//! payloads are absent from the directory's raw bytes — the property tests
+//! grep for a sentinel payload to pin exactly that.
+//!
+//! # Crash recovery ([`FileStore::open`])
+//!
+//! The prune sequence is `fsync tail → manifest → rewrite front → unlink
+//! retired`, so the manifest is authoritative. `open` finishes whatever a
+//! crash interrupted:
+//!
+//! 1. stray `*.tmp` files are removed;
+//! 2. segment files with an id below the manifest's `first_segment_id`
+//!    are unlinked (a crash before the unlink step);
+//! 3. leading frames of the first segment whose block number lies below
+//!    `first_block_number` are dropped and the file is rewritten (a crash
+//!    before the front rewrite);
+//! 4. a torn frame at the very tail of the newest segment (a crash
+//!    mid-append) is truncated away; torn or undecodable frames anywhere
+//!    else are reported as corruption;
+//! 5. the surviving frames are decoded, re-hashed (rebuilding the
+//!    sealed-hash cache) and checked for contiguous block numbers.
+//!
+//! An **unrooted** `FileStore` (via `Default`, or `Clone` — see below)
+//! never touches the filesystem and behaves like a plain in-memory
+//! segment store; durability starts with [`FileStore::open`] /
+//! [`FileStore::open_with_capacity`].
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use seldel_codec::{Codec, Decoder, Encoder};
+
+use crate::block::Block;
+use crate::store::{BlockStore, SealedBlock, SEGMENT_CAPACITY};
+
+/// Manifest file name inside a store directory.
+const MANIFEST_NAME: &str = "MANIFEST";
+
+/// Magic prefix of the manifest file.
+const MANIFEST_MAGIC: &[u8; 8] = b"SELDELFS";
+
+/// Current manifest format version.
+const MANIFEST_VERSION: u32 = 1;
+
+/// Errors raised by [`FileStore`] persistence.
+///
+/// I/O errors are carried as rendered strings so the type stays `Clone` /
+/// `PartialEq` like every other error in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The operation that failed (e.g. `"create dir"`).
+        op: &'static str,
+        /// The path involved.
+        path: String,
+        /// The rendered `std::io::Error`.
+        message: String,
+    },
+    /// The manifest or a segment file is corrupt beyond recovery.
+    Corrupt {
+        /// The file involved.
+        path: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The store directory holds a newer (or unknown) format version.
+    UnsupportedVersion {
+        /// The version found in the manifest.
+        found: u32,
+    },
+}
+
+impl StoreError {
+    fn io(op: &'static str, path: &Path, err: &std::io::Error) -> StoreError {
+        StoreError::Io {
+            op,
+            path: path.display().to_string(),
+            message: err.to_string(),
+        }
+    }
+
+    fn corrupt(path: &Path, detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            path: path.display().to_string(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, message } => {
+                write!(f, "store i/o failure ({op} {path}): {message}")
+            }
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "store corruption in {path}: {detail}")
+            }
+            StoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported store format version {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The manifest: everything replay needs that frames cannot carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Manifest {
+    segment_capacity: u32,
+    first_segment_id: u64,
+    first_block_number: u64,
+}
+
+impl Manifest {
+    fn encode_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_raw(MANIFEST_MAGIC);
+        enc.put_u32(MANIFEST_VERSION);
+        enc.put_u32(self.segment_capacity);
+        enc.put_u64(self.first_segment_id);
+        enc.put_u64(self.first_block_number);
+        enc.into_bytes()
+    }
+
+    fn decode_bytes(path: &Path, bytes: &[u8]) -> Result<Manifest, StoreError> {
+        let mut dec = Decoder::new(bytes);
+        let magic: [u8; 8] = dec
+            .take_array()
+            .map_err(|e| StoreError::corrupt(path, format!("manifest too short: {e}")))?;
+        if &magic != MANIFEST_MAGIC {
+            return Err(StoreError::corrupt(path, "bad manifest magic"));
+        }
+        let version = dec
+            .take_u32()
+            .map_err(|e| StoreError::corrupt(path, format!("manifest truncated: {e}")))?;
+        if version != MANIFEST_VERSION {
+            return Err(StoreError::UnsupportedVersion { found: version });
+        }
+        let segment_capacity = dec
+            .take_u32()
+            .map_err(|e| StoreError::corrupt(path, format!("manifest truncated: {e}")))?;
+        let first_segment_id = dec
+            .take_u64()
+            .map_err(|e| StoreError::corrupt(path, format!("manifest truncated: {e}")))?;
+        let first_block_number = dec
+            .take_u64()
+            .map_err(|e| StoreError::corrupt(path, format!("manifest truncated: {e}")))?;
+        if segment_capacity == 0 {
+            return Err(StoreError::corrupt(path, "segment capacity is zero"));
+        }
+        if !dec.is_exhausted() {
+            return Err(StoreError::corrupt(path, "trailing bytes in manifest"));
+        }
+        Ok(Manifest {
+            segment_capacity,
+            first_segment_id,
+            first_block_number,
+        })
+    }
+}
+
+/// One in-memory segment mirroring one on-disk file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Segment {
+    /// File id (`seg-<id>.seg`).
+    id: u64,
+    /// Live blocks, oldest first.
+    blocks: Vec<SealedBlock>,
+    /// Sealed segments never take another append.
+    sealed: bool,
+}
+
+/// A durable, file-backed segment store.
+///
+/// See the [module docs](self) for the on-disk format, fsync points and
+/// recovery behaviour.
+///
+/// `Default` yields an **unrooted** store (in-memory only, no directory);
+/// [`Clone`] likewise produces an unrooted in-memory snapshot, detached
+/// from any directory — two handles appending to the same files would
+/// corrupt the log, so clones deliberately do not share the root.
+#[derive(Debug)]
+pub struct FileStore {
+    root: Option<PathBuf>,
+    segment_capacity: usize,
+    segments: VecDeque<Segment>,
+    len: usize,
+    /// Id the next created segment file will get.
+    next_segment_id: u64,
+    /// Number of the first live block (mirrors the manifest when rooted).
+    first_block_number: u64,
+    /// Cached append handle for the tail segment file, so the seal hot
+    /// path does not reopen the file per block. Invalidated whenever the
+    /// file may be renamed away (prune, reset) and never cloned.
+    tail_file: Option<(u64, fs::File)>,
+}
+
+impl Default for FileStore {
+    fn default() -> FileStore {
+        FileStore {
+            root: None,
+            segment_capacity: SEGMENT_CAPACITY,
+            segments: VecDeque::new(),
+            len: 0,
+            next_segment_id: 0,
+            first_block_number: 0,
+            tail_file: None,
+        }
+    }
+}
+
+impl Clone for FileStore {
+    fn clone(&self) -> FileStore {
+        // A detached in-memory snapshot: two stores appending to the same
+        // directory would corrupt the log, so the clone drops the root.
+        FileStore {
+            root: None,
+            segment_capacity: self.segment_capacity,
+            segments: self.segments.clone(),
+            len: self.len,
+            next_segment_id: self.next_segment_id,
+            first_block_number: self.first_block_number,
+            tail_file: None,
+        }
+    }
+}
+
+impl PartialEq for FileStore {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical equality: same blocks in the same order, regardless of
+        // segment layout, root or pruning history.
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for FileStore {}
+
+// ---------------------------------------------------------------------------
+// Filesystem helpers
+// ---------------------------------------------------------------------------
+
+fn segment_file_name(id: u64) -> String {
+    format!("seg-{id:010}.seg")
+}
+
+fn parse_segment_id(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("seg-")?.strip_suffix(".seg")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+fn fsync_file(path: &Path) -> Result<(), StoreError> {
+    let file = fs::File::open(path).map_err(|e| StoreError::io("open for fsync", path, &e))?;
+    file.sync_all()
+        .map_err(|e| StoreError::io("fsync", path, &e))
+}
+
+fn fsync_dir(path: &Path) -> Result<(), StoreError> {
+    // Directory fsync is a no-op on platforms that do not support opening
+    // directories; ignore failures to open, but not failures to sync.
+    if let Ok(dir) = fs::File::open(path) {
+        dir.sync_all()
+            .map_err(|e| StoreError::io("fsync dir", path, &e))?;
+    }
+    Ok(())
+}
+
+/// Writes `bytes` to `path` atomically: temp file, fsync, rename.
+fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file =
+            fs::File::create(&tmp).map_err(|e| StoreError::io("create temp", &tmp, &e))?;
+        file.write_all(bytes)
+            .map_err(|e| StoreError::io("write temp", &tmp, &e))?;
+        file.sync_all()
+            .map_err(|e| StoreError::io("fsync temp", &tmp, &e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| StoreError::io("rename temp", path, &e))
+}
+
+/// Encodes one on-disk frame: `u32` length + canonical block bytes.
+fn frame_bytes(block: &Block) -> Vec<u8> {
+    let body = block.to_canonical_bytes();
+    let mut enc = Encoder::with_capacity(4 + body.len());
+    enc.put_u32(body.len() as u32);
+    enc.put_raw(&body);
+    enc.into_bytes()
+}
+
+/// How the parse of a segment file ended early, if it did.
+enum FrameDamage {
+    /// The file ends inside a frame (length field or body cut short) —
+    /// the shape an interrupted `write_all` leaves, recoverable by
+    /// truncation when it is the newest segment's tail.
+    Truncated {
+        /// Byte offset where the incomplete frame starts.
+        at: u64,
+    },
+    /// A frame's bytes are fully present but do not decode to a block.
+    /// An interrupted append can never leave this shape (the length field
+    /// and the body land in one `write_all`), so it is bit corruption —
+    /// never silently repaired, even at the tail.
+    Undecodable {
+        /// Byte offset of the offending frame.
+        at: u64,
+    },
+}
+
+/// Outcome of parsing a segment file.
+struct ParsedSegment {
+    blocks: Vec<SealedBlock>,
+    damage: Option<FrameDamage>,
+}
+
+/// Parses the frames of one segment file, classifying any early stop as
+/// truncation (crash shape) or corruption; the caller decides what each
+/// means for the segment's position in the store.
+fn parse_segment(bytes: &[u8]) -> ParsedSegment {
+    let mut blocks = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 4 {
+            return ParsedSegment {
+                blocks,
+                damage: Some(FrameDamage::Truncated { at: pos as u64 }),
+            };
+        }
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        if bytes.len() - pos - 4 < len {
+            return ParsedSegment {
+                blocks,
+                damage: Some(FrameDamage::Truncated { at: pos as u64 }),
+            };
+        }
+        let body = &bytes[pos + 4..pos + 4 + len];
+        match Block::from_canonical_bytes(body) {
+            Ok(block) => blocks.push(SealedBlock::seal(block)),
+            Err(_) => {
+                return ParsedSegment {
+                    blocks,
+                    damage: Some(FrameDamage::Undecodable { at: pos as u64 }),
+                }
+            }
+        }
+        pos += 4 + len;
+    }
+    ParsedSegment {
+        blocks,
+        damage: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileStore
+// ---------------------------------------------------------------------------
+
+impl FileStore {
+    /// Opens (or creates) a durable store rooted at `path` with the
+    /// default [`SEGMENT_CAPACITY`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and unrecoverable corruption; see
+    /// [`StoreError`].
+    pub fn open(path: impl AsRef<Path>) -> Result<FileStore, StoreError> {
+        FileStore::open_with_capacity(path, SEGMENT_CAPACITY)
+    }
+
+    /// Opens (or creates) a durable store rooted at `path`.
+    ///
+    /// `segment_capacity` applies only when the store is created; an
+    /// existing store keeps the capacity recorded in its manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and unrecoverable corruption; see
+    /// [`StoreError`].
+    pub fn open_with_capacity(
+        path: impl AsRef<Path>,
+        segment_capacity: usize,
+    ) -> Result<FileStore, StoreError> {
+        assert!(segment_capacity > 0, "segment capacity must be positive");
+        let root = path.as_ref().to_path_buf();
+        fs::create_dir_all(&root).map_err(|e| StoreError::io("create dir", &root, &e))?;
+        let manifest_path = root.join(MANIFEST_NAME);
+
+        let manifest = if manifest_path.exists() {
+            let bytes = fs::read(&manifest_path)
+                .map_err(|e| StoreError::io("read manifest", &manifest_path, &e))?;
+            Manifest::decode_bytes(&manifest_path, &bytes)?
+        } else {
+            let manifest = Manifest {
+                segment_capacity: segment_capacity as u32,
+                first_segment_id: 0,
+                first_block_number: 0,
+            };
+            atomic_write(&manifest_path, &manifest.encode_bytes())?;
+            fsync_dir(&root)?;
+            manifest
+        };
+
+        let mut store = FileStore {
+            root: Some(root.clone()),
+            segment_capacity: manifest.segment_capacity as usize,
+            segments: VecDeque::new(),
+            len: 0,
+            tail_file: None,
+            next_segment_id: manifest.first_segment_id,
+            first_block_number: manifest.first_block_number,
+        };
+        store.replay(&root, manifest)?;
+        Ok(store)
+    }
+
+    /// Replays the directory contents into memory, finishing any prune a
+    /// crash interrupted (see the module docs' recovery steps).
+    fn replay(&mut self, root: &Path, manifest: Manifest) -> Result<(), StoreError> {
+        // Step 1+2: collect segment files, removing temp leftovers and
+        // segments already retired by the manifest.
+        let mut ids: Vec<u64> = Vec::new();
+        let entries = fs::read_dir(root).map_err(|e| StoreError::io("read dir", root, &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::io("read dir entry", root, &e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".tmp") {
+                let p = entry.path();
+                fs::remove_file(&p).map_err(|e| StoreError::io("remove temp", &p, &e))?;
+                continue;
+            }
+            let Some(id) = parse_segment_id(name) else {
+                continue;
+            };
+            if id < manifest.first_segment_id {
+                // Crash between manifest update and unlink: finish the job.
+                let p = entry.path();
+                fs::remove_file(&p).map_err(|e| StoreError::io("remove retired", &p, &e))?;
+                continue;
+            }
+            ids.push(id);
+        }
+        ids.sort_unstable();
+        if let Some(window) = ids.windows(2).find(|w| w[1] != w[0] + 1) {
+            return Err(StoreError::corrupt(
+                root,
+                format!("segment id gap between {} and {}", window[0], window[1]),
+            ));
+        }
+
+        // Steps 3–5: parse each file; drop pruned front frames; truncate a
+        // torn tail; reject everything else.
+        let last_id = ids.last().copied();
+        for id in ids {
+            let file_path = root.join(segment_file_name(id));
+            let bytes =
+                fs::read(&file_path).map_err(|e| StoreError::io("read segment", &file_path, &e))?;
+            let parsed = parse_segment(&bytes);
+            let mut blocks = parsed.blocks;
+            match parsed.damage {
+                None => {}
+                Some(FrameDamage::Undecodable { at }) => {
+                    // Fully present but undecodable frame: bit corruption,
+                    // not a crash artifact — refuse, wherever it sits.
+                    return Err(StoreError::corrupt(
+                        &file_path,
+                        format!("undecodable frame at offset {at}"),
+                    ));
+                }
+                Some(FrameDamage::Truncated { at }) => {
+                    if Some(id) != last_id {
+                        return Err(StoreError::corrupt(
+                            &file_path,
+                            format!("truncated frame at offset {at} in a non-tail segment"),
+                        ));
+                    }
+                    // Crash mid-append: drop the torn suffix.
+                    let file = fs::OpenOptions::new()
+                        .write(true)
+                        .open(&file_path)
+                        .map_err(|e| StoreError::io("open for truncate", &file_path, &e))?;
+                    file.set_len(at)
+                        .map_err(|e| StoreError::io("truncate torn tail", &file_path, &e))?;
+                    file.sync_all()
+                        .map_err(|e| StoreError::io("fsync truncated", &file_path, &e))?;
+                }
+            }
+            // Crash between manifest update and front rewrite: the first
+            // segment may still hold already-pruned frames.
+            if self.segments.is_empty() {
+                let keep_from = blocks
+                    .iter()
+                    .position(|b| b.block().number().value() >= manifest.first_block_number)
+                    .unwrap_or(blocks.len());
+                if keep_from > 0 {
+                    blocks.drain(..keep_from);
+                    self.rewrite_segment_file(&file_path, &blocks)?;
+                }
+            }
+            if blocks.is_empty() {
+                // Nothing live in this file (fully pruned front, or a tail
+                // whose only frame was torn): drop it.
+                fs::remove_file(&file_path)
+                    .map_err(|e| StoreError::io("remove empty segment", &file_path, &e))?;
+                continue;
+            }
+            let sealed = blocks.len() >= self.segment_capacity || Some(id) != last_id;
+            self.len += blocks.len();
+            self.segments.push_back(Segment { id, blocks, sealed });
+        }
+        self.next_segment_id = self
+            .segments
+            .back()
+            .map_or(manifest.first_segment_id, |s| s.id + 1);
+
+        // Layout check: O(1) indexing relies on every segment except the
+        // (front-pruned) first and the (still filling) last holding exactly
+        // `segment_capacity` blocks.
+        let count = self.segments.len();
+        for (i, segment) in self.segments.iter().enumerate() {
+            let file = root.join(segment_file_name(segment.id));
+            if segment.blocks.len() > self.segment_capacity {
+                return Err(StoreError::corrupt(
+                    &file,
+                    format!(
+                        "{} frames exceed the segment capacity {}",
+                        segment.blocks.len(),
+                        self.segment_capacity
+                    ),
+                ));
+            }
+            if i > 0 && i + 1 < count && segment.blocks.len() != self.segment_capacity {
+                return Err(StoreError::corrupt(
+                    &file,
+                    format!(
+                        "interior segment holds {} frames, expected {}",
+                        segment.blocks.len(),
+                        self.segment_capacity
+                    ),
+                ));
+            }
+        }
+
+        // Contiguity check across all replayed frames.
+        let mut expected: Option<u64> = None;
+        for sealed in self.iter() {
+            let n = sealed.block().number().value();
+            if let Some(e) = expected {
+                if n != e {
+                    return Err(StoreError::corrupt(
+                        root,
+                        format!("non-contiguous block numbers: expected {e}, found {n}"),
+                    ));
+                }
+            }
+            expected = Some(n + 1);
+        }
+        if let Some(first) = self.segments.front().and_then(|s| s.blocks.first()) {
+            self.first_block_number = first.block().number().value();
+        }
+        Ok(())
+    }
+
+    /// The directory this store persists to, when rooted.
+    pub fn root(&self) -> Option<&Path> {
+        self.root.as_deref()
+    }
+
+    /// Whether this store writes through to disk.
+    pub fn is_durable(&self) -> bool {
+        self.root.is_some()
+    }
+
+    /// Blocks per segment file.
+    pub fn segment_capacity(&self) -> usize {
+        self.segment_capacity
+    }
+
+    /// Number of retained segments (diagnostics / tests).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Fsyncs the tail segment file, making every appended frame durable.
+    ///
+    /// Called internally before each prune's manifest update; exposed so
+    /// drivers can force a durability barrier (e.g. before a planned
+    /// shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fsync failure.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        let Some(root) = &self.root else {
+            return Ok(());
+        };
+        if let Some(tail) = self.segments.back() {
+            fsync_file(&root.join(segment_file_name(tail.id)))?;
+        }
+        Ok(())
+    }
+
+    fn write_manifest(&self, root: &Path) -> Result<(), StoreError> {
+        let manifest = Manifest {
+            segment_capacity: self.segment_capacity as u32,
+            first_segment_id: self.segments.front().map_or(self.next_segment_id, |s| s.id),
+            first_block_number: self.first_block_number,
+        };
+        atomic_write(&root.join(MANIFEST_NAME), &manifest.encode_bytes())?;
+        fsync_dir(root)
+    }
+
+    /// Rewrites one segment file to hold exactly `blocks` (atomic).
+    fn rewrite_segment_file(&self, path: &Path, blocks: &[SealedBlock]) -> Result<(), StoreError> {
+        let mut bytes = Vec::new();
+        for sealed in blocks {
+            bytes.extend_from_slice(&frame_bytes(sealed.block()));
+        }
+        atomic_write(path, &bytes)
+    }
+
+    /// Appends one frame to the tail segment file, through the cached
+    /// append handle (opened on first use per segment — the seal hot path
+    /// must not pay an open/close per block).
+    fn append_frame(&mut self, root: &Path, id: u64, block: &Block) -> Result<(), StoreError> {
+        if self.tail_file.as_ref().map(|(tid, _)| *tid) != Some(id) {
+            let path = root.join(segment_file_name(id));
+            let file = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| StoreError::io("open segment", &path, &e))?;
+            self.tail_file = Some((id, file));
+        }
+        let (_, file) = self.tail_file.as_mut().expect("handle cached above");
+        file.write_all(&frame_bytes(block))
+            .map_err(|e| StoreError::io("append frame", &root.join(segment_file_name(id)), &e))
+    }
+
+    /// Panic adapter: the `BlockStore` trait is infallible, so persistence
+    /// failures on a rooted store are unrecoverable here. Callers who need
+    /// graceful handling should check disk health via [`FileStore::sync`].
+    fn persist(result: Result<(), StoreError>) {
+        if let Err(err) = result {
+            panic!("file store persistence failed: {err}");
+        }
+    }
+}
+
+impl BlockStore for FileStore {
+    type Iter<'a> = FileIter<'a>;
+
+    fn push(&mut self, block: SealedBlock) {
+        let needs_new = match self.segments.back() {
+            Some(segment) => segment.sealed,
+            None => true,
+        };
+        if needs_new {
+            let id = self.next_segment_id;
+            self.next_segment_id += 1;
+            self.segments.push_back(Segment {
+                id,
+                blocks: Vec::with_capacity(self.segment_capacity),
+                sealed: false,
+            });
+        }
+        let tail_id = self.segments.back().expect("tail exists").id;
+        if let Some(root) = self.root.clone() {
+            Self::persist(self.append_frame(&root, tail_id, block.block()));
+        }
+        let block_number = block.block().number().value();
+        let capacity = self.segment_capacity;
+        let tail = self.segments.back_mut().expect("tail exists");
+        tail.blocks.push(block);
+        let filled = tail.blocks.len() >= capacity;
+        if filled {
+            tail.sealed = true;
+        }
+        self.len += 1;
+        if self.len == 1 && self.first_block_number != block_number {
+            // First block into an emptied store, at a different number than
+            // the manifest's `first_block_number` (e.g. a fresh chain
+            // starting over at 0 after a drain left the watermark higher).
+            // The manifest must follow, or replay would classify every
+            // frame below the stale watermark as pruned and drop it.
+            self.first_block_number = block_number;
+            if let Some(root) = self.root.clone() {
+                Self::persist(self.write_manifest(&root));
+            }
+        }
+        if filled {
+            if let Some(root) = &self.root {
+                // A filled segment is the durability unit: fsync it. The
+                // handle is released — the next push starts a new file.
+                Self::persist(fsync_file(&root.join(segment_file_name(tail_id))));
+                self.tail_file = None;
+            }
+        }
+    }
+
+    fn get(&self, index: usize) -> Option<&SealedBlock> {
+        if index >= self.len {
+            return None;
+        }
+        let first = self.segments.front()?;
+        if index < first.blocks.len() {
+            return first.blocks.get(index);
+        }
+        // Invariant: every segment except the first (front-pruned) and the
+        // last (still filling) holds exactly `segment_capacity` live
+        // blocks, so the arithmetic is O(1).
+        let rest = index - first.blocks.len();
+        let segment = 1 + rest / self.segment_capacity;
+        let offset = rest % self.segment_capacity;
+        self.segments.get(segment)?.blocks.get(offset)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn drain_front(&mut self, count: usize) -> Vec<SealedBlock> {
+        let count = count.min(self.len);
+        if count == 0 {
+            return Vec::new();
+        }
+        let mut removed: Vec<SealedBlock> = Vec::with_capacity(count);
+        let mut retired_ids: Vec<u64> = Vec::new();
+        let mut rewritten_front: Option<u64> = None;
+        let mut remaining = count;
+        while remaining > 0 {
+            let front_live = self.segments.front().expect("non-empty").blocks.len();
+            if remaining >= front_live {
+                let segment = self.segments.pop_front().expect("non-empty");
+                retired_ids.push(segment.id);
+                removed.extend(segment.blocks);
+                remaining -= front_live;
+            } else {
+                let front = self.segments.front_mut().expect("non-empty");
+                removed.extend(front.blocks.drain(..remaining));
+                rewritten_front = Some(front.id);
+                remaining = 0;
+            }
+        }
+        self.len -= count;
+        self.first_block_number = match self.segments.front().and_then(|s| s.blocks.first()) {
+            Some(first) => first.block().number().value(),
+            // Store emptied: the next live block is whatever follows the
+            // last drained one.
+            None => removed.last().expect("count > 0").block().number().value() + 1,
+        };
+
+        if let Some(root) = self.root.clone() {
+            // The front rewrite below may rename the very file the cached
+            // append handle points at; drop it (fsync still reaches the
+            // inode through a fresh descriptor).
+            self.tail_file = None;
+            // §IV-C ordering: the tail (holding the carried-forward Σ) must
+            // be durable before the manifest makes the prune irreversible.
+            Self::persist(self.sync());
+            Self::persist(self.write_manifest(&root));
+            if let Some(id) = rewritten_front {
+                let path = root.join(segment_file_name(id));
+                let front = self.segments.front().expect("partial front retained");
+                debug_assert_eq!(front.id, id);
+                Self::persist(self.rewrite_segment_file(&path, &front.blocks));
+            }
+            for id in retired_ids {
+                let path = root.join(segment_file_name(id));
+                Self::persist(
+                    fs::remove_file(&path).map_err(|e| StoreError::io("unlink retired", &path, &e)),
+                );
+            }
+            Self::persist(fsync_dir(&root));
+        }
+        removed
+    }
+
+    fn iter(&self) -> Self::Iter<'_> {
+        FileIter {
+            store: self,
+            next: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.segments.clear();
+        self.len = 0;
+        self.first_block_number = 0;
+        self.tail_file = None;
+        if let Some(root) = self.root.clone() {
+            let result = (|| -> Result<(), StoreError> {
+                // Manifest first: once `first_segment_id` points past every
+                // existing file, a crash anywhere in the unlink loop leaves
+                // only stale segments, which `open` removes — never an id
+                // gap. (A crash *before* the manifest keeps the old chain
+                // intact; a crash *after* leaves a valid empty store, the
+                // same state the caller was creating anyway — callers of
+                // reset, e.g. `adopt_chain`, re-sync content from peers.)
+                self.write_manifest(&root)?;
+                let entries =
+                    fs::read_dir(&root).map_err(|e| StoreError::io("read dir", &root, &e))?;
+                for entry in entries {
+                    let entry = entry.map_err(|e| StoreError::io("read dir entry", &root, &e))?;
+                    let name = entry.file_name();
+                    let Some(name) = name.to_str() else { continue };
+                    if parse_segment_id(name).is_some() || name.ends_with(".tmp") {
+                        let p = entry.path();
+                        fs::remove_file(&p)
+                            .map_err(|e| StoreError::io("remove segment", &p, &e))?;
+                    }
+                }
+                fsync_dir(&root)
+            })();
+            Self::persist(result);
+        }
+    }
+}
+
+/// Oldest-first iterator over a [`FileStore`].
+#[derive(Debug)]
+pub struct FileIter<'a> {
+    store: &'a FileStore,
+    next: usize,
+}
+
+impl<'a> Iterator for FileIter<'a> {
+    type Item = &'a SealedBlock;
+
+    fn next(&mut self) -> Option<&'a SealedBlock> {
+        let item = self.store.get(self.next)?;
+        self.next += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.store.len.saturating_sub(self.next);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for FileIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockBody, Seal};
+    use crate::store::MemStore;
+    use crate::testutil::ScratchDir as Scratch;
+    use crate::types::{BlockNumber, Timestamp};
+
+    fn sealed(n: u64) -> SealedBlock {
+        SealedBlock::seal(Block::new(
+            BlockNumber(n),
+            Timestamp(n * 10),
+            seldel_crypto::sha256(n.to_le_bytes()),
+            BlockBody::Empty,
+            Seal::Deterministic,
+        ))
+    }
+
+    fn store_with(dir: &Path, cap: usize, blocks: std::ops::Range<u64>) -> FileStore {
+        let mut store = FileStore::open_with_capacity(dir, cap).unwrap();
+        for n in blocks {
+            store.push(sealed(n));
+        }
+        store
+    }
+
+    #[test]
+    fn unrooted_default_matches_mem_store() {
+        let mut file = FileStore::default();
+        let mut mem = MemStore::default();
+        for n in 0..150 {
+            file.push(sealed(n));
+            mem.push(sealed(n));
+        }
+        file.drain_front(70);
+        mem.drain_front(70);
+        assert_eq!(file.len(), mem.len());
+        assert!(file.iter().eq(mem.iter()));
+        for i in 0..mem.len() {
+            assert_eq!(file.get(i), mem.get(i));
+        }
+        assert!(!file.is_durable());
+    }
+
+    #[test]
+    fn close_and_reopen_round_trips() {
+        let scratch = Scratch::new("reopen");
+        {
+            let _store = store_with(scratch.path(), 8, 0..30);
+        }
+        let reopened = FileStore::open(scratch.path()).unwrap();
+        assert_eq!(reopened.segment_capacity(), 8);
+        assert_eq!(reopened.len(), 30);
+        let fresh: Vec<u64> = reopened
+            .iter()
+            .map(|s| s.block().number().value())
+            .collect();
+        assert_eq!(fresh, (0..30).collect::<Vec<_>>());
+        // Sealed-hash cache rebuilt correctly.
+        assert!(reopened.iter().all(|s| s.hash() == s.block().hash()));
+    }
+
+    #[test]
+    fn prune_unlinks_whole_segments_and_rewrites_partial_front() {
+        let scratch = Scratch::new("prune");
+        let mut store = store_with(scratch.path(), 4, 0..12); // 3 files
+        assert_eq!(store.segment_count(), 3);
+        let removed = store.drain_front(6); // 1.5 files
+        assert_eq!(removed.len(), 6);
+        assert!(!scratch.path().join(segment_file_name(0)).exists());
+        // The partial front file only holds the live frames.
+        let bytes = fs::read(scratch.path().join(segment_file_name(1))).unwrap();
+        let parsed = parse_segment(&bytes);
+        assert_eq!(parsed.blocks.len(), 2);
+        assert_eq!(parsed.blocks[0].block().number(), BlockNumber(6));
+        // Reopen agrees.
+        drop(store);
+        let reopened = FileStore::open(scratch.path()).unwrap();
+        assert_eq!(reopened.len(), 6);
+        assert_eq!(reopened.first().unwrap().block().number(), BlockNumber(6));
+    }
+
+    #[test]
+    fn drain_front_clamps_beyond_len() {
+        // The trait contract: count > len() empties the store, no panic.
+        let scratch = Scratch::new("clamp");
+        let mut store = store_with(scratch.path(), 4, 0..5);
+        let removed = store.drain_front(99);
+        assert_eq!(removed.len(), 5);
+        assert!(store.is_empty());
+        // The directory holds no segment files anymore.
+        let leftover: Vec<_> = fs::read_dir(scratch.path())
+            .unwrap()
+            .filter_map(|e| parse_segment_id(e.unwrap().file_name().to_str().unwrap()))
+            .collect();
+        assert!(leftover.is_empty(), "segments left: {leftover:?}");
+        // And pushes keep working after emptying.
+        store.push(sealed(5));
+        assert_eq!(store.get(0).unwrap().block().number(), BlockNumber(5));
+        drop(store);
+        let reopened = FileStore::open(scratch.path()).unwrap();
+        assert_eq!(reopened.len(), 1);
+    }
+
+    #[test]
+    fn emptied_store_refilled_with_lower_numbers_survives_reopen() {
+        // Draining to empty leaves the manifest watermark at last+1; a new
+        // chain started in the same store from block 0 must move the
+        // watermark back down, or replay would classify every frame below
+        // it as pruned-front garbage and silently drop the whole chain.
+        let scratch = Scratch::new("refill-low");
+        let mut store = store_with(scratch.path(), 4, 10..15);
+        store.drain_front(99);
+        assert!(store.is_empty());
+        for n in 0..3 {
+            store.push(sealed(n));
+        }
+        drop(store);
+        let reopened = FileStore::open(scratch.path()).unwrap();
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(reopened.first().unwrap().block().number(), BlockNumber(0));
+    }
+
+    #[test]
+    fn torn_tail_frame_is_truncated_on_open() {
+        let scratch = Scratch::new("torn");
+        let store = store_with(scratch.path(), 8, 0..10);
+        let tail = scratch.path().join(segment_file_name(1));
+        drop(store);
+        // Chop a few bytes off the last frame: crash mid-append.
+        let len = fs::metadata(&tail).unwrap().len();
+        let file = fs::OpenOptions::new().write(true).open(&tail).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+        let reopened = FileStore::open(scratch.path()).unwrap();
+        assert_eq!(reopened.len(), 9, "torn frame must be dropped");
+        assert_eq!(reopened.last().unwrap().block().number(), BlockNumber(8));
+        // The file was physically truncated, so a second open is clean.
+        let reopened2 = FileStore::open(scratch.path()).unwrap();
+        assert_eq!(reopened2.len(), 9);
+    }
+
+    #[test]
+    fn bit_flip_in_tail_segment_is_corruption_not_torn_tail() {
+        // A fully present but undecodable frame can never come from an
+        // interrupted append (length + body land in one write), so it must
+        // be refused even in the newest segment — silently truncating it
+        // would discard valid (possibly fsynced) frames after the flip.
+        let scratch = Scratch::new("tailflip");
+        let store = store_with(scratch.path(), 8, 0..6);
+        let tail = scratch.path().join(segment_file_name(0));
+        drop(store);
+        let mut bytes = fs::read(&tail).unwrap();
+        // Clobber the first frame's body (its length prefix stays intact,
+        // so the frame is "fully present" yet undecodable); frames 1..6
+        // after it remain valid.
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        for b in &mut bytes[4..4 + len] {
+            *b = 0xFF;
+        }
+        fs::write(&tail, bytes).unwrap();
+        let err = FileStore::open(scratch.path()).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn corruption_in_middle_segment_is_rejected() {
+        let scratch = Scratch::new("corrupt");
+        let store = store_with(scratch.path(), 4, 0..12);
+        drop(store);
+        let middle = scratch.path().join(segment_file_name(1));
+        let mut bytes = fs::read(&middle).unwrap();
+        let mid = bytes.len() / 2;
+        bytes.truncate(mid);
+        fs::write(&middle, bytes).unwrap();
+        let err = FileStore::open(scratch.path()).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn stale_retired_segment_is_removed_on_open() {
+        let scratch = Scratch::new("stale");
+        let mut store = store_with(scratch.path(), 4, 0..12);
+        // Keep a copy of the first file, prune it away, then "un-delete"
+        // it — the state a crash between manifest update and unlink leaves.
+        let first = scratch.path().join(segment_file_name(0));
+        let saved = fs::read(&first).unwrap();
+        store.drain_front(4);
+        assert!(!first.exists());
+        drop(store);
+        fs::write(&first, saved).unwrap();
+        let reopened = FileStore::open(scratch.path()).unwrap();
+        assert_eq!(reopened.len(), 8);
+        assert_eq!(reopened.first().unwrap().block().number(), BlockNumber(4));
+        assert!(!first.exists(), "stale segment must be unlinked");
+    }
+
+    #[test]
+    fn stale_front_frames_are_dropped_on_open() {
+        let scratch = Scratch::new("stalefront");
+        let mut store = store_with(scratch.path(), 4, 0..10);
+        // Save the front-to-be before a partial prune, restore it after:
+        // the state a crash between manifest update and front rewrite
+        // leaves behind.
+        let front = scratch.path().join(segment_file_name(1));
+        let saved = fs::read(&front).unwrap();
+        store.drain_front(6); // drops file 0 whole, halves file 1
+        drop(store);
+        fs::write(&front, saved).unwrap();
+        let reopened = FileStore::open(scratch.path()).unwrap();
+        assert_eq!(reopened.len(), 4);
+        assert_eq!(reopened.first().unwrap().block().number(), BlockNumber(6));
+        // The recovery rewrote the file: pruned frames are physically gone.
+        let bytes = fs::read(&front).unwrap();
+        let parsed = parse_segment(&bytes);
+        assert_eq!(parsed.blocks.len(), 2);
+    }
+
+    #[test]
+    fn temp_files_are_cleaned_on_open() {
+        let scratch = Scratch::new("tmp");
+        let store = store_with(scratch.path(), 4, 0..3);
+        drop(store);
+        let stray = scratch.path().join("MANIFEST.tmp");
+        fs::write(&stray, b"half-written").unwrap();
+        let reopened = FileStore::open(scratch.path()).unwrap();
+        assert_eq!(reopened.len(), 3);
+        assert!(!stray.exists());
+    }
+
+    #[test]
+    fn clone_is_a_detached_snapshot() {
+        let scratch = Scratch::new("clone");
+        let store = store_with(scratch.path(), 4, 0..6);
+        let mut snapshot = store.clone();
+        assert!(!snapshot.is_durable());
+        assert_eq!(snapshot, store);
+        // Mutating the clone never touches the original's directory.
+        snapshot.push(sealed(6));
+        drop(snapshot);
+        drop(store);
+        let reopened = FileStore::open(scratch.path()).unwrap();
+        assert_eq!(reopened.len(), 6);
+    }
+
+    #[test]
+    fn reset_keeps_the_root_but_wipes_the_log() {
+        let scratch = Scratch::new("reset");
+        let mut store = store_with(scratch.path(), 4, 0..9);
+        store.reset();
+        assert!(store.is_empty());
+        assert!(store.is_durable());
+        store.push(sealed(0));
+        store.push(sealed(1));
+        drop(store);
+        let reopened = FileStore::open(scratch.path()).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.first().unwrap().block().number(), BlockNumber(0));
+    }
+
+    #[test]
+    fn refilled_front_segment_seals_at_capacity() {
+        // A single partially pruned, unsealed segment keeps taking appends
+        // until its *live* count reaches capacity, so the middle-segments-
+        // are-full invariant behind O(1) get() holds.
+        let scratch = Scratch::new("refill");
+        let mut store = store_with(scratch.path(), 4, 0..3);
+        store.drain_front(2);
+        for n in 3..8 {
+            store.push(sealed(n));
+        }
+        assert_eq!(store.len(), 6);
+        for (i, expect) in (2..8).enumerate() {
+            assert_eq!(
+                store.get(i).unwrap().block().number(),
+                BlockNumber(expect),
+                "index {i}"
+            );
+        }
+        drop(store);
+        let reopened = FileStore::open(scratch.path()).unwrap();
+        assert_eq!(reopened.len(), 6);
+        let numbers: Vec<u64> = reopened
+            .iter()
+            .map(|s| s.block().number().value())
+            .collect();
+        assert_eq!(numbers, (2..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unsupported_version_is_reported() {
+        let scratch = Scratch::new("version");
+        let store = store_with(scratch.path(), 4, 0..1);
+        drop(store);
+        let manifest = Manifest {
+            segment_capacity: 4,
+            first_segment_id: 0,
+            first_block_number: 0,
+        };
+        let mut bytes = manifest.encode_bytes();
+        bytes[8] = 0xEE; // clobber the version field
+        fs::write(scratch.path().join(MANIFEST_NAME), bytes).unwrap();
+        assert!(matches!(
+            FileStore::open(scratch.path()),
+            Err(StoreError::UnsupportedVersion { .. })
+        ));
+    }
+}

@@ -10,6 +10,8 @@
 //! * [`chain`] — the live chain β with its shifting genesis marker `m`;
 //! * [`store`] — pluggable block storage ([`MemStore`], [`SegStore`]) with
 //!   per-block sealed-hash caching;
+//! * [`fstore`] — the durable file-backed segment log ([`FileStore`]):
+//!   crash recovery on open, physical on-disk deletion on prune;
 //! * [`index`] — the maintained `EntryId → Location` index backing O(log n)
 //!   lookups;
 //! * [`validate`] — status-quo-anchored validation (§V-B3);
@@ -41,10 +43,12 @@ pub mod block;
 pub mod chain;
 pub mod entry;
 pub mod error;
+pub mod fstore;
 pub mod index;
 pub mod render;
 pub mod store;
 pub mod summary;
+pub mod testutil;
 pub mod types;
 pub mod validate;
 
@@ -53,6 +57,7 @@ pub use block::{Block, BlockBody, BlockHeader, BlockKind, Seal, GENESIS_PREV_HAS
 pub use chain::{Blockchain, Located};
 pub use entry::{CoSignature, DeleteRequest, Entry, EntryPayload};
 pub use error::ChainError;
+pub use fstore::{FileStore, StoreError};
 pub use index::{EntryIndex, Location};
 pub use store::{BlockStore, MemStore, SealedBlock, SegStore};
 pub use summary::{Anchor, SummaryRecord};

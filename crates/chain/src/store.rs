@@ -94,10 +94,23 @@ pub trait BlockStore: Default + Clone + PartialEq + Eq + std::fmt::Debug + 'stat
     fn len(&self) -> usize;
 
     /// Removes the first `count` blocks and returns them oldest-first.
+    ///
+    /// `count` is **clamped** to [`BlockStore::len`]: asking for more
+    /// blocks than the store holds empties it and returns everything,
+    /// never panics. This is part of the trait contract (it used to be
+    /// backend-defined) and every backend pins it with a unit test.
     fn drain_front(&mut self, count: usize) -> Vec<SealedBlock>;
 
     /// Iterates stored blocks oldest-first.
     fn iter(&self) -> Self::Iter<'_>;
+
+    /// Empties the store, keeping its identity (for file-backed stores:
+    /// the root directory) so it can be refilled in place. The default
+    /// simply swaps in `Self::default()`; stores with external state
+    /// override this.
+    fn reset(&mut self) {
+        *self = Self::default();
+    }
 
     /// Whether the store holds no blocks.
     fn is_empty(&self) -> bool {
@@ -380,6 +393,42 @@ mod tests {
         assert_eq!(a, b);
         b.push(sealed(10));
         assert_ne!(a, b);
+    }
+
+    /// Pins the clamped `drain_front` contract on one backend: draining
+    /// more than `len()` empties the store and returns everything.
+    fn assert_drain_clamps<S: BlockStore>() {
+        let mut store = S::default();
+        for n in 0..7 {
+            store.push(sealed(n));
+        }
+        let removed = store.drain_front(1_000);
+        assert_eq!(removed.len(), 7);
+        assert_eq!(removed[0].block().number(), BlockNumber(0));
+        assert_eq!(removed[6].block().number(), BlockNumber(6));
+        assert!(store.is_empty());
+        // And a drained-empty store accepts new blocks.
+        store.push(sealed(7));
+        assert_eq!(store.len(), 1);
+        assert!(store.drain_front(0).is_empty());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn mem_store_drain_front_clamps() {
+        assert_drain_clamps::<MemStore>();
+    }
+
+    #[test]
+    fn seg_store_drain_front_clamps() {
+        assert_drain_clamps::<SegStore>();
+    }
+
+    #[test]
+    fn file_store_drain_front_clamps() {
+        // Unrooted variant here; the rooted variant (with on-disk effects)
+        // is pinned in `fstore::tests::drain_front_clamps_beyond_len`.
+        assert_drain_clamps::<crate::fstore::FileStore>();
     }
 
     #[test]

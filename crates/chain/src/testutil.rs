@@ -1,0 +1,65 @@
+//! Test support for exercising durable stores.
+//!
+//! Durable-storage tests across the workspace (and downstream users of
+//! [`FileStore`](crate::fstore::FileStore)) all need the same thing: a
+//! unique scratch directory that exists for one test and disappears
+//! afterwards, even when the test fails. This module holds the one shared
+//! implementation so the copies cannot drift (sequence counters, cleanup
+//! on panic, naming) between crates.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch directory under the system temp dir, removed on drop.
+///
+/// Uniqueness combines the process id, a caller-supplied tag and a global
+/// sequence counter, so concurrent tests — and repeated runs of the same
+/// test binary — never collide. The directory itself is *not* created:
+/// [`FileStore::open`](crate::fstore::FileStore::open) (and `create_dir_all`
+/// generally) handles that, and starting from a non-existent path is
+/// exactly the state the durable-store tests want.
+#[derive(Debug)]
+pub struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    /// Reserves a fresh scratch path tagged `tag`, wiping any leftover
+    /// from a previous crashed run.
+    pub fn new(tag: &str) -> ScratchDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "seldel-scratch-{}-{tag}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+
+    /// The scratch path.
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_dirs_are_unique_and_cleaned() {
+        let a = ScratchDir::new("t");
+        let b = ScratchDir::new("t");
+        assert_ne!(a.path(), b.path());
+        std::fs::create_dir_all(a.path()).unwrap();
+        std::fs::write(a.path().join("x"), b"y").unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "drop must remove the directory");
+    }
+}

@@ -71,6 +71,46 @@ proptest! {
     }
 
     #[test]
+    fn file_store_chains_survive_close_and_reopen(
+        blocks in 1u64..14,
+        entries in 0u8..3,
+        cut in 0u64..10,
+    ) {
+        use seldel_chain::testutil::ScratchDir;
+        use seldel_chain::FileStore;
+
+        let dir = ScratchDir::new("chainprop");
+
+        // Identical chains: in-memory reference and a disk-rooted store.
+        let reference = build_chain(blocks, entries);
+        let store = FileStore::open_with_capacity(dir.path(), 4).expect("store opens");
+        let mut exported = reference.export_blocks().into_iter();
+        let mut durable: Blockchain<FileStore> =
+            Blockchain::with_genesis_in(store, exported.next().expect("genesis"));
+        for block in exported {
+            durable.push(block).expect("valid link");
+        }
+        // Optionally shift the marker so the reopened chain starts mid-way.
+        let mut reference = reference;
+        let cut = cut.min(blocks);
+        if cut > 0 {
+            reference.truncate_front(BlockNumber(cut)).expect("in range");
+            durable.truncate_front(BlockNumber(cut)).expect("in range");
+        }
+        prop_assert_eq!(reference.export_bytes(), durable.export_bytes());
+
+        // Close, reopen, reconstruct: bit-identical to the reference.
+        drop(durable);
+        let reopened =
+            Blockchain::from_store(FileStore::open(dir.path()).expect("reopen")).expect("valid chain");
+        prop_assert_eq!(reference.export_bytes(), reopened.export_bytes());
+        prop_assert_eq!(reference.tip_hash(), reopened.tip_hash());
+        prop_assert_eq!(reopened.entry_index(), &reopened.rebuilt_index());
+        prop_assert!(reopened.verify_cached_hashes());
+        validate_chain(&reopened, &ValidationOptions::default()).expect("valid");
+    }
+
+    #[test]
     fn tampering_any_block_breaks_validation(blocks in 2u64..10, victim in 1u64..9) {
         let chain = build_chain(blocks, 1);
         let victim = victim.min(blocks);

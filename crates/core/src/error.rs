@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use seldel_chain::{ChainError, EntryId};
+use seldel_chain::{ChainError, EntryId, StoreError};
 use seldel_codec::schema::SchemaError;
 use seldel_crypto::SignatureError;
 
@@ -32,6 +32,8 @@ pub enum CoreError {
     Cohesion(CohesionViolation),
     /// Underlying chain error.
     Chain(ChainError),
+    /// Underlying storage-backend error (durable stores only).
+    Store(StoreError),
     /// The block timestamp would regress behind the tip.
     TimestampTooOld {
         /// Timestamp supplied by the caller.
@@ -57,6 +59,7 @@ impl fmt::Display for CoreError {
             CoreError::NotAuthorized(e) => write!(f, "not authorized: {e}"),
             CoreError::Cohesion(e) => write!(f, "cohesion violation: {e}"),
             CoreError::Chain(e) => write!(f, "chain error: {e}"),
+            CoreError::Store(e) => write!(f, "storage error: {e}"),
             CoreError::TimestampTooOld { given, tip } => {
                 write!(f, "timestamp {given} behind tip {tip}")
             }
@@ -70,6 +73,7 @@ impl std::error::Error for CoreError {
             CoreError::Schema(e) => Some(e),
             CoreError::Signature(e) => Some(e),
             CoreError::Chain(e) => Some(e),
+            CoreError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -90,6 +94,12 @@ impl From<SignatureError> for CoreError {
 impl From<ChainError> for CoreError {
     fn from(e: ChainError) -> Self {
         CoreError::Chain(e)
+    }
+}
+
+impl From<StoreError> for CoreError {
+    fn from(e: StoreError) -> Self {
+        CoreError::Store(e)
     }
 }
 

@@ -149,6 +149,56 @@ impl<S: BlockStore> SelectiveLedgerBuilder<S> {
             self.config.chain_note.clone(),
             self.genesis_time,
         ));
+        self.into_ledger(chain)
+    }
+
+    /// Opens a ledger over a caller-provided store — the durability entry
+    /// point.
+    ///
+    /// An **empty** store behaves like [`build`](Self::build), except the
+    /// genesis block lands in the given store (so a fresh
+    /// [`FileStore`](seldel_chain::FileStore) directory starts persisting
+    /// immediately). A **populated** store is the restart path: the chain
+    /// is reconstructed ([`Blockchain::from_store`]) and fully validated,
+    /// and every piece of derived Σ state — deletion marks, dependency
+    /// edges, Chinese-wall history, statistics — is re-derived from the
+    /// replayed blocks. A summary slot that fell due exactly at the crash
+    /// point is re-derived too (Σ blocks are deterministic, §IV-B), so the
+    /// recovered ledger continues exactly where the durable prefix ends.
+    ///
+    /// Some statistics cannot be recovered from blocks alone and restart
+    /// conservatively (exactly like [`SelectiveLedger::adopt_chain`]):
+    /// `executed_deletions` and `expired_records` reset to zero, and
+    /// `summaries_created` restarts at the number of *live* Σ blocks —
+    /// summary blocks that were themselves pruned are forgotten.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reconstruction and validation failures; see
+    /// [`CoreError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is internally inconsistent (see
+    /// [`ChainConfig::assert_valid`]).
+    pub fn open_store(self, store: S) -> Result<SelectiveLedger<S>, CoreError> {
+        self.config.assert_valid();
+        if store.is_empty() {
+            let genesis = Block::genesis(self.config.chain_note.clone(), self.genesis_time);
+            let chain = Blockchain::with_genesis_in(store, genesis);
+            return Ok(self.into_ledger(chain));
+        }
+        let chain = Blockchain::from_store(store)?;
+        seldel_chain::validate_chain(&chain, &seldel_chain::ValidationOptions::default())?;
+        let mut ledger = self.into_ledger(chain);
+        ledger.recover_derived_state();
+        Ok(ledger)
+    }
+
+    /// Wraps a ready chain with fresh ledger-side state.
+    fn into_ledger(self, chain: Blockchain<S>) -> SelectiveLedger<S> {
+        let blocks_appended = chain.tip().number().value() + 1;
+        let retired_blocks = chain.marker().value();
         SelectiveLedger {
             chain,
             config: self.config,
@@ -162,10 +212,44 @@ impl<S: BlockStore> SelectiveLedgerBuilder<S> {
             pending: Vec::new(),
             events: VecDeque::new(),
             summaries_created: 0,
-            blocks_appended: 1,
-            retired_blocks: 0,
+            blocks_appended,
+            retired_blocks,
             expired_total: 0,
         }
+    }
+}
+
+impl SelectiveLedgerBuilder<seldel_chain::FileStore> {
+    /// Opens (or creates) a durable ledger rooted at `path` — shorthand
+    /// for [`FileStore::open`](seldel_chain::FileStore::open) +
+    /// [`open_store`](Self::open_store). Reopening a directory that
+    /// already holds a chain is the crash/restart recovery path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store, reconstruction and validation failures.
+    pub fn on_disk(
+        self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<SelectiveLedger<seldel_chain::FileStore>, CoreError> {
+        let store = seldel_chain::FileStore::open(path)?;
+        self.open_store(store)
+    }
+
+    /// [`on_disk`](Self::on_disk) with an explicit segment capacity
+    /// (applies only when the store is created; an existing store keeps
+    /// its manifest's capacity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store, reconstruction and validation failures.
+    pub fn on_disk_with_capacity(
+        self,
+        path: impl AsRef<std::path::Path>,
+        segment_capacity: usize,
+    ) -> Result<SelectiveLedger<seldel_chain::FileStore>, CoreError> {
+        let store = seldel_chain::FileStore::open_with_capacity(path, segment_capacity)?;
+        self.open_store(store)
     }
 }
 
@@ -665,34 +749,64 @@ impl<S: BlockStore> SelectiveLedger<S> {
     /// §V-B3: nodes "only accept a blockchain which is traceable from its
     /// current status quo" — the adopted chain is validated structurally
     /// and cryptographically from its own marker, then replaces the local
-    /// chain. Ledger-side state (deletion marks, dependency index, history)
-    /// is rebuilt deterministically from the adopted blocks. In honest
-    /// histories this reproduces the incremental state exactly, because no
-    /// valid entry may depend on deletion-marked data (§IV-D3), so
-    /// re-validating old deletion requests against the full live chain
-    /// reaches the same verdicts.
+    /// chain **in the existing store** (a durable backend keeps its
+    /// directory; see [`Blockchain::replace_blocks`]). Ledger-side state
+    /// (deletion marks, dependency index, history) is rebuilt
+    /// deterministically from the adopted blocks. In honest histories this
+    /// reproduces the incremental state exactly, because no valid entry
+    /// may depend on deletion-marked data (§IV-D3), so re-validating old
+    /// deletion requests against the full live chain reaches the same
+    /// verdicts.
     ///
     /// # Errors
     ///
     /// Propagates validation failures; the ledger is unchanged on error.
     pub fn adopt_chain(&mut self, blocks: Vec<Block>) -> Result<(), CoreError> {
-        let chain: Blockchain<S> = Blockchain::assemble(blocks)?;
-        seldel_chain::validate_chain(&chain, &seldel_chain::ValidationOptions::default())?;
+        // Stage and validate in memory first so a bad offer cannot disturb
+        // the (possibly durable) local store.
+        let staged: Blockchain<seldel_chain::MemStore> = Blockchain::assemble(blocks)?;
+        seldel_chain::validate_chain(&staged, &seldel_chain::ValidationOptions::default())?;
 
         let old_marker = self.chain.marker();
-        let retired_estimate = chain.marker().value();
-        self.chain = chain;
+        self.chain.replace_with(&staged);
+        // The adoption's own marker jump, pushed *before* recovery: if the
+        // adopted chain ends right at a due Σ slot, recovery's summarize
+        // may prune further and emit its own (non-overlapping) shift.
+        self.events.push_back(LedgerEvent::MarkerShifted {
+            old: old_marker,
+            new: self.chain.marker(),
+        });
+        self.recover_derived_state();
+        Ok(())
+    }
+
+    /// Re-derives every piece of ledger state that is a function of the
+    /// live blocks: deletion marks, dependency edges, history, statistics.
+    /// Shared by [`SelectiveLedger::adopt_chain`] and the
+    /// [`open_store`](SelectiveLedgerBuilder::open_store) recovery path.
+    ///
+    /// Ends by filling a summary slot that is exactly due: a crash (or an
+    /// export) can leave the chain one block short of its next Σ, and
+    /// summary blocks are deterministic (§IV-B), so re-deriving the
+    /// missing Σ locally reproduces the lost block bit for bit.
+    fn recover_derived_state(&mut self) {
         self.deletions = DeletionRegistry::new();
         self.dependents = BTreeMap::new();
         self.history = BTreeMap::new();
         self.pending.clear();
+        self.expired_total = 0;
         self.blocks_appended = self.chain.tip().number().value() + 1;
-        self.retired_blocks = retired_estimate;
+        self.retired_blocks = self.chain.marker().value();
         self.summaries_created = self
             .chain
             .iter()
             .filter(|b| b.kind() == BlockKind::Summary)
             .count() as u64;
+
+        // The replay below is bookkeeping, not news: park whatever events
+        // the driver has not drained yet so the replay's noise can be
+        // discarded without losing them.
+        let undelivered = std::mem::take(&mut self.events);
 
         // Rebuild indexes and deletion marks in block order.
         let numbers: Vec<(BlockNumber, Timestamp)> = self
@@ -704,11 +818,9 @@ impl<S: BlockStore> SelectiveLedger<S> {
             self.post_include(number, ts);
         }
         self.rebuild_dependency_index();
-        self.events.push_back(LedgerEvent::MarkerShifted {
-            old: old_marker,
-            new: self.chain.marker(),
-        });
-        Ok(())
+        self.events = undelivered;
+        let tip_ts = self.chain.tip().timestamp();
+        self.maybe_summarize(tip_ts);
     }
 }
 
@@ -1248,6 +1360,165 @@ mod tests {
         let mut ledger = paper_ledger();
         assert_eq!(ledger.tick(Timestamp(10_000)), 0);
         assert_eq!(ledger.chain().len(), 1);
+    }
+
+    use seldel_chain::testutil::ScratchDir as Scratch;
+
+    fn file_ledger(dir: &std::path::Path) -> SelectiveLedger<seldel_chain::FileStore> {
+        SelectiveLedger::builder(ChainConfig::paper_evaluation())
+            .store_backend::<seldel_chain::FileStore>()
+            .on_disk_with_capacity(dir, 4)
+            .unwrap()
+    }
+
+    /// Drives the same workload into any ledger (the typed `grow` helper
+    /// above is MemStore-specific).
+    fn grow_in<S: seldel_chain::BlockStore>(
+        ledger: &mut SelectiveLedger<S>,
+        blocks: u64,
+        user: &SigningKey,
+    ) {
+        for _ in 0..blocks {
+            let next_ts = Timestamp((ledger.stats().blocks_appended + 1) * 10);
+            let n = ledger.stats().blocks_appended * 10;
+            ledger
+                .submit_entry(Entry::sign_data(user, data("U", n)))
+                .unwrap();
+            ledger.seal_block(next_ts).unwrap();
+        }
+    }
+
+    #[test]
+    fn on_disk_ledger_reopens_bit_identical_to_mem_store() {
+        let scratch = Scratch::new("reopen");
+        let alice = key(1);
+        let mut mem = paper_ledger();
+        let mut durable = file_ledger(scratch.path());
+        grow_in(&mut mem, 25, &alice);
+        grow_in(&mut durable, 25, &alice);
+        assert_eq!(mem.chain().export_bytes(), durable.chain().export_bytes());
+        drop(durable);
+
+        let reopened = file_ledger(scratch.path());
+        // The acceptance bar: bit-identical blocks, Σ summaries, entry
+        // index and sealed hashes versus the never-closed MemStore chain.
+        assert_eq!(mem.chain().export_bytes(), reopened.chain().export_bytes());
+        assert_eq!(mem.chain().tip_hash(), reopened.chain().tip_hash());
+        assert_eq!(
+            mem.chain().entry_index().iter().collect::<Vec<_>>(),
+            reopened.chain().entry_index().iter().collect::<Vec<_>>()
+        );
+        assert!(mem
+            .chain()
+            .iter_sealed()
+            .map(seldel_chain::SealedBlock::hash)
+            .eq(reopened
+                .chain()
+                .iter_sealed()
+                .map(seldel_chain::SealedBlock::hash)));
+        assert_eq!(mem.stats().marker, reopened.stats().marker);
+        assert_eq!(mem.stats().live_records, reopened.stats().live_records);
+        assert_eq!(
+            mem.stats().blocks_appended,
+            reopened.stats().blocks_appended
+        );
+        assert_eq!(mem.stats().retired_blocks, reopened.stats().retired_blocks);
+    }
+
+    #[test]
+    fn recovery_rederives_pending_deletion_marks() {
+        let scratch = Scratch::new("marks");
+        let alice = key(1);
+        let mut durable = file_ledger(scratch.path());
+        durable
+            .submit_entry(Entry::sign_data(&alice, data("ALPHA", 1)))
+            .unwrap();
+        durable.seal_block(Timestamp(10)).unwrap();
+        let target = EntryId::new(BlockNumber(1), EntryNumber(0));
+        durable.request_deletion(&alice, target, "gdpr").unwrap();
+        durable.seal_block(Timestamp(30)).unwrap();
+        assert!(durable.deletion_status(target).is_some());
+        assert!(durable.record(target).is_some(), "delayed, not yet gone");
+        drop(durable);
+
+        // Restart: the mark must be re-derived from the on-chain request.
+        let mut reopened = file_ledger(scratch.path());
+        assert!(reopened.deletion_status(target).is_some());
+        assert!(!reopened.is_live(target));
+        // And the delayed deletion still executes physically.
+        let mut executed = false;
+        for i in 0..20u64 {
+            reopened.seal_block(Timestamp(40 + i * 10)).unwrap();
+            if reopened.record(target).is_none() {
+                executed = true;
+                break;
+            }
+        }
+        assert!(executed, "recovered deletion never executed");
+    }
+
+    #[test]
+    fn reopening_continues_the_chain_and_stays_durable() {
+        let scratch = Scratch::new("resume");
+        let alice = key(1);
+        let mut mem = paper_ledger();
+        // Two sessions on the same directory, one continuous MemStore run.
+        let mut durable = file_ledger(scratch.path());
+        grow_in(&mut mem, 10, &alice);
+        grow_in(&mut durable, 10, &alice);
+        drop(durable);
+        let mut durable = file_ledger(scratch.path());
+        grow_in(&mut mem, 10, &alice);
+        grow_in(&mut durable, 10, &alice);
+        drop(durable);
+        let reopened = file_ledger(scratch.path());
+        assert_eq!(mem.chain().export_bytes(), reopened.chain().export_bytes());
+    }
+
+    #[test]
+    fn adopt_chain_keeps_the_durable_root() {
+        let scratch = Scratch::new("adopt");
+        let alice = key(1);
+        let mut source = paper_ledger();
+        grow_in(&mut source, 6, &alice);
+
+        let mut joiner = file_ledger(scratch.path());
+        joiner.adopt_chain(source.chain().export_blocks()).unwrap();
+        assert_eq!(joiner.chain().tip_hash(), source.chain().tip_hash());
+        drop(joiner);
+        // The adopted chain lives in the same directory.
+        let reopened = file_ledger(scratch.path());
+        assert_eq!(
+            reopened.chain().export_bytes(),
+            source.chain().export_bytes()
+        );
+    }
+
+    #[test]
+    fn open_store_rejects_tampered_directories() {
+        let scratch = Scratch::new("tamper");
+        let alice = key(1);
+        let mut durable = file_ledger(scratch.path());
+        grow_in(&mut durable, 6, &alice);
+        drop(durable);
+        // Flip a byte inside the first segment file's frames: either the
+        // frame decodes to a block failing validation, or decoding breaks.
+        let seg = std::fs::read_dir(scratch.path())
+            .unwrap()
+            .filter_map(|e| {
+                let p = e.unwrap().path();
+                p.file_name()?.to_str()?.starts_with("seg-").then_some(p)
+            })
+            .min()
+            .unwrap();
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&seg, bytes).unwrap();
+        let result = SelectiveLedger::builder(ChainConfig::paper_evaluation())
+            .store_backend::<seldel_chain::FileStore>()
+            .on_disk(scratch.path());
+        assert!(result.is_err(), "tampered directory must be rejected");
     }
 
     #[test]

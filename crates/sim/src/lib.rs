@@ -8,12 +8,15 @@
 //! * [`growth`] — experiment E1: bounded growth vs the baseline chain.
 //! * [`latency`] — experiment E2: delayed-deletion latency distributions.
 //! * [`attacks`] — Fig. 9's 51 % race ± anchoring, eclipse quantification.
+//! * [`crash`] — experiment E7: crash/restart of the durable `FileStore`
+//!   backend against a never-closed `MemStore` oracle.
 //! * [`metrics`] — summary statistics for the harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attacks;
+pub mod crash;
 pub mod growth;
 pub mod latency;
 pub mod login;
@@ -24,6 +27,9 @@ pub mod token;
 pub use attacks::{
     analytic_catch_up, compare_anchoring, eclipse_success_rate, simulate_race, EclipseConfig,
     RaceConfig, RaceResult,
+};
+pub use crash::{
+    crash_chain_config, run_crash_matrix, run_crash_restart, CrashConfig, CrashPoint, CrashReport,
 };
 pub use growth::{run_growth, run_growth_in, sweep_l_max, GrowthConfig, GrowthSample};
 pub use latency::{mean_latency_blocks, run_latency, LatencyConfig, LatencySample};

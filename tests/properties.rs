@@ -414,6 +414,229 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Durable storage: FileStore close/reopen round-trips and §IV-C physical
+// on-disk deletion.
+//
+// The cross-backend bit-identity property above covers in-memory backends;
+// these extend it through the filesystem: a chain built on a disk-rooted
+// FileStore, closed and reopened must be bit-identical (blocks, Σ
+// summaries, entry index, sealed hashes) to the never-closed MemStore
+// chain — and after pruning, deleted entry payloads must be absent from
+// the store directory's raw bytes.
+// ---------------------------------------------------------------------------
+
+/// The retention shape every durable-storage property runs under (short
+/// sequences, tight l_max — merges and prunes fire constantly).
+fn durable_prop_config() -> ChainConfig {
+    ChainConfig {
+        sequence_length: 3,
+        retention: RetentionPolicy {
+            max_live_blocks: Some(9),
+            min_live_blocks: 3,
+            min_live_summaries: 1,
+            min_timespan: None,
+            mode: RetireMode::MinimumNeeded,
+        },
+        ..Default::default()
+    }
+}
+
+/// Raw bytes of every file in a directory, concatenated.
+fn dir_bytes(dir: &std::path::Path) -> Vec<u8> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("store dir readable") {
+        let path = entry.expect("dir entry").path();
+        if path.is_file() {
+            out.extend(std::fs::read(&path).expect("file readable"));
+        }
+    }
+    out
+}
+
+fn contains_subslice(haystack: &[u8], needle: &[u8]) -> bool {
+    !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn file_store_reopen_is_bit_identical_to_mem_store(
+        ops in proptest::collection::vec(op_strategy(), 1..50)
+    ) {
+        use selective_deletion::chain::FileStore;
+
+        let scratch = selective_deletion::chain::testutil::ScratchDir::new("roundtrip");
+        let dir = scratch.path().to_path_buf();
+        let users = users();
+        let config = durable_prop_config;
+        let mut mem = SelectiveLedger::builder(config()).build();
+        let mut file = SelectiveLedger::builder(config())
+            .store_backend::<FileStore>()
+            .open_store(FileStore::open_with_capacity(&dir, 4).expect("store opens"))
+            .expect("fresh store");
+        let mut now = Timestamp(0);
+        let mut submitted = 0u64;
+        let mut seen: Vec<(EntryId, usize)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Submit { user, ttl } => {
+                    let user = (user as usize) % users.len();
+                    submitted += 1;
+                    let record = DataRecord::new("log").with("n", submitted);
+                    let expiry = ttl.map(|t| Expiry::AtTimestamp(now + (t as u64) * 10));
+                    let entry = Entry::sign_data_with(&users[user], record, expiry, vec![]);
+                    mem.submit_entry(entry.clone()).expect("valid");
+                    file.submit_entry(entry).expect("valid");
+                }
+                Op::Seal => {
+                    now += 10;
+                    mem.seal_block(now).expect("monotone");
+                    file.seal_block(now).expect("monotone");
+                    for (id, _) in mem.chain().live_records() {
+                        if !seen.iter().any(|(s, _)| *s == id) {
+                            let author = mem.chain().locate(id).expect("live").author();
+                            let owner = users
+                                .iter()
+                                .position(|k| k.verifying_key() == author)
+                                .expect("workload author");
+                            seen.push((id, owner));
+                        }
+                    }
+                }
+                Op::Delete { pick } => {
+                    if seen.is_empty() { continue; }
+                    let (id, owner) = seen[(pick as usize) % seen.len()];
+                    match mem.request_deletion(&users[owner], id, "prop") {
+                        Ok(()) => {
+                            file.request_deletion(&users[owner], id, "prop")
+                                .expect("backends agree on deletion verdicts");
+                        }
+                        Err(CoreError::DuplicateDeletion(_)) |
+                        Err(CoreError::TargetNotFound(_)) => {}
+                        Err(other) => panic!("unexpected rejection: {other}"),
+                    }
+                }
+            }
+        }
+        now += 10;
+        mem.seal_block(now).expect("monotone");
+        file.seal_block(now).expect("monotone");
+        prop_assert_eq!(mem.chain().export_bytes(), file.chain().export_bytes());
+
+        // Close and reopen: the recovered ledger must be bit-identical to
+        // the never-closed MemStore chain — blocks, Σ summaries, entry
+        // index and sealed hashes.
+        drop(file);
+        let reopened = SelectiveLedger::builder(config())
+            .store_backend::<FileStore>()
+            .on_disk(&dir)
+            .expect("recovery succeeds");
+        prop_assert_eq!(mem.chain().export_bytes(), reopened.chain().export_bytes());
+        prop_assert_eq!(mem.chain().tip_hash(), reopened.chain().tip_hash());
+        prop_assert_eq!(
+            mem.chain().entry_index().iter().collect::<Vec<_>>(),
+            reopened.chain().entry_index().iter().collect::<Vec<_>>()
+        );
+        prop_assert!(mem
+            .chain()
+            .iter_sealed()
+            .map(selective_deletion::chain::SealedBlock::hash)
+            .eq(reopened
+                .chain()
+                .iter_sealed()
+                .map(selective_deletion::chain::SealedBlock::hash)));
+        prop_assert_eq!(reopened.chain().entry_index(), &reopened.chain().rebuilt_index());
+        prop_assert!(reopened.chain().verify_cached_hashes());
+        // Lookups agree on every id ever observed, live or gone.
+        for (id, _) in &seen {
+            prop_assert_eq!(reopened.chain().locate(*id), mem.chain().locate(*id), "id {}", id);
+            prop_assert_eq!(reopened.chain().locate(*id), reopened.chain().locate_scan(*id));
+        }
+    }
+
+    /// §IV-C physical deletion check: after the deletion of a
+    /// sentinel-carrying entry executes, the sentinel bytes must not
+    /// appear anywhere in the store directory — not in live segments, not
+    /// in the manifest, not in any leftover file.
+    #[test]
+    fn file_store_physical_deletion_removes_sentinel_bytes(
+        sentinel_seed in any::<[u8; 16]>(),
+        filler in 1u8..4,
+    ) {
+        use selective_deletion::chain::FileStore;
+
+        let scratch = selective_deletion::chain::testutil::ScratchDir::new("sentinel");
+        let dir = scratch.path().to_path_buf();
+        // High-entropy sentinel: false positives are ~impossible.
+        let sentinel: String = sentinel_seed
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect::<String>() + "-SENTINEL";
+        let users = users();
+        let mut ledger = SelectiveLedger::builder(durable_prop_config())
+            .store_backend::<FileStore>()
+            .open_store(FileStore::open_with_capacity(&dir, 4).expect("store opens"))
+            .expect("fresh store");
+
+        // Block 1: the sentinel entry plus some filler.
+        let owner = 0usize;
+        ledger
+            .submit_entry(Entry::sign_data(
+                &users[owner],
+                DataRecord::new("log").with("secret", sentinel.as_str()),
+            ))
+            .expect("valid");
+        for f in 0..filler {
+            ledger
+                .submit_entry(Entry::sign_data(
+                    &users[1],
+                    DataRecord::new("log").with("n", f as u64),
+                ))
+                .expect("valid");
+        }
+        let mut now = Timestamp(10);
+        ledger.seal_block(now).expect("monotone");
+        let target = EntryId::new(BlockNumber(1), EntryNumber(0));
+        prop_assert!(
+            contains_subslice(&dir_bytes(&dir), sentinel.as_bytes()),
+            "sentinel must be on disk while the entry lives"
+        );
+
+        // Delete it, then drive merges until the deletion executes.
+        now += 10;
+        ledger
+            .request_deletion(&users[owner], target, "erase me")
+            .expect("owner may delete");
+        ledger.seal_block(now).expect("monotone");
+        for _ in 0..30 {
+            now += 10;
+            ledger.seal_block(now).expect("monotone");
+            if ledger.record(target).is_none() {
+                break;
+            }
+        }
+        prop_assert!(ledger.record(target).is_none(), "deletion never executed");
+        prop_assert_eq!(ledger.stats().executed_deletions, 1);
+
+        // The physical-deletion bar: zero occurrences in the raw bytes.
+        prop_assert!(
+            !contains_subslice(&dir_bytes(&dir), sentinel.as_bytes()),
+            "sentinel bytes survived on disk after physical deletion"
+        );
+
+        // And the survivor chain still reopens cleanly.
+        drop(ledger);
+        let reopened = SelectiveLedger::builder(durable_prop_config())
+            .store_backend::<FileStore>()
+            .on_disk(&dir)
+            .expect("recovery succeeds");
+        prop_assert!(reopened.record(target).is_none());
+    }
+}
+
+// ---------------------------------------------------------------------------
 // I2: summary determinism
 // ---------------------------------------------------------------------------
 
