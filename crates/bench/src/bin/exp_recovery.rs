@@ -11,6 +11,7 @@
 
 use std::time::Instant;
 
+use seldel_bench::report::{render_json_report, JsonField, JsonRow};
 use seldel_chain::FileStore;
 use seldel_codec::render::TextTable;
 use seldel_core::SelectiveLedger;
@@ -56,27 +57,23 @@ fn run_point(base: &std::path::Path, point: CrashPoint) -> Row {
 }
 
 fn to_json(rows: &[Row]) -> String {
-    let mut out = String::from("{\n  \"benchmark\": \"recovery\",\n  \"scenarios\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let r = &row.report;
-        out.push_str(&format!(
-            "    {{\"crash_point\": \"{}\", \"oracle_tip\": {}, \"recovered_tip\": {}, \
-             \"lost_blocks\": {}, \"reapplied_blocks\": {}, \"final_marker\": {}, \
-             \"final_live_blocks\": {}, \"scenario_ms\": {:.1}, \"recovery_ms\": {:.1}}}{}\n",
-            r.point,
-            r.oracle_tip,
-            r.recovered_tip,
-            r.lost_blocks,
-            r.reapplied_blocks,
-            r.final_marker,
-            r.final_live_blocks,
-            row.scenario_ms,
-            row.recovery_ms,
-            if i + 1 == rows.len() { "" } else { "," },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    let scenario_rows: Vec<JsonRow> = rows
+        .iter()
+        .map(|row| {
+            let r = &row.report;
+            JsonRow::new()
+                .field("crash_point", r.point.to_string().as_str())
+                .field("oracle_tip", r.oracle_tip)
+                .field("recovered_tip", r.recovered_tip)
+                .field("lost_blocks", r.lost_blocks)
+                .field("reapplied_blocks", r.reapplied_blocks)
+                .field("final_marker", r.final_marker)
+                .field("final_live_blocks", r.final_live_blocks)
+                .field("scenario_ms", JsonField::f1(row.scenario_ms))
+                .field("recovery_ms", JsonField::f1(row.recovery_ms))
+        })
+        .collect();
+    render_json_report("recovery", &[], &[("scenarios", scenario_rows)])
 }
 
 fn main() {

@@ -12,8 +12,12 @@
 //! trajectory run over run.
 //!
 //! The JSON writer is hand-rolled: the workspace is dependency-free by
-//! design (no serde), and the report is a flat list of numbers.
+//! design (no serde), and every report is a flat list of numbers. The
+//! [`render_json_report`] builder below is shared by every `BENCH_*.json`
+//! producer (`exp_growth` via [`to_json`], `exp_recovery`, `exp_shard`) so
+//! the documents stay uniform and the writer exists exactly once.
 
+use std::fmt;
 use std::time::Instant;
 
 use seldel_chain::{
@@ -22,6 +26,148 @@ use seldel_chain::{
 use seldel_core::SelectiveLedger;
 
 use crate::{build_ledger, build_ledger_with_store};
+
+/// One field value of a flat benchmark row.
+#[derive(Debug, Clone)]
+pub enum JsonField {
+    /// A JSON string (escaped minimally; benchmark labels are plain).
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float rendered with a fixed number of decimals.
+    F64 {
+        /// The value.
+        value: f64,
+        /// Decimals to render (`1` matches the historical reports).
+        decimals: usize,
+    },
+}
+
+impl JsonField {
+    /// A float at one decimal — the house style for nanosecond timings.
+    pub fn f1(value: f64) -> JsonField {
+        JsonField::F64 { value, decimals: 1 }
+    }
+
+    /// A float rendered with no decimals (rates like blocks/s).
+    pub fn f0(value: f64) -> JsonField {
+        JsonField::F64 { value, decimals: 0 }
+    }
+}
+
+impl From<u64> for JsonField {
+    fn from(v: u64) -> JsonField {
+        JsonField::U64(v)
+    }
+}
+
+impl From<usize> for JsonField {
+    fn from(v: usize) -> JsonField {
+        JsonField::U64(v as u64)
+    }
+}
+
+impl From<&str> for JsonField {
+    fn from(v: &str) -> JsonField {
+        JsonField::Str(v.to_string())
+    }
+}
+
+impl fmt::Display for JsonField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonField::Str(s) => {
+                debug_assert!(
+                    !s.contains(['"', '\\']) && !s.chars().any(|c| c.is_control()),
+                    "benchmark labels must not need JSON escaping"
+                );
+                write!(f, "\"{s}\"")
+            }
+            JsonField::U64(v) => write!(f, "{v}"),
+            JsonField::F64 { value, decimals } => write!(f, "{value:.decimals$}"),
+        }
+    }
+}
+
+/// One flat row (rendered as a single-line JSON object).
+#[derive(Debug, Clone, Default)]
+pub struct JsonRow {
+    fields: Vec<(&'static str, JsonField)>,
+}
+
+impl JsonRow {
+    /// An empty row.
+    pub fn new() -> JsonRow {
+        JsonRow::default()
+    }
+
+    /// Appends a field (builder style).
+    #[must_use]
+    pub fn field(mut self, name: &'static str, value: impl Into<JsonField>) -> JsonRow {
+        self.fields.push((name, value.into()));
+        self
+    }
+}
+
+impl fmt::Display for JsonRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (name, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "\"{name}\": {value}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Renders a `BENCH_*.json` document: a `benchmark` name, optional
+/// top-level scalar fields, then one array section per `(name, rows)`
+/// pair — the shape every report in this workspace shares.
+pub fn render_json_report(
+    benchmark: &str,
+    top_fields: &[(&'static str, JsonField)],
+    sections: &[(&'static str, Vec<JsonRow>)],
+) -> String {
+    // Members are joined (never suffixed) with commas, so the document
+    // stays valid JSON for any combination of empty inputs.
+    let mut members: Vec<String> = Vec::new();
+    members.push(format!("  \"benchmark\": \"{benchmark}\""));
+    for (name, value) in top_fields {
+        members.push(format!("  \"{name}\": {value}"));
+    }
+    for (name, rows) in sections {
+        if rows.is_empty() {
+            members.push(format!("  \"{name}\": []"));
+            continue;
+        }
+        let lines: Vec<String> = rows.iter().map(|row| format!("    {row}")).collect();
+        members.push(format!("  \"{name}\": [\n{}\n  ]", lines.join(",\n")));
+    }
+    format!("{{\n{}\n}}\n", members.join(",\n"))
+}
+
+/// Extracts `"name": <number>` from a single-line row — the counterpart
+/// of [`render_json_report`] used by regression checks reading a
+/// previously committed report back (no full JSON parser needed for our
+/// own line-per-row format).
+pub fn row_field_f64(line: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\": ");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts `"name": "<string>"` from a single-line row (see
+/// [`row_field_f64`]).
+pub fn row_field_str<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let needle = format!("\"{name}\": \"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
 
 /// Timings for one chain size, in nanoseconds per operation.
 #[derive(Debug, Clone)]
@@ -198,46 +344,47 @@ pub fn check_lookup_agreement(ledger: &SelectiveLedger, ids: &[EntryId]) -> bool
         .all(|id| chain.locate(*id) == chain.locate_scan(*id))
 }
 
-/// Renders the samples as the `BENCH_chain_ops.json` document.
+/// Renders the samples as the `BENCH_chain_ops.json` document (through
+/// the shared [`render_json_report`] writer).
 pub fn to_json(samples: &[ChainOpsSample], backends: &[BackendSample]) -> String {
-    let mut out =
-        String::from("{\n  \"benchmark\": \"chain_ops\",\n  \"unit\": \"ns\",\n  \"samples\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"live_blocks\": {}, \"live_records\": {}, \
-             \"locate_indexed_ns\": {:.1}, \"locate_scan_ns\": {:.1}, \
-             \"locate_speedup\": {:.1}, \"live_records_ns\": {:.1}, \
-             \"validate_structural_ns\": {:.1}, \"validate_full_ns\": {:.1}}}{}\n",
-            s.live_blocks,
-            s.live_records,
-            s.locate_indexed_ns,
-            s.locate_scan_ns,
-            s.locate_speedup(),
-            s.live_records_ns,
-            s.validate_structural_ns,
-            s.validate_full_ns,
-            if i + 1 == samples.len() { "" } else { "," },
-        ));
-    }
-    out.push_str("  ],\n  \"backends\": [\n");
-    for (i, b) in backends.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"backend\": \"{}\", \"live_blocks\": {}, \
-             \"seal_ns\": {:.1}, \"seal_blocks_per_s\": {:.0}, \
-             \"locate_indexed_ns\": {:.1}, \"locate_scan_ns\": {:.1}, \
-             \"validate_structural_ns\": {:.1}}}{}\n",
-            b.backend,
-            b.live_blocks,
-            b.seal_ns,
-            b.seal_blocks_per_s(),
-            b.locate_indexed_ns,
-            b.locate_scan_ns,
-            b.validate_structural_ns,
-            if i + 1 == backends.len() { "" } else { "," },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    let sample_rows: Vec<JsonRow> = samples
+        .iter()
+        .map(|s| {
+            JsonRow::new()
+                .field("live_blocks", s.live_blocks)
+                .field("live_records", s.live_records)
+                .field("locate_indexed_ns", JsonField::f1(s.locate_indexed_ns))
+                .field("locate_scan_ns", JsonField::f1(s.locate_scan_ns))
+                .field("locate_speedup", JsonField::f1(s.locate_speedup()))
+                .field("live_records_ns", JsonField::f1(s.live_records_ns))
+                .field(
+                    "validate_structural_ns",
+                    JsonField::f1(s.validate_structural_ns),
+                )
+                .field("validate_full_ns", JsonField::f1(s.validate_full_ns))
+        })
+        .collect();
+    let backend_rows: Vec<JsonRow> = backends
+        .iter()
+        .map(|b| {
+            JsonRow::new()
+                .field("backend", b.backend)
+                .field("live_blocks", b.live_blocks)
+                .field("seal_ns", JsonField::f1(b.seal_ns))
+                .field("seal_blocks_per_s", JsonField::f0(b.seal_blocks_per_s()))
+                .field("locate_indexed_ns", JsonField::f1(b.locate_indexed_ns))
+                .field("locate_scan_ns", JsonField::f1(b.locate_scan_ns))
+                .field(
+                    "validate_structural_ns",
+                    JsonField::f1(b.validate_structural_ns),
+                )
+        })
+        .collect();
+    render_json_report(
+        "chain_ops",
+        &[("unit", JsonField::from("ns"))],
+        &[("samples", sample_rows), ("backends", backend_rows)],
+    )
 }
 
 /// Measures the standard 1k/10k sizes plus the per-backend series and
@@ -290,6 +437,61 @@ mod tests {
         assert_eq!(json.matches("\"seal_blocks_per_s\"").count(), 2);
         // Exactly one separating comma inside each of the two arrays.
         assert_eq!(json.matches("},\n").count(), 2);
+    }
+
+    #[test]
+    fn shared_writer_round_trips_through_the_row_extractors() {
+        let rows = vec![
+            JsonRow::new()
+                .field("backend", "MemStore")
+                .field("shards", 4u64)
+                .field("lookups_per_s", JsonField::f0(123_456.0)),
+            JsonRow::new()
+                .field("backend", "SegStore")
+                .field("shards", 16u64)
+                .field("lookups_per_s", JsonField::f0(99.0)),
+        ];
+        let json = render_json_report(
+            "shard",
+            &[("unit", JsonField::from("ns"))],
+            &[("lookup", rows)],
+        );
+        assert!(json.starts_with("{\n  \"benchmark\": \"shard\",\n"));
+        assert!(json.contains("\"unit\": \"ns\","));
+        assert!(json.trim_end().ends_with('}'));
+        // Line-per-row: the extractors read back what the writer wrote.
+        let mut seen = Vec::new();
+        for line in json.lines() {
+            if let (Some(backend), Some(rate)) = (
+                row_field_str(line, "backend"),
+                row_field_f64(line, "lookups_per_s"),
+            ) {
+                seen.push((backend.to_string(), rate));
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                ("MemStore".to_string(), 123_456.0),
+                ("SegStore".to_string(), 99.0)
+            ]
+        );
+        assert_eq!(row_field_f64("{\"x\": 1.5}", "y"), None);
+        assert_eq!(row_field_str("{\"x\": 1.5}", "x"), None);
+    }
+
+    #[test]
+    fn shared_writer_stays_valid_json_on_empty_inputs() {
+        // No sections: the last member must not trail a comma.
+        let json = render_json_report("x", &[("unit", JsonField::from("ns"))], &[]);
+        assert_eq!(json, "{\n  \"benchmark\": \"x\",\n  \"unit\": \"ns\"\n}\n");
+        // No top fields, one empty section: an empty array, no comma.
+        let json = render_json_report("x", &[], &[("rows", Vec::new())]);
+        assert_eq!(json, "{\n  \"benchmark\": \"x\",\n  \"rows\": []\n}\n");
+        assert!(
+            !json.contains(",\n}"),
+            "trailing comma before closing brace"
+        );
     }
 
     #[test]

@@ -9,14 +9,17 @@
 //! Storage is pluggable ([`BlockStore`]; see [`crate::store`]) and the
 //! chain maintains two derived structures incrementally:
 //!
-//! * an [`EntryIndex`] mapping every live data set to its holder block, so
-//!   [`Blockchain::locate`] is O(log n) instead of a full summary scan;
+//! * a [`ShardedIndex`] (the [`EntryIndex`] partitioned by entry id; see
+//!   [`crate::shard`]) mapping every live data set to its holder block, so
+//!   [`Blockchain::locate`] is O(log n/shards) instead of a full summary
+//!   scan, batched [`Blockchain::locate_many`] queries are answered
+//!   shard-parallel, and recovery replays rebuild the shards concurrently;
 //! * a cached digest per stored block ([`SealedBlock`]), computed once at
 //!   push, so linkage checks, validation, summary derivation and Σ-hash
 //!   sync checks never re-hash an immutable block.
 //!
 //! Both are derived state: rebuildable from the blocks, never hashed
-//! (invariant I2 is untouched).
+//! (invariant I2 is untouched by indexes and shard counts alike).
 
 use seldel_codec::{Codec, DataRecord};
 
@@ -24,9 +27,15 @@ use crate::block::{Block, BlockKind};
 use crate::entry::{Entry, EntryPayload};
 use crate::error::ChainError;
 use crate::index::{EntryIndex, Location};
+use crate::shard::{ShardMap, ShardedIndex, DEFAULT_SHARD_COUNT};
 use crate::store::{BlockStore, MemStore, SealedBlock};
 use crate::summary::SummaryRecord;
 use crate::types::{BlockNumber, EntryId, EntryNumber};
+
+/// Batches smaller than this answer [`Blockchain::locate_many`] serially:
+/// per-lookup cost is well under a microsecond, so scoped-thread overhead
+/// only pays off for bulk audits.
+const LOCATE_MANY_PARALLEL_MIN_IDS: usize = 1024;
 
 /// Where a data set currently lives in the chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,7 +129,7 @@ fn check_link(prev: &SealedBlock, block: &Block) -> Result<(), ChainError> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Blockchain<S: BlockStore = MemStore> {
     store: S,
-    index: EntryIndex,
+    index: ShardedIndex,
 }
 
 impl Blockchain {
@@ -162,7 +171,7 @@ impl<S: BlockStore> Blockchain<S> {
             store.is_empty(),
             "with_genesis_in requires an empty store; use from_store to reopen"
         );
-        let mut index = EntryIndex::new();
+        let mut index = ShardedIndex::new(DEFAULT_SHARD_COUNT);
         index.index_block(&first);
         store.push(SealedBlock::seal(first));
         Blockchain { store, index }
@@ -172,8 +181,11 @@ impl<S: BlockStore> Blockchain<S> {
     /// recovery path for durable backends: a
     /// [`FileStore`](crate::fstore::FileStore) replays its segments on
     /// open, and this constructor turns the replayed blocks back into a
-    /// chain, re-checking linkage and rebuilding the [`EntryIndex`]
-    /// (the sealed-hash cache was rebuilt by the store itself).
+    /// chain, re-checking linkage and rebuilding the entry index with the
+    /// default shard count (the sealed-hash cache was rebuilt by the store
+    /// itself). Linkage is inherently sequential (each block links to its
+    /// predecessor); the index rebuild replays into shards in parallel
+    /// ([`ShardedIndex::build_from_store`]).
     ///
     /// # Errors
     ///
@@ -181,7 +193,21 @@ impl<S: BlockStore> Blockchain<S> {
     /// linkage/consistency violation found (same rules as
     /// [`Blockchain::push`]).
     pub fn from_store(store: S) -> Result<Blockchain<S>, ChainError> {
-        let mut index = EntryIndex::new();
+        Blockchain::from_store_with_shards(store, DEFAULT_SHARD_COUNT)
+    }
+
+    /// [`Blockchain::from_store`] with an explicit index shard count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Blockchain::from_store`].
+    pub fn from_store_with_shards(store: S, shards: usize) -> Result<Blockchain<S>, ChainError> {
+        let map = ShardMap::new(shards);
+        // When the parallel rebuild will not engage (short chain, one
+        // shard, one core), index inline during the linkage walk — one
+        // pass over the store, not two.
+        let parallel = ShardedIndex::parallel_build_applies(map, store.len());
+        let mut inline = ShardedIndex::with_map(map);
         {
             let mut prev: Option<&SealedBlock> = None;
             for sealed in store.iter() {
@@ -202,13 +228,20 @@ impl<S: BlockStore> Blockchain<S> {
                         });
                     }
                 }
-                index.index_block(block);
+                if !parallel {
+                    inline.index_block(block);
+                }
                 prev = Some(sealed);
             }
             if prev.is_none() {
                 return Err(ChainError::EmptyChain);
             }
         }
+        let index = if parallel {
+            ShardedIndex::build_from_store(map, &store)
+        } else {
+            inline
+        };
         Ok(Blockchain { store, index })
     }
 
@@ -234,7 +267,9 @@ impl<S: BlockStore> Blockchain<S> {
     /// block.
     pub fn replace_with<S2: BlockStore>(&mut self, source: &Blockchain<S2>) {
         self.store.reset();
-        self.index = EntryIndex::new();
+        // The local shard count is a node-local tuning choice; adoption
+        // keeps it rather than inheriting the peer's.
+        self.index = ShardedIndex::new(self.index.shard_count());
         for sealed in source.store.iter() {
             self.index.index_block(sealed.block());
             // Cloning the sealed block keeps the cached digest: no re-hash.
@@ -348,15 +383,36 @@ impl<S: BlockStore> Blockchain<S> {
         self.store.iter()
     }
 
-    /// The maintained entry index (derived state; see [`crate::index`]).
-    pub fn entry_index(&self) -> &EntryIndex {
+    /// The maintained (sharded) entry index — derived state; see
+    /// [`crate::shard`]. Compares equal to the monolithic
+    /// [`EntryIndex`] oracle ([`Blockchain::rebuilt_index`]) whenever both
+    /// hold the same pairs, regardless of shard count.
+    pub fn entry_index(&self) -> &ShardedIndex {
         &self.index
     }
 
-    /// Rebuilds the entry index from a full block scan.
+    /// The storage backend (read-only) — mutation goes through the chain.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Number of shards the maintained index is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.index.shard_count()
+    }
+
+    /// Repartitions the maintained index into `shards` shards, rebuilding
+    /// it from the store (in parallel for long chains). Purely local: the
+    /// index is derived state, so resharding can never affect hashes,
+    /// consensus or peers.
+    pub fn reshard(&mut self, shards: usize) {
+        self.index = ShardedIndex::build_from_store(ShardMap::new(shards), &self.store);
+    }
+
+    /// Rebuilds the monolithic entry index from a full block scan.
     ///
-    /// The maintained index must always equal this rebuild — the property
-    /// tests pin that (`tests/properties.rs`, citing I1/I3).
+    /// The maintained sharded index must always equal this rebuild — the
+    /// property tests pin that (`tests/properties.rs`, citing I1/I3).
     pub fn rebuilt_index(&self) -> EntryIndex {
         let mut fresh = EntryIndex::new();
         for block in self.iter() {
@@ -398,6 +454,88 @@ impl<S: BlockStore> Blockchain<S> {
             // above; reaching this arm means the id is not live.
             Location::InBlock => None,
         }
+    }
+
+    /// Batched [`Blockchain::locate`]: one answer per input id, in input
+    /// order — the bulk deletion-audit / query-serving path.
+    ///
+    /// Large batches are grouped by index shard and answered in parallel
+    /// with `std::thread::scope`, so each worker only walks its own
+    /// shard's `BTreeMap`; small batches (or a single shard) fall back to
+    /// a serial loop. Results are bit-identical to element-wise
+    /// [`Blockchain::locate`] either way (property-tested).
+    pub fn locate_many(&self, ids: &[EntryId]) -> Vec<Option<Located<'_>>> {
+        let shards = self.index.shard_count();
+        if shards == 1 || ids.len() < LOCATE_MANY_PARALLEL_MIN_IDS {
+            return ids.iter().map(|id| self.locate(*id)).collect();
+        }
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if workers <= 1 {
+            // No parallel hardware: still answer shard-grouped, so each
+            // shard's (much smaller) tree stays cache-hot while its
+            // probes run instead of interleaving over the whole key
+            // space — partitioning pays even single-threaded.
+            let mut out: Vec<Option<Located<'_>>> = vec![None; ids.len()];
+            for bucket in &self.shard_buckets(ids) {
+                for (pos, id) in bucket {
+                    out[*pos] = self.locate(*id);
+                }
+            }
+            return out;
+        }
+        self.locate_many_threaded(ids, shards.min(workers))
+    }
+
+    /// Groups `ids` (with their input positions) by index shard.
+    fn shard_buckets(&self, ids: &[EntryId]) -> Vec<Vec<(usize, EntryId)>> {
+        let map = self.index.map();
+        let mut buckets: Vec<Vec<(usize, EntryId)>> = vec![Vec::new(); self.index.shard_count()];
+        for (pos, id) in ids.iter().enumerate() {
+            buckets[map.shard_of_entry(*id)].push((pos, *id));
+        }
+        buckets
+    }
+
+    /// The threaded half of [`Blockchain::locate_many`]: `worker_count`
+    /// scoped threads, each owning every `worker_count`-th shard bucket —
+    /// a huge shard count never translates into a huge thread count.
+    /// Split out (and directly unit-tested) so single-core hosts, whose
+    /// `locate_many` never takes this path, still exercise it.
+    fn locate_many_threaded(
+        &self,
+        ids: &[EntryId],
+        worker_count: usize,
+    ) -> Vec<Option<Located<'_>>> {
+        let buckets = self.shard_buckets(ids);
+        let mut out: Vec<Option<Located<'_>>> = vec![None; ids.len()];
+        let answered: Vec<Vec<(usize, Option<Located<'_>>)>> = std::thread::scope(|scope| {
+            let buckets = &buckets;
+            let handles: Vec<_> = (0..worker_count)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut chunk = Vec::new();
+                        let mut b = w;
+                        while b < buckets.len() {
+                            for (pos, id) in &buckets[b] {
+                                chunk.push((*pos, self.locate(*id)));
+                            }
+                            b += worker_count;
+                        }
+                        chunk
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("lookup worker panicked"))
+                .collect()
+        });
+        for chunk in answered {
+            for (pos, located) in chunk {
+                out[pos] = located;
+            }
+        }
+        out
     }
 
     /// Reference implementation of [`Blockchain::locate`] by full scan.
@@ -778,6 +916,37 @@ mod tests {
         for id in ids {
             assert_eq!(chain.locate(id), chain.locate_scan(id), "id {id}");
         }
+    }
+
+    #[test]
+    fn locate_many_threaded_matches_elementwise_locate() {
+        // The public locate_many only threads on multi-core hosts; drive
+        // the threaded path directly so it is exercised everywhere.
+        let mut chain = pruned_with_summary();
+        let prev = chain.tip_hash();
+        chain
+            .push(Block::new(
+                BlockNumber(4),
+                Timestamp(40),
+                prev,
+                BlockBody::Normal {
+                    entries: vec![entry("CHARLIE", 3)],
+                },
+                Seal::Deterministic,
+            ))
+            .unwrap();
+        let mut ids: Vec<EntryId> = chain.live_records().iter().map(|(id, _)| *id).collect();
+        ids.push(EntryId::new(BlockNumber(1), EntryNumber(1))); // pruned
+        ids.push(EntryId::new(BlockNumber(9), EntryNumber(0))); // ghost
+        for workers in [1usize, 2, 3, 8] {
+            let batch = chain.locate_many_threaded(&ids, workers);
+            for (id, got) in ids.iter().zip(&batch) {
+                assert_eq!(*got, chain.locate(*id), "id {id}, {workers} workers");
+            }
+        }
+        // And the public entry point agrees too (serial or threaded,
+        // whatever this host picks).
+        assert_eq!(chain.locate_many(&ids), chain.locate_many_threaded(&ids, 2));
     }
 
     #[test]

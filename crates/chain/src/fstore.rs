@@ -144,6 +144,31 @@ impl fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
+/// When the append path fsyncs the tail segment, beyond the structural
+/// barriers (segment fill, prune) that always hold.
+///
+/// The durability floor is identical under every policy: a filled segment
+/// is fsynced when it seals, and the tail is fsynced **before each
+/// prune's manifest write** (the §IV-C ordering — carried Σ records must
+/// be durable before the pruned blocks become unrecoverable). The policy
+/// only decides how much of the *unfilled* tail a power cut may lose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Fsync only at the structural barriers — today's default: appends
+    /// between barriers are not fsynced, so a crash may lose a suffix of
+    /// recent frames (the node layer re-syncs them from peers).
+    #[default]
+    OnFill,
+    /// Fsync the tail after every appended frame. Maximum durability,
+    /// one disk flush per sealed block.
+    Always,
+    /// Group commit: fsync the tail after every `n`-th appended frame
+    /// since the last tail fsync (whatever its cause). `EveryN(1)` equals
+    /// [`FsyncPolicy::Always`]; large `n` approaches, and `EveryN(0)` is
+    /// treated as, [`FsyncPolicy::OnFill`].
+    EveryN(u32),
+}
+
 /// The manifest: everything replay needs that frames cannot carry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Manifest {
@@ -234,6 +259,13 @@ pub struct FileStore {
     /// path does not reopen the file per block. Invalidated whenever the
     /// file may be renamed away (prune, reset) and never cloned.
     tail_file: Option<(u64, fs::File)>,
+    /// Append-path fsync behaviour (see [`FsyncPolicy`]).
+    fsync_policy: FsyncPolicy,
+    /// Frames appended since the last tail fsync (drives `EveryN`).
+    unsynced_appends: u32,
+    /// Tail-segment fsyncs the store issued itself (fills, policy syncs,
+    /// prune barriers) — a diagnostics counter the group-commit tests read.
+    tail_fsyncs: u64,
 }
 
 impl Default for FileStore {
@@ -246,6 +278,9 @@ impl Default for FileStore {
             next_segment_id: 0,
             first_block_number: 0,
             tail_file: None,
+            fsync_policy: FsyncPolicy::default(),
+            unsynced_appends: 0,
+            tail_fsyncs: 0,
         }
     }
 }
@@ -262,6 +297,9 @@ impl Clone for FileStore {
             next_segment_id: self.next_segment_id,
             first_block_number: self.first_block_number,
             tail_file: None,
+            fsync_policy: self.fsync_policy,
+            unsynced_appends: 0,
+            tail_fsyncs: 0,
         }
     }
 }
@@ -452,6 +490,9 @@ impl FileStore {
             tail_file: None,
             next_segment_id: manifest.first_segment_id,
             first_block_number: manifest.first_block_number,
+            fsync_policy: FsyncPolicy::default(),
+            unsynced_appends: 0,
+            tail_fsyncs: 0,
         };
         store.replay(&root, manifest)?;
         Ok(store)
@@ -644,6 +685,41 @@ impl FileStore {
         Ok(())
     }
 
+    /// Append-path fsync behaviour.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.fsync_policy
+    }
+
+    /// Sets the append-path fsync behaviour (takes effect on the next
+    /// append; the structural barriers are unaffected).
+    pub fn set_fsync_policy(&mut self, policy: FsyncPolicy) {
+        self.fsync_policy = policy;
+    }
+
+    /// Builder-style [`FileStore::set_fsync_policy`].
+    #[must_use]
+    pub fn with_fsync_policy(mut self, policy: FsyncPolicy) -> FileStore {
+        self.fsync_policy = policy;
+        self
+    }
+
+    /// Tail-segment fsyncs this store issued itself (segment fills,
+    /// policy-driven group commits, prune barriers). Diagnostics only.
+    pub fn tail_fsyncs(&self) -> u64 {
+        self.tail_fsyncs
+    }
+
+    /// Fsyncs the tail and books it: every internal tail fsync goes
+    /// through here so the counter and the `EveryN` window stay honest.
+    fn sync_tail_counted(&mut self) -> Result<(), StoreError> {
+        self.sync()?;
+        if self.root.is_some() && !self.segments.is_empty() {
+            self.tail_fsyncs += 1;
+        }
+        self.unsynced_appends = 0;
+        Ok(())
+    }
+
     fn write_manifest(&self, root: &Path) -> Result<(), StoreError> {
         let manifest = Manifest {
             segment_capacity: self.segment_capacity as u32,
@@ -732,12 +808,26 @@ impl BlockStore for FileStore {
                 Self::persist(self.write_manifest(&root));
             }
         }
+        if self.root.is_some() {
+            self.unsynced_appends = self.unsynced_appends.saturating_add(1);
+        }
         if filled {
             if let Some(root) = &self.root {
                 // A filled segment is the durability unit: fsync it. The
                 // handle is released — the next push starts a new file.
                 Self::persist(fsync_file(&root.join(segment_file_name(tail_id))));
+                self.tail_fsyncs += 1;
+                self.unsynced_appends = 0;
                 self.tail_file = None;
+            }
+        } else if self.root.is_some() {
+            let due = match self.fsync_policy {
+                FsyncPolicy::OnFill => false,
+                FsyncPolicy::Always => true,
+                FsyncPolicy::EveryN(n) => n > 0 && self.unsynced_appends >= n,
+            };
+            if due {
+                Self::persist(self.sync_tail_counted());
             }
         }
     }
@@ -801,7 +891,9 @@ impl BlockStore for FileStore {
             self.tail_file = None;
             // §IV-C ordering: the tail (holding the carried-forward Σ) must
             // be durable before the manifest makes the prune irreversible.
-            Self::persist(self.sync());
+            // This barrier holds under every FsyncPolicy — group commit
+            // may defer append fsyncs, never this one.
+            Self::persist(self.sync_tail_counted());
             Self::persist(self.write_manifest(&root));
             if let Some(id) = rewritten_front {
                 let path = root.join(segment_file_name(id));
@@ -1172,6 +1264,71 @@ mod tests {
             .map(|s| s.block().number().value())
             .collect();
         assert_eq!(numbers, (2..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fsync_policies_drive_the_tail_fsync_cadence() {
+        // Default (OnFill): no tail fsync until a segment fills.
+        let scratch = Scratch::new("policy-default");
+        let mut store = FileStore::open_with_capacity(scratch.path(), 8).unwrap();
+        for n in 0..5 {
+            store.push(sealed(n));
+        }
+        assert_eq!(store.tail_fsyncs(), 0, "OnFill must not sync mid-segment");
+        for n in 5..8 {
+            store.push(sealed(n));
+        }
+        assert_eq!(store.tail_fsyncs(), 1, "the fill fsync");
+
+        // Always: one tail fsync per appended frame.
+        let scratch = Scratch::new("policy-always");
+        let mut store = FileStore::open_with_capacity(scratch.path(), 100)
+            .unwrap()
+            .with_fsync_policy(FsyncPolicy::Always);
+        for n in 0..5 {
+            store.push(sealed(n));
+        }
+        assert_eq!(store.tail_fsyncs(), 5);
+
+        // EveryN(2): group commit at frames 2 and 4.
+        let scratch = Scratch::new("policy-every2");
+        let mut store = FileStore::open_with_capacity(scratch.path(), 100)
+            .unwrap()
+            .with_fsync_policy(FsyncPolicy::EveryN(2));
+        for n in 0..5 {
+            store.push(sealed(n));
+        }
+        assert_eq!(store.tail_fsyncs(), 2);
+        assert_eq!(store.fsync_policy(), FsyncPolicy::EveryN(2));
+    }
+
+    #[test]
+    fn every_n_still_fsyncs_the_tail_before_each_prunes_manifest_write() {
+        // The group-commit window must never defer the §IV-C barrier: even
+        // with EveryN far from due, drain_front fsyncs the tail before the
+        // manifest write makes the prune irreversible.
+        let scratch = Scratch::new("policy-barrier");
+        let mut store = FileStore::open_with_capacity(scratch.path(), 100)
+            .unwrap()
+            .with_fsync_policy(FsyncPolicy::EveryN(1_000_000));
+        for n in 0..6 {
+            store.push(sealed(n));
+        }
+        assert_eq!(store.tail_fsyncs(), 0, "window far from due");
+        let removed = store.drain_front(2);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(
+            store.tail_fsyncs(),
+            1,
+            "prune barrier must fsync the tail regardless of the policy"
+        );
+        // The surviving frames were durable before the manifest moved:
+        // a reopen sees exactly blocks 2..6.
+        drop(store);
+        let reopened = FileStore::open(scratch.path()).unwrap();
+        assert_eq!(reopened.len(), 4);
+        assert_eq!(reopened.first().unwrap().block().number(), BlockNumber(2));
+        assert_eq!(reopened.last().unwrap().block().number(), BlockNumber(5));
     }
 
     #[test]

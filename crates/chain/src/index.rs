@@ -81,6 +81,14 @@ impl EntryIndex {
         self.map.iter().map(|(id, loc)| (*id, *loc))
     }
 
+    /// Inserts (or overwrites) a single location — the low-level primitive
+    /// [`EntryIndex::index_block`] and the sharded index build on. Callers
+    /// must apply insertions in block order so the newest-carrier-wins rule
+    /// holds.
+    pub fn insert(&mut self, id: EntryId, location: Location) {
+        self.map.insert(id, location);
+    }
+
     /// Indexes a block that was just appended to the chain.
     ///
     /// Data entries of normal blocks map to [`Location::InBlock`]; records
@@ -89,28 +97,8 @@ impl EntryIndex {
     /// summary scan: the newest carrier wins, and when the older holder is
     /// pruned the entry is already pointing at the survivor.
     pub fn index_block(&mut self, block: &Block) {
-        match block.kind() {
-            BlockKind::Normal => {
-                for (i, entry) in block.entries().iter().enumerate() {
-                    if entry.is_delete_request() {
-                        continue;
-                    }
-                    let id = EntryId::new(block.number(), crate::types::EntryNumber(i as u32));
-                    self.map.insert(id, Location::InBlock);
-                }
-            }
-            BlockKind::Summary => {
-                for (slot, record) in block.summary_records().iter().enumerate() {
-                    self.map.insert(
-                        record.origin(),
-                        Location::InSummary {
-                            holder: block.number(),
-                            slot: slot as u32,
-                        },
-                    );
-                }
-            }
-            BlockKind::Genesis | BlockKind::Empty => {}
+        for (id, location) in block_index_pairs(block) {
+            self.map.insert(id, location);
         }
     }
 
@@ -122,6 +110,41 @@ impl EntryIndex {
     pub fn retire_before(&mut self, marker: BlockNumber) {
         self.map.retain(|id, loc| loc.holder(*id) >= marker);
     }
+}
+
+/// The `(id, location)` pairs indexing `block` contributes, in entry order.
+///
+/// This is the single definition of "what a block adds to the index",
+/// shared by [`EntryIndex::index_block`] and the sharded index
+/// ([`crate::shard::ShardedIndex`]) so the two can never disagree on
+/// routing inputs: data entries of normal blocks (deletion requests are
+/// transport, not data), and carried records of summary blocks.
+pub fn block_index_pairs(block: &Block) -> Vec<(EntryId, Location)> {
+    let mut pairs = Vec::new();
+    match block.kind() {
+        BlockKind::Normal => {
+            for (i, entry) in block.entries().iter().enumerate() {
+                if entry.is_delete_request() {
+                    continue;
+                }
+                let id = EntryId::new(block.number(), crate::types::EntryNumber(i as u32));
+                pairs.push((id, Location::InBlock));
+            }
+        }
+        BlockKind::Summary => {
+            for (slot, record) in block.summary_records().iter().enumerate() {
+                pairs.push((
+                    record.origin(),
+                    Location::InSummary {
+                        holder: block.number(),
+                        slot: slot as u32,
+                    },
+                ));
+            }
+        }
+        BlockKind::Genesis | BlockKind::Empty => {}
+    }
+    pairs
 }
 
 #[cfg(test)]

@@ -14,6 +14,10 @@
 //!   crash recovery on open, physical on-disk deletion on prune;
 //! * [`index`] — the maintained `EntryId → Location` index backing O(log n)
 //!   lookups;
+//! * [`shard`] — the sharded query & intake subsystem: stable
+//!   [`ShardMap`] routing, the partitioned [`ShardedIndex`] (parallel
+//!   rebuild, shard-parallel batch lookups) and the author-sharded
+//!   [`ShardedMempool`] (per-shard dedup, fair round-robin drain);
 //! * [`validate`] — status-quo-anchored validation (§V-B3);
 //! * [`baseline`] — the conventional ever-growing chain used as the
 //!   experimental comparator;
@@ -46,6 +50,7 @@ pub mod error;
 pub mod fstore;
 pub mod index;
 pub mod render;
+pub mod shard;
 pub mod store;
 pub mod summary;
 pub mod testutil;
@@ -57,8 +62,9 @@ pub use block::{Block, BlockBody, BlockHeader, BlockKind, Seal, GENESIS_PREV_HAS
 pub use chain::{Blockchain, Located};
 pub use entry::{CoSignature, DeleteRequest, Entry, EntryPayload};
 pub use error::ChainError;
-pub use fstore::{FileStore, StoreError};
+pub use fstore::{FileStore, FsyncPolicy, StoreError};
 pub use index::{EntryIndex, Location};
+pub use shard::{ShardMap, ShardedIndex, ShardedMempool, DEFAULT_SHARD_COUNT};
 pub use store::{BlockStore, MemStore, SealedBlock, SegStore};
 pub use summary::{Anchor, SummaryRecord};
 pub use types::{BlockNumber, EntryId, EntryNumber, Expiry, Timestamp};

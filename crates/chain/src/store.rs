@@ -78,7 +78,14 @@ impl Eq for SealedBlock {}
 /// Logical equality (same blocks in the same order) must hold regardless
 /// of internal layout, because [`Blockchain`](crate::chain::Blockchain)
 /// derives its own `PartialEq` from the store's.
-pub trait BlockStore: Default + Clone + PartialEq + Eq + std::fmt::Debug + 'static {
+///
+/// Stores are `Send + Sync`: the shard subsystem replays segments into
+/// index shards concurrently and answers batched lookups shard-parallel,
+/// both of which share `&Store` across scoped threads. Mutation stays
+/// exclusive (`&mut self`), so implementations need no interior locking.
+pub trait BlockStore:
+    Default + Clone + PartialEq + Eq + std::fmt::Debug + Send + Sync + 'static
+{
     /// Iterator over stored blocks, oldest first.
     type Iter<'a>: Iterator<Item = &'a SealedBlock> + 'a
     where

@@ -1,14 +1,17 @@
-//! Test support for exercising durable stores.
+//! Test support for exercising durable stores and the shard subsystem.
 //!
 //! Durable-storage tests across the workspace (and downstream users of
 //! [`FileStore`](crate::fstore::FileStore)) all need the same thing: a
 //! unique scratch directory that exists for one test and disappears
-//! afterwards, even when the test fails. This module holds the one shared
-//! implementation so the copies cannot drift (sequence counters, cleanup
-//! on panic, naming) between crates.
+//! afterwards, even when the test fails. Shard-fairness tests likewise
+//! all need authors known to route to distinct mempool shards. This
+//! module holds the one shared implementation of each so the copies
+//! cannot drift between crates.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::shard::ShardMap;
 
 /// A unique scratch directory under the system temp dir, removed on drop.
 ///
@@ -45,6 +48,33 @@ impl Drop for ScratchDir {
     fn drop(&mut self) {
         let _ = std::fs::remove_dir_all(&self.0);
     }
+}
+
+/// The first `n` signing-key seeds (as `[seed; 32]` byte fills) whose
+/// authors route to pairwise **distinct** shards of `map`.
+///
+/// Mempool fairness is per shard, not per author: a fairness test that
+/// picks colliding authors tests nothing. Every such test (chain, core,
+/// node) selects its authors through this one probe.
+///
+/// # Panics
+///
+/// Panics when fewer than `n` distinct shards are reachable from the 255
+/// probed seeds (only plausible for `n` close to the shard count).
+pub fn distinct_shard_author_seeds(map: ShardMap, n: usize) -> Vec<u8> {
+    let mut seeds = Vec::new();
+    let mut used = std::collections::BTreeSet::new();
+    for seed in 1u8..=255 {
+        let author = seldel_crypto::SigningKey::from_seed([seed; 32]).verifying_key();
+        if used.insert(map.shard_of_author(&author)) {
+            seeds.push(seed);
+            if seeds.len() == n {
+                break;
+            }
+        }
+    }
+    assert_eq!(seeds.len(), n, "not enough distinct shards reachable");
+    seeds
 }
 
 #[cfg(test)]

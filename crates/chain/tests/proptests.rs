@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use seldel_chain::{
-    validate_chain, Block, BlockBody, BlockNumber, Blockchain, Entry, Seal, Timestamp,
-    ValidationOptions,
+    validate_chain, Block, BlockBody, BlockNumber, Blockchain, Entry, EntryId, EntryNumber, Seal,
+    SummaryRecord, Timestamp, ValidationOptions,
 };
 use seldel_codec::{Codec, DataRecord};
 use seldel_crypto::SigningKey;
@@ -26,6 +26,56 @@ fn build_chain(block_count: u64, entries_per_block: u8) -> Blockchain {
                 Seal::Deterministic,
             ))
             .expect("valid link");
+    }
+    chain
+}
+
+/// A chain mixing normal blocks with summary blocks: every 4th block is a
+/// Σ carrying the first entry of the block two positions back, so the
+/// index holds both `InBlock` and `InSummary` locations and marker shifts
+/// exercise the newest-carrier-wins survivorship.
+fn build_mixed_chain(block_count: u64) -> Blockchain {
+    let key = SigningKey::from_seed([0x22; 32]);
+    let mut chain = Blockchain::new(Block::genesis("shardprop", Timestamp(0)));
+    for b in 1..=block_count {
+        let prev = chain.tip().hash();
+        let block = if b.is_multiple_of(4) {
+            let mut records = Vec::new();
+            if let Some(origin_block) = chain.get(BlockNumber(b - 2)) {
+                if let Some(entry) = origin_block.entries().first() {
+                    let origin = EntryId::new(BlockNumber(b - 2), EntryNumber(0));
+                    records.push(
+                        SummaryRecord::from_entry(entry, origin, origin_block.timestamp())
+                            .expect("data entry"),
+                    );
+                }
+            }
+            // Σ repeats the predecessor timestamp (§IV-B).
+            Block::new(
+                BlockNumber(b),
+                chain.tip().timestamp(),
+                prev,
+                BlockBody::Summary {
+                    records,
+                    anchor: None,
+                },
+                Seal::Deterministic,
+            )
+        } else {
+            let entries: Vec<Entry> = (0..2)
+                .map(|i| {
+                    Entry::sign_data(&key, DataRecord::new("log").with("n", b * 100 + i as u64))
+                })
+                .collect();
+            Block::new(
+                BlockNumber(b),
+                Timestamp(b * 10),
+                prev,
+                BlockBody::Normal { entries },
+                Seal::Deterministic,
+            )
+        };
+        chain.push(block).expect("valid link");
     }
     chain
 }
@@ -108,6 +158,79 @@ proptest! {
         prop_assert_eq!(reopened.entry_index(), &reopened.rebuilt_index());
         prop_assert!(reopened.verify_cached_hashes());
         validate_chain(&reopened, &ValidationOptions::default()).expect("valid");
+    }
+
+    /// Satellite of the shard subsystem PR, extending the PR 2 index
+    /// property tests to the **retire path**: under randomized marker-shift
+    /// sequences, the incrementally maintained (sharded) index must stay
+    /// equal to a from-scratch rebuild — on all three backends, at every
+    /// shard count, with summary-carried records in the mix so
+    /// `retire_before` has both survivors and casualties to judge.
+    #[test]
+    fn retire_before_matches_full_rebuild_under_random_marker_shifts(
+        blocks in 8u64..40,
+        cuts in proptest::collection::vec(1u64..7, 1..5),
+        shard_pow in 0u32..5,
+    ) {
+        use seldel_chain::testutil::ScratchDir;
+        use seldel_chain::{FileStore, MemStore, SegStore};
+
+        let shards = 1usize << shard_pow;
+        let source = build_mixed_chain(blocks);
+        let dir = ScratchDir::new("retireprop");
+        let file_store = FileStore::open_with_capacity(dir.path(), 4).expect("store opens");
+
+        // Identical chains on all three backends.
+        let mut mem: Blockchain<MemStore> =
+            Blockchain::assemble(source.export_blocks()).expect("relink");
+        let mut seg: Blockchain<SegStore> =
+            Blockchain::assemble(source.export_blocks()).expect("relink");
+        let mut exported = source.export_blocks().into_iter();
+        let mut file: Blockchain<FileStore> =
+            Blockchain::with_genesis_in(file_store, exported.next().expect("genesis"));
+        for block in exported {
+            file.push(block).expect("valid link");
+        }
+        mem.reshard(shards);
+        seg.reshard(shards);
+        file.reshard(shards);
+
+        // Probe every id that was ever indexed (survivors and casualties).
+        let probes: Vec<EntryId> = mem.rebuilt_index().iter().map(|(id, _)| id).collect();
+
+        let mut marker = 0u64;
+        for cut in cuts {
+            marker = (marker + cut).min(blocks); // never past the tip
+            mem.truncate_front(BlockNumber(marker)).expect("live marker");
+            seg.truncate_front(BlockNumber(marker)).expect("live marker");
+            file.truncate_front(BlockNumber(marker)).expect("live marker");
+
+            // The incrementally retired index equals a full rebuild...
+            let oracle = mem.rebuilt_index();
+            prop_assert_eq!(mem.entry_index(), &oracle);
+            prop_assert_eq!(seg.entry_index(), &oracle);
+            prop_assert_eq!(file.entry_index(), &oracle);
+            // ...and answers every probe exactly like the oracle.
+            for id in &probes {
+                prop_assert_eq!(mem.entry_index().get(*id), oracle.get(*id), "id {}", id);
+                prop_assert_eq!(mem.locate(*id), mem.locate_scan(*id), "id {}", id);
+            }
+            prop_assert_eq!(mem.export_bytes(), seg.export_bytes());
+            prop_assert_eq!(mem.export_bytes(), file.export_bytes());
+        }
+
+        // Close/reopen the durable backend mid-history: the parallel
+        // rebuild on recovery reproduces the maintained state.
+        drop(file);
+        let reopened = Blockchain::from_store_with_shards(
+            FileStore::open(dir.path()).expect("reopen"),
+            shards,
+        )
+        .expect("valid chain");
+        prop_assert_eq!(reopened.entry_index(), &mem.rebuilt_index());
+        for id in &probes {
+            prop_assert_eq!(reopened.locate(*id), mem.locate(*id), "id {}", id);
+        }
     }
 
     #[test]

@@ -105,6 +105,12 @@ pub struct ChainConfig {
     /// Idle filler; `None` means deletion latency is unbounded on an idle
     /// chain (the trade-off the paper names in §IV-D3).
     pub idle_fill: Option<IdleFillPolicy>,
+    /// Maximum entries the leader seals into one block; `None` (the
+    /// historical behaviour) seals the whole mempool. With a cap, the
+    /// sharded mempool drains **fair round-robin across author shards**,
+    /// so a flooding author cannot occupy every slot of a block — the
+    /// overflow stays queued for the next one.
+    pub max_block_entries: Option<usize>,
     /// Chain identity note stored in the genesis block.
     pub chain_note: String,
 }
@@ -116,6 +122,7 @@ impl Default for ChainConfig {
             retention: RetentionPolicy::default(),
             anchoring: AnchorPolicy::None,
             idle_fill: None,
+            max_block_entries: None,
             chain_note: "selective-deletion chain".to_string(),
         }
     }
@@ -142,6 +149,7 @@ impl ChainConfig {
             },
             anchoring: AnchorPolicy::None,
             idle_fill: None,
+            max_block_entries: None,
             chain_note: "login audit chain".to_string(),
         }
     }
@@ -176,6 +184,9 @@ impl ChainConfig {
                 "max_live_blocks {max} below sequence_length {}",
                 self.sequence_length
             );
+        }
+        if let Some(cap) = self.max_block_entries {
+            assert!(cap >= 1, "max_block_entries must be at least 1");
         }
     }
 }

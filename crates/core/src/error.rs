@@ -22,6 +22,10 @@ pub enum CoreError {
     /// (§IV-D3: "Subsequent incoming transactions based on this marked data
     /// are no longer permitted").
     DependsOnDeleted(EntryId),
+    /// A byte-identical entry is already waiting in the mempool (the
+    /// sharded intake's per-shard dedup; resubmitting after the original
+    /// sealed is fine — only *pending* duplicates are refused).
+    DuplicatePending,
     /// A deletion was already requested for this target.
     DuplicateDeletion(EntryId),
     /// Deletion target does not exist (live).
@@ -51,6 +55,9 @@ impl fmt::Display for CoreError {
             CoreError::UnknownDependency(id) => write!(f, "unknown dependency {id}"),
             CoreError::DependsOnDeleted(id) => {
                 write!(f, "entry depends on deleted or deletion-marked data {id}")
+            }
+            CoreError::DuplicatePending => {
+                write!(f, "identical entry already pending in the mempool")
             }
             CoreError::DuplicateDeletion(id) => {
                 write!(f, "deletion already requested for {id}")

@@ -32,7 +32,8 @@ use std::sync::Arc;
 
 use seldel_chain::{
     Block, BlockBody, BlockKind, BlockNumber, BlockStore, Blockchain, DeleteRequest, Entry,
-    EntryId, EntryNumber, EntryPayload, Located, MemStore, Seal, Timestamp,
+    EntryId, EntryNumber, EntryPayload, Located, MemStore, Seal, ShardedMempool, Timestamp,
+    DEFAULT_SHARD_COUNT,
 };
 use seldel_codec::schema::SchemaRegistry;
 use seldel_codec::DataRecord;
@@ -86,6 +87,7 @@ pub struct SelectiveLedgerBuilder<S: BlockStore = MemStore> {
     schemas: SchemaRegistry,
     policies: Vec<Arc<dyn CohesionPolicy>>,
     genesis_time: Timestamp,
+    shards: usize,
     _store: PhantomData<S>,
 }
 
@@ -101,8 +103,26 @@ impl<S: BlockStore> SelectiveLedgerBuilder<S> {
             schemas: self.schemas,
             policies: self.policies,
             genesis_time: self.genesis_time,
+            shards: self.shards,
             _store: PhantomData,
         }
+    }
+
+    /// Sets the shard count for the entry index and the mempool (must be
+    /// a power of two; default [`DEFAULT_SHARD_COUNT`]). Shards are
+    /// node-local derived state: query answers are bit-identical at any
+    /// count, and so are sealed chains under uncapped intake. With a
+    /// [`ChainConfig::max_block_entries`] cap, the fair drain's
+    /// round-robin order follows author→shard routing, so *which*
+    /// pending entries a given block takes is a leader-local scheduling
+    /// choice that varies with the count — every choice seals a valid
+    /// chain, and consensus (I2) is untouched either way.
+    pub fn shards(mut self, shards: usize) -> Self {
+        // Validate eagerly so a bad count fails at the builder, not at
+        // first use.
+        let _ = seldel_chain::ShardMap::new(shards);
+        self.shards = shards;
+        self
     }
     /// Sets the role table (§IV-D1).
     pub fn roles(mut self, roles: RoleTable) -> Self {
@@ -188,7 +208,7 @@ impl<S: BlockStore> SelectiveLedgerBuilder<S> {
             let chain = Blockchain::with_genesis_in(store, genesis);
             return Ok(self.into_ledger(chain));
         }
-        let chain = Blockchain::from_store(store)?;
+        let chain = Blockchain::from_store_with_shards(store, self.shards)?;
         seldel_chain::validate_chain(&chain, &seldel_chain::ValidationOptions::default())?;
         let mut ledger = self.into_ledger(chain);
         ledger.recover_derived_state();
@@ -196,7 +216,10 @@ impl<S: BlockStore> SelectiveLedgerBuilder<S> {
     }
 
     /// Wraps a ready chain with fresh ledger-side state.
-    fn into_ledger(self, chain: Blockchain<S>) -> SelectiveLedger<S> {
+    fn into_ledger(self, mut chain: Blockchain<S>) -> SelectiveLedger<S> {
+        if chain.shard_count() != self.shards {
+            chain.reshard(self.shards);
+        }
         let blocks_appended = chain.tip().number().value() + 1;
         let retired_blocks = chain.marker().value();
         SelectiveLedger {
@@ -209,7 +232,7 @@ impl<S: BlockStore> SelectiveLedgerBuilder<S> {
             policies: self.policies,
             dependents: BTreeMap::new(),
             history: BTreeMap::new(),
-            pending: Vec::new(),
+            pending: ShardedMempool::new(self.shards),
             events: VecDeque::new(),
             summaries_created: 0,
             blocks_appended,
@@ -268,7 +291,10 @@ pub struct SelectiveLedger<S: BlockStore = MemStore> {
     dependents: BTreeMap<EntryId, BTreeMap<EntryId, VerifyingKey>>,
     /// Sticky Chinese-wall history: author key -> schemas touched.
     history: BTreeMap<[u8; 32], BTreeSet<String>>,
-    pending: Vec<Entry>,
+    /// The author-sharded mempool (see `seldel_chain::shard`): per-shard
+    /// dedup at intake, exact-FIFO drain when a whole batch seals, fair
+    /// round-robin drain under `ChainConfig::max_block_entries`.
+    pending: ShardedMempool,
     events: VecDeque<LedgerEvent>,
     summaries_created: u64,
     blocks_appended: u64,
@@ -299,6 +325,7 @@ impl SelectiveLedger {
             schemas: SchemaRegistry::new(),
             policies: Vec::new(),
             genesis_time: Timestamp::ZERO,
+            shards: DEFAULT_SHARD_COUNT,
             _store: PhantomData,
         }
     }
@@ -320,7 +347,7 @@ impl<S: BlockStore> SelectiveLedger<S> {
         &self.config
     }
 
-    /// Accepts an entry into the mempool.
+    /// Accepts an entry into the mempool (routed to its author's shard).
     ///
     /// Data entries are checked for: a valid author signature, schema
     /// conformance (when a registry is configured), existing live
@@ -328,7 +355,9 @@ impl<S: BlockStore> SelectiveLedger<S> {
     /// deletion-marked data. Deletion-request entries only need a valid
     /// signature here — their semantic validation happens at inclusion
     /// time, because "wrong request\[s\] of deletions can be included in the
-    /// blockchain, but these have no further effects" (§V).
+    /// blockchain, but these have no further effects" (§V). A
+    /// byte-identical entry already pending is refused
+    /// ([`CoreError::DuplicatePending`]) — the sharded intake's dedup.
     ///
     /// # Errors
     ///
@@ -348,8 +377,17 @@ impl<S: BlockStore> SelectiveLedger<S> {
                 }
             }
         }
-        self.pending.push(entry);
-        Ok(())
+        self.enqueue(entry)
+    }
+
+    /// Routes a validated entry into the mempool, refusing pending
+    /// duplicates.
+    fn enqueue(&mut self, entry: Entry) -> Result<(), CoreError> {
+        if self.pending.insert(entry) {
+            Ok(())
+        } else {
+            Err(CoreError::DuplicatePending)
+        }
     }
 
     /// Builds, validates and submits a deletion request in one step.
@@ -387,8 +425,7 @@ impl<S: BlockStore> SelectiveLedger<S> {
     ) -> Result<(), CoreError> {
         self.validate_deletion(&requester.verifying_key(), &request)?;
         let entry = Entry::sign_delete(requester, request);
-        self.pending.push(entry);
-        Ok(())
+        self.enqueue(entry)
     }
 
     /// Corrects a data set (§V-A "Corrections: Change information, which
@@ -412,17 +449,28 @@ impl<S: BlockStore> SelectiveLedger<S> {
         }
         let request = DeleteRequest::new(target, "correction");
         self.validate_deletion(&requester.verifying_key(), &request)?;
-        self.pending.push(Entry::sign_delete(requester, request));
-        self.pending.push(Entry::sign_data(requester, corrected));
-        Ok(())
+        // The pair is one atomic bundle end to end: dedup-checked and
+        // enqueued together or not at all, and sealed into the same block
+        // even under a capacity cap — a deletion executing without its
+        // replacement on chain would be half a correction.
+        let deletion = Entry::sign_delete(requester, request);
+        let replacement = Entry::sign_data(requester, corrected);
+        if self.pending.insert_atomic(vec![deletion, replacement]) {
+            Ok(())
+        } else {
+            Err(CoreError::DuplicatePending)
+        }
     }
 
     /// Seals the mempool into the next block at virtual time `now`.
     ///
     /// With an empty mempool an [`BlockKind::Empty`] filler block is sealed
-    /// instead. Any due summary slot is filled automatically afterwards,
-    /// which may merge and cut old sequences. Returns the number of the
-    /// sealed (non-summary) block.
+    /// instead. Without a [`ChainConfig::max_block_entries`] cap the whole
+    /// mempool seals in exact arrival order (the historical behaviour);
+    /// with one, the drain is fair round-robin across author shards and
+    /// the overflow waits for the next block. Any due summary slot is
+    /// filled automatically afterwards, which may merge and cut old
+    /// sequences. Returns the number of the sealed (non-summary) block.
     ///
     /// # Errors
     ///
@@ -441,7 +489,7 @@ impl<S: BlockStore> SelectiveLedger<S> {
             !self.config.is_summary_slot(number),
             "summary slots are filled automatically"
         );
-        let entries: Vec<Entry> = std::mem::take(&mut self.pending);
+        let entries: Vec<Entry> = self.pending.drain_fair(self.config.max_block_entries);
         let body = if entries.is_empty() {
             BlockBody::Empty
         } else {
@@ -525,6 +573,29 @@ impl<S: BlockStore> SelectiveLedger<S> {
     /// Whether the data set is live (exists and is not deletion-marked).
     pub fn is_live(&self, id: EntryId) -> bool {
         !self.deletions.is_marked(id) && self.record(id).is_some()
+    }
+
+    /// Batched [`SelectiveLedger::locate`]: one answer per id, in input
+    /// order, resolved shard-parallel for large batches (see
+    /// [`Blockchain::locate_many`]).
+    pub fn locate_many(&self, ids: &[EntryId]) -> Vec<Option<Located<'_>>> {
+        self.chain.locate_many(ids)
+    }
+
+    /// Bulk deletion audit: for each id, whether the data set is live —
+    /// physically present *and* not deletion-marked — element-wise equal
+    /// to [`SelectiveLedger::is_live`] but resolved in one shard-parallel
+    /// pass. This is the query a compliance sweep asks ("are all of these
+    /// really gone / still here?") after deletions execute.
+    pub fn audit_live(&self, ids: &[EntryId]) -> Vec<bool> {
+        self.chain
+            .locate_many(ids)
+            .into_iter()
+            .zip(ids)
+            .map(|(located, id)| {
+                located.is_some_and(|l| l.data().is_some()) && !self.deletions.is_marked(*id)
+            })
+            .collect()
     }
 
     /// The deletion record for a target, if any.
@@ -1519,6 +1590,182 @@ mod tests {
             .store_backend::<seldel_chain::FileStore>()
             .on_disk(scratch.path());
         assert!(result.is_err(), "tampered directory must be rejected");
+    }
+
+    #[test]
+    fn duplicate_pending_entry_rejected_until_sealed() {
+        let mut ledger = paper_ledger();
+        let alice = key(1);
+        let entry = Entry::sign_data(&alice, data("ALPHA", 1));
+        ledger.submit_entry(entry.clone()).unwrap();
+        assert!(matches!(
+            ledger.submit_entry(entry.clone()),
+            Err(CoreError::DuplicatePending)
+        ));
+        assert_eq!(ledger.stats().pending_entries, 1);
+        ledger.seal_block(Timestamp(10)).unwrap();
+        // No longer pending: the same bytes are accepted again.
+        ledger.submit_entry(entry).unwrap();
+    }
+
+    #[test]
+    fn capped_seal_drains_fairly_and_keeps_the_overflow() {
+        use seldel_chain::testutil::distinct_shard_author_seeds;
+        use seldel_chain::ShardMap;
+        let shards = 4;
+        let mut ledger = SelectiveLedger::builder(ChainConfig {
+            max_block_entries: Some(3),
+            ..ChainConfig::paper_evaluation()
+        })
+        .shards(shards)
+        .build();
+
+        // Two authors on distinct mempool shards; the first floods.
+        let seeds = distinct_shard_author_seeds(ShardMap::new(shards), 2);
+        let (hot, quiet) = (key(seeds[0]), key(seeds[1]));
+        for n in 0..8u64 {
+            ledger
+                .submit_entry(Entry::sign_data(&hot, data("HOT", n)))
+                .unwrap();
+        }
+        ledger
+            .submit_entry(Entry::sign_data(&quiet, data("QUIET", 100)))
+            .unwrap();
+
+        let number = ledger.seal_block(Timestamp(10)).unwrap();
+        let sealed = ledger.chain().get(number).unwrap();
+        assert_eq!(sealed.entries().len(), 3);
+        assert!(
+            sealed
+                .entries()
+                .iter()
+                .any(|e| e.author() == quiet.verifying_key()),
+            "quiet author must get a slot in the capped block"
+        );
+        assert_eq!(ledger.stats().pending_entries, 6);
+        // The overflow seals in later blocks; nothing is lost.
+        let mut ts = 20;
+        while ledger.stats().pending_entries > 0 {
+            ledger.seal_block(Timestamp(ts)).unwrap();
+            ts += 10;
+        }
+        assert_eq!(ledger.chain().record_count(), 9);
+    }
+
+    #[test]
+    fn correction_refused_as_a_unit_when_the_replacement_is_pending() {
+        // Regression guard: correct_entry enqueues a deletion + a
+        // replacement. If the replacement is refused as a pending
+        // duplicate, the deletion must not stay behind — half a
+        // correction would delete the target without replacing it.
+        let mut ledger = paper_ledger();
+        let alice = key(1);
+        ledger
+            .submit_entry(Entry::sign_data(&alice, data("ALHPA", 1)))
+            .unwrap();
+        ledger.seal_block(Timestamp(10)).unwrap();
+        let wrong = EntryId::new(BlockNumber(1), EntryNumber(0));
+
+        // The replacement bytes are already waiting in the mempool.
+        ledger
+            .submit_entry(Entry::sign_data(&alice, data("ALPHA", 1)))
+            .unwrap();
+        assert!(matches!(
+            ledger.correct_entry(&alice, wrong, data("ALPHA", 1)),
+            Err(CoreError::DuplicatePending)
+        ));
+        assert_eq!(
+            ledger.stats().pending_entries,
+            1,
+            "the correction's deletion half must not linger"
+        );
+        ledger.seal_block(Timestamp(20)).unwrap();
+        assert!(ledger.is_live(wrong), "target must not be deletion-marked");
+    }
+
+    #[test]
+    fn capped_seal_never_splits_a_correction_pair() {
+        // The deletion + replacement bundle must land in ONE block even
+        // when the capacity cap would otherwise cut between them — a
+        // crash after sealing the deletion alone would leave a durable
+        // half-correction.
+        let mut ledger = SelectiveLedger::builder(ChainConfig {
+            max_block_entries: Some(1),
+            ..ChainConfig::paper_evaluation()
+        })
+        .build();
+        let alice = key(1);
+        ledger
+            .submit_entry(Entry::sign_data(&alice, data("ALHPA", 1)))
+            .unwrap();
+        ledger.seal_block(Timestamp(10)).unwrap();
+        let wrong = EntryId::new(BlockNumber(1), EntryNumber(0));
+
+        ledger
+            .correct_entry(&alice, wrong, data("ALPHA", 1))
+            .unwrap();
+        let number = ledger.seal_block(Timestamp(20)).unwrap();
+        let sealed = ledger.chain().get(number).unwrap();
+        assert_eq!(
+            sealed.entries().len(),
+            2,
+            "the bundle may overshoot the cap but never split"
+        );
+        assert!(sealed.entries()[0].is_delete_request());
+        assert!(!ledger.is_live(wrong));
+        let corrected = EntryId::new(number, EntryNumber(1));
+        assert!(ledger.is_live(corrected));
+    }
+
+    #[test]
+    fn audit_live_matches_elementwise_is_live() {
+        let mut ledger = paper_ledger();
+        let alice = key(1);
+        grow(&mut ledger, 6, &[&alice]);
+        let target = EntryId::new(BlockNumber(1), EntryNumber(0));
+        ledger.request_deletion(&alice, target, "gdpr").unwrap();
+        ledger.seal_block(Timestamp(1_000)).unwrap();
+
+        let mut ids: Vec<EntryId> = ledger
+            .chain()
+            .live_records()
+            .iter()
+            .map(|(id, _)| *id)
+            .collect();
+        ids.push(EntryId::new(BlockNumber(99), EntryNumber(0))); // ghost
+        ids.push(target); // marked
+        let audited = ledger.audit_live(&ids);
+        assert_eq!(audited.len(), ids.len());
+        for (id, live) in ids.iter().zip(&audited) {
+            assert_eq!(*live, ledger.is_live(*id), "id {id}");
+        }
+        // locate_many agrees with element-wise locate.
+        let located = ledger.locate_many(&ids);
+        for (id, loc) in ids.iter().zip(&located) {
+            assert_eq!(*loc, ledger.locate(*id), "id {id}");
+        }
+    }
+
+    #[test]
+    fn shard_count_is_invisible_to_chain_bytes() {
+        // The whole point of keeping shards outside consensus (I2): the
+        // same workload at any shard count yields bit-identical chains.
+        let alice = key(1);
+        let mut chains = Vec::new();
+        for shards in [1usize, 2, 16] {
+            let mut ledger = SelectiveLedger::builder(ChainConfig::paper_evaluation())
+                .shards(shards)
+                .build();
+            grow_in(&mut ledger, 20, &alice);
+            assert_eq!(ledger.chain().shard_count(), shards);
+            assert_eq!(
+                ledger.chain().entry_index(),
+                &ledger.chain().rebuilt_index()
+            );
+            chains.push(ledger.chain().export_bytes());
+        }
+        assert_eq!(chains[0], chains[1]);
+        assert_eq!(chains[1], chains[2]);
     }
 
     #[test]

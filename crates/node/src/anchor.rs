@@ -498,6 +498,80 @@ mod tests {
         );
     }
 
+    /// Starvation regression guard for the sharded mempool: with a block
+    /// capacity configured, a single author flooding the leader cannot
+    /// occupy every slot of a sealed block — late entries from other
+    /// authors still make the very next block via the fair round-robin
+    /// drain.
+    #[test]
+    fn flooding_author_cannot_starve_others_out_of_a_sealed_block() {
+        use seldel_chain::testutil::distinct_shard_author_seeds;
+        use seldel_chain::ShardMap;
+
+        let mut net = SimNetwork::new(NetConfig::default());
+        let leader = NodeId(0);
+        let config = ChainConfig {
+            max_block_entries: Some(4),
+            ..ChainConfig::paper_evaluation()
+        };
+        let shards = 4;
+        let l = net.add_node(Box::new(AnchorNode::new(
+            SelectiveLedger::builder(config).shards(shards).build(),
+            leader,
+            100,
+        )));
+        net.schedule_tick(l, 100);
+
+        // Pick authors guaranteed to route to different mempool shards.
+        let seeds = distinct_shard_author_seeds(ShardMap::new(shards), 2);
+        let (hot, quiet) = (seeds[0], seeds[1]);
+
+        // The hot author floods 16 entries, then the quiet author sends
+        // one — all before the first seal tick fires.
+        for i in 0..16u64 {
+            net.send_external(l, NodeMessage::Submit(entry(hot, i)));
+        }
+        net.send_external(l, NodeMessage::Submit(entry(quiet, 1_000)));
+        net.run_until(150); // first tick at 100 seals block 1
+
+        let node = net.node_as::<AnchorNode>(l).unwrap();
+        let sealed = node.ledger().chain().get(BlockNumber(1)).expect("sealed");
+        assert_eq!(sealed.entries().len(), 4, "capacity must cap the block");
+        let quiet_key = seldel_crypto::SigningKey::from_seed([quiet; 32]).verifying_key();
+        assert!(
+            sealed.entries().iter().any(|e| e.author() == quiet_key),
+            "quiet author starved out of the first sealed block"
+        );
+
+        // Nothing is lost: the flood drains over the following blocks.
+        net.run_until(net.now() + 1_000);
+        let node = net.node_as::<AnchorNode>(l).unwrap();
+        assert_eq!(node.stats().entries_accepted, 17);
+        assert_eq!(node.ledger().chain().record_count(), 17);
+        assert_eq!(node.ledger().stats().pending_entries, 0);
+    }
+
+    /// The sharded intake refuses byte-identical resubmissions while the
+    /// original is still pending — counted as rejections, not accepted
+    /// twice.
+    #[test]
+    fn duplicate_pending_submissions_are_rejected_at_intake() {
+        let (mut net, ids) = make_cluster(1);
+        let flood = entry(1, 7);
+        net.send_external(ids[0], NodeMessage::Submit(flood.clone()));
+        net.send_external(ids[0], NodeMessage::Submit(flood.clone()));
+        net.send_external(ids[0], NodeMessage::Submit(flood.clone()));
+        net.run_until(net.now() + 200);
+        let node = net.node_as::<AnchorNode>(ids[0]).unwrap();
+        assert_eq!(node.stats().entries_accepted, 1);
+        assert_eq!(node.stats().entries_rejected, 2);
+        // Once sealed, the same bytes may be submitted again.
+        net.send_external(ids[0], NodeMessage::Submit(flood));
+        net.run_until(net.now() + 200);
+        let node = net.node_as::<AnchorNode>(ids[0]).unwrap();
+        assert_eq!(node.stats().entries_accepted, 2);
+    }
+
     #[test]
     fn submissions_to_replicas_are_forwarded() {
         let (mut net, ids) = make_cluster(3);

@@ -10,6 +10,9 @@
 //! * [`attacks`] — Fig. 9's 51 % race ± anchoring, eclipse quantification.
 //! * [`crash`] — experiment E7: crash/restart of the durable `FileStore`
 //!   backend against a never-closed `MemStore` oracle.
+//! * [`tenants`] — experiment E9: the multi-tenant workload (Zipf-skewed
+//!   authors, mixed insert/delete/query) behind the sharded query &
+//!   intake subsystem's benchmarks and fairness tests.
 //! * [`metrics`] — summary statistics for the harness.
 
 #![forbid(unsafe_code)]
@@ -22,6 +25,7 @@ pub mod latency;
 pub mod login;
 pub mod metrics;
 pub mod supply;
+pub mod tenants;
 pub mod token;
 
 pub use attacks::{
@@ -36,4 +40,8 @@ pub use latency::{mean_latency_blocks, run_latency, LatencyConfig, LatencySample
 pub use login::{LoginAudit, LOGIN_SCHEMA_YAML, USERS};
 pub use metrics::{mean, percentile, stddev, Summary};
 pub use supply::{SupplyChain, PRODUCT_SCHEMA_YAML};
+pub use tenants::{
+    drive_multi_tenant, run_multi_tenant, run_multi_tenant_in, tenant_chain_config, TenantConfig,
+    TenantReport, ZipfSampler,
+};
 pub use token::{TokenError, TokenLedger, TOKEN_SCHEMA_YAML};

@@ -65,7 +65,8 @@ pub use seldel_sim as sim;
 pub mod prelude {
     pub use seldel_chain::{
         Block, BlockKind, BlockNumber, BlockStore, Blockchain, DeleteRequest, Entry, EntryId,
-        EntryNumber, Expiry, MemStore, SegStore, Timestamp,
+        EntryNumber, Expiry, FsyncPolicy, MemStore, SegStore, ShardMap, ShardedIndex,
+        ShardedMempool, Timestamp,
     };
     pub use seldel_codec::{DataRecord, Value};
     pub use seldel_core::{
