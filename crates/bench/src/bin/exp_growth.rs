@@ -8,12 +8,96 @@
 //! 1k/10k live blocks) so CI archives the performance trajectory.
 //!
 //! Run with `cargo run -p seldel-bench --bin exp_growth --release`.
+//!
+//! Pass `--baseline <path>` to compare against a previously committed
+//! `BENCH_chain_ops.json`: seal throughput must stay within 20% of the
+//! baseline on every backend, `validate_incremental` must not slow down
+//! by more than 25%, and the incremental audit must stay at least 10×
+//! faster than a full validation pass on the largest chain. Violations
+//! print GitHub `::warning::` annotations and exit non-zero.
 
-use seldel_bench::report::write_chain_ops_report;
+use seldel_bench::report::{
+    row_field_f64, row_field_str, write_chain_ops_report, BackendSample, ChainOpsSample,
+};
 use seldel_codec::render::{human_bytes, ratio, TextTable};
 use seldel_sim::{run_growth, sweep_l_max, GrowthConfig};
 
+/// Minimum acceptable ratio of current to baseline throughput (and its
+/// inverse for timings): 20% regression headroom over scheduler noise.
+const FLOOR: f64 = 0.8;
+
+/// The acceptance floor for incremental-vs-full validation speedup.
+const MIN_INCREMENTAL_SPEEDUP: f64 = 10.0;
+
+/// Compares this run to the committed baseline report; returns complaints.
+fn regressions(baseline: &str, ops: &[ChainOpsSample], backends: &[BackendSample]) -> Vec<String> {
+    let mut complaints = Vec::new();
+    for line in baseline.lines() {
+        let Some(base_blocks) = row_field_f64(line, "live_blocks") else {
+            continue;
+        };
+        if let Some(backend) = row_field_str(line, "backend") {
+            // A backend row: gate seal throughput.
+            let Some(base_rate) = row_field_f64(line, "seal_blocks_per_s") else {
+                continue;
+            };
+            let Some(now) = backends
+                .iter()
+                .find(|b| b.backend == backend && b.live_blocks as f64 == base_blocks)
+            else {
+                continue;
+            };
+            if now.seal_blocks_per_s() < base_rate * FLOOR {
+                complaints.push(format!(
+                    "{backend}: {:.0} sealed blocks/s vs baseline {:.0} ({}% of baseline)",
+                    now.seal_blocks_per_s(),
+                    base_rate,
+                    (100.0 * now.seal_blocks_per_s() / base_rate).round()
+                ));
+            }
+        } else if let Some(base_ns) = row_field_f64(line, "validate_incremental_ns") {
+            // A sample row: gate the incremental audit timing.
+            let Some(now) = ops.iter().find(|s| s.live_blocks as f64 == base_blocks) else {
+                continue;
+            };
+            if now.validate_incremental_ns * FLOOR > base_ns {
+                complaints.push(format!(
+                    "{} live blocks: validate_incremental {:.0} ns vs baseline {:.0} \
+                     ({}% of baseline)",
+                    now.live_blocks,
+                    now.validate_incremental_ns,
+                    base_ns,
+                    (100.0 * now.validate_incremental_ns / base_ns).round()
+                ));
+            }
+        }
+    }
+    // Absolute floor, independent of the committed numbers: the audit must
+    // keep its asymptotic edge over full validation on the largest chain.
+    if let Some(largest) = ops.iter().max_by_key(|s| s.live_blocks) {
+        if largest.incremental_speedup() < MIN_INCREMENTAL_SPEEDUP {
+            complaints.push(format!(
+                "{} live blocks: incremental audit only {:.1}x faster than full \
+                 validation (floor {MIN_INCREMENTAL_SPEEDUP}x)",
+                largest.live_blocks,
+                largest.incremental_speedup()
+            ));
+        }
+    }
+    complaints
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .map(|i| args.get(i + 1).expect("--baseline needs a path").clone());
+    // Read the baseline up front: this run overwrites BENCH_chain_ops.json.
+    let baseline = baseline_path
+        .as_deref()
+        .map(|p| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read baseline {p}: {e}")));
+
     let cfg = GrowthConfig {
         blocks: 600,
         entries_per_block: 4,
@@ -72,6 +156,8 @@ fn main() {
         "speedup",
         "live_records",
         "validate (structural)",
+        "validate (incremental)",
+        "vs full",
     ]);
     for s in &ops {
         timings.row([
@@ -81,6 +167,8 @@ fn main() {
             format!("{:.1}x", s.locate_speedup()),
             format!("{:.1} us", s.live_records_ns / 1_000.0),
             format!("{:.1} us", s.validate_structural_ns / 1_000.0),
+            format!("{:.1} us", s.validate_incremental_ns / 1_000.0),
+            format!("{:.1}x", s.incremental_speedup()),
         ]);
     }
     println!("{}", timings.render());
@@ -106,4 +194,23 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+
+    if let Some(baseline) = baseline {
+        let complaints = regressions(&baseline, &ops, &backends);
+        if complaints.is_empty() {
+            println!(
+                "baseline check: seal throughput and incremental audit within \
+                 bounds of the committed run"
+            );
+        } else {
+            for c in &complaints {
+                println!("::warning title=exp_growth perf regression::{c}");
+            }
+            eprintln!(
+                "chain-op performance regressed vs the committed baseline on {} check(s)",
+                complaints.len()
+            );
+            std::process::exit(1);
+        }
+    }
 }

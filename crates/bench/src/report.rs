@@ -21,7 +21,8 @@ use std::fmt;
 use std::time::Instant;
 
 use seldel_chain::{
-    validate_chain, BlockStore, EntryId, FileStore, MemStore, SegStore, ValidationOptions,
+    validate_chain, validate_incremental, BlockStore, EntryId, FileStore, MemStore, SegStore,
+    ValidationOptions,
 };
 use seldel_core::SelectiveLedger;
 
@@ -186,6 +187,9 @@ pub struct ChainOpsSample {
     pub validate_structural_ns: f64,
     /// One full validation pass (signatures + anchors).
     pub validate_full_ns: f64,
+    /// One incremental audit (cached Merkle roots + linkage, no signature
+    /// re-verification) — the steady-state restart/receive check.
+    pub validate_incremental_ns: f64,
 }
 
 impl ChainOpsSample {
@@ -195,6 +199,14 @@ impl ChainOpsSample {
             return f64::INFINITY;
         }
         self.locate_scan_ns / self.locate_indexed_ns
+    }
+
+    /// Full-vs-incremental validation speedup.
+    pub fn incremental_speedup(&self) -> f64 {
+        if self.validate_incremental_ns <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.validate_full_ns / self.validate_incremental_ns
     }
 }
 
@@ -273,6 +285,8 @@ pub fn measure_chain_ops(live_blocks: u64) -> ChainOpsSample {
     let validate_full_ns = time_ns(3, || {
         validate_chain(chain, &ValidationOptions::default()).expect("chain is valid")
     });
+    let validate_incremental_ns =
+        time_ns(20, || validate_incremental(chain).expect("chain is valid"));
 
     ChainOpsSample {
         live_blocks: chain.len(),
@@ -282,6 +296,7 @@ pub fn measure_chain_ops(live_blocks: u64) -> ChainOpsSample {
         live_records_ns,
         validate_structural_ns,
         validate_full_ns,
+        validate_incremental_ns,
     }
 }
 
@@ -362,6 +377,14 @@ pub fn to_json(samples: &[ChainOpsSample], backends: &[BackendSample]) -> String
                     JsonField::f1(s.validate_structural_ns),
                 )
                 .field("validate_full_ns", JsonField::f1(s.validate_full_ns))
+                .field(
+                    "validate_incremental_ns",
+                    JsonField::f1(s.validate_incremental_ns),
+                )
+                .field(
+                    "incremental_speedup",
+                    JsonField::f1(s.incremental_speedup()),
+                )
         })
         .collect();
     let backend_rows: Vec<JsonRow> = backends
@@ -420,8 +443,10 @@ mod tests {
             live_records_ns: 1000.0,
             validate_structural_ns: 2000.0,
             validate_full_ns: 9000.0,
+            validate_incremental_ns: 450.0,
         };
         assert!((sample.locate_speedup() - 100.0).abs() < 1e-9);
+        assert!((sample.incremental_speedup() - 20.0).abs() < 1e-9);
         let backend = BackendSample {
             backend: "MemStore",
             live_blocks: 100,

@@ -13,14 +13,21 @@
 use std::fmt;
 
 use seldel_codec::{decode_seq, encode_seq, Codec, DecodeError, Decoder, Encoder};
-use seldel_crypto::{merkle, Digest32, MerkleTree, Signature, VerifyingKey};
+use seldel_crypto::{Digest32, MerkleTree, Signature, VerifyingKey};
 
 use crate::entry::Entry;
 use crate::summary::{Anchor, SummaryRecord};
-use crate::types::{BlockNumber, Timestamp};
+use crate::types::{BlockNumber, EntryId, Timestamp};
 
 /// Domain separation tag for block hashes.
 const BLOCK_HASH_DOMAIN: &[u8] = b"seldel/block/v1";
+
+/// First byte of a carried-record leaf in a summary block's payload tree.
+pub const SUMMARY_LEAF_RECORD: u8 = b'R';
+/// First byte of a deletion-tombstone leaf in a summary block's payload tree.
+pub const SUMMARY_LEAF_TOMBSTONE: u8 = b'T';
+/// First byte of the anchor leaf in a summary block's payload tree.
+pub const SUMMARY_LEAF_ANCHOR: u8 = b'A';
 
 /// The conventional predecessor hash of the original genesis block.
 ///
@@ -225,6 +232,15 @@ pub enum BlockBody {
         /// Records copied forward from pruned sequences (possibly empty —
         /// "at the beginning of the blockchain … empty summary blocks").
         records: Vec<SummaryRecord>,
+        /// Tombstones of the deletions this Σ (and every Σ it absorbed)
+        /// executed: the entry ids whose data was dropped during merging.
+        /// Only the id survives — never the payload — so the list is
+        /// GDPR-compatible, and its Merkle commitment is what makes
+        /// "entry X was deleted" provable after the original block and the
+        /// delete request itself were pruned. Strictly sorted (no
+        /// duplicates) so the commitment is canonical; carried forward in
+        /// full across merges.
+        deletions: Vec<EntryId>,
         /// Fig. 9 anchor over a middle sequence, present when the summary
         /// absorbed pruned history and anchoring is enabled.
         anchor: Option<Anchor>,
@@ -244,29 +260,71 @@ impl BlockBody {
         }
     }
 
-    /// The payload commitment stored in the header: a Merkle root over the
-    /// canonical encodings of the body's items (entries or records), or a
+    /// The payload commitment stored in the header: a Merkle root over
+    /// [`BlockBody::payload_leaves`] for entry/record-bearing bodies, or a
     /// domain hash for genesis/empty bodies.
     pub fn payload_hash(&self) -> Digest32 {
         match self {
             BlockBody::Genesis { note } => {
                 seldel_crypto::sha256([b"seldel/genesis/v1".as_slice(), note.as_bytes()].concat())
             }
-            BlockBody::Normal { entries } => {
-                MerkleTree::from_leaves(entries.iter().map(|e| e.to_canonical_bytes())).root()
-            }
-            BlockBody::Summary { records, anchor } => {
-                let mut leaves: Vec<Vec<u8>> =
-                    records.iter().map(|r| r.to_canonical_bytes()).collect();
-                if let Some(anchor) = anchor {
-                    leaves.push(anchor.to_canonical_bytes());
-                }
-                let tree =
-                    MerkleTree::from_leaf_hashes(leaves.iter().map(merkle::leaf_hash).collect());
-                tree.root()
-            }
             BlockBody::Empty => seldel_crypto::sha256(b"seldel/empty/v1"),
+            _ => self
+                .payload_tree()
+                .expect("normal/summary bodies have a payload tree")
+                .root(),
         }
+    }
+
+    /// The leaf payloads of the body's Merkle commitment, in tree order —
+    /// `None` for genesis/empty bodies (they commit via a domain hash, not
+    /// a tree).
+    ///
+    /// * **Normal**: one leaf per entry, the entry's canonical bytes.
+    /// * **Summary**: the carried records (each prefixed
+    ///   [`SUMMARY_LEAF_RECORD`]), then the deletion tombstones (each the
+    ///   [`SUMMARY_LEAF_TOMBSTONE`]-prefixed canonical entry id), then the
+    ///   anchor (prefixed [`SUMMARY_LEAF_ANCHOR`]) when present. The
+    ///   prefixes keep the three leaf populations in disjoint domains, so
+    ///   a proof leaf decodes unambiguously without the body at hand.
+    pub fn payload_leaves(&self) -> Option<Vec<Vec<u8>>> {
+        match self {
+            BlockBody::Normal { entries } => {
+                Some(entries.iter().map(|e| e.to_canonical_bytes()).collect())
+            }
+            BlockBody::Summary {
+                records,
+                deletions,
+                anchor,
+            } => {
+                let mut leaves: Vec<Vec<u8>> =
+                    Vec::with_capacity(records.len() + deletions.len() + 1);
+                for record in records {
+                    let mut leaf = vec![SUMMARY_LEAF_RECORD];
+                    leaf.extend_from_slice(&record.to_canonical_bytes());
+                    leaves.push(leaf);
+                }
+                for id in deletions {
+                    let mut leaf = vec![SUMMARY_LEAF_TOMBSTONE];
+                    leaf.extend_from_slice(&id.to_canonical_bytes());
+                    leaves.push(leaf);
+                }
+                if let Some(anchor) = anchor {
+                    let mut leaf = vec![SUMMARY_LEAF_ANCHOR];
+                    leaf.extend_from_slice(&anchor.to_canonical_bytes());
+                    leaves.push(leaf);
+                }
+                Some(leaves)
+            }
+            BlockBody::Genesis { .. } | BlockBody::Empty => None,
+        }
+    }
+
+    /// The Merkle tree the header's payload commitment is the root of —
+    /// `None` for genesis/empty bodies. This is what membership proofs
+    /// ([`crate::proof`]) extract audit paths from.
+    pub fn payload_tree(&self) -> Option<MerkleTree> {
+        self.payload_leaves().map(MerkleTree::from_leaves)
     }
 
     /// Number of entries/records carried.
@@ -290,9 +348,14 @@ impl Codec for BlockBody {
                 enc.put_u8(1);
                 encode_seq(entries, enc);
             }
-            BlockBody::Summary { records, anchor } => {
+            BlockBody::Summary {
+                records,
+                deletions,
+                anchor,
+            } => {
                 enc.put_u8(2);
                 encode_seq(records, enc);
+                encode_seq(deletions, enc);
                 anchor.encode(enc);
             }
             BlockBody::Empty => enc.put_u8(3),
@@ -308,6 +371,7 @@ impl Codec for BlockBody {
             }),
             2 => Ok(BlockBody::Summary {
                 records: decode_seq(dec)?,
+                deletions: decode_seq(dec)?,
                 anchor: Option::<Anchor>::decode(dec)?,
             }),
             3 => Ok(BlockBody::Empty),
@@ -414,6 +478,23 @@ impl Block {
             BlockBody::Summary { records, .. } => records,
             _ => &[],
         }
+    }
+
+    /// Deletion tombstones of a summary block (empty slice otherwise):
+    /// the ids of every entry this Σ and its absorbed predecessors dropped
+    /// by executed deletion request.
+    pub fn deletions(&self) -> &[EntryId] {
+        match &self.body {
+            BlockBody::Summary { deletions, .. } => deletions,
+            _ => &[],
+        }
+    }
+
+    /// Whether the tombstone list is strictly sorted (and therefore free
+    /// of duplicates) — the canonical-commitment invariant every honest Σ
+    /// satisfies by construction and validation enforces.
+    pub fn tombstones_sorted(&self) -> bool {
+        self.deletions().windows(2).all(|w| w[0] < w[1])
     }
 
     /// The Fig. 9 anchor of a summary block, if present.
@@ -545,6 +626,10 @@ mod tests {
             seldel_crypto::sha256(b"prev"),
             BlockBody::Summary {
                 records: vec![rec],
+                deletions: vec![crate::types::EntryId::new(
+                    BlockNumber(2),
+                    crate::types::EntryNumber(1),
+                )],
                 anchor: Some(anchor),
             },
             Seal::Deterministic,
@@ -552,6 +637,7 @@ mod tests {
         let decoded = Block::from_canonical_bytes(&b.to_canonical_bytes()).unwrap();
         assert_eq!(decoded, b);
         assert_eq!(decoded.summary_records().len(), 1);
+        assert_eq!(decoded.deletions(), b.deletions());
         assert_eq!(decoded.anchor(), Some(&anchor));
         assert!(decoded.is_payload_consistent());
     }
@@ -618,6 +704,7 @@ mod tests {
             g.hash(),
             BlockBody::Summary {
                 records: vec![],
+                deletions: vec![],
                 anchor: None,
             },
             Seal::Deterministic,
@@ -629,10 +716,12 @@ mod tests {
     fn summary_payload_hash_covers_anchor() {
         let body_no_anchor = BlockBody::Summary {
             records: vec![],
+            deletions: vec![],
             anchor: None,
         };
         let body_with_anchor = BlockBody::Summary {
             records: vec![],
+            deletions: vec![],
             anchor: Some(Anchor::new(
                 BlockNumber(1),
                 BlockNumber(2),
@@ -643,6 +732,108 @@ mod tests {
             body_no_anchor.payload_hash(),
             body_with_anchor.payload_hash()
         );
+    }
+
+    #[test]
+    fn summary_payload_hash_covers_tombstones() {
+        use crate::types::{EntryId, EntryNumber};
+        let empty = BlockBody::Summary {
+            records: vec![],
+            deletions: vec![],
+            anchor: None,
+        };
+        let with_tombstone = BlockBody::Summary {
+            records: vec![],
+            deletions: vec![EntryId::new(BlockNumber(1), EntryNumber(0))],
+            anchor: None,
+        };
+        let with_other_tombstone = BlockBody::Summary {
+            records: vec![],
+            deletions: vec![EntryId::new(BlockNumber(1), EntryNumber(1))],
+            anchor: None,
+        };
+        assert_ne!(empty.payload_hash(), with_tombstone.payload_hash());
+        assert_ne!(
+            with_tombstone.payload_hash(),
+            with_other_tombstone.payload_hash()
+        );
+    }
+
+    #[test]
+    fn payload_tree_root_matches_payload_hash() {
+        use crate::types::{EntryId, EntryNumber};
+        let normal = BlockBody::Normal {
+            entries: vec![sample_entry(1), sample_entry(2)],
+        };
+        let summary = BlockBody::Summary {
+            records: vec![],
+            deletions: vec![EntryId::new(BlockNumber(1), EntryNumber(0))],
+            anchor: Some(Anchor::new(
+                BlockNumber(1),
+                BlockNumber(2),
+                seldel_crypto::sha256(b"r"),
+            )),
+        };
+        for body in [normal, summary] {
+            assert_eq!(body.payload_tree().unwrap().root(), body.payload_hash());
+        }
+        assert!(BlockBody::Empty.payload_tree().is_none());
+        assert!(BlockBody::Genesis { note: "g".into() }
+            .payload_tree()
+            .is_none());
+    }
+
+    #[test]
+    fn tombstone_order_invariant() {
+        use crate::types::{EntryId, EntryNumber};
+        let sorted = Block::new(
+            BlockNumber(3),
+            Timestamp(20),
+            Digest32::ZERO,
+            BlockBody::Summary {
+                records: vec![],
+                deletions: vec![
+                    EntryId::new(BlockNumber(1), EntryNumber(0)),
+                    EntryId::new(BlockNumber(1), EntryNumber(1)),
+                ],
+                anchor: None,
+            },
+            Seal::Deterministic,
+        );
+        assert!(sorted.tombstones_sorted());
+        let unsorted = Block::new(
+            BlockNumber(3),
+            Timestamp(20),
+            Digest32::ZERO,
+            BlockBody::Summary {
+                records: vec![],
+                deletions: vec![
+                    EntryId::new(BlockNumber(1), EntryNumber(1)),
+                    EntryId::new(BlockNumber(1), EntryNumber(0)),
+                ],
+                anchor: None,
+            },
+            Seal::Deterministic,
+        );
+        assert!(!unsorted.tombstones_sorted());
+        // Duplicates violate *strict* sortedness too.
+        let duplicated = Block::new(
+            BlockNumber(3),
+            Timestamp(20),
+            Digest32::ZERO,
+            BlockBody::Summary {
+                records: vec![],
+                deletions: vec![
+                    EntryId::new(BlockNumber(1), EntryNumber(0)),
+                    EntryId::new(BlockNumber(1), EntryNumber(0)),
+                ],
+                anchor: None,
+            },
+            Seal::Deterministic,
+        );
+        assert!(!duplicated.tombstones_sorted());
+        // Non-summary blocks trivially satisfy the invariant.
+        assert!(Block::genesis("g", Timestamp(0)).tombstones_sorted());
     }
 
     #[test]

@@ -83,11 +83,14 @@ impl<'a> Located<'a> {
     }
 }
 
-/// The linkage rules for a block extending `prev` — shared by the live
-/// append path ([`Blockchain::push`]) and the recovery path
+/// The linkage rules for a sealed block extending `prev` — shared by the
+/// live append path ([`Blockchain::push`]) and the recovery path
 /// ([`Blockchain::from_store`]), so a rule added to one can never be
-/// missed by the other.
-fn check_link(prev: &SealedBlock, block: &Block) -> Result<(), ChainError> {
+/// missed by the other. Both sides are sealed: the payload-consistency
+/// check compares the cached root against the header commitment instead of
+/// re-hashing the body.
+fn check_link(prev: &SealedBlock, sealed: &SealedBlock) -> Result<(), ChainError> {
+    let block = sealed.block();
     let number = block.number();
     if number != prev.block().number().next() {
         return Err(ChainError::NonContiguousNumber {
@@ -113,8 +116,11 @@ fn check_link(prev: &SealedBlock, block: &Block) -> Result<(), ChainError> {
             }
         }
     }
-    if !block.is_payload_consistent() {
+    if !sealed.is_payload_consistent() {
         return Err(ChainError::PayloadMismatch { number });
+    }
+    if !block.tombstones_sorted() {
+        return Err(ChainError::TombstonesUnsorted { number });
     }
     Ok(())
 }
@@ -214,7 +220,7 @@ impl<S: BlockStore> Blockchain<S> {
                 let block = sealed.block();
                 if let Some(prev) = prev {
                     // The same rules `push` applies when appending live.
-                    check_link(prev, block)?;
+                    check_link(prev, sealed)?;
                 } else {
                     if block.kind() == BlockKind::Genesis && block.number() != BlockNumber::GENESIS
                     {
@@ -222,8 +228,13 @@ impl<S: BlockStore> Blockchain<S> {
                             number: block.number(),
                         });
                     }
-                    if !block.is_payload_consistent() {
+                    if !sealed.is_payload_consistent() {
                         return Err(ChainError::PayloadMismatch {
+                            number: block.number(),
+                        });
+                    }
+                    if !block.tombstones_sorted() {
+                        return Err(ChainError::TombstonesUnsorted {
                             number: block.number(),
                         });
                     }
@@ -306,11 +317,17 @@ impl<S: BlockStore> Blockchain<S> {
     ///   predecessor timestamp (§IV-B).
     /// * [`ChainError::PayloadMismatch`] — header must commit to the body.
     /// * [`ChainError::GenesisMisplaced`] — genesis kind only at block 0.
+    /// * [`ChainError::TombstonesUnsorted`] — Σ tombstones must be
+    ///   strictly sorted.
     pub fn push(&mut self, block: Block) -> Result<(), ChainError> {
+        // Seal first: the linkage check then compares the cached payload
+        // root against the header commitment, and the root stays cached in
+        // the store for every later validation pass.
+        let sealed = SealedBlock::seal(block);
         let tip = self.store.last().expect("chain is never empty");
-        check_link(tip, &block)?;
-        self.index.index_block(&block);
-        self.store.push(SealedBlock::seal(block));
+        check_link(tip, &sealed)?;
+        self.index.index_block(sealed.block());
+        self.store.push(sealed);
         Ok(())
     }
 
@@ -780,6 +797,7 @@ mod tests {
             prev,
             BlockBody::Summary {
                 records: vec![],
+                deletions: vec![],
                 anchor: None,
             },
             Seal::Deterministic,
@@ -795,6 +813,7 @@ mod tests {
             prev,
             BlockBody::Summary {
                 records: vec![],
+                deletions: vec![],
                 anchor: None,
             },
             Seal::Deterministic,
@@ -873,6 +892,7 @@ mod tests {
                 prev,
                 BlockBody::Summary {
                     records: vec![record],
+                    deletions: vec![],
                     anchor: None,
                 },
                 Seal::Deterministic,

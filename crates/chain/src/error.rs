@@ -78,6 +78,12 @@ pub enum ChainError {
         /// Summary block holding the anchor.
         block: BlockNumber,
     },
+    /// A summary block's deletion tombstones were not strictly sorted, so
+    /// its payload commitment is not canonical.
+    TombstonesUnsorted {
+        /// Number of the offending summary block.
+        number: BlockNumber,
+    },
 }
 
 impl fmt::Display for ChainError {
@@ -133,6 +139,12 @@ impl fmt::Display for ChainError {
             ),
             ChainError::AnchorMismatch { block } => {
                 write!(f, "anchor verification failed in summary block {block}")
+            }
+            ChainError::TombstonesUnsorted { number } => {
+                write!(
+                    f,
+                    "summary block {number} carries unsorted deletion tombstones"
+                )
             }
         }
     }

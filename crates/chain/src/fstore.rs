@@ -78,7 +78,11 @@ const MANIFEST_NAME: &str = "MANIFEST";
 const MANIFEST_MAGIC: &[u8; 8] = b"SELDELFS";
 
 /// Current manifest format version.
-const MANIFEST_VERSION: u32 = 1;
+///
+/// * v1 — original frame log.
+/// * v2 — summary bodies carry a deletion-tombstone list (wire change in
+///   `BlockBody::Summary`), so v1 stores no longer decode.
+const MANIFEST_VERSION: u32 = 2;
 
 /// Errors raised by [`FileStore`] persistence.
 ///

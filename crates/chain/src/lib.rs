@@ -18,7 +18,10 @@
 //!   [`ShardMap`] routing, the partitioned [`ShardedIndex`] (parallel
 //!   rebuild, shard-parallel batch lookups) and the author-sharded
 //!   [`ShardedMempool`] (per-shard dedup, fair round-robin drain);
-//! * [`validate`] — status-quo-anchored validation (§V-B3);
+//! * [`proof`] — O(log n) membership/absence proofs over the header
+//!   commitments, verifiable from a bare [`HeaderChain`];
+//! * [`validate`] — status-quo-anchored validation (§V-B3), full and
+//!   incremental (cached-commitment) passes;
 //! * [`baseline`] — the conventional ever-growing chain used as the
 //!   experimental comparator;
 //! * [`render`] — the paper's console listing format (Figs. 6–8).
@@ -49,6 +52,7 @@ pub mod entry;
 pub mod error;
 pub mod fstore;
 pub mod index;
+pub mod proof;
 pub mod render;
 pub mod shard;
 pub mod store;
@@ -64,10 +68,14 @@ pub use entry::{CoSignature, DeleteRequest, Entry, EntryPayload};
 pub use error::ChainError;
 pub use fstore::{FileStore, FsyncPolicy, StoreError};
 pub use index::{EntryIndex, Location};
+pub use proof::{
+    prove_deleted, prove_live, verify_proof, EntryProof, HeaderChain, MerkleSpot, ProofError,
+};
 pub use shard::{ShardMap, ShardedIndex, ShardedMempool, DEFAULT_SHARD_COUNT};
 pub use store::{BlockStore, MemStore, SealedBlock, SegStore};
 pub use summary::{Anchor, SummaryRecord};
 pub use types::{BlockNumber, EntryId, EntryNumber, Expiry, Timestamp};
 pub use validate::{
-    build_anchor, validate_chain, verify_anchor, ValidationOptions, ValidationReport,
+    build_anchor, validate_chain, validate_full, validate_incremental, validate_store_incremental,
+    verify_anchor, IncrementalReport, ValidationOptions, ValidationReport,
 };

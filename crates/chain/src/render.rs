@@ -87,7 +87,11 @@ pub fn render_block(block: &Block, names: &impl NameResolver) -> String {
                 }
             }
         }
-        BlockBody::Summary { records, anchor } => {
+        BlockBody::Summary {
+            records,
+            deletions,
+            anchor,
+        } => {
             if records.is_empty() {
                 out.push_str("; (empty)");
             }
@@ -103,6 +107,10 @@ pub fn render_block(block: &Block, names: &impl NameResolver) -> String {
                 if let Some(expiry) = record.expiry() {
                     out.push_str(&format!(" T {expiry}"));
                 }
+            }
+            if !deletions.is_empty() {
+                let ids: Vec<String> = deletions.iter().map(|id| id.to_string()).collect();
+                out.push_str(&format!("\n  deleted: {}", ids.join(", ")));
             }
             if let Some(anchor) = anchor {
                 out.push_str(&format!("\n  {anchor}"));
@@ -181,6 +189,7 @@ mod tests {
                 prev,
                 crate::block::BlockBody::Summary {
                     records: vec![],
+                    deletions: vec![],
                     anchor: None,
                 },
                 Seal::Deterministic,

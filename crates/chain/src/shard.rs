@@ -642,6 +642,7 @@ mod tests {
             seldel_crypto::Digest32::ZERO,
             BlockBody::Summary {
                 records,
+                deletions: vec![],
                 anchor: None,
             },
             Seal::Deterministic,

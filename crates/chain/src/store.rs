@@ -26,22 +26,52 @@ use seldel_crypto::Digest32;
 
 use crate::block::Block;
 
-/// A block plus its digest, computed once when the block was stored.
+/// A block plus its digest and payload Merkle root, computed once when the
+/// block was stored.
 ///
 /// Blocks are immutable after sealing (the chain never mutates a stored
-/// block; it only appends and prunes), so the cached digest can never go
-/// stale. Equality compares the block only — the digest is derived state.
+/// block; it only appends and prunes), so the cached digests can never go
+/// stale. Equality compares the block only — the digests are derived
+/// state.
+///
+/// The cached payload root is what makes
+/// [`validate_incremental`](crate::validate::validate_incremental) cheap:
+/// the body was hashed when it entered the store (live push or durable
+/// replay), so later validation passes compare the cached root against the
+/// header commitment instead of re-hashing every entry. The root is an
+/// `Option` because sealed blocks can come from sources that never hashed
+/// the body ([`SealedBlock::seal_header_only`], legacy stores); those fall
+/// back to a full re-hash when checked.
 #[derive(Debug, Clone)]
 pub struct SealedBlock {
     block: Block,
     hash: Digest32,
+    payload_root: Option<Digest32>,
 }
 
 impl SealedBlock {
-    /// Seals a block, computing its digest exactly once.
+    /// Seals a block, computing its header digest and payload root exactly
+    /// once.
     pub fn seal(block: Block) -> SealedBlock {
         let hash = block.hash();
-        SealedBlock { block, hash }
+        let payload_root = Some(block.body().payload_hash());
+        SealedBlock {
+            block,
+            hash,
+            payload_root,
+        }
+    }
+
+    /// Seals a block without hashing its body — the shape of a sealed
+    /// block recovered from a store predating payload-root caching. Checks
+    /// against such a block re-derive the root from the body.
+    pub fn seal_header_only(block: Block) -> SealedBlock {
+        let hash = block.hash();
+        SealedBlock {
+            block,
+            hash,
+            payload_root: None,
+        }
     }
 
     /// The block.
@@ -54,7 +84,26 @@ impl SealedBlock {
         self.hash
     }
 
-    /// Unwraps the block, discarding the cached digest.
+    /// The cached payload Merkle root, when the body was hashed at seal
+    /// time.
+    pub fn payload_root(&self) -> Option<Digest32> {
+        self.payload_root
+    }
+
+    /// Whether the header's payload commitment and kind match the body —
+    /// [`Block::is_payload_consistent`] served from the cached root when
+    /// one exists, re-deriving it from the body otherwise.
+    pub fn is_payload_consistent(&self) -> bool {
+        match self.payload_root {
+            Some(root) => {
+                self.block.header().kind == self.block.body().kind()
+                    && self.block.header().payload_hash == root
+            }
+            None => self.block.is_payload_consistent(),
+        }
+    }
+
+    /// Unwraps the block, discarding the cached digests.
     pub fn into_block(self) -> Block {
         self.block
     }

@@ -60,6 +60,19 @@ pub struct ValidationReport {
     pub anchors_verified: u64,
 }
 
+/// Counters describing a completed [`validate_incremental`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrementalReport {
+    /// Blocks checked.
+    pub blocks_checked: u64,
+    /// Blocks whose payload commitment was checked against the cached
+    /// seal-time root (no body re-hash).
+    pub roots_cached: u64,
+    /// Blocks whose root was absent from the seal cache (legacy stores)
+    /// and had to be re-derived from the body.
+    pub roots_recomputed: u64,
+}
+
 /// Validates the live chain from the marker to the tip.
 ///
 /// Hash-link checks read the per-block digest cache (computed once when
@@ -85,6 +98,9 @@ pub fn validate_chain<S: BlockStore>(
         }
         if block.kind() == BlockKind::Genesis && number != BlockNumber::GENESIS {
             return Err(ChainError::GenesisMisplaced { number });
+        }
+        if !block.tombstones_sorted() {
+            return Err(ChainError::TombstonesUnsorted { number });
         }
 
         if let Some(prev_sealed) = prev {
@@ -156,6 +172,112 @@ pub fn validate_chain<S: BlockStore>(
     Ok(report)
 }
 
+/// Full validation with the default options — the expensive auditor pass
+/// (`validate_chain` re-hashing every payload and verifying every
+/// signature) the incremental pass is benchmarked against.
+///
+/// # Errors
+///
+/// Same as [`validate_chain`].
+pub fn validate_full<S: BlockStore>(chain: &Blockchain<S>) -> Result<ValidationReport, ChainError> {
+    validate_chain(chain, &ValidationOptions::default())
+}
+
+/// Incremental validation over the cached seal-time commitments.
+///
+/// Where [`validate_chain`] re-derives every payload root from the body
+/// (hashing every entry and record again), this pass compares each sealed
+/// block's **cached** payload root — computed once when the block entered
+/// the store, whether by live push or durable replay — against the header
+/// commitment, and checks linkage through the cached header digests. Only
+/// blocks whose root is absent from the cache (legacy stores,
+/// [`SealedBlock::seal_header_only`]) fall back to a full body re-hash,
+/// counted in [`IncrementalReport::roots_recomputed`].
+///
+/// This is sound because the cached root is derived from the bytes the
+/// store actually holds: a durable backend re-hashes what it *decoded*
+/// from disk on replay, so a tampered stored body yields a root that no
+/// longer matches the header and the offending block is flagged exactly.
+/// Signatures and anchors are **not** re-verified — they were checked when
+/// the chain was built; this is the cheap always-on structural audit
+/// (§V-B3's joining-node check made sublinear in payload size).
+///
+/// # Errors
+///
+/// Returns the first violation found, as a [`ChainError`] naming the
+/// offending block.
+pub fn validate_incremental<S: BlockStore>(
+    chain: &Blockchain<S>,
+) -> Result<IncrementalReport, ChainError> {
+    validate_store_incremental(chain.store())
+}
+
+/// [`validate_incremental`] over a raw store — the form tamper audits use
+/// when the store may be too damaged for chain reconstruction to accept.
+///
+/// # Errors
+///
+/// Same as [`validate_incremental`].
+pub fn validate_store_incremental<S: BlockStore>(
+    store: &S,
+) -> Result<IncrementalReport, ChainError> {
+    let mut report = IncrementalReport::default();
+    let mut prev: Option<&SealedBlock> = None;
+
+    for sealed in store.iter() {
+        let block = sealed.block();
+        let number = block.number();
+
+        if sealed.payload_root().is_some() {
+            report.roots_cached += 1;
+        } else {
+            report.roots_recomputed += 1;
+        }
+        if !sealed.is_payload_consistent() {
+            return Err(ChainError::PayloadMismatch { number });
+        }
+        if block.kind() == BlockKind::Genesis && number != BlockNumber::GENESIS {
+            return Err(ChainError::GenesisMisplaced { number });
+        }
+        if !block.tombstones_sorted() {
+            return Err(ChainError::TombstonesUnsorted { number });
+        }
+
+        if let Some(prev_sealed) = prev {
+            let prev_block = prev_sealed.block();
+            if number != prev_block.number().next() {
+                return Err(ChainError::NonContiguousNumber {
+                    expected: prev_block.number().next(),
+                    found: number,
+                });
+            }
+            if block.header().prev_hash != prev_sealed.hash() {
+                return Err(ChainError::PrevHashMismatch { number });
+            }
+            match block.kind() {
+                BlockKind::Summary => {
+                    if block.timestamp() != prev_block.timestamp() {
+                        return Err(ChainError::SummaryTimestampMismatch { number });
+                    }
+                }
+                _ => {
+                    if block.timestamp() < prev_block.timestamp() {
+                        return Err(ChainError::TimestampRegression { number });
+                    }
+                }
+            }
+        }
+
+        report.blocks_checked += 1;
+        prev = Some(sealed);
+    }
+
+    if report.blocks_checked == 0 {
+        return Err(ChainError::EmptyChain);
+    }
+    Ok(report)
+}
+
 /// Recomputes an anchor's Merkle root from live block hashes.
 ///
 /// Returns `false` when the range is not live or the root mismatches.
@@ -185,7 +307,7 @@ mod tests {
     use super::*;
     use crate::block::{Block, BlockBody, Seal};
     use crate::entry::Entry;
-    use crate::types::Timestamp;
+    use crate::types::{EntryId, EntryNumber, Timestamp};
     use seldel_codec::DataRecord;
     use seldel_crypto::SigningKey;
 
@@ -259,6 +381,7 @@ mod tests {
             prev,
             BlockBody::Summary {
                 records: vec![],
+                deletions: vec![],
                 anchor: Some(anchor),
             },
             Seal::Deterministic,
@@ -266,6 +389,103 @@ mod tests {
         .unwrap();
         let report = validate_chain(&c, &ValidationOptions::default()).unwrap();
         assert_eq!(report.anchors_verified, 1);
+    }
+
+    #[test]
+    fn incremental_uses_cached_roots_only() {
+        let c = chain(6);
+        let report = validate_incremental(&c).unwrap();
+        assert_eq!(report.blocks_checked, 7);
+        assert_eq!(report.roots_cached, 7);
+        assert_eq!(report.roots_recomputed, 0);
+    }
+
+    #[test]
+    fn incremental_matches_full_verdict_after_pruning() {
+        let mut c = chain(6);
+        c.truncate_front(BlockNumber(3)).unwrap();
+        let report = validate_incremental(&c).unwrap();
+        assert_eq!(report.blocks_checked, 4);
+        assert!(validate_full(&c).is_ok());
+    }
+
+    #[test]
+    fn incremental_recomputes_rootless_legacy_blocks() {
+        // A store populated through seal_header_only has no cached roots
+        // (the legacy pre-commitment-cache layout): the incremental pass
+        // must fall back to a body re-hash and still accept the chain.
+        let c = chain(3);
+        let mut store = crate::store::MemStore::default();
+        for sealed in c.iter_sealed() {
+            store.push(crate::store::SealedBlock::seal_header_only(
+                sealed.block().clone(),
+            ));
+        }
+        let report = validate_store_incremental(&store).unwrap();
+        assert_eq!(report.blocks_checked, 4);
+        assert_eq!(report.roots_cached, 0);
+        assert_eq!(report.roots_recomputed, 4);
+    }
+
+    #[test]
+    fn incremental_flags_exact_tampered_block() {
+        // Swap block 2's body while keeping its header: the cached root
+        // (derived from the bytes the store holds) no longer matches the
+        // header commitment, and the report names block 2 — not a later
+        // casualty of the broken linkage.
+        let c = chain(4);
+        let key = SigningKey::from_seed([9u8; 32]);
+        let mut store = crate::store::MemStore::default();
+        for sealed in c.iter_sealed() {
+            if sealed.block().number() == BlockNumber(2) {
+                let forged = Block::from_parts(
+                    sealed.block().header().clone(),
+                    BlockBody::Normal {
+                        entries: vec![Entry::sign_data(&key, DataRecord::new("forged"))],
+                    },
+                );
+                store.push(crate::store::SealedBlock::seal(forged));
+            } else {
+                store.push(sealed.clone());
+            }
+        }
+        assert_eq!(
+            validate_store_incremental(&store),
+            Err(ChainError::PayloadMismatch {
+                number: BlockNumber(2)
+            })
+        );
+    }
+
+    #[test]
+    fn incremental_rejects_unsorted_tombstones() {
+        let c = chain(2);
+        let prev = c.tip().hash();
+        let ts = c.tip().timestamp();
+        // Block::new derives a (valid) commitment over the unsorted list,
+        // so only the canonical-order rule can reject it.
+        let rogue = Block::new(
+            BlockNumber(3),
+            ts,
+            prev,
+            BlockBody::Summary {
+                records: vec![],
+                deletions: vec![
+                    EntryId::new(BlockNumber(2), EntryNumber(0)),
+                    EntryId::new(BlockNumber(1), EntryNumber(0)),
+                ],
+                anchor: None,
+            },
+            Seal::Deterministic,
+        );
+        let mut store: crate::store::MemStore = c.store().clone();
+        store.push(crate::store::SealedBlock::seal(rogue));
+        assert_eq!(
+            validate_store_incremental(&store),
+            Err(ChainError::TombstonesUnsorted {
+                number: BlockNumber(3)
+            })
+        );
     }
 
     #[test]
@@ -280,6 +500,7 @@ mod tests {
             prev,
             BlockBody::Summary {
                 records: vec![],
+                deletions: vec![],
                 anchor: Some(anchor),
             },
             Seal::Deterministic,

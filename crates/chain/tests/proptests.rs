@@ -41,6 +41,7 @@ fn build_mixed_chain(block_count: u64) -> Blockchain {
         let prev = chain.tip().hash();
         let block = if b.is_multiple_of(4) {
             let mut records = Vec::new();
+            let mut deletions = Vec::new();
             if let Some(origin_block) = chain.get(BlockNumber(b - 2)) {
                 if let Some(entry) = origin_block.entries().first() {
                     let origin = EntryId::new(BlockNumber(b - 2), EntryNumber(0));
@@ -49,6 +50,10 @@ fn build_mixed_chain(block_count: u64) -> Blockchain {
                             .expect("data entry"),
                     );
                 }
+                // The sibling entry is "deleted" by this Σ: not carried,
+                // tombstoned instead — so payload commitments and codecs
+                // see non-empty deletion lists throughout these properties.
+                deletions.push(EntryId::new(BlockNumber(b - 2), EntryNumber(1)));
             }
             // Σ repeats the predecessor timestamp (§IV-B).
             Block::new(
@@ -57,6 +62,7 @@ fn build_mixed_chain(block_count: u64) -> Blockchain {
                 prev,
                 BlockBody::Summary {
                     records,
+                    deletions,
                     anchor: None,
                 },
                 Seal::Deterministic,
@@ -78,6 +84,27 @@ fn build_mixed_chain(block_count: u64) -> Blockchain {
         chain.push(block).expect("valid link");
     }
     chain
+}
+
+/// Per-block commitment fingerprint: number, seal-time cached root and the
+/// header's committed root.
+fn sealed_roots<S: seldel_chain::BlockStore>(
+    chain: &Blockchain<S>,
+) -> Vec<(
+    u64,
+    Option<seldel_crypto::Digest32>,
+    seldel_crypto::Digest32,
+)> {
+    chain
+        .iter_sealed()
+        .map(|sealed| {
+            (
+                sealed.block().number().value(),
+                sealed.payload_root(),
+                sealed.block().header().payload_hash,
+            )
+        })
+        .collect()
 }
 
 proptest! {
@@ -231,6 +258,63 @@ proptest! {
         for id in &probes {
             prop_assert_eq!(reopened.locate(*id), mem.locate(*id), "id {}", id);
         }
+    }
+
+    /// Merkle commitments are backend-independent: the payload roots
+    /// cached at seal time on `MemStore` equal the `SegStore` roots at
+    /// random shard counts and the `FileStore` roots — before and after a
+    /// marker shift, and across a close-and-replay cycle where the durable
+    /// backend re-derives every root from raw frame bytes.
+    #[test]
+    fn payload_roots_agree_across_backends(
+        blocks in 4u64..24,
+        shard_pow in 0u32..5,
+        cut in 0u64..8,
+    ) {
+        use seldel_chain::testutil::ScratchDir;
+        use seldel_chain::{validate_store_incremental, FileStore, MemStore, SegStore};
+
+        let shards = 1usize << shard_pow;
+        let source = build_mixed_chain(blocks);
+        let dir = ScratchDir::new("rootprop");
+        let file_store = FileStore::open_with_capacity(dir.path(), 4).expect("store opens");
+
+        let mut mem: Blockchain<MemStore> =
+            Blockchain::assemble(source.export_blocks()).expect("relink");
+        let mut seg: Blockchain<SegStore> =
+            Blockchain::assemble(source.export_blocks()).expect("relink");
+        let mut exported = source.export_blocks().into_iter();
+        let mut file: Blockchain<FileStore> =
+            Blockchain::with_genesis_in(file_store, exported.next().expect("genesis"));
+        for block in exported {
+            file.push(block).expect("valid link");
+        }
+        seg.reshard(shards);
+
+        let cut = cut.min(blocks);
+        if cut > 0 {
+            mem.truncate_front(BlockNumber(cut)).expect("in range");
+            seg.truncate_front(BlockNumber(cut)).expect("in range");
+            file.truncate_front(BlockNumber(cut)).expect("in range");
+        }
+
+        let oracle = sealed_roots(&mem);
+        // Every seal-time root is cached and matches the committed header.
+        for (number, cached, committed) in &oracle {
+            prop_assert_eq!(cached.as_ref(), Some(committed), "block {}", number);
+        }
+        prop_assert_eq!(&sealed_roots(&seg), &oracle);
+        prop_assert_eq!(&sealed_roots(&file), &oracle);
+
+        // Close and replay: the durable backend re-derives identical roots
+        // from raw bytes, and the audit sees them all as cached.
+        drop(file);
+        let reopened_store = FileStore::open(dir.path()).expect("reopen");
+        let audit = validate_store_incremental(&reopened_store).expect("clean audit");
+        prop_assert_eq!(audit.roots_cached, oracle.len() as u64);
+        prop_assert_eq!(audit.roots_recomputed, 0);
+        let reopened = Blockchain::from_store(reopened_store).expect("valid chain");
+        prop_assert_eq!(&sealed_roots(&reopened), &oracle);
     }
 
     #[test]

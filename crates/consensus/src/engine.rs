@@ -299,6 +299,7 @@ mod tests {
             BlockKind::Normal => BlockBody::Normal { entries: vec![] },
             BlockKind::Summary => BlockBody::Summary {
                 records: vec![],
+                deletions: vec![],
                 anchor: None,
             },
             BlockKind::Empty => BlockBody::Empty,

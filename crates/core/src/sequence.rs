@@ -114,6 +114,7 @@ mod tests {
             let body = if is_summary {
                 BlockBody::Summary {
                     records: vec![],
+                    deletions: vec![],
                     anchor: None,
                 }
             } else {

@@ -70,6 +70,7 @@ pub fn build_summary_block<S: BlockStore>(
     let now_ts = tip.timestamp();
     let mut outcome = SummaryOutcome::default();
     let mut records: Vec<SummaryRecord> = Vec::new();
+    let mut tombstones: Vec<EntryId> = Vec::new();
 
     let plan = plan_retirement(chain, config);
 
@@ -102,6 +103,11 @@ pub fn build_summary_block<S: BlockStore>(
                         }
                     }
                     BlockKind::Summary => {
+                        // An absorbed Σ's tombstones are carried forward in
+                        // full: deletion evidence must outlive any number of
+                        // merges so absence stays provable (O(log n) via the
+                        // payload commitment) after the original Σ is pruned.
+                        tombstones.extend_from_slice(block.deletions());
                         for record in block.summary_records() {
                             let id = record.origin();
                             if deletions.is_marked(id) {
@@ -150,11 +156,24 @@ pub fn build_summary_block<S: BlockStore>(
     outcome.anchored = anchor.is_some();
     outcome.plan = plan;
 
+    // Tombstone every deletion this merge executed, plus everything the
+    // absorbed summaries already tombstoned. Expired temporaries are NOT
+    // tombstoned — expiry is derivable from the (committed) expiry field,
+    // only explicit deletions need standalone absence evidence. Strictly
+    // sorted so the commitment is canonical (validation enforces this).
+    tombstones.extend_from_slice(&outcome.deleted);
+    tombstones.sort_unstable();
+    tombstones.dedup();
+
     let block = Block::new(
         number,
         now_ts,
         chain.tip_hash(), // cached sealed-block digest, no re-hash
-        BlockBody::Summary { records, anchor },
+        BlockBody::Summary {
+            records,
+            deletions: tombstones,
+            anchor,
+        },
         Seal::Deterministic,
     );
     (block, outcome)

@@ -136,8 +136,10 @@ impl MerkleTree {
 
 /// Which side a sibling digest is combined on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Side {
+pub enum Side {
+    /// The sibling is the left child; the accumulator is the right.
     Left,
+    /// The sibling is the right child; the accumulator is the left.
     Right,
 }
 
@@ -158,9 +160,22 @@ impl fmt::Debug for MerkleProof {
 }
 
 impl MerkleProof {
+    /// Reassembles a proof from its parts (the inverse of
+    /// [`MerkleProof::path`] + [`MerkleProof::index`]) — the hook for wire
+    /// codecs living outside this crate. An assembled proof carries no
+    /// guarantee of validity; it simply verifies or does not.
+    pub fn from_parts(index: usize, path: Vec<(Side, Digest32)>) -> MerkleProof {
+        MerkleProof { index, path }
+    }
+
     /// Leaf index this proof commits to.
     pub fn index(&self) -> usize {
         self.index
+    }
+
+    /// The audit path, leaf level first.
+    pub fn path(&self) -> &[(Side, Digest32)] {
+        &self.path
     }
 
     /// Path length (tree height along this branch).
@@ -175,6 +190,9 @@ impl MerkleProof {
 
     /// Verifies the proof for an already-hashed leaf.
     pub fn verify_leaf_hash(&self, leaf: &Digest32, root: &Digest32) -> bool {
+        if !self.is_branch_consistent() {
+            return false;
+        }
         let mut acc = *leaf;
         for (side, sibling) in &self.path {
             acc = match side {
@@ -183,6 +201,39 @@ impl MerkleProof {
             };
         }
         acc == *root
+    }
+
+    /// Checks that `index` and the side sequence describe the same branch.
+    ///
+    /// The sibling sides alone drive hashing, so without this check the
+    /// index would be advisory: a relabelled index would still verify,
+    /// letting one byte string stand for two different claims. The walk
+    /// mirrors [`MerkleTree::prove`]: a `Right` sibling means the branch
+    /// was an even node, a `Left` sibling an odd one, and sibling-less
+    /// trailing nodes (odd promotion) emit nothing — they can only precede
+    /// a `Left` step, consumed here by halving while even.
+    fn is_branch_consistent(&self) -> bool {
+        let mut idx = self.index;
+        for (side, _) in &self.path {
+            match side {
+                Side::Right => {
+                    if !idx.is_multiple_of(2) {
+                        return false;
+                    }
+                    idx /= 2;
+                }
+                Side::Left => {
+                    while idx != 0 && idx.is_multiple_of(2) {
+                        idx /= 2;
+                    }
+                    if idx.is_multiple_of(2) {
+                        return false;
+                    }
+                    idx /= 2;
+                }
+            }
+        }
+        idx == 0
     }
 }
 
@@ -249,6 +300,30 @@ mod tests {
     fn out_of_bounds_proof_is_none() {
         let tree = MerkleTree::from_leaves(strs(3).iter().map(|s| s.as_bytes()));
         assert!(tree.prove(3).is_none());
+    }
+
+    #[test]
+    fn index_bit_flips_are_rejected() {
+        // A valid index carries exactly one set bit per `Left` step, so
+        // flipping any single bit breaks consistency with the sides. (Odd
+        // promotion does leave the index ambiguous across *popcount-
+        // preserving* rewrites for right-edge leaves — callers that bind a
+        // position, like in-block entry proofs, must compare the index to
+        // the claimed subject themselves.)
+        for n in 1..=17 {
+            let leaves = strs(n);
+            let tree = MerkleTree::from_leaves(leaves.iter().map(|s| s.as_bytes()));
+            for (i, leaf) in leaves.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                for bit in 0..8 {
+                    let forged = MerkleProof::from_parts(i ^ (1 << bit), proof.path().to_vec());
+                    assert!(
+                        !forged.verify(leaf.as_bytes(), &tree.root()),
+                        "size {n}: proof for {i} verified with bit {bit} flipped"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -145,12 +145,14 @@ impl<S: BlockStore> AnchorNode<S> {
         while n <= tip_now {
             if let Some(sealed) = self.ledger.chain().sealed(n) {
                 if sealed.block().kind() == BlockKind::Summary {
-                    // The Σ-hash sync check reads the cached sealed digest.
+                    // The Σ-hash sync check reads the cached sealed digest
+                    // and the header's payload commitment — no re-hash.
                     let check = (sealed.block().number(), sealed.hash());
                     self.last_summary = Some(check);
                     ctx.broadcast(NodeMessage::SyncCheck {
                         number: check.0,
                         summary_hash: check.1,
+                        payload_root: sealed.block().header().payload_hash,
                     });
                     self.stats.sync_checks_sent += 1;
                 }
@@ -203,15 +205,23 @@ impl<S: BlockStore> AnchorNode<S> {
         &mut self,
         number: BlockNumber,
         summary_hash: Digest32,
+        payload_root: Digest32,
         from: NodeId,
         ctx: &mut Context<'_, NodeMessage>,
     ) {
         // Checks for blocks we have not reached yet (in-flight NewBlock
         // racing the SyncCheck) or already pruned are not divergence —
         // catch-up is handled by the NewBlock rejection path. The local
-        // digest comes from the sealed-hash cache, never a re-hash.
+        // digest comes from the sealed-hash cache, never a re-hash; the
+        // payload commitment comparison pinpoints record/tombstone-set
+        // divergence as opposed to header-level disagreement.
+        let our_root = self
+            .ledger
+            .chain()
+            .get(number)
+            .map(|b| b.header().payload_hash);
         match self.ledger.chain().hash_of(number) {
-            Some(hash) if hash == summary_hash => {} // in sync
+            Some(hash) if hash == summary_hash && our_root == Some(payload_root) => {} // in sync
             Some(_) => {
                 // Same height, different hash: a real fork (§IV-B warns a
                 // summary-derivation failure "would result in a fork").
@@ -263,7 +273,8 @@ impl<S: BlockStore> SimNode<NodeMessage> for AnchorNode<S> {
             NodeMessage::SyncCheck {
                 number,
                 summary_hash,
-            } => self.handle_sync_check(number, summary_hash, from, ctx),
+                payload_root,
+            } => self.handle_sync_check(number, summary_hash, payload_root, from, ctx),
             NodeMessage::SyncRequest { from: from_block } => {
                 self.handle_sync_request(from_block, from, ctx)
             }

@@ -36,6 +36,10 @@ pub enum NodeMessage {
         number: BlockNumber,
         /// Hash of the sender's locally derived summary block.
         summary_hash: Digest32,
+        /// Payload commitment of that block — diverging record/tombstone
+        /// sets are reported as such even when (hypothetically) the block
+        /// hashes already differ for header-level reasons.
+        payload_root: Digest32,
     },
     /// Anchor → anchor: request live blocks starting at `from`.
     SyncRequest {

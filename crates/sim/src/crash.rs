@@ -29,7 +29,9 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use seldel_chain::{BlockKind, BlockStore, Entry, FileStore, Timestamp};
+use seldel_chain::{
+    validate_store_incremental, BlockKind, BlockStore, Entry, FileStore, Timestamp,
+};
 use seldel_codec::DataRecord;
 use seldel_core::{ChainConfig, RetentionPolicy, RetireMode, SelectiveLedger};
 use seldel_crypto::SigningKey;
@@ -457,6 +459,159 @@ pub fn run_crash_restart(dir: &Path, cfg: &CrashConfig) -> CrashReport {
     }
 }
 
+/// How an injected payload corruption was caught.
+///
+/// The fault model differs from the crash points above: a crash loses
+/// *suffixes* the fsync contract allows to be lost, while tampering flips
+/// a byte inside **committed** data. Recovery must therefore not succeed
+/// silently — every outcome below is a detection, and
+/// [`run_tamper_payload`] panics if none of them fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TamperDetection {
+    /// The store refused to open (frame undecodable / manifest corrupt).
+    OpenRejected(String),
+    /// The store opened but the incremental commitment audit flagged the
+    /// block at this number (its decoded body no longer matches the
+    /// header's payload root, or a link broke).
+    BlockFlagged(u64),
+    /// The flip hit a frame length prefix, which is indistinguishable from
+    /// a torn tail: the store opened short of the expected tip.
+    TailTruncated {
+        /// Tip after reopening.
+        recovered_tip: u64,
+        /// Tip before the tamper.
+        expected_tip: u64,
+    },
+    /// The flip hit the tip block's header in a field no local rule
+    /// constrains (timestamp, seal — only the tip has no successor whose
+    /// `prev_hash` pins it): caught by comparing against the
+    /// quorum-attested status-quo tip hash (§V-B4).
+    TipHashDiverged,
+}
+
+/// Outcome of one [`run_tamper_payload`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TamperReport {
+    /// The segment file that was corrupted.
+    pub segment: String,
+    /// Byte offset of the flip within that file.
+    pub offset: u64,
+    /// How the corruption surfaced.
+    pub detection: TamperDetection,
+}
+
+/// Tiny deterministic generator (xorshift64*) — the sim never reads OS
+/// randomness; every run is reproducible from the seed.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// The `TamperPayload` fault: drives a durable ledger, closes it cleanly,
+/// flips **one seed-chosen byte** inside a committed segment file, and
+/// asserts the corruption cannot go unnoticed — the reopen fails, the
+/// incremental commitment audit ([`validate_store_incremental`]) flags the
+/// exact block, or (length-prefix hits only) the tail comes back short.
+///
+/// # Panics
+///
+/// Panics when the tampered store opens full-length and passes the audit —
+/// silent undetected corruption, the one forbidden outcome.
+pub fn run_tamper_payload(dir: &Path, cfg: &CrashConfig, seed: u64) -> TamperReport {
+    let _ = fs::remove_dir_all(dir);
+    let key = SigningKey::from_seed([0x7A; 32]);
+    let mut counter = 0u64;
+
+    let mut durable = SelectiveLedger::builder(crash_chain_config())
+        .store_backend::<FileStore>()
+        .on_disk_with_capacity(dir, cfg.segment_capacity)
+        .expect("fresh store opens");
+    for block in 1..=cfg.blocks_before_crash {
+        let ts = Timestamp(block * 10);
+        for _ in 0..cfg.entries_per_block {
+            counter += 1;
+            durable
+                .submit_entry(workload_entry(&key, counter))
+                .expect("durable accepts");
+        }
+        durable.seal_block(ts).expect("monotone time");
+    }
+    let expected_tip = durable.chain().tip().number().value();
+    let expected_tip_hash = durable.chain().tip_hash();
+    drop(durable);
+
+    // Flip one byte, position drawn from the seed over all segment bytes.
+    let files = snapshot_segments(dir);
+    let total: u64 = files.values().map(|b| b.len() as u64).sum();
+    assert!(total > 0, "workload produced no segment bytes");
+    let mut state = seed | 1;
+    let mut target = xorshift(&mut state) % total;
+    let (path, offset) = files
+        .iter()
+        .find_map(|(path, bytes)| {
+            if target < bytes.len() as u64 {
+                Some((path.clone(), target))
+            } else {
+                target -= bytes.len() as u64;
+                None
+            }
+        })
+        .expect("target is within total");
+    let mut bytes = files[&path].clone();
+    bytes[offset as usize] ^= 1 << (xorshift(&mut state) % 8);
+    fs::write(&path, &bytes).expect("write tampered segment");
+    let segment = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .expect("segment name")
+        .to_string();
+
+    // Reopen and audit: one of the three detections must fire.
+    let detection = match FileStore::open(dir) {
+        Err(err) => TamperDetection::OpenRejected(err.to_string()),
+        Ok(store) => match validate_store_incremental(&store) {
+            Err(err) => {
+                let flagged = match err {
+                    seldel_chain::ChainError::PayloadMismatch { number }
+                    | seldel_chain::ChainError::PrevHashMismatch { number }
+                    | seldel_chain::ChainError::TimestampRegression { number }
+                    | seldel_chain::ChainError::SummaryTimestampMismatch { number }
+                    | seldel_chain::ChainError::TombstonesUnsorted { number }
+                    | seldel_chain::ChainError::GenesisMisplaced { number } => number.value(),
+                    seldel_chain::ChainError::NonContiguousNumber { found, .. } => found.value(),
+                    other => panic!("unexpected audit error after tamper: {other}"),
+                };
+                TamperDetection::BlockFlagged(flagged)
+            }
+            Ok(_) => {
+                let tip = store.last().expect("audited store is non-empty");
+                let recovered_tip = tip.block().number().value();
+                if recovered_tip < expected_tip {
+                    TamperDetection::TailTruncated {
+                        recovered_tip,
+                        expected_tip,
+                    }
+                } else {
+                    assert!(
+                        tip.hash() != expected_tip_hash,
+                        "tampered byte {offset} of {segment} went completely undetected"
+                    );
+                    TamperDetection::TipHashDiverged
+                }
+            }
+        },
+    };
+    TamperReport {
+        segment,
+        offset,
+        detection,
+    }
+}
+
 /// Runs all three crash points in subdirectories of `base`, returning the
 /// reports in order (mid-push, mid-prune, clean-close).
 pub fn run_crash_matrix(base: &Path, cfg: &CrashConfig) -> Vec<CrashReport> {
@@ -511,6 +666,17 @@ mod tests {
         // manifest, so a crash inside the prune destroys no blocks.
         assert_eq!(report.lost_blocks, 0, "{report:?}");
         assert_eq!(report.reapplied_blocks, 0);
+    }
+
+    #[test]
+    fn tamper_payload_is_always_detected() {
+        let dir = ScratchDir::new("tamper");
+        for seed in [1u64, 2, 3, 0xDEAD_BEEF] {
+            // run_tamper_payload panics on silent undetected corruption;
+            // each seed picks a different byte to flip.
+            let report = run_tamper_payload(dir.path(), &CrashConfig::default(), seed);
+            assert!(!report.segment.is_empty(), "{report:?}");
+        }
     }
 
     #[test]

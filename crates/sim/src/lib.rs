@@ -33,7 +33,8 @@ pub use attacks::{
     RaceConfig, RaceResult,
 };
 pub use crash::{
-    crash_chain_config, run_crash_matrix, run_crash_restart, CrashConfig, CrashPoint, CrashReport,
+    crash_chain_config, run_crash_matrix, run_crash_restart, run_tamper_payload, CrashConfig,
+    CrashPoint, CrashReport, TamperDetection, TamperReport,
 };
 pub use growth::{run_growth, run_growth_in, sweep_l_max, GrowthConfig, GrowthSample};
 pub use latency::{mean_latency_blocks, run_latency, LatencyConfig, LatencySample};
