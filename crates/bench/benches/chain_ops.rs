@@ -128,10 +128,10 @@ fn bench_locate_indexed_vs_scan(c: &mut Criterion) {
             .map(|(id, _)| *id)
             .min()
             .expect("records exist");
-        assert!(matches!(
-            ledger.chain().locate(oldest),
-            Some(seldel_chain::Located::InSummary { .. })
-        ));
+        assert!(ledger
+            .chain()
+            .locate(oldest)
+            .is_some_and(|l| l.is_in_summary()));
         assert_eq!(
             ledger.chain().locate(oldest),
             ledger.chain().locate_scan(oldest),
@@ -154,7 +154,7 @@ fn bench_store_backends(c: &mut Criterion) {
     let sealed: Vec<SealedBlock> = build_ledger(10, 400, 300, 2, 32)
         .chain()
         .iter_sealed()
-        .cloned()
+        .map(|sealed| sealed.into_sealed())
         .collect();
 
     fn drive<S: BlockStore>(blocks: &[SealedBlock]) -> u64 {

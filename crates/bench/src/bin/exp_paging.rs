@@ -1,0 +1,192 @@
+//! Experiment E11 — larger-than-RAM chains on the paged `FileStore`.
+//!
+//! Measures indexed `locate` / `locate_many` latency and resident
+//! live-block bytes on disk-rooted chains sized at 1×, 2× and 4× the
+//! hot-block cache budget, and writes `BENCH_paging.json`.
+//!
+//! Run with `cargo run -p seldel-bench --bin exp_paging --release`.
+//!
+//! Two gates run **unconditionally** (they are the tentpole's acceptance
+//! criteria, not trend checks):
+//!
+//! * **flatness** — uniform-probe locate latency at 4× budget must stay
+//!   within 25% of the 2× budget run (both are miss-dominated, so the
+//!   cost per lookup must not grow with chain length);
+//! * **boundedness** — at 4× budget the on-disk chain must be ≥ 3× the
+//!   resident live-block bytes, and the resident bytes must not grow
+//!   with the chain (within 50% of the 1×-budget run's footprint).
+//!
+//! Pass `--baseline <path>` to additionally compare `locate_uniform_ns`
+//! and `locate_many_ns_per_id` per chain size against a previously
+//! committed `BENCH_paging.json` with the same >20% gate the other
+//! experiments use (plus a 100 ns absolute allowance, for the
+//! all-hit within-budget row). Violations print GitHub `::warning::`
+//! annotations and exit non-zero.
+
+use seldel_bench::paging::{write_paging_report, PagingSample};
+use seldel_bench::report::row_field_f64;
+use seldel_codec::render::{human_bytes, TextTable};
+
+/// Hot-cache budget the experiment runs with, in blocks.
+const CACHE_BLOCKS: usize = 64;
+
+/// Payload bytes per workload entry.
+const PAYLOAD_BYTES: usize = 256;
+
+/// Minimum acceptable ratio of baseline to current timing (20% regression
+/// headroom over scheduler noise — the workspace-wide gate).
+const FLOOR: f64 = 0.8;
+
+/// Minimum chain-bytes : resident-bytes ratio at the largest size.
+const MIN_PAGING_FACTOR: f64 = 3.0;
+
+/// Absolute slack for the baseline locate gates: the within-budget row is
+/// all cache hits (~100 ns), where a purely relative bound would flag
+/// scheduler jitter as a regression.
+const LOCATE_NOISE_FLOOR_NS: f64 = 100.0;
+
+/// The in-run acceptance gates (flat latency, bounded residency).
+fn structural_complaints(samples: &[PagingSample]) -> Vec<String> {
+    let mut complaints = Vec::new();
+    let [within, mid, large] = samples else {
+        return vec![format!("expected 3 samples, got {}", samples.len())];
+    };
+    // Flatness: 4× vs 2× budget, both miss-dominated.
+    if large.locate_uniform_ns * FLOOR > mid.locate_uniform_ns {
+        complaints.push(format!(
+            "locate latency grows with chain size: {:.0} ns at {} blocks vs {:.0} ns at {} \
+             ({}% of the smaller chain)",
+            large.locate_uniform_ns,
+            large.live_blocks,
+            mid.locate_uniform_ns,
+            mid.live_blocks,
+            (100.0 * large.locate_uniform_ns / mid.locate_uniform_ns).round()
+        ));
+    }
+    // Boundedness: the chain dwarfs resident memory...
+    if large.paging_factor() < MIN_PAGING_FACTOR {
+        complaints.push(format!(
+            "chain only {:.1}x resident memory at {} blocks (floor {MIN_PAGING_FACTOR}x): \
+             {} on disk vs {} resident",
+            large.paging_factor(),
+            large.live_blocks,
+            human_bytes(large.chain_bytes),
+            human_bytes(large.resident_bytes)
+        ));
+    }
+    // ...and residency tracks the cache budget, not the chain length.
+    if large.resident_bytes as f64 > within.resident_bytes as f64 * 1.5 {
+        complaints.push(format!(
+            "resident bytes grow with the chain: {} at {} blocks vs {} at {}",
+            human_bytes(large.resident_bytes),
+            large.live_blocks,
+            human_bytes(within.resident_bytes),
+            within.live_blocks
+        ));
+    }
+    complaints
+}
+
+/// Compares this run to the committed baseline report; returns complaints.
+fn regressions(baseline: &str, samples: &[PagingSample]) -> Vec<String> {
+    let mut complaints = Vec::new();
+    for line in baseline.lines() {
+        let Some(base_blocks) = row_field_f64(line, "live_blocks") else {
+            continue;
+        };
+        let Some(now) = samples.iter().find(|s| s.live_blocks as f64 == base_blocks) else {
+            continue;
+        };
+        for (name, current) in [
+            ("locate_uniform_ns", now.locate_uniform_ns),
+            ("locate_many_ns_per_id", now.locate_many_ns_per_id),
+        ] {
+            let Some(base_ns) = row_field_f64(line, name) else {
+                continue;
+            };
+            if current * FLOOR > base_ns + LOCATE_NOISE_FLOOR_NS {
+                complaints.push(format!(
+                    "{} live blocks: {name} {current:.0} ns vs baseline {base_ns:.0} \
+                     ({}% of baseline)",
+                    now.live_blocks,
+                    (100.0 * current / base_ns).round()
+                ));
+            }
+        }
+    }
+    complaints
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .map(|i| args.get(i + 1).expect("--baseline needs a path").clone());
+    // Read the baseline up front: this run overwrites BENCH_paging.json.
+    let baseline = baseline_path
+        .as_deref()
+        .map(|p| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read baseline {p}: {e}")));
+
+    println!(
+        "E11: paged FileStore, hot-cache budget {CACHE_BLOCKS} blocks, chains at \
+         1x/2x/4x the budget\n(written to BENCH_paging.json)"
+    );
+    let samples = write_paging_report("BENCH_paging.json", CACHE_BLOCKS, PAYLOAD_BYTES)
+        .expect("write BENCH_paging.json");
+
+    let mut table = TextTable::new([
+        "live blocks",
+        "chain bytes",
+        "resident bytes",
+        "paging factor",
+        "locate uniform",
+        "locate hot",
+        "locate_many /id",
+        "cache hit rate",
+    ]);
+    for s in &samples {
+        let probes = s.cache_hits + s.cache_misses;
+        table.row([
+            s.live_blocks.to_string(),
+            human_bytes(s.chain_bytes),
+            human_bytes(s.resident_bytes),
+            format!("{:.1}x", s.paging_factor()),
+            format!("{:.0} ns", s.locate_uniform_ns),
+            format!("{:.0} ns", s.locate_hot_ns),
+            format!("{:.0} ns", s.locate_many_ns_per_id),
+            if probes == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.0}%", 100.0 * s.cache_hits as f64 / probes as f64)
+            },
+        ]);
+    }
+    println!("{}", table.render());
+
+    let mut complaints = structural_complaints(&samples);
+    if complaints.is_empty() {
+        println!(
+            "paging check: locate flat past the cache budget, resident bytes bounded \
+             by the budget while the chain grows {:.1}x past it",
+            samples.last().expect("samples exist").paging_factor()
+        );
+    }
+    if let Some(baseline) = baseline {
+        let trend = regressions(&baseline, &samples);
+        if trend.is_empty() && complaints.is_empty() {
+            println!("baseline check: locate and locate_many within 20% of the committed run");
+        }
+        complaints.extend(trend);
+    }
+    if !complaints.is_empty() {
+        for c in &complaints {
+            println!("::warning title=exp_paging regression::{c}");
+        }
+        eprintln!(
+            "paged-store performance violated {} check(s) (flatness/boundedness/baseline)",
+            complaints.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -14,6 +14,7 @@ use seldel_codec::DataRecord;
 use seldel_core::{ChainConfig, RetentionPolicy, RetireMode, SelectiveLedger};
 use seldel_crypto::SigningKey;
 
+pub mod paging;
 pub mod report;
 
 /// Deterministic workload key shared by fixtures.

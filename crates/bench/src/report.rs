@@ -227,6 +227,10 @@ pub struct BackendSample {
     pub locate_scan_ns: f64,
     /// One structural validation pass.
     pub validate_structural_ns: f64,
+    /// Peak resident live-block bytes after the build + read workload —
+    /// full chain bytes for the in-memory backends, hot-cache bytes for
+    /// the paged `FileStore` (see `BlockStore::resident_bytes`).
+    pub resident_bytes: u64,
 }
 
 impl BackendSample {
@@ -267,10 +271,7 @@ pub fn measure_chain_ops(live_blocks: u64) -> ChainOpsSample {
         .min()
         .expect("workload leaves records");
     assert!(
-        matches!(
-            chain.locate(oldest),
-            Some(seldel_chain::Located::InSummary { .. })
-        ),
+        chain.locate(oldest).is_some_and(|l| l.is_in_summary()),
         "oldest record must be summarised for a meaningful comparison"
     );
 
@@ -335,6 +336,7 @@ pub fn measure_backend_ops<S: BlockStore>(
         locate_indexed_ns,
         locate_scan_ns,
         validate_structural_ns,
+        resident_bytes: chain.store().resident_bytes(),
     }
 }
 
@@ -401,6 +403,7 @@ pub fn to_json(samples: &[ChainOpsSample], backends: &[BackendSample]) -> String
                     "validate_structural_ns",
                     JsonField::f1(b.validate_structural_ns),
                 )
+                .field("resident_bytes", b.resident_bytes)
         })
         .collect();
     render_json_report(
@@ -454,6 +457,7 @@ mod tests {
             locate_indexed_ns: 50.0,
             locate_scan_ns: 5000.0,
             validate_structural_ns: 2000.0,
+            resident_bytes: 123_456,
         };
         assert!((backend.seal_blocks_per_s() - 500.0).abs() < 1e-9);
         let json = to_json(&[sample.clone(), sample], &[backend.clone(), backend]);

@@ -72,9 +72,10 @@ impl BaselineChain {
         self.chain.total_byte_size()
     }
 
-    /// Looks up a data record by id.
-    pub fn get_record(&self, id: EntryId) -> Option<&DataRecord> {
-        self.chain.locate(id).and_then(|l| l.data())
+    /// Looks up a data record by id (an owned clone — the holder block may
+    /// be a transient page on disk-backed stores).
+    pub fn get_record(&self, id: EntryId) -> Option<DataRecord> {
+        self.chain.locate(id).and_then(|l| l.data().cloned())
     }
 
     /// Validates the whole chain.

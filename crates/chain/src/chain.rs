@@ -28,7 +28,7 @@ use crate::entry::{Entry, EntryPayload};
 use crate::error::ChainError;
 use crate::index::{EntryIndex, Location};
 use crate::shard::{ShardMap, ShardedIndex, DEFAULT_SHARD_COUNT};
-use crate::store::{BlockStore, MemStore, SealedBlock};
+use crate::store::{BlockRef, BlockStore, MemStore, SealedBlock};
 use crate::summary::SummaryRecord;
 use crate::types::{BlockNumber, EntryId, EntryNumber};
 
@@ -37,51 +37,106 @@ use crate::types::{BlockNumber, EntryId, EntryNumber};
 /// only pays off for bulk audits.
 const LOCATE_MANY_PARALLEL_MIN_IDS: usize = 1024;
 
-/// Where a data set currently lives in the chain.
+/// The slot inside the holder block a located data set occupies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Located<'a> {
-    /// Still inside its original (live) block.
-    InBlock {
-        /// The containing block.
-        block: &'a Block,
-        /// The entry.
-        entry: &'a Entry,
-    },
-    /// Carried forward into a summary block.
-    InSummary {
-        /// The containing summary block.
-        block: &'a Block,
-        /// The carried record.
-        record: &'a SummaryRecord,
-    },
+enum LocatedSlot {
+    /// Entry `i` of a live normal block.
+    Entry(u32),
+    /// Carried record `i` of a summary block.
+    Record(u32),
+}
+
+/// Where a data set currently lives in the chain.
+///
+/// Holds a guard on the containing block ([`BlockRef`]) plus the slot the
+/// data occupies, so paged backends can hand out cache-owned blocks
+/// without copying the whole chain into memory. Accessors expose the
+/// entry / record / data-record views the old enum variants carried.
+#[derive(Debug, Clone)]
+pub struct Located<'a> {
+    holder: BlockRef<'a>,
+    slot: LocatedSlot,
 }
 
 impl<'a> Located<'a> {
+    fn in_block(holder: BlockRef<'a>, entry: u32) -> Located<'a> {
+        Located {
+            holder,
+            slot: LocatedSlot::Entry(entry),
+        }
+    }
+
+    fn in_summary(holder: BlockRef<'a>, record: u32) -> Located<'a> {
+        Located {
+            holder,
+            slot: LocatedSlot::Record(record),
+        }
+    }
+
+    /// Whether the data set is still inside its original (live) block.
+    pub fn is_in_block(&self) -> bool {
+        matches!(self.slot, LocatedSlot::Entry(_))
+    }
+
+    /// Whether the data set was carried forward into a summary block.
+    pub fn is_in_summary(&self) -> bool {
+        matches!(self.slot, LocatedSlot::Record(_))
+    }
+
+    /// The original entry, when the data set is still in its live block.
+    pub fn entry(&self) -> Option<&Entry> {
+        match self.slot {
+            LocatedSlot::Entry(i) => self.holder.entries().get(i as usize),
+            LocatedSlot::Record(_) => None,
+        }
+    }
+
+    /// The carried record, when the data set lives in a summary block.
+    pub fn record(&self) -> Option<&SummaryRecord> {
+        match self.slot {
+            LocatedSlot::Entry(_) => None,
+            LocatedSlot::Record(i) => self.holder.summary_records().get(i as usize),
+        }
+    }
+
     /// The data record, regardless of where it lives (deletion-request
     /// entries have no data record).
-    pub fn data(&self) -> Option<&'a DataRecord> {
-        match self {
-            Located::InBlock { entry, .. } => entry.payload().as_data(),
-            Located::InSummary { record, .. } => Some(record.record()),
+    pub fn data(&self) -> Option<&DataRecord> {
+        match self.slot {
+            LocatedSlot::Entry(_) => self.entry()?.payload().as_data(),
+            LocatedSlot::Record(_) => Some(self.record()?.record()),
         }
     }
 
     /// The author key of the located data set.
     pub fn author(&self) -> seldel_crypto::VerifyingKey {
-        match self {
-            Located::InBlock { entry, .. } => entry.author(),
-            Located::InSummary { record, .. } => record.author(),
+        match self.slot {
+            LocatedSlot::Entry(_) => self.entry().expect("slot in range").author(),
+            LocatedSlot::Record(_) => self.record().expect("slot in range").author(),
         }
     }
 
     /// The block currently holding the data.
-    pub fn holder(&self) -> &'a Block {
-        match self {
-            Located::InBlock { block, .. } => block,
-            Located::InSummary { block, .. } => block,
-        }
+    pub fn holder(&self) -> &Block {
+        self.holder.block()
+    }
+
+    /// The holder block with its cached digest, as a guard.
+    pub fn holder_sealed(&self) -> &SealedBlock {
+        &self.holder
     }
 }
+
+impl PartialEq for Located<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached digest identifies the holder block; the slot pins the
+        // position inside it. Cheaper than deep block comparison and
+        // stable across backends.
+        self.holder.hash() == other.holder.hash() && self.slot == other.slot
+    }
+}
+
+impl Eq for Located<'_> {}
 
 /// The linkage rules for a sealed block extending `prev` — shared by the
 /// live append path ([`Blockchain::push`]) and the recovery path
@@ -215,13 +270,16 @@ impl<S: BlockStore> Blockchain<S> {
         let parallel = ShardedIndex::parallel_build_applies(map, store.len());
         let mut inline = ShardedIndex::with_map(map);
         {
-            let mut prev: Option<&SealedBlock> = None;
+            // Guards, not store borrows: a paged backend materialises each
+            // block as the iterator reaches it, and the previous guard
+            // keeps exactly one predecessor alive for the linkage check.
+            let mut prev: Option<BlockRef<'_>> = None;
             for sealed in store.iter() {
-                let block = sealed.block();
-                if let Some(prev) = prev {
+                if let Some(prev) = &prev {
                     // The same rules `push` applies when appending live.
-                    check_link(prev, sealed)?;
+                    check_link(prev, &sealed)?;
                 } else {
+                    let block = sealed.block();
                     if block.kind() == BlockKind::Genesis && block.number() != BlockNumber::GENESIS
                     {
                         return Err(ChainError::GenesisMisplaced {
@@ -240,7 +298,7 @@ impl<S: BlockStore> Blockchain<S> {
                     }
                 }
                 if !parallel {
-                    inline.index_block(block);
+                    inline.index_block(sealed.block());
                 }
                 prev = Some(sealed);
             }
@@ -283,8 +341,8 @@ impl<S: BlockStore> Blockchain<S> {
         self.index = ShardedIndex::new(self.index.shard_count());
         for sealed in source.store.iter() {
             self.index.index_block(sealed.block());
-            // Cloning the sealed block keeps the cached digest: no re-hash.
-            self.store.push(sealed.clone());
+            // Unwrapping the guard keeps the cached digest: no re-hash.
+            self.store.push(sealed.into_sealed());
         }
     }
 
@@ -325,7 +383,7 @@ impl<S: BlockStore> Blockchain<S> {
         // the store for every later validation pass.
         let sealed = SealedBlock::seal(block);
         let tip = self.store.last().expect("chain is never empty");
-        check_link(tip, &sealed)?;
+        check_link(&tip, &sealed)?;
         self.index.index_block(sealed.block());
         self.store.push(sealed);
         Ok(())
@@ -333,26 +391,26 @@ impl<S: BlockStore> Blockchain<S> {
 
     /// The shifting genesis marker `m`: number of the first live block.
     pub fn marker(&self) -> BlockNumber {
-        self.store
-            .first()
-            .expect("chain is never empty")
-            .block()
-            .number()
+        // `first_number`, not `first`: on a paged store the latter would
+        // materialise the oldest block on every by-number lookup.
+        self.store.first_number().expect("chain is never empty")
     }
 
-    /// The newest block.
-    pub fn tip(&self) -> &Block {
-        self.store.last().expect("chain is never empty").block()
+    /// The newest block (as a guard; reads like a `&Block` through the
+    /// sealed wrapper's accessors).
+    pub fn tip(&self) -> BlockRef<'_> {
+        self.store.last().expect("chain is never empty")
     }
 
     /// The cached digest of the newest block.
     pub fn tip_hash(&self) -> seldel_crypto::Digest32 {
-        self.store.last().expect("chain is never empty").hash()
+        let len = self.store.len();
+        self.store.hash_at(len - 1).expect("chain is never empty")
     }
 
     /// The oldest live block (the block the marker points at).
-    pub fn first(&self) -> &Block {
-        self.store.first().expect("chain is never empty").block()
+    pub fn first(&self) -> BlockRef<'_> {
+        self.store.first().expect("chain is never empty")
     }
 
     /// Live length lβ in blocks.
@@ -371,12 +429,12 @@ impl<S: BlockStore> Blockchain<S> {
     }
 
     /// Looks up a live block by number.
-    pub fn get(&self, number: BlockNumber) -> Option<&Block> {
-        self.sealed(number).map(SealedBlock::block)
+    pub fn get(&self, number: BlockNumber) -> Option<BlockRef<'_>> {
+        self.sealed(number)
     }
 
     /// Looks up a live block with its cached digest by number.
-    pub fn sealed(&self, number: BlockNumber) -> Option<&SealedBlock> {
+    pub fn sealed(&self, number: BlockNumber) -> Option<BlockRef<'_>> {
         let marker = self.marker();
         if number < marker {
             return None;
@@ -386,17 +444,27 @@ impl<S: BlockStore> Blockchain<S> {
     }
 
     /// The cached digest of a live block.
+    ///
+    /// Served through [`BlockStore::hash_at`], so paged backends answer
+    /// from their frame table without touching the block bytes.
     pub fn hash_of(&self, number: BlockNumber) -> Option<seldel_crypto::Digest32> {
-        self.sealed(number).map(SealedBlock::hash)
+        let marker = self.marker();
+        if number < marker {
+            return None;
+        }
+        let index = (number.value() - marker.value()) as usize;
+        self.store.hash_at(index)
     }
 
     /// Iterates live blocks from marker to tip.
-    pub fn iter(&self) -> impl Iterator<Item = &Block> {
-        self.store.iter().map(SealedBlock::block)
+    pub fn iter(&self) -> impl Iterator<Item = BlockRef<'_>> {
+        self.store.iter()
     }
 
-    /// Iterates live blocks with their cached digests.
-    pub fn iter_sealed(&self) -> impl Iterator<Item = &SealedBlock> {
+    /// Iterates live blocks with their cached digests. Alias of
+    /// [`Blockchain::iter`] kept for the historical spelling — items carry
+    /// the digest either way now that they are sealed guards.
+    pub fn iter_sealed(&self) -> impl Iterator<Item = BlockRef<'_>> {
         self.store.iter()
     }
 
@@ -433,7 +501,7 @@ impl<S: BlockStore> Blockchain<S> {
     pub fn rebuilt_index(&self) -> EntryIndex {
         let mut fresh = EntryIndex::new();
         for block in self.iter() {
-            fresh.index_block(block);
+            fresh.index_block(block.block());
         }
         fresh
     }
@@ -452,12 +520,16 @@ impl<S: BlockStore> Blockchain<S> {
     /// block in O(log n) — no chain scan on any path.
     pub fn locate(&self, id: EntryId) -> Option<Located<'_>> {
         if let Some(block) = self.get(id.block) {
-            if let Some(entry) = block.entries().get(id.entry.value() as usize) {
-                return Some(Located::InBlock { block, entry });
+            if (id.entry.value() as usize) < block.entries().len() {
+                return Some(Located::in_block(block, id.entry.value()));
             }
             // The id may address a record *inside* a summary block.
-            if let Some(record) = block.summary_records().iter().find(|r| r.origin() == id) {
-                return Some(Located::InSummary { block, record });
+            if let Some(slot) = block
+                .summary_records()
+                .iter()
+                .position(|r| r.origin() == id)
+            {
+                return Some(Located::in_summary(block, slot as u32));
             }
         }
         match self.index.get(id)? {
@@ -465,7 +537,7 @@ impl<S: BlockStore> Blockchain<S> {
                 let block = self.get(holder)?;
                 let record = block.summary_records().get(slot as usize)?;
                 debug_assert_eq!(record.origin(), id, "index slot must match origin");
-                Some(Located::InSummary { block, record })
+                Some(Located::in_summary(block, slot))
             }
             // An InBlock entry would have been found by the direct lookup
             // above; reaching this arm means the id is not live.
@@ -562,20 +634,28 @@ impl<S: BlockStore> Blockchain<S> {
     /// checked by the direct lookup (historically it was re-visited).
     pub fn locate_scan(&self, id: EntryId) -> Option<Located<'_>> {
         if let Some(block) = self.get(id.block) {
-            if let Some(entry) = block.entries().get(id.entry.value() as usize) {
-                return Some(Located::InBlock { block, entry });
+            if (id.entry.value() as usize) < block.entries().len() {
+                return Some(Located::in_block(block, id.entry.value()));
             }
-            if let Some(record) = block.summary_records().iter().find(|r| r.origin() == id) {
-                return Some(Located::InSummary { block, record });
+            if let Some(slot) = block
+                .summary_records()
+                .iter()
+                .position(|r| r.origin() == id)
+            {
+                return Some(Located::in_summary(block, slot as u32));
             }
         }
         for i in (0..self.store.len()).rev() {
-            let block = self.store.get(i).expect("index in range").block();
+            let block = self.store.get(i).expect("index in range");
             if block.kind() != BlockKind::Summary || block.number() == id.block {
                 continue;
             }
-            if let Some(record) = block.summary_records().iter().find(|r| r.origin() == id) {
-                return Some(Located::InSummary { block, record });
+            if let Some(slot) = block
+                .summary_records()
+                .iter()
+                .position(|r| r.origin() == id)
+            {
+                return Some(Located::in_summary(block, slot as u32));
             }
         }
         None
@@ -583,21 +663,26 @@ impl<S: BlockStore> Blockchain<S> {
 
     /// All live data sets as `(id, record)` pairs: data entries still in
     /// their original blocks plus carried summary records. Deletion-request
-    /// entries are excluded (they are transport, not data).
-    pub fn live_records(&self) -> Vec<(EntryId, &DataRecord)> {
+    /// entries are excluded (they are transport, not data). Records are
+    /// owned clones — on a paged backend the holder blocks are transient,
+    /// so references into them cannot outlive the scan.
+    pub fn live_records(&self) -> Vec<(EntryId, DataRecord)> {
         let mut out = Vec::with_capacity(self.index.len());
         for block in self.iter() {
             match block.kind() {
                 BlockKind::Normal => {
                     for (i, entry) in block.entries().iter().enumerate() {
                         if let EntryPayload::Data(record) = entry.payload() {
-                            out.push((EntryId::new(block.number(), EntryNumber(i as u32)), record));
+                            out.push((
+                                EntryId::new(block.number(), EntryNumber(i as u32)),
+                                record.clone(),
+                            ));
                         }
                     }
                 }
                 BlockKind::Summary => {
                     for record in block.summary_records() {
-                        out.push((record.origin(), record.record()));
+                        out.push((record.origin(), record.record().clone()));
                     }
                 }
                 _ => {}
@@ -672,7 +757,9 @@ impl<S: BlockStore> Blockchain<S> {
 
     /// Serialises all live blocks (sync responses, persistence).
     pub fn export_blocks(&self) -> Vec<Block> {
-        self.iter().cloned().collect()
+        self.iter()
+            .map(|sealed| sealed.into_sealed().into_block())
+            .collect()
     }
 
     /// Canonical encoding of the whole live chain.
@@ -680,7 +767,7 @@ impl<S: BlockStore> Blockchain<S> {
         let mut enc = seldel_codec::Encoder::new();
         enc.put_len(self.store.len());
         for block in self.iter() {
-            block.encode(&mut enc);
+            block.block().encode(&mut enc);
         }
         enc.into_bytes()
     }
@@ -876,13 +963,16 @@ mod tests {
     fn pruned_with_summary() -> Blockchain {
         let mut chain = chain_with_blocks(2);
         let origin = EntryId::new(BlockNumber(1), EntryNumber(0));
-        let carried = chain.locate(origin).unwrap();
-        let record = match carried {
-            Located::InBlock { entry, .. } => {
-                SummaryRecord::from_entry(entry, origin, Timestamp(10)).unwrap()
-            }
-            _ => unreachable!("entry is live"),
-        };
+        let record = SummaryRecord::from_entry(
+            chain
+                .locate(origin)
+                .unwrap()
+                .entry()
+                .expect("entry is live"),
+            origin,
+            Timestamp(10),
+        )
+        .unwrap();
         let prev = chain.tip_hash();
         let ts = chain.tip().timestamp();
         chain
@@ -907,7 +997,7 @@ mod tests {
         let chain = pruned_with_summary();
         let origin = EntryId::new(BlockNumber(1), EntryNumber(0));
         let located = chain.locate(origin).expect("carried record is live");
-        assert!(matches!(located, Located::InSummary { .. }));
+        assert!(located.is_in_summary());
         assert_eq!(located.holder().number(), BlockNumber(3));
         assert_eq!(
             located.data().unwrap().get("user").unwrap().as_str(),
@@ -1089,7 +1179,7 @@ mod tests {
             if i == 2 {
                 continue; // drop a middle block: linkage breaks
             }
-            store.push(sealed.clone());
+            store.push(sealed.into_sealed());
         }
         assert!(matches!(
             Blockchain::<MemStore>::from_store(store),

@@ -1,4 +1,5 @@
-//! `FileStore` — the durable, file-backed segment log.
+//! `FileStore` — the durable, file-backed segment log, **paged**: the
+//! live chain can be several times larger than resident memory.
 //!
 //! [`SegStore`](crate::store::SegStore) is "the in-memory shape of a
 //! file-backed log"; this module is that log made real. A rooted
@@ -6,16 +7,64 @@
 //!
 //! ```text
 //! <root>/MANIFEST            versioned store metadata (see below)
-//! <root>/seg-0000000000.seg  length-prefixed block frames, oldest segment
+//! <root>/seg-0000000000.seg  checksummed block frames, oldest segment
 //! <root>/seg-0000000001.seg  ...
 //! ```
 //!
-//! Every segment file holds up to `segment_capacity` frames; a frame is a
-//! `u32` little-endian length followed by the block's canonical
-//! `seldel-codec` encoding. The manifest records the format version, the
-//! segment capacity, the id of the first live segment and the number of
-//! the first live block — everything replay needs that the frames alone
-//! cannot say.
+//! Every segment file holds up to `segment_capacity` frames. A **v3
+//! frame** is:
+//!
+//! ```text
+//! u32  len           bytes after this field (97 + block bytes)
+//! u8   flags         bit 0: payload root present
+//! [32] header hash   the block's sealed digest
+//! [32] payload root  the body's Merkle root (zero when absent)
+//! [32] checksum      sha256(tag ‖ flags ‖ header hash ‖ root ‖ block bytes)
+//! [..] block bytes   the block's canonical `seldel-codec` encoding
+//! ```
+//!
+//! The manifest records the format version, the segment capacity, the id
+//! of the first live segment and the number of the first live block —
+//! everything replay needs that the frames alone cannot say.
+//!
+//! # Paging: offset table, streaming replay, hot-block cache
+//!
+//! A rooted store does **not** keep blocks in memory. It keeps one
+//! `FrameMeta` per block — segment id, byte offset, frame length, block
+//! number, header hash, payload root (the *segment offset table*) — and
+//! serves reads straight from the segment files:
+//!
+//! * [`FileStore::open`] rebuilds the table by **streaming replay**: each
+//!   segment file is read once, every frame's checksum is verified (one
+//!   hash per frame) and only the 97-byte frame header plus the block
+//!   header prefix are decoded. No block is materialised and nothing is
+//!   re-sealed — replay cost is one SHA-256 per block, not a full
+//!   re-hash of every payload.
+//! * [`BlockStore::get`] resolves the index through the table in O(1),
+//!   then serves the block from a small **hot-block LRU cache**
+//!   (configurable via [`FileStore::with_hot_cache_capacity`] or the
+//!   `SELDEL_HOT_CACHE_BLOCKS` environment variable, default
+//!   [`DEFAULT_HOT_CACHE_BLOCKS`]) or, on a miss, by reading exactly one
+//!   frame from disk. The cached digests come from the table, so a cold
+//!   read decodes but never hashes.
+//! * [`BlockStore::iter`] streams each segment sequentially through its
+//!   own buffered reader, bypassing the cache — an O(n) scan must not
+//!   evict the hot set.
+//! * Pushed blocks are appended to the tail file, their meta is added to
+//!   the table and the block itself goes into the hot cache (the tip is
+//!   always the next linkage check's predecessor).
+//!
+//! The stored header hash and payload root are trusted on replay because
+//! the checksum covers them: any *accidental* corruption is caught at
+//! open. An adversary who rewrites a frame *and* its checksum defeats the
+//! cache but not the system — full validation re-derives payload roots
+//! from the body bytes, proofs re-hash leaves, and the quorum-attested
+//! tip hash pins the chain head (the tamper matrix pins all four
+//! channels).
+//!
+//! An **unrooted** `FileStore` (via `Default`, or `Clone` — see below)
+//! has no files to page from, so it keeps every block resident and
+//! behaves like a plain in-memory segment store.
 //!
 //! # Durability contract (fsync points)
 //!
@@ -33,9 +82,11 @@
 //! Pruning the front is executed on disk, not just in memory: wholly
 //! retired segments are **unlinked**, and a partially retired front
 //! segment is **rewritten** (temp file + rename) without the pruned
-//! frames. After [`BlockStore::drain_front`] returns, the deleted entry
-//! payloads are absent from the directory's raw bytes — the property tests
-//! grep for a sentinel payload to pin exactly that.
+//! frames — a raw byte-range copy through the offset table, no re-encode.
+//! Pruned blocks are also evicted from the hot cache, so after
+//! [`BlockStore::drain_front`] returns the deleted entry payloads are
+//! absent from both the directory's raw bytes and the store's memory —
+//! the property tests grep for a sentinel payload to pin exactly that.
 //!
 //! # Crash recovery ([`FileStore::open`])
 //!
@@ -50,26 +101,23 @@
 //!    `first_block_number` are dropped and the file is rewritten (a crash
 //!    before the front rewrite);
 //! 4. a torn frame at the very tail of the newest segment (a crash
-//!    mid-append) is truncated away; torn or undecodable frames anywhere
-//!    else are reported as corruption;
-//! 5. the surviving frames are decoded, re-hashed (rebuilding the
-//!    sealed-hash cache) and checked for contiguous block numbers.
-//!
-//! An **unrooted** `FileStore` (via `Default`, or `Clone` — see below)
-//! never touches the filesystem and behaves like a plain in-memory
-//! segment store; durability starts with [`FileStore::open`] /
-//! [`FileStore::open_with_capacity`].
+//!    mid-append) is truncated away; torn frames anywhere else, and
+//!    checksum-failing frames **anywhere including the tail**, are
+//!    reported as corruption;
+//! 5. the surviving frame metas are checked for contiguous block numbers.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::fs;
-use std::io::Write;
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use seldel_codec::{Codec, Decoder, Encoder};
+use seldel_crypto::{Digest32, Sha256};
 
-use crate::block::Block;
-use crate::store::{BlockStore, SealedBlock, SEGMENT_CAPACITY};
+use crate::block::{Block, BlockHeader};
+use crate::store::{BlockRef, BlockStore, SealedBlock, SEGMENT_CAPACITY};
 
 /// Manifest file name inside a store directory.
 const MANIFEST_NAME: &str = "MANIFEST";
@@ -82,7 +130,31 @@ const MANIFEST_MAGIC: &[u8; 8] = b"SELDELFS";
 /// * v1 — original frame log.
 /// * v2 — summary bodies carry a deletion-tombstone list (wire change in
 ///   `BlockBody::Summary`), so v1 stores no longer decode.
-const MANIFEST_VERSION: u32 = 2;
+/// * v3 — checksummed frames carrying the sealed digests (header hash +
+///   payload root), enabling streaming replay and paged reads.
+const MANIFEST_VERSION: u32 = 3;
+
+/// Domain tag mixed into every frame checksum.
+const FRAME_CHECKSUM_TAG: &[u8] = b"seldel.frame.v3";
+
+/// Frame bytes between the length field and the block bytes:
+/// flags (1) + header hash (32) + payload root (32) + checksum (32).
+const FRAME_HEADER_LEN: usize = 97;
+
+/// Frame flag bit 0: the payload-root field carries a real root.
+const FRAME_FLAG_PAYLOAD_ROOT: u8 = 1;
+
+/// Default hot-block cache capacity, in blocks.
+///
+/// Overridable per store via [`FileStore::with_hot_cache_capacity`] /
+/// [`FileStore::set_hot_cache_capacity`], or process-wide at open time
+/// via the `SELDEL_HOT_CACHE_BLOCKS` environment variable.
+pub const DEFAULT_HOT_CACHE_BLOCKS: usize = 1024;
+
+/// Environment variable naming the hot-cache capacity (in blocks) a
+/// rooted store opens with. Unset or unparsable values fall back to
+/// [`DEFAULT_HOT_CACHE_BLOCKS`].
+pub const HOT_CACHE_ENV: &str = "SELDEL_HOT_CACHE_BLOCKS";
 
 /// Errors raised by [`FileStore`] persistence.
 ///
@@ -229,26 +301,200 @@ impl Manifest {
     }
 }
 
-/// One in-memory segment mirroring one on-disk file.
+/// One row of the segment offset table: where a block's frame lives and
+/// what replay learned about it — everything the store needs to *serve*
+/// the block except the block bytes themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FrameMeta {
+    /// Byte offset of the frame (length field included) in its segment
+    /// file.
+    offset: u64,
+    /// Total frame length on disk (length field included).
+    len: u32,
+    /// Monotone per-store sequence number — the hot-cache key. Stable
+    /// across drains, unlike the store index.
+    seq: u64,
+    /// The block's number.
+    number: u64,
+    /// The block's canonical encoded size in bytes.
+    block_bytes: u32,
+    /// The block's sealed digest (from the frame, checksum-covered).
+    hash: Digest32,
+    /// The body's Merkle root, when the writer sealed one.
+    payload_root: Option<Digest32>,
+}
+
+/// One table entry: the meta plus, on unrooted stores only, the resident
+/// block (there is no file to page it from).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Frame {
+    meta: FrameMeta,
+    resident: Option<SealedBlock>,
+}
+
+/// One in-memory segment mirroring one on-disk file: just the offset
+/// table rows, never the blocks.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Segment {
     /// File id (`seg-<id>.seg`).
     id: u64,
-    /// Live blocks, oldest first.
-    blocks: Vec<SealedBlock>,
+    /// Frame table, oldest first.
+    frames: Vec<Frame>,
     /// Sealed segments never take another append.
     sealed: bool,
 }
 
-/// A durable, file-backed segment store.
+impl Segment {
+    /// Byte length of the segment file (where the next append lands).
+    fn file_len(&self) -> u64 {
+        self.frames
+            .last()
+            .map_or(0, |f| f.meta.offset + f.meta.len as u64)
+    }
+}
+
+/// A cached hot block.
+#[derive(Debug)]
+struct CacheSlot {
+    block: Arc<SealedBlock>,
+    stamp: u64,
+    bytes: u64,
+}
+
+/// The interior of the hot-block cache: `seq → slot` plus an LRU order
+/// (`stamp → seq`). Guarded by a mutex because [`BlockStore::get`] takes
+/// `&self` but a hit must bump recency and a miss must insert.
+#[derive(Debug, Default)]
+struct HotCacheInner {
+    slots: HashMap<u64, CacheSlot>,
+    lru: BTreeMap<u64, u64>,
+    next_stamp: u64,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// The hot-block LRU cache of a rooted store.
+#[derive(Debug)]
+struct HotCache {
+    inner: Mutex<HotCacheInner>,
+    capacity: usize,
+}
+
+impl HotCache {
+    fn new(capacity: usize) -> HotCache {
+        HotCache {
+            inner: Mutex::new(HotCacheInner::default()),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HotCacheInner> {
+        // A poisoned cache mutex means a panic mid-bookkeeping; the data
+        // is only derived state, so keep serving it.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A hit bumps recency; a miss is counted.
+    fn get(&self, seq: u64) -> Option<Arc<SealedBlock>> {
+        let mut inner = self.lock();
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        match inner.slots.get_mut(&seq) {
+            Some(slot) => {
+                let old = slot.stamp;
+                slot.stamp = stamp;
+                let block = Arc::clone(&slot.block);
+                inner.lru.remove(&old);
+                inner.lru.insert(stamp, seq);
+                inner.hits += 1;
+                Some(block)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// A plain lookup: no recency bump, no hit/miss accounting (the drain
+    /// path peeks so pruning does not distort the counters).
+    fn peek(&self, seq: u64) -> Option<Arc<SealedBlock>> {
+        self.lock().slots.get(&seq).map(|s| Arc::clone(&s.block))
+    }
+
+    fn insert(&self, seq: u64, block: Arc<SealedBlock>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let bytes = block.byte_size() as u64;
+        let mut inner = self.lock();
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        if let Some(old) = inner.slots.insert(
+            seq,
+            CacheSlot {
+                block,
+                stamp,
+                bytes,
+            },
+        ) {
+            inner.lru.remove(&old.stamp);
+            inner.bytes -= old.bytes;
+        }
+        inner.lru.insert(stamp, seq);
+        inner.bytes += bytes;
+        while inner.slots.len() > self.capacity {
+            let (&oldest, &victim) = inner.lru.iter().next().expect("lru tracks every slot");
+            inner.lru.remove(&oldest);
+            let slot = inner.slots.remove(&victim).expect("slot tracked in lru");
+            inner.bytes -= slot.bytes;
+        }
+    }
+
+    fn remove(&self, seq: u64) {
+        let mut inner = self.lock();
+        if let Some(slot) = inner.slots.remove(&seq) {
+            inner.lru.remove(&slot.stamp);
+            inner.bytes -= slot.bytes;
+        }
+    }
+
+    fn clear(&self) {
+        let mut inner = self.lock();
+        inner.slots.clear();
+        inner.lru.clear();
+        inner.bytes = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.lock().slots.len()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.lock().bytes
+    }
+
+    fn hits(&self) -> u64 {
+        self.lock().hits
+    }
+
+    fn misses(&self) -> u64 {
+        self.lock().misses
+    }
+}
+
+/// A durable, file-backed, paged segment store.
 ///
-/// See the [module docs](self) for the on-disk format, fsync points and
-/// recovery behaviour.
+/// See the [module docs](self) for the on-disk format, the offset table /
+/// hot-cache read path, fsync points and recovery behaviour.
 ///
 /// `Default` yields an **unrooted** store (in-memory only, no directory);
-/// [`Clone`] likewise produces an unrooted in-memory snapshot, detached
-/// from any directory — two handles appending to the same files would
-/// corrupt the log, so clones deliberately do not share the root.
+/// [`Clone`] likewise produces an unrooted, fully **resident** in-memory
+/// snapshot, detached from any directory — two handles appending to the
+/// same files would corrupt the log, so clones deliberately do not share
+/// the root (and a clone of a paged store must materialise the blocks it
+/// can no longer page in).
 #[derive(Debug)]
 pub struct FileStore {
     root: Option<PathBuf>,
@@ -257,6 +503,8 @@ pub struct FileStore {
     len: usize,
     /// Id the next created segment file will get.
     next_segment_id: u64,
+    /// Hot-cache key the next pushed/replayed frame will get.
+    next_seq: u64,
     /// Number of the first live block (mirrors the manifest when rooted).
     first_block_number: u64,
     /// Cached append handle for the tail segment file, so the seal hot
@@ -270,6 +518,8 @@ pub struct FileStore {
     /// Tail-segment fsyncs the store issued itself (fills, policy syncs,
     /// prune barriers) — a diagnostics counter the group-commit tests read.
     tail_fsyncs: u64,
+    /// Hot-block cache (rooted stores only; unrooted frames are resident).
+    cache: HotCache,
 }
 
 impl Default for FileStore {
@@ -280,11 +530,13 @@ impl Default for FileStore {
             segments: VecDeque::new(),
             len: 0,
             next_segment_id: 0,
+            next_seq: 0,
             first_block_number: 0,
             tail_file: None,
             fsync_policy: FsyncPolicy::default(),
             unsynced_appends: 0,
             tail_fsyncs: 0,
+            cache: HotCache::new(DEFAULT_HOT_CACHE_BLOCKS),
         }
     }
 }
@@ -292,26 +544,28 @@ impl Default for FileStore {
 impl Clone for FileStore {
     fn clone(&self) -> FileStore {
         // A detached in-memory snapshot: two stores appending to the same
-        // directory would corrupt the log, so the clone drops the root.
-        FileStore {
-            root: None,
+        // directory would corrupt the log, so the clone drops the root —
+        // which also means every block must be materialised (there is no
+        // file left to page from). One sequential pass per segment.
+        let mut snapshot = FileStore {
             segment_capacity: self.segment_capacity,
-            segments: self.segments.clone(),
-            len: self.len,
-            next_segment_id: self.next_segment_id,
-            first_block_number: self.first_block_number,
-            tail_file: None,
             fsync_policy: self.fsync_policy,
-            unsynced_appends: 0,
-            tail_fsyncs: 0,
+            ..FileStore::default()
+        };
+        for sealed in self.iter() {
+            snapshot.push(sealed.into_sealed());
         }
+        if snapshot.len == 0 {
+            snapshot.first_block_number = self.first_block_number;
+        }
+        snapshot
     }
 }
 
 impl PartialEq for FileStore {
     fn eq(&self, other: &Self) -> bool {
         // Logical equality: same blocks in the same order, regardless of
-        // segment layout, root or pruning history.
+        // segment layout, root, cache state or pruning history.
         self.len == other.len && self.iter().eq(other.iter())
     }
 }
@@ -364,12 +618,33 @@ fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     fs::rename(&tmp, path).map_err(|e| StoreError::io("rename temp", path, &e))
 }
 
-/// Encodes one on-disk frame: `u32` length + canonical block bytes.
-fn frame_bytes(block: &Block) -> Vec<u8> {
-    let body = block.to_canonical_bytes();
-    let mut enc = Encoder::with_capacity(4 + body.len());
-    enc.put_u32(body.len() as u32);
-    enc.put_raw(&body);
+/// The checksum sealing a frame's content against bit rot.
+fn frame_checksum(flags: u8, hash: &Digest32, root: &Digest32, block_bytes: &[u8]) -> Digest32 {
+    let mut h = Sha256::new();
+    h.update(FRAME_CHECKSUM_TAG);
+    h.update([flags]);
+    h.update(hash.as_bytes());
+    h.update(root.as_bytes());
+    h.update(block_bytes);
+    h.finalize()
+}
+
+/// Encodes one on-disk v3 frame for a sealed block.
+fn frame_bytes(sealed: &SealedBlock) -> Vec<u8> {
+    let block_bytes = sealed.block().to_canonical_bytes();
+    let (flags, root) = match sealed.payload_root() {
+        Some(root) => (FRAME_FLAG_PAYLOAD_ROOT, root),
+        None => (0, Digest32::ZERO),
+    };
+    let hash = sealed.hash();
+    let checksum = frame_checksum(flags, &hash, &root, &block_bytes);
+    let mut enc = Encoder::with_capacity(4 + FRAME_HEADER_LEN + block_bytes.len());
+    enc.put_u32((FRAME_HEADER_LEN + block_bytes.len()) as u32);
+    enc.put_u8(flags);
+    enc.put_raw(hash.as_bytes());
+    enc.put_raw(root.as_bytes());
+    enc.put_raw(checksum.as_bytes());
+    enc.put_raw(&block_bytes);
     enc.into_bytes()
 }
 
@@ -382,59 +657,122 @@ enum FrameDamage {
         /// Byte offset where the incomplete frame starts.
         at: u64,
     },
-    /// A frame's bytes are fully present but do not decode to a block.
-    /// An interrupted append can never leave this shape (the length field
-    /// and the body land in one `write_all`), so it is bit corruption —
+    /// A frame's bytes are fully present but fail their checksum or do
+    /// not decode. An interrupted append can never leave this shape (the
+    /// whole frame lands in one `write_all`), so it is bit corruption —
     /// never silently repaired, even at the tail.
     Undecodable {
         /// Byte offset of the offending frame.
         at: u64,
+        /// What was wrong.
+        detail: &'static str,
     },
+}
+
+/// One frame as streaming replay sees it: the meta-to-be (sans cache
+/// seq), no block.
+struct ReplayFrame {
+    offset: u64,
+    len: u32,
+    number: u64,
+    block_bytes: u32,
+    hash: Digest32,
+    payload_root: Option<Digest32>,
 }
 
 /// Outcome of parsing a segment file.
 struct ParsedSegment {
-    blocks: Vec<SealedBlock>,
+    frames: Vec<ReplayFrame>,
     damage: Option<FrameDamage>,
 }
 
-/// Parses the frames of one segment file, classifying any early stop as
-/// truncation (crash shape) or corruption; the caller decides what each
-/// means for the segment's position in the store.
+/// Parses the frames of one segment file without materialising blocks:
+/// per frame, one checksum verification and one block-header-prefix
+/// decode. Any early stop is classified as truncation (crash shape) or
+/// corruption; the caller decides what each means for the segment's
+/// position in the store.
 fn parse_segment(bytes: &[u8]) -> ParsedSegment {
-    let mut blocks = Vec::new();
+    let mut frames = Vec::new();
     let mut pos = 0usize;
     while pos < bytes.len() {
         if bytes.len() - pos < 4 {
             return ParsedSegment {
-                blocks,
+                frames,
                 damage: Some(FrameDamage::Truncated { at: pos as u64 }),
             };
         }
         let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
             as usize;
-        if bytes.len() - pos - 4 < len {
+        if len < FRAME_HEADER_LEN || bytes.len() - pos - 4 < len {
             return ParsedSegment {
-                blocks,
+                frames,
                 damage: Some(FrameDamage::Truncated { at: pos as u64 }),
             };
         }
-        let body = &bytes[pos + 4..pos + 4 + len];
-        match Block::from_canonical_bytes(body) {
-            Ok(block) => blocks.push(SealedBlock::seal(block)),
-            Err(_) => {
-                return ParsedSegment {
-                    blocks,
-                    damage: Some(FrameDamage::Undecodable { at: pos as u64 }),
-                }
-            }
+        let frame = &bytes[pos + 4..pos + 4 + len];
+        let flags = frame[0];
+        let hash = Digest32::from_bytes(frame[1..33].try_into().expect("32 bytes"));
+        let root = Digest32::from_bytes(frame[33..65].try_into().expect("32 bytes"));
+        let checksum = Digest32::from_bytes(frame[65..97].try_into().expect("32 bytes"));
+        let block_bytes = &frame[FRAME_HEADER_LEN..];
+        if flags & !FRAME_FLAG_PAYLOAD_ROOT != 0 {
+            return ParsedSegment {
+                frames,
+                damage: Some(FrameDamage::Undecodable {
+                    at: pos as u64,
+                    detail: "unknown frame flags",
+                }),
+            };
         }
+        if frame_checksum(flags, &hash, &root, block_bytes) != checksum {
+            return ParsedSegment {
+                frames,
+                damage: Some(FrameDamage::Undecodable {
+                    at: pos as u64,
+                    detail: "frame checksum mismatch",
+                }),
+            };
+        }
+        // Only the header prefix is decoded — the body stays bytes.
+        let Ok(header) = BlockHeader::decode(&mut Decoder::new(block_bytes)) else {
+            return ParsedSegment {
+                frames,
+                damage: Some(FrameDamage::Undecodable {
+                    at: pos as u64,
+                    detail: "block header does not decode",
+                }),
+            };
+        };
+        frames.push(ReplayFrame {
+            offset: pos as u64,
+            len: (4 + len) as u32,
+            number: header.number.value(),
+            block_bytes: (len - FRAME_HEADER_LEN) as u32,
+            hash,
+            payload_root: (flags & FRAME_FLAG_PAYLOAD_ROOT != 0).then_some(root),
+        });
         pos += 4 + len;
     }
     ParsedSegment {
-        blocks,
+        frames,
         damage: None,
     }
+}
+
+/// Decodes the block bytes of one raw frame into a sealed block, reusing
+/// the table's digests — a cold read costs a decode, never a hash.
+fn decode_frame_block(meta: &FrameMeta, frame: &[u8]) -> Result<SealedBlock, String> {
+    if frame.len() != meta.len as usize {
+        return Err(format!(
+            "frame read returned {} bytes, expected {}",
+            frame.len(),
+            meta.len
+        ));
+    }
+    let block_bytes = &frame[4 + FRAME_HEADER_LEN..];
+    let block = Block::from_canonical_bytes(block_bytes)
+        .map_err(|e| format!("block bytes do not decode: {e}"))?;
+    Ok(SealedBlock::from_parts(block, meta.hash, meta.payload_root))
 }
 
 // ---------------------------------------------------------------------------
@@ -456,7 +794,9 @@ impl FileStore {
     /// Opens (or creates) a durable store rooted at `path`.
     ///
     /// `segment_capacity` applies only when the store is created; an
-    /// existing store keeps the capacity recorded in its manifest.
+    /// existing store keeps the capacity recorded in its manifest. The
+    /// hot-block cache opens at [`DEFAULT_HOT_CACHE_BLOCKS`] unless the
+    /// `SELDEL_HOT_CACHE_BLOCKS` environment variable overrides it.
     ///
     /// # Errors
     ///
@@ -486,6 +826,11 @@ impl FileStore {
             manifest
         };
 
+        let cache_capacity = std::env::var(HOT_CACHE_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_HOT_CACHE_BLOCKS);
+
         let mut store = FileStore {
             root: Some(root.clone()),
             segment_capacity: manifest.segment_capacity as usize,
@@ -493,17 +838,21 @@ impl FileStore {
             len: 0,
             tail_file: None,
             next_segment_id: manifest.first_segment_id,
+            next_seq: 0,
             first_block_number: manifest.first_block_number,
             fsync_policy: FsyncPolicy::default(),
             unsynced_appends: 0,
             tail_fsyncs: 0,
+            cache: HotCache::new(cache_capacity),
         };
         store.replay(&root, manifest)?;
         Ok(store)
     }
 
-    /// Replays the directory contents into memory, finishing any prune a
-    /// crash interrupted (see the module docs' recovery steps).
+    /// Replays the directory contents into the offset table, finishing
+    /// any prune a crash interrupted (see the module docs' recovery
+    /// steps). Streaming: each segment file is read once, transiently —
+    /// no block is materialised, nothing is re-sealed.
     fn replay(&mut self, root: &Path, manifest: Manifest) -> Result<(), StoreError> {
         // Step 1+2: collect segment files, removing temp leftovers and
         // segments already retired by the manifest.
@@ -545,15 +894,16 @@ impl FileStore {
             let bytes =
                 fs::read(&file_path).map_err(|e| StoreError::io("read segment", &file_path, &e))?;
             let parsed = parse_segment(&bytes);
-            let mut blocks = parsed.blocks;
+            let mut replay_frames = parsed.frames;
             match parsed.damage {
                 None => {}
-                Some(FrameDamage::Undecodable { at }) => {
-                    // Fully present but undecodable frame: bit corruption,
-                    // not a crash artifact — refuse, wherever it sits.
+                Some(FrameDamage::Undecodable { at, detail }) => {
+                    // Fully present but checksum-failing/undecodable frame:
+                    // bit corruption, not a crash artifact — refuse,
+                    // wherever it sits.
                     return Err(StoreError::corrupt(
                         &file_path,
-                        format!("undecodable frame at offset {at}"),
+                        format!("bad frame at offset {at}: {detail}"),
                     ));
                 }
                 Some(FrameDamage::Truncated { at }) => {
@@ -575,27 +925,53 @@ impl FileStore {
                 }
             }
             // Crash between manifest update and front rewrite: the first
-            // segment may still hold already-pruned frames.
+            // segment may still hold already-pruned frames. The rewrite is
+            // a raw byte-range copy — the survivors' bytes as they are.
             if self.segments.is_empty() {
-                let keep_from = blocks
+                let keep_from = replay_frames
                     .iter()
-                    .position(|b| b.block().number().value() >= manifest.first_block_number)
-                    .unwrap_or(blocks.len());
+                    .position(|f| f.number >= manifest.first_block_number)
+                    .unwrap_or(replay_frames.len());
                 if keep_from > 0 {
-                    blocks.drain(..keep_from);
-                    self.rewrite_segment_file(&file_path, &blocks)?;
+                    let cut = replay_frames
+                        .get(keep_from)
+                        .map_or(bytes.len() as u64, |f| f.offset);
+                    replay_frames.drain(..keep_from);
+                    for frame in &mut replay_frames {
+                        frame.offset -= cut;
+                    }
+                    atomic_write(&file_path, &bytes[cut as usize..])?;
                 }
             }
-            if blocks.is_empty() {
+            if replay_frames.is_empty() {
                 // Nothing live in this file (fully pruned front, or a tail
                 // whose only frame was torn): drop it.
                 fs::remove_file(&file_path)
                     .map_err(|e| StoreError::io("remove empty segment", &file_path, &e))?;
                 continue;
             }
-            let sealed = blocks.len() >= self.segment_capacity || Some(id) != last_id;
-            self.len += blocks.len();
-            self.segments.push_back(Segment { id, blocks, sealed });
+            let sealed = replay_frames.len() >= self.segment_capacity || Some(id) != last_id;
+            self.len += replay_frames.len();
+            let frames = replay_frames
+                .into_iter()
+                .map(|f| {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    Frame {
+                        meta: FrameMeta {
+                            offset: f.offset,
+                            len: f.len,
+                            seq,
+                            number: f.number,
+                            block_bytes: f.block_bytes,
+                            hash: f.hash,
+                            payload_root: f.payload_root,
+                        },
+                        resident: None,
+                    }
+                })
+                .collect();
+            self.segments.push_back(Segment { id, frames, sealed });
         }
         self.next_segment_id = self
             .segments
@@ -608,44 +984,46 @@ impl FileStore {
         let count = self.segments.len();
         for (i, segment) in self.segments.iter().enumerate() {
             let file = root.join(segment_file_name(segment.id));
-            if segment.blocks.len() > self.segment_capacity {
+            if segment.frames.len() > self.segment_capacity {
                 return Err(StoreError::corrupt(
                     &file,
                     format!(
                         "{} frames exceed the segment capacity {}",
-                        segment.blocks.len(),
+                        segment.frames.len(),
                         self.segment_capacity
                     ),
                 ));
             }
-            if i > 0 && i + 1 < count && segment.blocks.len() != self.segment_capacity {
+            if i > 0 && i + 1 < count && segment.frames.len() != self.segment_capacity {
                 return Err(StoreError::corrupt(
                     &file,
                     format!(
                         "interior segment holds {} frames, expected {}",
-                        segment.blocks.len(),
+                        segment.frames.len(),
                         self.segment_capacity
                     ),
                 ));
             }
         }
 
-        // Contiguity check across all replayed frames.
+        // Contiguity check across all replayed frame metas — no disk I/O.
         let mut expected: Option<u64> = None;
-        for sealed in self.iter() {
-            let n = sealed.block().number().value();
-            if let Some(e) = expected {
-                if n != e {
-                    return Err(StoreError::corrupt(
-                        root,
-                        format!("non-contiguous block numbers: expected {e}, found {n}"),
-                    ));
+        for segment in &self.segments {
+            for frame in &segment.frames {
+                let n = frame.meta.number;
+                if let Some(e) = expected {
+                    if n != e {
+                        return Err(StoreError::corrupt(
+                            root,
+                            format!("non-contiguous block numbers: expected {e}, found {n}"),
+                        ));
+                    }
                 }
+                expected = Some(n + 1);
             }
-            expected = Some(n + 1);
         }
-        if let Some(first) = self.segments.front().and_then(|s| s.blocks.first()) {
-            self.first_block_number = first.block().number().value();
+        if let Some(first) = self.segments.front().and_then(|s| s.frames.first()) {
+            self.first_block_number = first.meta.number;
         }
         Ok(())
     }
@@ -668,6 +1046,49 @@ impl FileStore {
     /// Number of retained segments (diagnostics / tests).
     pub fn segment_count(&self) -> usize {
         self.segments.len()
+    }
+
+    /// Hot-block cache capacity, in blocks.
+    pub fn hot_cache_capacity(&self) -> usize {
+        self.cache.capacity
+    }
+
+    /// Blocks currently held by the hot cache.
+    pub fn hot_cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Cache hits served since open (diagnostics).
+    pub fn hot_cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Cache misses taken since open (diagnostics).
+    pub fn hot_cache_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Sets the hot-block cache capacity, evicting down if needed.
+    pub fn set_hot_cache_capacity(&mut self, blocks: usize) {
+        let old = std::mem::replace(&mut self.cache, HotCache::new(blocks));
+        if blocks > 0 {
+            // Keep the hottest survivors rather than dropping the working
+            // set on a resize.
+            let mut inner = old.lock();
+            let keep: Vec<u64> = inner.lru.values().rev().take(blocks).copied().collect();
+            for seq in keep.into_iter().rev() {
+                if let Some(slot) = inner.slots.remove(&seq) {
+                    self.cache.insert(seq, slot.block);
+                }
+            }
+        }
+    }
+
+    /// Builder-style [`FileStore::set_hot_cache_capacity`].
+    #[must_use]
+    pub fn with_hot_cache_capacity(mut self, blocks: usize) -> FileStore {
+        self.set_hot_cache_capacity(blocks);
+        self
     }
 
     /// Fsyncs the tail segment file, making every appended frame durable.
@@ -734,19 +1155,10 @@ impl FileStore {
         fsync_dir(root)
     }
 
-    /// Rewrites one segment file to hold exactly `blocks` (atomic).
-    fn rewrite_segment_file(&self, path: &Path, blocks: &[SealedBlock]) -> Result<(), StoreError> {
-        let mut bytes = Vec::new();
-        for sealed in blocks {
-            bytes.extend_from_slice(&frame_bytes(sealed.block()));
-        }
-        atomic_write(path, &bytes)
-    }
-
     /// Appends one frame to the tail segment file, through the cached
     /// append handle (opened on first use per segment — the seal hot path
     /// must not pay an open/close per block).
-    fn append_frame(&mut self, root: &Path, id: u64, block: &Block) -> Result<(), StoreError> {
+    fn append_frame(&mut self, root: &Path, id: u64, bytes: &[u8]) -> Result<(), StoreError> {
         if self.tail_file.as_ref().map(|(tid, _)| *tid) != Some(id) {
             let path = root.join(segment_file_name(id));
             let file = fs::OpenOptions::new()
@@ -757,8 +1169,64 @@ impl FileStore {
             self.tail_file = Some((id, file));
         }
         let (_, file) = self.tail_file.as_mut().expect("handle cached above");
-        file.write_all(&frame_bytes(block))
+        file.write_all(bytes)
             .map_err(|e| StoreError::io("append frame", &root.join(segment_file_name(id)), &e))
+    }
+
+    /// Reads one frame's bytes from its segment file and decodes the
+    /// block — the cold half of the paged read path.
+    fn read_frame(
+        root: &Path,
+        segment_id: u64,
+        meta: &FrameMeta,
+    ) -> Result<SealedBlock, StoreError> {
+        let path = root.join(segment_file_name(segment_id));
+        let mut file =
+            fs::File::open(&path).map_err(|e| StoreError::io("open for read", &path, &e))?;
+        file.seek(SeekFrom::Start(meta.offset))
+            .map_err(|e| StoreError::io("seek frame", &path, &e))?;
+        let mut frame = vec![0u8; meta.len as usize];
+        file.read_exact(&mut frame)
+            .map_err(|e| StoreError::io("read frame", &path, &e))?;
+        decode_frame_block(meta, &frame).map_err(|detail| StoreError::corrupt(&path, detail))
+    }
+
+    /// The position of store index `index` as (segment position, frame
+    /// position). O(1): every segment except the (front-pruned) first and
+    /// the (still filling) last holds exactly `segment_capacity` frames.
+    fn position(&self, index: usize) -> Option<(usize, usize)> {
+        if index >= self.len {
+            return None;
+        }
+        let first = self.segments.front()?;
+        if index < first.frames.len() {
+            return Some((0, index));
+        }
+        let rest = index - first.frames.len();
+        Some((
+            1 + rest / self.segment_capacity,
+            rest % self.segment_capacity,
+        ))
+    }
+
+    /// Materialises the block at `index` without touching the hot cache's
+    /// LRU or counters (the drain path, which is about to evict the
+    /// blocks anyway).
+    fn materialize(&self, index: usize) -> Option<SealedBlock> {
+        let (si, fi) = self.position(index)?;
+        let segment = self.segments.get(si)?;
+        let frame = segment.frames.get(fi)?;
+        if let Some(block) = &frame.resident {
+            return Some(block.clone());
+        }
+        if let Some(arc) = self.cache.peek(frame.meta.seq) {
+            return Some((*arc).clone());
+        }
+        let root = self.root.as_ref().expect("paged frames imply a root");
+        match Self::read_frame(root, segment.id, &frame.meta) {
+            Ok(block) => Some(block),
+            Err(err) => panic!("file store page-in failed: {err}"),
+        }
     }
 
     /// Panic adapter: the `BlockStore` trait is infallible, so persistence
@@ -784,19 +1252,43 @@ impl BlockStore for FileStore {
             self.next_segment_id += 1;
             self.segments.push_back(Segment {
                 id,
-                blocks: Vec::with_capacity(self.segment_capacity),
+                frames: Vec::with_capacity(self.segment_capacity),
                 sealed: false,
             });
         }
         let tail_id = self.segments.back().expect("tail exists").id;
+        let offset = self.segments.back().expect("tail exists").file_len();
+        let bytes = frame_bytes(&block);
         if let Some(root) = self.root.clone() {
-            Self::persist(self.append_frame(&root, tail_id, block.block()));
+            let write = self.append_frame(&root, tail_id, &bytes);
+            Self::persist(write);
         }
-        let block_number = block.block().number().value();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let block_number = block.number().value();
+        let meta = FrameMeta {
+            offset,
+            len: bytes.len() as u32,
+            seq,
+            number: block_number,
+            block_bytes: (bytes.len() - 4 - FRAME_HEADER_LEN) as u32,
+            hash: block.hash(),
+            payload_root: block.payload_root(),
+        };
+        // Rooted stores keep the table row and push the block through the
+        // hot cache (the tip is the next linkage check's predecessor);
+        // unrooted stores have no file to page from, so the block stays
+        // resident in the table itself.
+        let resident = if self.root.is_some() {
+            self.cache.insert(seq, Arc::new(block));
+            None
+        } else {
+            Some(block)
+        };
         let capacity = self.segment_capacity;
         let tail = self.segments.back_mut().expect("tail exists");
-        tail.blocks.push(block);
-        let filled = tail.blocks.len() >= capacity;
+        tail.frames.push(Frame { meta, resident });
+        let filled = tail.frames.len() >= capacity;
         if filled {
             tail.sealed = true;
         }
@@ -836,21 +1328,23 @@ impl BlockStore for FileStore {
         }
     }
 
-    fn get(&self, index: usize) -> Option<&SealedBlock> {
-        if index >= self.len {
-            return None;
+    fn get(&self, index: usize) -> Option<BlockRef<'_>> {
+        let (si, fi) = self.position(index)?;
+        let segment = self.segments.get(si)?;
+        let frame = segment.frames.get(fi)?;
+        if let Some(block) = &frame.resident {
+            return Some(BlockRef::Borrowed(block));
         }
-        let first = self.segments.front()?;
-        if index < first.blocks.len() {
-            return first.blocks.get(index);
+        if let Some(arc) = self.cache.get(frame.meta.seq) {
+            return Some(BlockRef::Shared(arc));
         }
-        // Invariant: every segment except the first (front-pruned) and the
-        // last (still filling) holds exactly `segment_capacity` live
-        // blocks, so the arithmetic is O(1).
-        let rest = index - first.blocks.len();
-        let segment = 1 + rest / self.segment_capacity;
-        let offset = rest % self.segment_capacity;
-        self.segments.get(segment)?.blocks.get(offset)
+        let root = self.root.as_ref().expect("paged frames imply a root");
+        let block = match Self::read_frame(root, segment.id, &frame.meta) {
+            Ok(block) => Arc::new(block),
+            Err(err) => panic!("file store page-in failed: {err}"),
+        };
+        self.cache.insert(frame.meta.seq, Arc::clone(&block));
+        Some(BlockRef::Shared(block))
     }
 
     fn len(&self) -> usize {
@@ -862,31 +1356,47 @@ impl BlockStore for FileStore {
         if count == 0 {
             return Vec::new();
         }
+        // Materialise the departing blocks before any file mutation — the
+        // trait hands them to the caller (prune accounting, Σ archival).
         let mut removed: Vec<SealedBlock> = Vec::with_capacity(count);
+        for index in 0..count {
+            removed.push(self.materialize(index).expect("index below len"));
+        }
+
         let mut retired_ids: Vec<u64> = Vec::new();
-        let mut rewritten_front: Option<u64> = None;
+        let mut rewrite_front: Option<(u64, u64)> = None;
+        let mut drained_seqs: Vec<u64> = Vec::with_capacity(count);
         let mut remaining = count;
         while remaining > 0 {
-            let front_live = self.segments.front().expect("non-empty").blocks.len();
+            let front_live = self.segments.front().expect("non-empty").frames.len();
             if remaining >= front_live {
                 let segment = self.segments.pop_front().expect("non-empty");
                 retired_ids.push(segment.id);
-                removed.extend(segment.blocks);
+                drained_seqs.extend(segment.frames.iter().map(|f| f.meta.seq));
                 remaining -= front_live;
             } else {
                 let front = self.segments.front_mut().expect("non-empty");
-                removed.extend(front.blocks.drain(..remaining));
-                rewritten_front = Some(front.id);
+                let cut = front.frames[remaining].meta.offset;
+                drained_seqs.extend(front.frames.drain(..remaining).map(|f| f.meta.seq));
+                for frame in &mut front.frames {
+                    frame.meta.offset -= cut;
+                }
+                rewrite_front = Some((front.id, cut));
                 remaining = 0;
             }
         }
         self.len -= count;
-        self.first_block_number = match self.segments.front().and_then(|s| s.blocks.first()) {
-            Some(first) => first.block().number().value(),
+        self.first_block_number = match self.segments.front().and_then(|s| s.frames.first()) {
+            Some(first) => first.meta.number,
             // Store emptied: the next live block is whatever follows the
             // last drained one.
-            None => removed.last().expect("count > 0").block().number().value() + 1,
+            None => removed.last().expect("count > 0").number().value() + 1,
         };
+        // Physical deletion reaches the cache too: a pruned payload must
+        // not linger in memory after the files forget it.
+        for seq in &drained_seqs {
+            self.cache.remove(*seq);
+        }
 
         if let Some(root) = self.root.clone() {
             // The front rewrite below may rename the very file the cached
@@ -899,11 +1409,14 @@ impl BlockStore for FileStore {
             // may defer append fsyncs, never this one.
             Self::persist(self.sync_tail_counted());
             Self::persist(self.write_manifest(&root));
-            if let Some(id) = rewritten_front {
+            if let Some((id, cut)) = rewrite_front {
+                // Raw byte-range rewrite through the offset table: the
+                // surviving frames' bytes, shifted to offset zero.
                 let path = root.join(segment_file_name(id));
-                let front = self.segments.front().expect("partial front retained");
-                debug_assert_eq!(front.id, id);
-                Self::persist(self.rewrite_segment_file(&path, &front.blocks));
+                let result = fs::read(&path)
+                    .map_err(|e| StoreError::io("read for rewrite", &path, &e))
+                    .and_then(|bytes| atomic_write(&path, &bytes[cut as usize..]));
+                Self::persist(result);
             }
             for id in retired_ids {
                 let path = root.join(segment_file_name(id));
@@ -920,6 +1433,7 @@ impl BlockStore for FileStore {
         FileIter {
             store: self,
             next: 0,
+            reader: None,
         }
     }
 
@@ -928,6 +1442,7 @@ impl BlockStore for FileStore {
         self.len = 0;
         self.first_block_number = 0;
         self.tail_file = None;
+        self.cache.clear();
         if let Some(root) = self.root.clone() {
             let result = (|| -> Result<(), StoreError> {
                 // Manifest first: once `first_segment_id` points past every
@@ -955,22 +1470,97 @@ impl BlockStore for FileStore {
             Self::persist(result);
         }
     }
+
+    fn hash_at(&self, index: usize) -> Option<Digest32> {
+        // Offset-table hit: no block bytes touched, no hash computed.
+        let (si, fi) = self.position(index)?;
+        Some(self.segments.get(si)?.frames.get(fi)?.meta.hash)
+    }
+
+    fn first_number(&self) -> Option<crate::types::BlockNumber> {
+        // Served from the tracked watermark: the marker query must never
+        // page the oldest block in (it would evict a hot block per call).
+        (self.len > 0).then_some(crate::types::BlockNumber(self.first_block_number))
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        // Blocks actually held in memory: resident (unrooted) frames plus
+        // the hot cache — NOT the on-disk chain size.
+        let resident: u64 = self
+            .segments
+            .iter()
+            .flat_map(|s| &s.frames)
+            .filter_map(|f| f.resident.as_ref())
+            .map(|b| b.byte_size() as u64)
+            .sum();
+        resident + self.cache.bytes()
+    }
 }
 
 /// Oldest-first iterator over a [`FileStore`].
+///
+/// Streams each segment through its own buffered reader and **bypasses
+/// the hot cache**: an O(n) scan must not evict the hot set, and
+/// sequential frame reads are faster than per-block open/seek anyway.
+/// Resident (unrooted) frames are lent as plain borrows.
 #[derive(Debug)]
 pub struct FileIter<'a> {
     store: &'a FileStore,
     next: usize,
+    /// The open segment reader: (segment id, next byte offset, reader).
+    reader: Option<(u64, u64, BufReader<fs::File>)>,
 }
 
 impl<'a> Iterator for FileIter<'a> {
-    type Item = &'a SealedBlock;
+    type Item = BlockRef<'a>;
 
-    fn next(&mut self) -> Option<&'a SealedBlock> {
-        let item = self.store.get(self.next)?;
+    fn next(&mut self) -> Option<BlockRef<'a>> {
+        let (si, fi) = self.store.position(self.next)?;
+        let segment = self.store.segments.get(si)?;
+        let frame = segment.frames.get(fi)?;
         self.next += 1;
-        Some(item)
+        if let Some(block) = &frame.resident {
+            return Some(BlockRef::Borrowed(block));
+        }
+        let root = self.store.root.as_ref().expect("paged frames imply a root");
+        let needs_open = !matches!(
+            &self.reader,
+            Some((id, pos, _)) if *id == segment.id && *pos == frame.meta.offset
+        );
+        if needs_open {
+            let path = root.join(segment_file_name(segment.id));
+            let mut file = match fs::File::open(&path) {
+                Ok(file) => file,
+                Err(e) => panic!(
+                    "file store page-in failed: {}",
+                    StoreError::io("open for scan", &path, &e)
+                ),
+            };
+            if let Err(e) = file.seek(SeekFrom::Start(frame.meta.offset)) {
+                panic!(
+                    "file store page-in failed: {}",
+                    StoreError::io("seek frame", &path, &e)
+                );
+            }
+            self.reader = Some((segment.id, frame.meta.offset, BufReader::new(file)));
+        }
+        let (_, pos, reader) = self.reader.as_mut().expect("opened above");
+        let mut bytes = vec![0u8; frame.meta.len as usize];
+        if let Err(e) = reader.read_exact(&mut bytes) {
+            let path = root.join(segment_file_name(segment.id));
+            panic!(
+                "file store page-in failed: {}",
+                StoreError::io("read frame", &path, &e)
+            );
+        }
+        *pos += frame.meta.len as u64;
+        match decode_frame_block(&frame.meta, &bytes) {
+            Ok(block) => Some(BlockRef::Shared(Arc::new(block))),
+            Err(detail) => panic!(
+                "file store page-in failed: {}",
+                StoreError::corrupt(&root.join(segment_file_name(segment.id)), detail)
+            ),
+        }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -1039,8 +1629,106 @@ mod tests {
             .map(|s| s.block().number().value())
             .collect();
         assert_eq!(fresh, (0..30).collect::<Vec<_>>());
-        // Sealed-hash cache rebuilt correctly.
+        // The table's digests match a from-scratch recomputation.
         assert!(reopened.iter().all(|s| s.hash() == s.block().hash()));
+    }
+
+    #[test]
+    fn open_replays_streaming_with_one_hash_per_block() {
+        // The replay-cost pin (the "small fix" satellite): open() used to
+        // re-seal every block — one header hash plus a payload tree per
+        // block. Streaming replay verifies one frame checksum per block
+        // and hashes nothing else.
+        let scratch = Scratch::new("replay-hashes");
+        let blocks = 40u64;
+        drop(store_with(scratch.path(), 8, 0..blocks));
+        let before = seldel_crypto::digests_finalized();
+        let reopened = FileStore::open(scratch.path()).unwrap();
+        let spent = seldel_crypto::digests_finalized() - before;
+        assert_eq!(reopened.len(), blocks as usize);
+        assert!(
+            spent <= blocks + 2,
+            "streaming replay must cost ≤ one hash per block (+slack), spent {spent} for {blocks}"
+        );
+    }
+
+    #[test]
+    fn open_materializes_no_blocks_and_reads_page_in() {
+        let scratch = Scratch::new("paged-open");
+        drop(store_with(scratch.path(), 8, 0..30));
+        let store = FileStore::open(scratch.path()).unwrap();
+        assert_eq!(
+            store.resident_bytes(),
+            0,
+            "open must build the offset table only"
+        );
+        // A cold read pages exactly that block in through the cache.
+        let block = store.get(13).expect("live index");
+        assert_eq!(block.number(), BlockNumber(13));
+        assert_eq!(block.hash(), sealed(13).hash());
+        drop(block);
+        assert_eq!(store.hot_cache_len(), 1);
+        assert!(store.resident_bytes() > 0);
+        // A warm re-read is a cache hit.
+        let misses = store.hot_cache_misses();
+        let again = store.get(13).expect("live index");
+        assert_eq!(again.number(), BlockNumber(13));
+        assert_eq!(store.hot_cache_misses(), misses);
+        assert!(store.hot_cache_hits() > 0);
+    }
+
+    #[test]
+    fn hot_cache_is_bounded_and_evicts_lru() {
+        let scratch = Scratch::new("cache-bound");
+        let mut store = FileStore::open_with_capacity(scratch.path(), 4)
+            .unwrap()
+            .with_hot_cache_capacity(3);
+        for n in 0..20 {
+            store.push(sealed(n));
+        }
+        assert!(store.hot_cache_len() <= 3, "push path respects the bound");
+        for i in 0..20 {
+            assert_eq!(
+                store.get(i).unwrap().number(),
+                BlockNumber(i as u64),
+                "index {i}"
+            );
+            assert!(store.hot_cache_len() <= 3, "read path respects the bound");
+        }
+        // Resident bytes stay bounded by the cached blocks, not the chain.
+        let one = sealed(0).byte_size() as u64;
+        assert!(store.resident_bytes() <= 3 * (one + 16));
+    }
+
+    #[test]
+    fn cache_capacity_zero_still_serves_reads() {
+        let scratch = Scratch::new("cache-zero");
+        let mut store = FileStore::open_with_capacity(scratch.path(), 4)
+            .unwrap()
+            .with_hot_cache_capacity(0);
+        for n in 0..9 {
+            store.push(sealed(n));
+        }
+        assert_eq!(store.hot_cache_len(), 0);
+        assert_eq!(store.resident_bytes(), 0);
+        for i in 0..9 {
+            assert_eq!(store.get(i).unwrap().number(), BlockNumber(i as u64));
+        }
+        assert_eq!(store.hot_cache_len(), 0);
+    }
+
+    #[test]
+    fn hash_at_serves_from_the_table() {
+        let scratch = Scratch::new("hash-at");
+        drop(store_with(scratch.path(), 4, 0..10));
+        let store = FileStore::open(scratch.path()).unwrap();
+        for i in 0..10u64 {
+            assert_eq!(store.hash_at(i as usize), Some(sealed(i).hash()));
+        }
+        assert!(store.hash_at(10).is_none());
+        // hash_at is metadata-only: nothing was paged in.
+        assert_eq!(store.resident_bytes(), 0);
+        assert_eq!(store.hot_cache_len(), 0);
     }
 
     #[test]
@@ -1054,8 +1742,11 @@ mod tests {
         // The partial front file only holds the live frames.
         let bytes = fs::read(scratch.path().join(segment_file_name(1))).unwrap();
         let parsed = parse_segment(&bytes);
-        assert_eq!(parsed.blocks.len(), 2);
-        assert_eq!(parsed.blocks[0].block().number(), BlockNumber(6));
+        assert!(parsed.damage.is_none());
+        assert_eq!(parsed.frames.len(), 2);
+        assert_eq!(parsed.frames[0].number, 6);
+        // The drained blocks were evicted from the cache too.
+        assert!(store.iter().all(|s| s.block().number() >= BlockNumber(6)));
         // Reopen agrees.
         drop(store);
         let reopened = FileStore::open(scratch.path()).unwrap();
@@ -1125,22 +1816,20 @@ mod tests {
 
     #[test]
     fn bit_flip_in_tail_segment_is_corruption_not_torn_tail() {
-        // A fully present but undecodable frame can never come from an
-        // interrupted append (length + body land in one write), so it must
-        // be refused even in the newest segment — silently truncating it
-        // would discard valid (possibly fsynced) frames after the flip.
+        // A fully present frame that fails its checksum can never come
+        // from an interrupted append (the whole frame lands in one
+        // write), so it must be refused even in the newest segment —
+        // silently truncating it would discard valid (possibly fsynced)
+        // frames after the flip.
         let scratch = Scratch::new("tailflip");
         let store = store_with(scratch.path(), 8, 0..6);
         let tail = scratch.path().join(segment_file_name(0));
         drop(store);
         let mut bytes = fs::read(&tail).unwrap();
-        // Clobber the first frame's body (its length prefix stays intact,
-        // so the frame is "fully present" yet undecodable); frames 1..6
-        // after it remain valid.
-        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
-        for b in &mut bytes[4..4 + len] {
-            *b = 0xFF;
-        }
+        // Flip one bit in the first frame's block bytes (its length prefix
+        // stays intact, so the frame is "fully present" yet fails the
+        // checksum); frames 1..6 after it remain valid.
+        bytes[4 + FRAME_HEADER_LEN + 2] ^= 0x01;
         fs::write(&tail, bytes).unwrap();
         let err = FileStore::open(scratch.path()).unwrap_err();
         assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
@@ -1196,7 +1885,9 @@ mod tests {
         // The recovery rewrote the file: pruned frames are physically gone.
         let bytes = fs::read(&front).unwrap();
         let parsed = parse_segment(&bytes);
-        assert_eq!(parsed.blocks.len(), 2);
+        assert!(parsed.damage.is_none());
+        assert_eq!(parsed.frames.len(), 2);
+        assert_eq!(parsed.frames[0].offset, 0, "survivors rebased to zero");
     }
 
     #[test]
@@ -1212,12 +1903,14 @@ mod tests {
     }
 
     #[test]
-    fn clone_is_a_detached_snapshot() {
+    fn clone_is_a_detached_resident_snapshot() {
         let scratch = Scratch::new("clone");
         let store = store_with(scratch.path(), 4, 0..6);
         let mut snapshot = store.clone();
         assert!(!snapshot.is_durable());
         assert_eq!(snapshot, store);
+        // The clone has no files to page from: everything is resident.
+        assert!(snapshot.resident_bytes() >= 6 * sealed(0).byte_size() as u64);
         // Mutating the clone never touches the original's directory.
         snapshot.push(sealed(6));
         drop(snapshot);
@@ -1233,6 +1926,7 @@ mod tests {
         store.reset();
         assert!(store.is_empty());
         assert!(store.is_durable());
+        assert_eq!(store.hot_cache_len(), 0, "reset purges the cache");
         store.push(sealed(0));
         store.push(sealed(1));
         drop(store);

@@ -72,7 +72,7 @@ pub use proof::{
     prove_deleted, prove_live, verify_proof, EntryProof, HeaderChain, MerkleSpot, ProofError,
 };
 pub use shard::{ShardMap, ShardedIndex, ShardedMempool, DEFAULT_SHARD_COUNT};
-pub use store::{BlockStore, MemStore, SealedBlock, SegStore};
+pub use store::{BlockRef, BlockStore, MemStore, SealedBlock, SegStore};
 pub use summary::{Anchor, SummaryRecord};
 pub use types::{BlockNumber, EntryId, EntryNumber, Expiry, Timestamp};
 pub use validate::{

@@ -28,7 +28,7 @@ use seldel_crypto::{Digest32, MerkleProof, Side, SignatureError};
 use crate::block::{
     BlockHeader, BlockKind, SUMMARY_LEAF_ANCHOR, SUMMARY_LEAF_RECORD, SUMMARY_LEAF_TOMBSTONE,
 };
-use crate::chain::{Blockchain, Located};
+use crate::chain::Blockchain;
 use crate::entry::Entry;
 use crate::error::ChainError;
 use crate::store::BlockStore;
@@ -359,7 +359,8 @@ pub fn prove_live<S: BlockStore>(
     id: EntryId,
 ) -> Result<EntryProof, ProofError> {
     match chain.locate(id) {
-        Some(Located::InBlock { block, entry }) => {
+        Some(located) if located.is_in_block() => {
+            let block = located.holder();
             let index = id.entry.value() as usize;
             let tree = block
                 .body()
@@ -368,11 +369,12 @@ pub fn prove_live<S: BlockStore>(
             let path = tree.prove(index).expect("located entry is in bounds");
             Ok(EntryProof::LiveInBlock(MerkleSpot {
                 holder: block.number(),
-                leaf: entry.to_canonical_bytes(),
+                leaf: located.entry().expect("slot in range").to_canonical_bytes(),
                 path,
             }))
         }
-        Some(Located::InSummary { block, record }) => {
+        Some(located) => {
+            let block = located.holder();
             let index = block
                 .summary_records()
                 .iter()
@@ -384,7 +386,12 @@ pub fn prove_live<S: BlockStore>(
                 .expect("summary blocks have a payload tree");
             let path = tree.prove(index).expect("record index is in bounds");
             let mut leaf = vec![SUMMARY_LEAF_RECORD];
-            leaf.extend_from_slice(&record.to_canonical_bytes());
+            leaf.extend_from_slice(
+                &located
+                    .record()
+                    .expect("slot in range")
+                    .to_canonical_bytes(),
+            );
             Ok(EntryProof::LiveInSummary(MerkleSpot {
                 holder: block.number(),
                 leaf,

@@ -129,7 +129,7 @@ pub fn render_chain<S: crate::store::BlockStore>(
 ) -> String {
     let mut out = format!("marker m = {}\n", chain.marker());
     for block in chain.iter() {
-        out.push_str(&render_block(block, names));
+        out.push_str(&render_block(block.block(), names));
         out.push('\n');
     }
     out

@@ -282,8 +282,8 @@ impl ShardedIndex {
                         let start = w * chunk;
                         let end = ((w + 1) * chunk).min(blocks);
                         for i in start..end {
-                            let block = store.get(i).expect("index in range").block();
-                            for (id, location) in block_index_pairs(block) {
+                            let block = store.get(i).expect("index in range");
+                            for (id, location) in block_index_pairs(block.block()) {
                                 buckets[map.shard_of_entry(id)].push((id, location));
                             }
                         }

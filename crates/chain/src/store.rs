@@ -21,10 +21,15 @@
 //! digest instead of re-encoding and re-hashing the block.
 
 use std::collections::VecDeque;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use seldel_crypto::Digest32;
 
-use crate::block::Block;
+use crate::block::{Block, BlockHeader, BlockKind};
+use crate::entry::Entry;
+use crate::summary::SummaryRecord;
+use crate::types::{BlockNumber, EntryId, Timestamp};
 
 /// A block plus its digest and payload Merkle root, computed once when the
 /// block was stored.
@@ -74,6 +79,24 @@ impl SealedBlock {
         }
     }
 
+    /// Reassembles a sealed block from digests computed earlier — the
+    /// paged [`FileStore`](crate::fstore::FileStore) read path, which
+    /// stores the digests in its frame table and must not re-hash a block
+    /// every time it is materialised from disk. The caller vouches that
+    /// `hash`/`payload_root` were derived from exactly this block (the
+    /// durable store covers them with a per-frame checksum).
+    pub(crate) fn from_parts(
+        block: Block,
+        hash: Digest32,
+        payload_root: Option<Digest32>,
+    ) -> SealedBlock {
+        SealedBlock {
+            block,
+            hash,
+            payload_root,
+        }
+    }
+
     /// The block.
     pub fn block(&self) -> &Block {
         &self.block
@@ -107,6 +130,61 @@ impl SealedBlock {
     pub fn into_block(self) -> Block {
         self.block
     }
+
+    // Block accessors delegated onto the sealed wrapper, so code holding a
+    // [`BlockRef`] (or a `&SealedBlock`) reads like code holding a
+    // `&Block`. `hash()` intentionally shadows [`Block::hash`] with the
+    // cached digest — same value, no re-hash.
+
+    /// Block number α ([`Block::number`]).
+    pub fn number(&self) -> BlockNumber {
+        self.block.number()
+    }
+
+    /// Timestamp τ ([`Block::timestamp`]).
+    pub fn timestamp(&self) -> Timestamp {
+        self.block.timestamp()
+    }
+
+    /// Block kind ([`Block::kind`]).
+    pub fn kind(&self) -> BlockKind {
+        self.block.kind()
+    }
+
+    /// The header ([`Block::header`]).
+    pub fn header(&self) -> &BlockHeader {
+        self.block.header()
+    }
+
+    /// The body ([`Block::body`]).
+    pub fn body(&self) -> &crate::block::BlockBody {
+        self.block.body()
+    }
+
+    /// Entries of a normal block ([`Block::entries`]).
+    pub fn entries(&self) -> &[Entry] {
+        self.block.entries()
+    }
+
+    /// The embedded Merkle anchor, if any ([`Block::anchor`]).
+    pub fn anchor(&self) -> Option<&crate::summary::Anchor> {
+        self.block.anchor()
+    }
+
+    /// Carried records of a summary block ([`Block::summary_records`]).
+    pub fn summary_records(&self) -> &[SummaryRecord] {
+        self.block.summary_records()
+    }
+
+    /// Deletion tombstones of a summary block ([`Block::deletions`]).
+    pub fn deletions(&self) -> &[EntryId] {
+        self.block.deletions()
+    }
+
+    /// Canonical encoded size ([`Block::byte_size`]).
+    pub fn byte_size(&self) -> usize {
+        self.block.byte_size()
+    }
 }
 
 impl PartialEq for SealedBlock {
@@ -118,6 +196,58 @@ impl PartialEq for SealedBlock {
 }
 
 impl Eq for SealedBlock {}
+
+/// A guarded reference to a stored block — what [`BlockStore::get`] and
+/// [`BlockStore::iter`] hand out.
+///
+/// Fully resident backends ([`MemStore`], [`SegStore`], unrooted
+/// `FileStore`) lend plain borrows; the paged, disk-rooted
+/// [`FileStore`](crate::fstore::FileStore) materialises cold blocks from
+/// its segment files and hands out shared ownership of the cached copy
+/// instead — a `&SealedBlock` into the store would require the block to
+/// be resident for the store's whole lifetime, which is exactly what
+/// paging exists to avoid. `Deref` makes both shapes read as a
+/// `&SealedBlock` (and, through the sealed wrapper's delegates, mostly
+/// like a `&Block`).
+#[derive(Debug, Clone)]
+pub enum BlockRef<'a> {
+    /// Borrowed straight out of a resident store.
+    Borrowed(&'a SealedBlock),
+    /// Shared ownership of a block materialised by a paged backend.
+    Shared(Arc<SealedBlock>),
+}
+
+impl Deref for BlockRef<'_> {
+    type Target = SealedBlock;
+
+    fn deref(&self) -> &SealedBlock {
+        match self {
+            BlockRef::Borrowed(sealed) => sealed,
+            BlockRef::Shared(sealed) => sealed,
+        }
+    }
+}
+
+impl BlockRef<'_> {
+    /// Converts the guard into an owned [`SealedBlock`], cloning only when
+    /// the underlying block is still shared.
+    pub fn into_sealed(self) -> SealedBlock {
+        match self {
+            BlockRef::Borrowed(sealed) => sealed.clone(),
+            BlockRef::Shared(sealed) => {
+                Arc::try_unwrap(sealed).unwrap_or_else(|shared| (*shared).clone())
+            }
+        }
+    }
+}
+
+impl PartialEq for BlockRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for BlockRef<'_> {}
 
 /// Ordered storage for the live blocks of a chain.
 ///
@@ -135,8 +265,11 @@ impl Eq for SealedBlock {}
 pub trait BlockStore:
     Default + Clone + PartialEq + Eq + std::fmt::Debug + Send + Sync + 'static
 {
-    /// Iterator over stored blocks, oldest first.
-    type Iter<'a>: Iterator<Item = &'a SealedBlock> + 'a
+    /// Iterator over stored blocks, oldest first. Items are guards, not
+    /// borrows: a paged backend materialises each block as the iterator
+    /// reaches it, so consumers that need the predecessor (linkage walks)
+    /// hold on to the previous guard instead of a store borrow.
+    type Iter<'a>: Iterator<Item = BlockRef<'a>> + 'a
     where
         Self: 'a;
 
@@ -144,7 +277,7 @@ pub trait BlockStore:
     fn push(&mut self, block: SealedBlock);
 
     /// The block at `index` (0 = oldest live).
-    fn get(&self, index: usize) -> Option<&SealedBlock>;
+    fn get(&self, index: usize) -> Option<BlockRef<'_>>;
 
     /// Number of stored blocks.
     fn len(&self) -> usize;
@@ -174,13 +307,42 @@ pub trait BlockStore:
     }
 
     /// The oldest stored block.
-    fn first(&self) -> Option<&SealedBlock> {
+    fn first(&self) -> Option<BlockRef<'_>> {
         self.get(0)
     }
 
     /// The newest stored block.
-    fn last(&self) -> Option<&SealedBlock> {
+    fn last(&self) -> Option<BlockRef<'_>> {
         self.len().checked_sub(1).and_then(|i| self.get(i))
+    }
+
+    /// The cached digest of the block at `index`.
+    ///
+    /// The default reads the whole block; paged backends override this to
+    /// serve the digest straight from their frame table, so hash-only
+    /// consumers (anchor ranges, Σ-hash sync checks) never pull a cold
+    /// block off disk.
+    fn hash_at(&self, index: usize) -> Option<Digest32> {
+        self.get(index).map(|sealed| sealed.hash())
+    }
+
+    /// The block number of the oldest stored block.
+    ///
+    /// The chain's shifting marker `m` asks for this on **every**
+    /// by-number lookup, so the default (materialise the first block) is
+    /// overridden by paged backends to answer from their offset table —
+    /// otherwise each `locate` would drag a cold genesis read through the
+    /// hot cache and evict a block the workload actually wants.
+    fn first_number(&self) -> Option<crate::types::BlockNumber> {
+        self.first().map(|sealed| sealed.number())
+    }
+
+    /// Approximate bytes of live-block data resident in memory: the whole
+    /// chain for in-memory backends, the hot-cache contents for paged
+    /// ones. Diagnostics only — the default walks and re-encodes every
+    /// block, so call it per measurement, not per operation.
+    fn resident_bytes(&self) -> u64 {
+        self.iter().map(|sealed| sealed.byte_size() as u64).sum()
     }
 }
 
@@ -191,14 +353,17 @@ pub struct MemStore {
 }
 
 impl BlockStore for MemStore {
-    type Iter<'a> = std::collections::vec_deque::Iter<'a, SealedBlock>;
+    type Iter<'a> = std::iter::Map<
+        std::collections::vec_deque::Iter<'a, SealedBlock>,
+        fn(&'a SealedBlock) -> BlockRef<'a>,
+    >;
 
     fn push(&mut self, block: SealedBlock) {
         self.blocks.push_back(block);
     }
 
-    fn get(&self, index: usize) -> Option<&SealedBlock> {
-        self.blocks.get(index)
+    fn get(&self, index: usize) -> Option<BlockRef<'_>> {
+        self.blocks.get(index).map(BlockRef::Borrowed)
     }
 
     fn len(&self) -> usize {
@@ -211,7 +376,7 @@ impl BlockStore for MemStore {
     }
 
     fn iter(&self) -> Self::Iter<'_> {
-        self.blocks.iter()
+        self.blocks.iter().map(BlockRef::Borrowed)
     }
 }
 
@@ -283,12 +448,16 @@ impl BlockStore for SegStore {
         self.len += 1;
     }
 
-    fn get(&self, index: usize) -> Option<&SealedBlock> {
+    fn get(&self, index: usize) -> Option<BlockRef<'_>> {
         if index >= self.len {
             return None;
         }
         let (segment, offset) = self.position(index);
-        self.segments.get(segment)?.get(offset)?.as_ref()
+        self.segments
+            .get(segment)?
+            .get(offset)?
+            .as_ref()
+            .map(BlockRef::Borrowed)
     }
 
     fn len(&self) -> usize {
@@ -338,9 +507,9 @@ pub struct SegIter<'a> {
 }
 
 impl<'a> Iterator for SegIter<'a> {
-    type Item = &'a SealedBlock;
+    type Item = BlockRef<'a>;
 
-    fn next(&mut self) -> Option<&'a SealedBlock> {
+    fn next(&mut self) -> Option<BlockRef<'a>> {
         let item = self.store.get(self.next)?;
         self.next += 1;
         Some(item)

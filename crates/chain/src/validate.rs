@@ -11,7 +11,7 @@ use seldel_crypto::MerkleTree;
 use crate::block::BlockKind;
 use crate::chain::Blockchain;
 use crate::error::ChainError;
-use crate::store::{BlockStore, SealedBlock};
+use crate::store::{BlockRef, BlockStore};
 use crate::summary::Anchor;
 use crate::types::BlockNumber;
 
@@ -87,7 +87,7 @@ pub fn validate_chain<S: BlockStore>(
     opts: &ValidationOptions,
 ) -> Result<ValidationReport, ChainError> {
     let mut report = ValidationReport::default();
-    let mut prev: Option<&SealedBlock> = None;
+    let mut prev: Option<BlockRef<'_>> = None;
 
     for sealed in chain.iter_sealed() {
         let block = sealed.block();
@@ -103,7 +103,7 @@ pub fn validate_chain<S: BlockStore>(
             return Err(ChainError::TombstonesUnsorted { number });
         }
 
-        if let Some(prev_sealed) = prev {
+        if let Some(prev_sealed) = &prev {
             let prev_block = prev_sealed.block();
             if number != prev_block.number().next() {
                 return Err(ChainError::NonContiguousNumber {
@@ -191,7 +191,8 @@ pub fn validate_full<S: BlockStore>(chain: &Blockchain<S>) -> Result<ValidationR
 /// the store, whether by live push or durable replay — against the header
 /// commitment, and checks linkage through the cached header digests. Only
 /// blocks whose root is absent from the cache (legacy stores,
-/// [`SealedBlock::seal_header_only`]) fall back to a full body re-hash,
+/// [`crate::store::SealedBlock::seal_header_only`]) fall back to a full
+/// body re-hash,
 /// counted in [`IncrementalReport::roots_recomputed`].
 ///
 /// This is sound because the cached root is derived from the bytes the
@@ -222,7 +223,7 @@ pub fn validate_store_incremental<S: BlockStore>(
     store: &S,
 ) -> Result<IncrementalReport, ChainError> {
     let mut report = IncrementalReport::default();
-    let mut prev: Option<&SealedBlock> = None;
+    let mut prev: Option<BlockRef<'_>> = None;
 
     for sealed in store.iter() {
         let block = sealed.block();
@@ -243,7 +244,7 @@ pub fn validate_store_incremental<S: BlockStore>(
             return Err(ChainError::TombstonesUnsorted { number });
         }
 
-        if let Some(prev_sealed) = prev {
+        if let Some(prev_sealed) = &prev {
             let prev_block = prev_sealed.block();
             if number != prev_block.number().next() {
                 return Err(ChainError::NonContiguousNumber {
@@ -446,7 +447,7 @@ mod tests {
                 );
                 store.push(crate::store::SealedBlock::seal(forged));
             } else {
-                store.push(sealed.clone());
+                store.push(sealed.into_sealed());
             }
         }
         assert_eq!(

@@ -140,10 +140,10 @@ proptest! {
     fn block_codec_round_trip(blocks in 1u64..6, entries in 0u8..4) {
         let chain = build_chain(blocks, entries);
         for block in chain.iter() {
-            let bytes = block.to_canonical_bytes();
+            let bytes = block.block().to_canonical_bytes();
             let decoded = Block::from_canonical_bytes(&bytes).expect("decode");
-            prop_assert_eq!(&decoded, block);
-            prop_assert_eq!(decoded.hash(), block.hash());
+            prop_assert_eq!(&decoded, block.block());
+            prop_assert_eq!(decoded.hash(), block.block().hash());
         }
     }
 
@@ -342,6 +342,92 @@ proptest! {
                 // still structurally valid but must differ from the original.
                 prop_assert_ne!(rebuilt.tip().hash(), chain.tip().hash());
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The paged `FileStore` against the `MemStore` oracle: random
+    /// push/drain/get/reopen sequences at tiny hot-cache capacities (0,
+    /// 1, segment capacity − 1) so every read path — resident tail,
+    /// cache hit, cold page-in — and the offset arithmetic under
+    /// partially pruned front segments are exercised, with eviction
+    /// constantly churning.
+    #[test]
+    fn paged_file_store_matches_mem_store_oracle(
+        ops in proptest::collection::vec((0u8..4, 0u8..8), 1..40),
+        cache_sel in 0usize..3,
+        probes in proptest::collection::vec(0u8..64, 4..5),
+    ) {
+        use seldel_chain::testutil::ScratchDir;
+        use seldel_chain::{BlockStore, FileStore, MemStore, SealedBlock};
+
+        let cache = [0usize, 1, 3][cache_sel]; // segment capacity is 4
+        let dir = ScratchDir::new("pagedoracle");
+        let mut oracle = MemStore::default();
+        let mut paged = FileStore::open_with_capacity(dir.path(), 4)
+            .expect("store opens")
+            .with_hot_cache_capacity(cache);
+        let key = SigningKey::from_seed([0x33; 32]);
+        let mut next = 0u64;
+
+        for (op, arg) in ops {
+            match op {
+                // Push the next contiguous block (entry payloads make the
+                // blocks non-trivial so byte sizes and roots differ).
+                0 | 1 => {
+                    let entries = vec![Entry::sign_data(
+                        &key,
+                        DataRecord::new("log").with("n", next),
+                    )];
+                    let block = SealedBlock::seal(Block::new(
+                        BlockNumber(next),
+                        Timestamp(next * 10),
+                        seldel_crypto::sha256(next.to_le_bytes()),
+                        BlockBody::Normal { entries },
+                        Seal::Deterministic,
+                    ));
+                    next += 1;
+                    oracle.push(block.clone());
+                    paged.push(block);
+                }
+                // Drain up to `arg` blocks from the front.
+                2 => {
+                    let removed_mem = oracle.drain_front(arg as usize);
+                    let removed_file = paged.drain_front(arg as usize);
+                    prop_assert_eq!(removed_mem, removed_file);
+                }
+                // Close and reopen the paged store at the same capacity.
+                _ => {
+                    drop(paged);
+                    paged = FileStore::open(dir.path())
+                        .expect("reopen succeeds")
+                        .with_hot_cache_capacity(cache);
+                }
+            }
+            // Full agreement after every step.
+            prop_assert_eq!(paged.len(), oracle.len());
+            prop_assert!(paged.iter().eq(oracle.iter()), "iter order diverged");
+            for p in &probes {
+                let i = *p as usize;
+                prop_assert_eq!(paged.get(i), oracle.get(i), "index {}", i);
+                prop_assert_eq!(paged.hash_at(i), oracle.hash_at(i), "hash {}", i);
+            }
+            prop_assert_eq!(paged.first(), oracle.first());
+            prop_assert_eq!(paged.last(), oracle.last());
+        }
+
+        // One final close/reopen: the replayed table serves everything.
+        drop(paged);
+        let reopened = FileStore::open(dir.path())
+            .expect("reopen succeeds")
+            .with_hot_cache_capacity(cache);
+        prop_assert_eq!(reopened.len(), oracle.len());
+        prop_assert!(reopened.iter().eq(oracle.iter()));
+        for i in 0..oracle.len() {
+            prop_assert_eq!(reopened.get(i), oracle.get(i), "index {}", i);
         }
     }
 }

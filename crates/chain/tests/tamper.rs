@@ -101,12 +101,16 @@ fn segments(dir: &Path) -> Vec<(PathBuf, Vec<u8>)> {
 /// Maps every byte offset of a segment to the block number whose frame
 /// (length prefix included) covers it.
 fn frame_owners(bytes: &[u8]) -> Vec<u64> {
+    // v3 frame layout: u32 len | flags (1) | header hash (32) |
+    // payload root (32) | checksum (32) | block bytes.
+    const FRAME_HEADER_LEN: usize = 97;
     let mut owners = vec![u64::MAX; bytes.len()];
     let mut at = 0;
     while at + 4 <= bytes.len() {
         let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
         let end = at + 4 + len;
-        let block = Block::from_canonical_bytes(&bytes[at + 4..end]).expect("frame decodes");
+        let block = Block::from_canonical_bytes(&bytes[at + 4 + FRAME_HEADER_LEN..end])
+            .expect("frame decodes");
         for owner in owners.iter_mut().take(end).skip(at) {
             *owner = block.number().value();
         }

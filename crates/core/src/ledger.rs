@@ -565,9 +565,10 @@ impl<S: BlockStore> SelectiveLedger<S> {
         appended
     }
 
-    /// Looks up a data record by id, wherever it lives.
-    pub fn record(&self, id: EntryId) -> Option<&DataRecord> {
-        self.chain.locate(id).and_then(|l| l.data())
+    /// Looks up a data record by id, wherever it lives (an owned clone —
+    /// the holder block may be a transient page on disk-backed stores).
+    pub fn record(&self, id: EntryId) -> Option<DataRecord> {
+        self.chain.locate(id).and_then(|l| l.data().cloned())
     }
 
     /// Whether the data set is live (exists and is not deletion-marked).
@@ -1263,7 +1264,7 @@ mod tests {
         for block in source2.chain().iter() {
             match block.kind() {
                 BlockKind::Normal | BlockKind::Empty => {
-                    replica2.apply_block(block.clone()).unwrap();
+                    replica2.apply_block(block.block().clone()).unwrap();
                 }
                 _ => {} // genesis pre-exists; summaries derived locally
             }
@@ -1482,11 +1483,8 @@ mod tests {
         assert!(mem
             .chain()
             .iter_sealed()
-            .map(seldel_chain::SealedBlock::hash)
-            .eq(reopened
-                .chain()
-                .iter_sealed()
-                .map(seldel_chain::SealedBlock::hash)));
+            .map(|sealed| sealed.hash())
+            .eq(reopened.chain().iter_sealed().map(|sealed| sealed.hash())));
         assert_eq!(mem.stats().marker, reopened.stats().marker);
         assert_eq!(mem.stats().live_records, reopened.stats().live_records);
         assert_eq!(
@@ -1779,6 +1777,7 @@ mod tests {
             .iter()
             .find(|blk| blk.kind() == BlockKind::Summary)
             .unwrap()
+            .block()
             .clone();
         // Force the replica to tip 1 so numbers could line up; it must be
         // rejected on kind grounds regardless.

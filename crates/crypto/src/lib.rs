@@ -51,5 +51,5 @@ pub mod sha512;
 
 pub use ed25519::{Signature, SignatureError, SigningKey, VerifyingKey};
 pub use merkle::{MerkleProof, MerkleTree, Side};
-pub use sha256::{sha256, Digest32, Sha256};
+pub use sha256::{digests_finalized, sha256, Digest32, Sha256};
 pub use sha512::{sha512, Digest64, Sha512};

@@ -188,6 +188,7 @@ impl Sha256 {
 
     /// Completes the hash and returns the digest.
     pub fn finalize(mut self) -> Digest32 {
+        DIGESTS_FINALIZED.with(|count| count.set(count.get() + 1));
         let bit_len = self.length_bytes.wrapping_mul(8);
         // Padding: 0x80, zeros, 64-bit big-endian bit length.
         self.raw_update(&[0x80]);
@@ -261,6 +262,24 @@ impl Sha256 {
         self.state[6] = self.state[6].wrapping_add(g);
         self.state[7] = self.state[7].wrapping_add(h);
     }
+}
+
+std::thread_local! {
+    /// SHA-256 digests finalized on this thread (see
+    /// [`digests_finalized`]).
+    static DIGESTS_FINALIZED: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of SHA-256 digests finalized on the calling thread since it
+/// started.
+///
+/// A diagnostics counter: replay-cost tests snapshot it around an
+/// operation to pin how many hashes the operation may spend (e.g. the
+/// paged store's streaming replay is bounded by one frame checksum per
+/// block). Thread-local so concurrently running tests cannot pollute each
+/// other's window.
+pub fn digests_finalized() -> u64 {
+    DIGESTS_FINALIZED.with(|count| count.get())
 }
 
 /// One-shot SHA-256 of `data`.

@@ -121,7 +121,8 @@ impl<S: BlockStore> AnchorNode<S> {
                     .chain()
                     .get(number)
                     .expect("just sealed")
-                    .clone();
+                    .into_sealed()
+                    .into_block();
                 ctx.broadcast(NodeMessage::NewBlock(sealed));
                 self.after_chain_advance(tip_before, ctx);
             }
@@ -283,7 +284,7 @@ impl<S: BlockStore> SimNode<NodeMessage> for AnchorNode<S> {
                 ctx.send(from, NodeMessage::StatusQuoReply(self.status_quo()));
             }
             NodeMessage::Query { id } => {
-                let record = self.ledger.record(id).cloned();
+                let record = self.ledger.record(id);
                 let live = self.ledger.is_live(id);
                 ctx.send(from, NodeMessage::QueryReply { id, record, live });
             }

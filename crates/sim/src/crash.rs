@@ -250,8 +250,8 @@ fn assert_equivalent<A: BlockStore, B: BlockStore>(
     assert_eq!(a.tip_hash(), b.tip_hash(), "{context}: tip hash differs");
     assert!(
         a.iter_sealed()
-            .map(seldel_chain::SealedBlock::hash)
-            .eq(b.iter_sealed().map(seldel_chain::SealedBlock::hash)),
+            .map(|sealed| sealed.hash())
+            .eq(b.iter_sealed().map(|sealed| sealed.hash())),
         "{context}: sealed-hash caches differ"
     );
     assert_eq!(
@@ -427,7 +427,7 @@ pub fn run_crash_restart(dir: &Path, cfg: &CrashConfig) -> CrashReport {
             "recovery left summary slot {next} unfilled"
         );
         recovered
-            .apply_block(lost.clone())
+            .apply_block(lost.block().clone())
             .expect("oracle blocks re-apply cleanly");
         reapplied += 1;
         next = recovered.chain().tip().number().next();

@@ -277,7 +277,7 @@ fn anchored_chain_validates_and_hampers_rewrites() {
     let anchored: Vec<_> = ledger
         .chain()
         .iter()
-        .filter_map(|b| b.anchor().map(|a| (b.number(), *a)))
+        .filter_map(|b| b.block().anchor().map(|a| (b.number(), *a)))
         .collect();
     assert!(!anchored.is_empty(), "no anchors embedded");
     let report = validate_chain(ledger.chain(), &ValidationOptions::default()).unwrap();

@@ -477,9 +477,16 @@ proptest! {
         let users = users();
         let config = durable_prop_config;
         let mut mem = SelectiveLedger::builder(config()).build();
+        // A one-block hot cache forces the paged read path (page-ins and
+        // evictions) throughout the whole workload, not just past 1024
+        // blocks — bit-identity must hold on the paged path too.
         let mut file = SelectiveLedger::builder(config())
             .store_backend::<FileStore>()
-            .open_store(FileStore::open_with_capacity(&dir, 4).expect("store opens"))
+            .open_store(
+                FileStore::open_with_capacity(&dir, 4)
+                    .expect("store opens")
+                    .with_hot_cache_capacity(1),
+            )
             .expect("fresh store");
         let mut now = Timestamp(0);
         let mut submitted = 0u64;
@@ -551,11 +558,11 @@ proptest! {
         prop_assert!(mem
             .chain()
             .iter_sealed()
-            .map(selective_deletion::chain::SealedBlock::hash)
+            .map(|sealed| sealed.hash())
             .eq(reopened
                 .chain()
                 .iter_sealed()
-                .map(selective_deletion::chain::SealedBlock::hash)));
+                .map(|sealed| sealed.hash())));
         prop_assert_eq!(reopened.chain().entry_index(), &reopened.chain().rebuilt_index());
         prop_assert!(reopened.chain().verify_cached_hashes());
         // Lookups agree on every id ever observed, live or gone.
