@@ -9,6 +9,12 @@
 //!
 //! Run with `cargo run -p seldel-bench --bin exp_growth --release`.
 //!
+//! The backend table includes the `FileStore` twice: synchronous, and in
+//! pipelined-commit mode (`FileStore+pipelined`), where fill fsyncs run
+//! on a background commit stage overlapped with the next seal. A
+//! run-internal gate requires the pipelined mode to stay within 0.9x of
+//! the synchronous throughput even without a baseline file.
+//!
 //! Pass `--baseline <path>` to compare against a previously committed
 //! `BENCH_chain_ops.json`: seal throughput and indexed `locate` latency
 //! must stay within 20% of the baseline on every backend and chain size
@@ -36,6 +42,12 @@ const MIN_INCREMENTAL_SPEEDUP: f64 = 10.0;
 /// to a purely relative bound (±8 ns of scheduler jitter on a 25 ns
 /// lookup already reads as ±30%).
 const LOCATE_NOISE_FLOOR_NS: f64 = 100.0;
+
+/// Absolute slack for the incremental-audit gate: the 1k-block audit runs
+/// in ~10 us, where scheduler jitter alone swings the reading by more
+/// than the relative bound. The 10k-block sample (~150 us) is what the
+/// relative gate meaningfully holds.
+const VALIDATE_NOISE_FLOOR_NS: f64 = 15_000.0;
 
 /// Compares this run to the committed baseline report; returns complaints.
 fn regressions(baseline: &str, ops: &[ChainOpsSample], backends: &[BackendSample]) -> Vec<String> {
@@ -78,7 +90,7 @@ fn regressions(baseline: &str, ops: &[ChainOpsSample], backends: &[BackendSample
                 continue;
             };
             if let Some(base_ns) = row_field_f64(line, "validate_incremental_ns") {
-                if now.validate_incremental_ns * FLOOR > base_ns {
+                if now.validate_incremental_ns * FLOOR > base_ns + VALIDATE_NOISE_FLOOR_NS {
                     complaints.push(format!(
                         "{} live blocks: validate_incremental {:.0} ns vs baseline {:.0} \
                          ({}% of baseline)",
@@ -224,6 +236,32 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+
+    // Run-internal sanity gate, independent of any committed baseline:
+    // the pipelined FileStore must at least match the synchronous one
+    // (0.9x floor — on a fast disk fsyncs are nearly free, so parity is
+    // a legitimate outcome; falling *behind* means the commit stage
+    // serialised work the synchronous path overlapped for free).
+    let plain = backends.iter().find(|b| b.backend == "FileStore");
+    let piped = backends.iter().find(|b| b.backend == "FileStore+pipelined");
+    if let (Some(plain), Some(piped)) = (plain, piped) {
+        println!(
+            "pipelined seal overlap: {:.0} blocks/s vs {:.0} blocks/s synchronous ({:.2}x)",
+            piped.seal_blocks_per_s(),
+            plain.seal_blocks_per_s(),
+            piped.seal_blocks_per_s() / plain.seal_blocks_per_s()
+        );
+        if piped.seal_blocks_per_s() < plain.seal_blocks_per_s() * 0.9 {
+            println!(
+                "::warning title=exp_growth perf regression::pipelined FileStore sealed \
+                 {:.0} blocks/s, below 0.9x of the synchronous {:.0} blocks/s",
+                piped.seal_blocks_per_s(),
+                plain.seal_blocks_per_s()
+            );
+            eprintln!("the pipelined commit stage slowed sealing down instead of overlapping it");
+            std::process::exit(1);
+        }
+    }
 
     if let Some(baseline) = baseline {
         let complaints = regressions(&baseline, &ops, &backends);

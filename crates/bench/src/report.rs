@@ -213,7 +213,8 @@ impl ChainOpsSample {
 /// Per-backend timings on an identically sized, identically built chain.
 #[derive(Debug, Clone)]
 pub struct BackendSample {
-    /// Backend name (`MemStore` / `SegStore` / `FileStore`).
+    /// Backend name (`MemStore` / `SegStore` / `FileStore` /
+    /// `FileStore+pipelined`).
     pub backend: &'static str,
     /// Live blocks in the measured chain.
     pub live_blocks: u64,
@@ -314,7 +315,11 @@ pub fn measure_backend_ops<S: BlockStore>(
 ) -> BackendSample {
     let blocks = live_blocks + 30;
     let start = Instant::now();
-    let ledger = build_ledger_with_store(store, 10, live_blocks, blocks, 1, 16);
+    let mut ledger = build_ledger_with_store(store, 10, live_blocks, blocks, 1, 16);
+    // Land every deferred fsync inside the timed region so a pipelined
+    // backend is charged for its whole durability bill, not just the
+    // overlapped part (no-op on in-memory backends).
+    ledger.commit_durable();
     let seal_ns = start.elapsed().as_nanos() as f64 / blocks as f64;
 
     let chain = ledger.chain();
@@ -340,17 +345,45 @@ pub fn measure_backend_ops<S: BlockStore>(
     }
 }
 
-/// Measures all three shipped backends on `live_blocks`-sized chains. The
-/// `FileStore` runs rooted in a scratch directory (real disk writes),
-/// which is removed afterwards.
+/// Measures the shipped backends on `live_blocks`-sized chains: the three
+/// synchronous ones plus the `FileStore` in pipelined-commit mode (fill
+/// fsyncs overlapped with sealing by the background commit stage; the
+/// timed region still ends on a full durability barrier). Both durable
+/// rows run rooted in scratch directories (real disk writes), removed
+/// afterwards.
 pub fn measure_backends(live_blocks: u64) -> Vec<BackendSample> {
-    let scratch = seldel_chain::testutil::ScratchDir::new("bench-fstore");
-    let file_store = FileStore::open(scratch.path()).expect("scratch store opens");
     vec![
         measure_backend_ops("MemStore", MemStore::default(), live_blocks),
         measure_backend_ops("SegStore", SegStore::default(), live_blocks),
-        measure_backend_ops("FileStore", file_store, live_blocks),
+        best_durable_sample("FileStore", live_blocks, |dir| {
+            FileStore::open(dir).expect("scratch store opens")
+        }),
+        best_durable_sample("FileStore+pipelined", live_blocks, |dir| {
+            FileStore::open(dir)
+                .expect("scratch store opens")
+                .with_pipelined_commits()
+        }),
     ]
+}
+
+/// Disk-rooted seal timings jitter ±10% run to run on shared hosts, which
+/// would make the run-internal pipelined-vs-plain gate flaky. Each durable
+/// row therefore takes the best of three passes — the work is
+/// deterministic, so the minimum wall time is the least-interfered
+/// measurement — against a fresh scratch directory per pass.
+fn best_durable_sample(
+    backend: &'static str,
+    live_blocks: u64,
+    make: impl Fn(&std::path::Path) -> FileStore,
+) -> BackendSample {
+    (0..3)
+        .map(|pass| {
+            let scratch =
+                seldel_chain::testutil::ScratchDir::new(&format!("bench-{backend}-{pass}"));
+            measure_backend_ops(backend, make(scratch.path()), live_blocks)
+        })
+        .min_by(|a, b| a.seal_ns.total_cmp(&b.seal_ns))
+        .expect("three passes ran")
 }
 
 /// Verifies the indexed and scan paths agree on a sample of ids (sanity
@@ -524,10 +557,13 @@ mod tests {
     }
 
     #[test]
-    fn backend_measurement_covers_all_three_backends() {
+    fn backend_measurement_covers_every_backend_mode() {
         let backends = measure_backends(60);
         let names: Vec<&str> = backends.iter().map(|b| b.backend).collect();
-        assert_eq!(names, ["MemStore", "SegStore", "FileStore"]);
+        assert_eq!(
+            names,
+            ["MemStore", "SegStore", "FileStore", "FileStore+pipelined"]
+        );
         for b in &backends {
             assert!(b.seal_ns > 0.0, "{}: no seal time", b.backend);
             assert!(b.live_blocks >= 55 && b.live_blocks <= 70, "{b:?}");

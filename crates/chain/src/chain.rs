@@ -468,6 +468,17 @@ impl<S: BlockStore> Blockchain<S> {
         self.store.iter()
     }
 
+    /// Iterates live blocks through the store's random-access read path.
+    ///
+    /// On a paged store this serves from the hot cache, while
+    /// [`Blockchain::iter`] streams every frame from disk (with a decode
+    /// and checksum verification each) on purpose — right for one-shot
+    /// cold scans and audits, ruinous for derived-state rebuilds that run
+    /// on every prune over a mostly-hot live window.
+    pub fn iter_hot(&self) -> impl Iterator<Item = BlockRef<'_>> {
+        (0..self.store.len()).filter_map(|i| self.store.get(i))
+    }
+
     /// The maintained (sharded) entry index — derived state; see
     /// [`crate::shard`]. Compares equal to the monolithic
     /// [`EntryIndex`] oracle ([`Blockchain::rebuilt_index`]) whenever both
@@ -479,6 +490,30 @@ impl<S: BlockStore> Blockchain<S> {
     /// The storage backend (read-only) — mutation goes through the chain.
     pub fn store(&self) -> &S {
         &self.store
+    }
+
+    /// The highest block number the backend guarantees to survive a
+    /// crash ([`BlockStore::durable_tip`]). In-memory backends report
+    /// the tip; a durable backend's watermark lags it while fsyncs are
+    /// pending. The node layer holds `NewBlock` broadcasts behind this.
+    pub fn durable_tip(&self) -> Option<BlockNumber> {
+        self.store.durable_tip()
+    }
+
+    /// Durability barrier ([`BlockStore::flush_durable`]): on return,
+    /// every sealed block would survive a crash and
+    /// [`Blockchain::durable_tip`] equals the tip. No-op for in-memory
+    /// backends.
+    pub fn flush_durable(&mut self) {
+        self.store.flush_durable();
+    }
+
+    /// Switches the backend into pipelined-commit mode, if it has one
+    /// ([`BlockStore::enable_pipeline`]): append-path fsyncs move to a
+    /// background commit stage and [`Blockchain::durable_tip`] starts
+    /// lagging the tip until they complete.
+    pub fn enable_pipeline(&mut self) {
+        self.store.enable_pipeline();
     }
 
     /// Number of shards the maintained index is partitioned into.

@@ -66,7 +66,7 @@ pub use block::{Block, BlockBody, BlockHeader, BlockKind, Seal, GENESIS_PREV_HAS
 pub use chain::{Blockchain, Located};
 pub use entry::{CoSignature, DeleteRequest, Entry, EntryPayload};
 pub use error::ChainError;
-pub use fstore::{FileStore, FsyncPolicy, StoreError};
+pub use fstore::{segment_frame_numbers, FileStore, FsyncPolicy, StoreError, FSYNC_POLICY_ENV};
 pub use index::{EntryIndex, Location};
 pub use proof::{
     prove_deleted, prove_live, verify_proof, EntryProof, HeaderChain, MerkleSpot, ProofError,

@@ -344,6 +344,32 @@ pub trait BlockStore:
     fn resident_bytes(&self) -> u64 {
         self.iter().map(|sealed| sealed.byte_size() as u64).sum()
     }
+
+    /// The highest block number guaranteed to survive a process crash,
+    /// or `None` when nothing is (an empty store).
+    ///
+    /// In-memory backends have no durability lag — whatever they hold is
+    /// as safe as it gets — so the default reports the tip. Durable
+    /// backends override this with their real fsync watermark
+    /// ([`FileStore::durable_up_to`](crate::fstore::FileStore::durable_up_to)),
+    /// which lags the tip while fsyncs are pending. The node layer holds
+    /// `NewBlock` broadcasts behind this watermark so replicas never see
+    /// a block the leader could lose.
+    fn durable_tip(&self) -> Option<crate::types::BlockNumber> {
+        self.last().map(|sealed| sealed.number())
+    }
+
+    /// Durability barrier: returns only once every stored block would
+    /// survive a crash, after which [`BlockStore::durable_tip`] equals
+    /// the tip. No-op for in-memory backends. Durable backends that
+    /// cannot reach the disk panic, matching their `push` contract.
+    fn flush_durable(&mut self) {}
+
+    /// Switches the store into pipelined-commit mode, if it has one:
+    /// append-path fsyncs move to a background commit stage and
+    /// [`BlockStore::durable_tip`] starts lagging until they complete.
+    /// No-op (the default) for backends with no deferred durability.
+    fn enable_pipeline(&mut self) {}
 }
 
 /// The default in-memory store: a `VecDeque` of sealed blocks.

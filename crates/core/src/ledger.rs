@@ -88,6 +88,7 @@ pub struct SelectiveLedgerBuilder<S: BlockStore = MemStore> {
     policies: Vec<Arc<dyn CohesionPolicy>>,
     genesis_time: Timestamp,
     shards: usize,
+    pipelined: bool,
     _store: PhantomData<S>,
 }
 
@@ -104,6 +105,7 @@ impl<S: BlockStore> SelectiveLedgerBuilder<S> {
             policies: self.policies,
             genesis_time: self.genesis_time,
             shards: self.shards,
+            pipelined: self.pipelined,
             _store: PhantomData,
         }
     }
@@ -124,6 +126,17 @@ impl<S: BlockStore> SelectiveLedgerBuilder<S> {
         self.shards = shards;
         self
     }
+    /// Enables the backend's **pipelined commit** mode, when it has one
+    /// ([`BlockStore::enable_pipeline`]): append-path fsyncs move off the
+    /// seal path to a background commit stage, and
+    /// [`SelectiveLedger::durable_tip`] starts lagging the tip until they
+    /// complete. No-op for in-memory backends. See the staged sealing
+    /// pipeline section in DESIGN.md.
+    pub fn pipelined_commits(mut self, on: bool) -> Self {
+        self.pipelined = on;
+        self
+    }
+
     /// Sets the role table (§IV-D1).
     pub fn roles(mut self, roles: RoleTable) -> Self {
         self.roles = roles;
@@ -219,6 +232,9 @@ impl<S: BlockStore> SelectiveLedgerBuilder<S> {
     fn into_ledger(self, mut chain: Blockchain<S>) -> SelectiveLedger<S> {
         if chain.shard_count() != self.shards {
             chain.reshard(self.shards);
+        }
+        if self.pipelined {
+            chain.enable_pipeline();
         }
         let blocks_appended = chain.tip().number().value() + 1;
         let retired_blocks = chain.marker().value();
@@ -326,6 +342,7 @@ impl SelectiveLedger {
             policies: Vec::new(),
             genesis_time: Timestamp::ZERO,
             shards: DEFAULT_SHARD_COUNT,
+            pipelined: false,
             _store: PhantomData,
         }
     }
@@ -340,6 +357,22 @@ impl<S: BlockStore> SelectiveLedger<S> {
     /// The live chain (read-only).
     pub fn chain(&self) -> &Blockchain<S> {
         &self.chain
+    }
+
+    /// The highest block number the storage backend guarantees to
+    /// survive a crash ([`Blockchain::durable_tip`]). Equals the tip for
+    /// in-memory backends; lags it on a pipelined durable backend while
+    /// deferred fsyncs are pending. The anchor node holds `NewBlock`
+    /// broadcasts behind this watermark.
+    pub fn durable_tip(&self) -> Option<BlockNumber> {
+        self.chain.durable_tip()
+    }
+
+    /// Durability barrier: on return every sealed block would survive a
+    /// crash and [`SelectiveLedger::durable_tip`] equals the tip. No-op
+    /// for in-memory backends.
+    pub fn commit_durable(&mut self) {
+        self.chain.flush_durable();
     }
 
     /// The configuration.
@@ -471,6 +504,15 @@ impl<S: BlockStore> SelectiveLedger<S> {
     /// the overflow waits for the next block. Any due summary slot is
     /// filled automatically afterwards, which may merge and cut old
     /// sequences. Returns the number of the sealed (non-summary) block.
+    ///
+    /// **Pipeline-aware:** on a backend in pipelined-commit mode
+    /// ([`SelectiveLedgerBuilder::pipelined_commits`]) this returns as
+    /// soon as the block's bytes are written — any fsync the append made
+    /// due runs on the backend's commit stage while the caller builds
+    /// the next block. The sealed block is not crash-durable until
+    /// [`SelectiveLedger::durable_tip`] reaches it (or
+    /// [`SelectiveLedger::commit_durable`] is called); prune barriers
+    /// inside `maybe_summarize` still flush inline, preserving §IV-C.
     ///
     /// # Errors
     ///
@@ -779,10 +821,12 @@ impl<S: BlockStore> SelectiveLedger<S> {
     }
 
     /// Rebuilds the live dependency index from chain contents. Called after
-    /// merges so edges from dropped entries disappear.
+    /// merges so edges from dropped entries disappear. Runs on every prune,
+    /// so it reads through the hot cache (`iter_hot`) — a disk scan here
+    /// would put the whole live window back on the seal path each merge.
     fn rebuild_dependency_index(&mut self) {
         let mut fresh: BTreeMap<EntryId, BTreeMap<EntryId, VerifyingKey>> = BTreeMap::new();
-        for block in self.chain.iter() {
+        for block in self.chain.iter_hot() {
             match block.kind() {
                 BlockKind::Normal => {
                     for (i, entry) in block.entries().iter().enumerate() {

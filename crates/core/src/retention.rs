@@ -58,8 +58,10 @@ pub fn plan_retirement<S: BlockStore>(
 
     let spans = live_sequences(chain);
     let closed: Vec<SequenceSpan> = spans.iter().copied().filter(|s| s.closed).collect();
+    // Hot-cache reads, not a disk scan: this runs on every summary slot
+    // once the chain is at capacity.
     let live_summaries = chain
-        .iter()
+        .iter_hot()
         .filter(|b| b.kind() == BlockKind::Summary)
         .count() as u64
         + 1; // including the new Σ

@@ -43,7 +43,10 @@ impl SequenceSpan {
 pub fn live_sequences<S: BlockStore>(chain: &Blockchain<S>) -> Vec<SequenceSpan> {
     let mut spans = Vec::new();
     let mut start: Option<BlockNumber> = None;
-    for block in chain.iter() {
+    // Runs on every summary slot once the chain is at capacity: read
+    // through the hot cache, not the scan iterator (which re-reads every
+    // frame from disk on a paged store).
+    for block in chain.iter_hot() {
         let number = block.number();
         if start.is_none() {
             start = Some(number);

@@ -10,6 +10,7 @@
 //!   the quorum chain ("traceable from its current status quo", §V-B3).
 
 use std::any::Any;
+use std::collections::VecDeque;
 
 use seldel_chain::{BlockKind, BlockNumber, BlockStore, Entry, EntryId, MemStore};
 use seldel_core::{LedgerEvent, SelectiveLedger};
@@ -37,11 +38,48 @@ pub struct AnchorStats {
     pub entries_accepted: u64,
     /// Entries rejected at intake.
     pub entries_rejected: u64,
+    /// Sealed blocks currently awaiting the durable watermark before
+    /// their broadcast (announce-queue depth, sampled at
+    /// [`AnchorNode::stats`] time).
+    pub announce_queue_depth: u64,
+    /// High-water mark of the announce queue.
+    pub announce_queue_peak: u64,
+    /// Synchronous durability barriers the leader was forced into
+    /// because the commit stage lagged past the announce bound
+    /// (backpressure stalls).
+    pub fsync_stalls: u64,
+    /// Blocks sealed while at least one earlier block was still awaiting
+    /// durability — each one is a seal/fsync overlap the pipeline won.
+    pub sealed_while_commit_pending: u64,
 }
+
+/// Default bound on the leader's sealed-but-unannounced queue. When more
+/// blocks than this await the durable watermark, the leader stops
+/// pipelining and runs a synchronous durability barrier (backpressure) —
+/// the commit stage may lag the sealer, but never unboundedly.
+pub const DEFAULT_ANNOUNCE_BOUND: usize = 8;
 
 /// An anchor node wrapping a [`SelectiveLedger`], generic over the
 /// ledger's storage backend (replicas can run [`MemStore`] or the
 /// segmented store interchangeably — Σ hashes are backend-independent).
+///
+/// # Staged sealing (durable watermark)
+///
+/// The leader's flow is staged: intake fills the sharded mempool, the
+/// seal stage drains it into blocks, and the *commit* stage — the
+/// storage backend's fsync machinery — runs behind a *durable
+/// watermark* ([`SelectiveLedger::durable_tip`]). A sealed block is
+/// queued, not broadcast: `NewBlock` / Σ `SyncCheck` messages go out
+/// only once the watermark reaches the block, so **replicas never see a
+/// block the leader could still lose in a crash**. On a pipelined
+/// durable backend
+/// ([`SelectiveLedgerBuilder::pipelined_commits`](seldel_core::SelectiveLedgerBuilder::pipelined_commits))
+/// the leader seals block N+1 while block N's fsync is in flight; when
+/// the announce queue outgrows its bound
+/// ([`DEFAULT_ANNOUNCE_BOUND`] / [`AnchorNode::with_announce_bound`])
+/// the leader stalls on a synchronous barrier instead — bounded queue,
+/// explicit backpressure. In-memory backends report no durability lag,
+/// so their broadcasts stay immediate.
 ///
 /// # Restart
 ///
@@ -61,6 +99,11 @@ pub struct AnchorNode<S: BlockStore = MemStore> {
     stats: AnchorStats,
     /// Last summary (number, hash) derived locally.
     last_summary: Option<(BlockNumber, Digest32)>,
+    /// Sealed-but-unannounced block numbers (leader only): broadcast of
+    /// each waits for the durable watermark to reach it.
+    announce_queue: VecDeque<BlockNumber>,
+    /// Queue depth past which the leader runs a synchronous barrier.
+    announce_bound: usize,
     /// Event log retained for inspection by drivers.
     pub events: Vec<LedgerEvent>,
 }
@@ -80,8 +123,19 @@ impl<S: BlockStore> AnchorNode<S> {
             block_interval_ms,
             stats: AnchorStats::default(),
             last_summary: None,
+            announce_queue: VecDeque::new(),
+            announce_bound: DEFAULT_ANNOUNCE_BOUND,
             events: Vec::new(),
         }
+    }
+
+    /// Sets the announce-queue bound (see [`DEFAULT_ANNOUNCE_BOUND`]).
+    /// `0` disables pipelined announcing entirely: every seal runs a
+    /// synchronous durability barrier before broadcasting.
+    #[must_use]
+    pub fn with_announce_bound(mut self, bound: usize) -> AnchorNode<S> {
+        self.announce_bound = bound;
+        self
     }
 
     /// The wrapped ledger (read-only).
@@ -89,9 +143,13 @@ impl<S: BlockStore> AnchorNode<S> {
         &self.ledger
     }
 
-    /// Distributed-behaviour counters.
+    /// Distributed-behaviour counters, including the pipeline-health
+    /// gauges (announce-queue depth/peak, fsync stalls, seal/commit
+    /// overlaps).
     pub fn stats(&self) -> AnchorStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.announce_queue_depth = self.announce_queue.len() as u64;
+        stats
     }
 
     /// This node's current status quo.
@@ -107,24 +165,42 @@ impl<S: BlockStore> AnchorNode<S> {
         ctx.me() == self.leader
     }
 
-    /// Seals pending entries into a block and broadcasts it; summary
-    /// blocks created as a side effect are *not* broadcast, only their
-    /// hashes (sync check).
+    /// The seal stage: drains the mempool into the next block, queues
+    /// every newly sealed block (Σ included) for announcement, and
+    /// releases whatever the durable watermark already covers. Sealing
+    /// does **not** wait for the block's fsync — on a pipelined backend
+    /// the commit stage catches up in the background — unless the
+    /// announce queue outgrows its bound, in which case the leader runs
+    /// a synchronous barrier (backpressure).
     fn leader_seal(&mut self, ctx: &mut Context<'_, NodeMessage>) {
         let now = seldel_chain::Timestamp(ctx.now());
         let tip_before = self.ledger.chain().tip().number();
+        if !self.announce_queue.is_empty() {
+            // An earlier block's fsync is still in flight: this seal
+            // overlaps it — the pipeline is doing its job.
+            self.stats.sealed_while_commit_pending += 1;
+        }
         match self.ledger.seal_block(now) {
-            Ok(number) => {
+            Ok(_) => {
                 self.stats.blocks_sealed += 1;
-                let sealed = self
-                    .ledger
-                    .chain()
-                    .get(number)
-                    .expect("just sealed")
-                    .into_sealed()
-                    .into_block();
-                ctx.broadcast(NodeMessage::NewBlock(sealed));
-                self.after_chain_advance(tip_before, ctx);
+                self.events.extend(self.ledger.drain_events());
+                let tip_now = self.ledger.chain().tip().number();
+                let mut n = tip_before.next();
+                while n <= tip_now {
+                    self.announce_queue.push_back(n);
+                    n = n.next();
+                }
+                let depth = self.announce_queue.len() as u64;
+                self.stats.announce_queue_peak = self.stats.announce_queue_peak.max(depth);
+                self.release_announcements(ctx);
+                if self.announce_queue.len() > self.announce_bound {
+                    // Backpressure: the commit stage lags too far behind
+                    // the sealer. Stall once on a synchronous durability
+                    // barrier, then everything queued is releasable.
+                    self.stats.fsync_stalls += 1;
+                    self.ledger.commit_durable();
+                    self.release_announcements(ctx);
+                }
             }
             Err(err) => {
                 // Sealing only fails on timestamp regression, which cannot
@@ -137,8 +213,46 @@ impl<S: BlockStore> AnchorNode<S> {
         }
     }
 
-    /// After the tip moved: collect events, and if a summary block was
-    /// derived, broadcast its hash for the §IV-B synchronisation check.
+    /// The announce stage: broadcasts every queued block the durable
+    /// watermark has reached — data blocks as `NewBlock`, Σ blocks as
+    /// their hash-only `SyncCheck` (§IV-B: summaries are derived
+    /// locally, never propagated) — and stops at the first block the
+    /// store could still lose.
+    fn release_announcements(&mut self, ctx: &mut Context<'_, NodeMessage>) {
+        let durable = self.ledger.durable_tip();
+        while self
+            .announce_queue
+            .front()
+            .is_some_and(|&n| Some(n) <= durable)
+        {
+            let n = self.announce_queue.pop_front().expect("front checked");
+            let Some(sealed) = self.ledger.chain().sealed(n) else {
+                // Pruned before its release (a Σ merge retired it while
+                // the queue was backed up): peers that miss it heal via
+                // the ordinary reject → sync-request → adopt path.
+                continue;
+            };
+            if sealed.block().kind() == BlockKind::Summary {
+                let check = (sealed.block().number(), sealed.hash());
+                self.last_summary = Some(check);
+                self.stats.sync_checks_sent += 1;
+                ctx.broadcast(NodeMessage::SyncCheck {
+                    number: check.0,
+                    summary_hash: check.1,
+                    payload_root: sealed.block().header().payload_hash,
+                });
+            } else {
+                let block = sealed.into_sealed().into_block();
+                ctx.broadcast(NodeMessage::NewBlock(block));
+            }
+        }
+    }
+
+    /// Replica path: after the tip moved by *adopting* a block, collect
+    /// events and, if a summary block was derived locally, broadcast its
+    /// hash for the §IV-B synchronisation check. (The leader's own seal
+    /// path instead stages announcements behind the durable watermark in
+    /// [`Self::release_announcements`].)
     fn after_chain_advance(&mut self, tip_before: BlockNumber, ctx: &mut Context<'_, NodeMessage>) {
         self.events.extend(self.ledger.drain_events());
         let tip_now = self.ledger.chain().tip().number();
@@ -297,6 +411,10 @@ impl<S: BlockStore> SimNode<NodeMessage> for AnchorNode<S> {
     fn on_tick(&mut self, ctx: &mut Context<'_, NodeMessage>) {
         self.me = Some(ctx.me());
         if self.am_leader(ctx) {
+            // First release anything the background commit stage made
+            // durable since the last tick, then overlap the next seal
+            // with whatever fsync work is still in flight.
+            self.release_announcements(ctx);
             self.leader_seal(ctx);
         }
         ctx.schedule_tick(self.block_interval_ms);
@@ -737,5 +855,227 @@ mod tests {
                 .len()
                 >= 2
         );
+    }
+
+    #[test]
+    fn announcements_never_outrun_the_durable_watermark() {
+        // Deterministic gating + backpressure check, no background worker:
+        // an OnFill FileStore with an oversized segment never fsyncs on its
+        // own, so the durable watermark only advances when the announce
+        // queue exceeds its bound and the leader stalls on a barrier. At
+        // every step, everything still queued must sit strictly above the
+        // watermark — the "never announce a block the store could lose"
+        // invariant. The policy is pinned explicitly: the premise breaks
+        // under a SELDEL_FSYNC_POLICY=always override (CI pipeline-smoke).
+        use seldel_chain::testutil::ScratchDir;
+        use seldel_chain::{FileStore, FsyncPolicy};
+        let scratch = ScratchDir::new("anchor-watermark-gate");
+        let leader = NodeId(0);
+
+        let store = FileStore::open_with_capacity(scratch.path(), 64)
+            .unwrap()
+            .with_fsync_policy(FsyncPolicy::OnFill);
+        let mut net = SimNetwork::new(NetConfig::default());
+        let l = net.add_node(Box::new(
+            AnchorNode::new(
+                SelectiveLedger::builder(ChainConfig::paper_evaluation())
+                    .store_backend::<FileStore>()
+                    .open_store(store)
+                    .unwrap(),
+                leader,
+                100,
+            )
+            .with_announce_bound(4),
+        ));
+        let r = net.add_node(Box::new(AnchorNode::new(
+            SelectiveLedger::new(ChainConfig::paper_evaluation()),
+            leader,
+            100,
+        )));
+        net.schedule_tick(l, 100);
+        net.schedule_tick(r, 100);
+
+        let mut saw_seal_ahead_of_durability = false;
+        for i in 0..14u64 {
+            net.send_external(l, NodeMessage::Submit(entry(1, i)));
+            net.run_until(net.now() + 100);
+            let node = net.node_as::<AnchorNode<FileStore>>(l).unwrap();
+            let durable = node.ledger().durable_tip();
+            for &queued in &node.announce_queue {
+                assert!(
+                    Some(queued) > durable,
+                    "block {queued} queued at or below the durable watermark {durable:?}"
+                );
+            }
+            if !node.announce_queue.is_empty()
+                && Some(node.ledger().chain().tip().number()) > durable
+            {
+                saw_seal_ahead_of_durability = true;
+            }
+        }
+        net.run_until(net.now() + 500);
+
+        let node = net.node_as::<AnchorNode<FileStore>>(l).unwrap();
+        let stats = node.stats();
+        assert!(
+            saw_seal_ahead_of_durability,
+            "sealing never ran ahead of durability — the pipeline had no effect"
+        );
+        assert!(
+            stats.fsync_stalls >= 1,
+            "the bound-4 queue never forced a backpressure barrier"
+        );
+        assert!(
+            stats.announce_queue_peak > 4,
+            "queue never filled its bound"
+        );
+        assert!(stats.blocks_sealed >= 10);
+        // Despite the staging, the replica converged on the released prefix.
+        let replica = net.node_as::<AnchorNode>(r).unwrap();
+        let tip = replica.ledger().chain().tip();
+        assert!(tip.number() > BlockNumber(0));
+        let same = node
+            .ledger()
+            .chain()
+            .get(tip.number())
+            .expect("leader pruned past replica tip");
+        assert_eq!(tip.hash(), same.hash(), "replica diverged from the leader");
+    }
+
+    #[test]
+    fn paused_commit_stage_freezes_replicas_until_durability_resumes() {
+        // A *pipelined* durable leader with the real background commit
+        // worker: while the worker is paused the watermark freezes, the
+        // leader keeps sealing (overlap), and the replica must observe
+        // nothing new — no `NewBlock` travels past `durable_up_to`. Once
+        // the worker resumes, the backlog drains and the replica catches
+        // up. Wall-clock waits are deadline-bounded.
+        use seldel_chain::testutil::ScratchDir;
+        use seldel_chain::FileStore;
+        use std::time::{Duration, Instant};
+        let scratch = ScratchDir::new("anchor-paused-commit");
+        let leader = NodeId(0);
+
+        // No retirement cap: a prune would run the §IV-C durability
+        // barrier and (correctly) unfreeze the watermark mid-test.
+        let mut config = ChainConfig::paper_evaluation();
+        config.retention.max_live_blocks = None;
+
+        let mut net = SimNetwork::new(NetConfig::default());
+        let l = net.add_node(Box::new(
+            AnchorNode::new(
+                SelectiveLedger::builder(config.clone())
+                    .store_backend::<FileStore>()
+                    .pipelined_commits(true)
+                    .on_disk_with_capacity(scratch.path(), 4)
+                    .unwrap(),
+                leader,
+                100,
+            )
+            // A wide bound so the pause below never trips the synchronous
+            // backpressure barrier (which would advance the watermark).
+            .with_announce_bound(64),
+        ));
+        let r = net.add_node(Box::new(AnchorNode::new(
+            SelectiveLedger::new(config),
+            leader,
+            100,
+        )));
+        net.schedule_tick(l, 100);
+        net.schedule_tick(r, 100);
+
+        // Warm up: a few blocks flow end to end through the live worker.
+        let mut seq = 0u64;
+        for _ in 0..4 {
+            net.send_external(l, NodeMessage::Submit(entry(1, seq)));
+            net.run_until(net.now() + 100);
+            std::thread::sleep(Duration::from_millis(2));
+            seq += 1;
+        }
+
+        // Freeze the commit stage and keep sealing: the replica's view
+        // must not move while the watermark is frozen.
+        net.node_as::<AnchorNode<FileStore>>(l)
+            .unwrap()
+            .ledger()
+            .chain()
+            .store()
+            .pause_commits(true);
+        // Flush everything already durable (or in flight) before taking the
+        // frozen snapshot: two idle ticks release and deliver any block the
+        // watermark covered at pause time.
+        net.run_until(net.now() + 300);
+        let frozen_replica_tip = net
+            .node_as::<AnchorNode>(r)
+            .unwrap()
+            .ledger()
+            .chain()
+            .tip()
+            .number();
+        for _ in 0..5 {
+            net.send_external(l, NodeMessage::Submit(entry(1, seq)));
+            net.run_until(net.now() + 100);
+            seq += 1;
+        }
+        {
+            let node = net.node_as::<AnchorNode<FileStore>>(l).unwrap();
+            assert!(
+                node.stats().sealed_while_commit_pending >= 1,
+                "no seal overlapped a pending commit while the stage was paused"
+            );
+            assert_eq!(node.stats().fsync_stalls, 0, "pause tripped the barrier");
+            let replica_tip = net
+                .node_as::<AnchorNode>(r)
+                .unwrap()
+                .ledger()
+                .chain()
+                .tip()
+                .number();
+            assert_eq!(
+                replica_tip, frozen_replica_tip,
+                "a block crossed the frozen durable watermark"
+            );
+        }
+
+        // Resume: the worker drains the fsync backlog in the background and
+        // subsequent ticks release the queued announcements.
+        net.node_as::<AnchorNode<FileStore>>(l)
+            .unwrap()
+            .ledger()
+            .chain()
+            .store()
+            .pause_commits(false);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            net.send_external(l, NodeMessage::Submit(entry(1, seq)));
+            net.run_until(net.now() + 100);
+            std::thread::sleep(Duration::from_millis(2));
+            seq += 1;
+            let replica_tip = net
+                .node_as::<AnchorNode>(r)
+                .unwrap()
+                .ledger()
+                .chain()
+                .tip()
+                .number();
+            if replica_tip > frozen_replica_tip {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "replica never caught up after the commit stage resumed"
+            );
+        }
+        net.run_until(net.now() + 500);
+        let node = net.node_as::<AnchorNode<FileStore>>(l).unwrap();
+        let replica = net.node_as::<AnchorNode>(r).unwrap();
+        let tip = replica.ledger().chain().tip();
+        let same = node
+            .ledger()
+            .chain()
+            .get(tip.number())
+            .expect("leader pruned past replica tip");
+        assert_eq!(tip.hash(), same.hash(), "replica diverged from the leader");
+        assert!(node.stats().announce_queue_peak >= 2);
     }
 }

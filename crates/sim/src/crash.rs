@@ -19,7 +19,13 @@
 //! * **mid-prune** — the prune's manifest update is durable but the front
 //!   rewrite and the unlinks are lost: recovery must finish the prune
 //!   (delete stale segments, drop pruned frames) and come back
-//!   bit-identical to the oracle with **zero** lost blocks.
+//!   bit-identical to the oracle with **zero** lost blocks;
+//! * **deferred-commit** — the store runs in pipelined-commit mode with
+//!   the background fsync worker stalled, so blocks append while their
+//!   durability lags: the power cut keeps exactly the prefix the durable
+//!   watermark (`durable_up_to`) covered, and recovery must come back to
+//!   **precisely** that watermark — the boundary the node layer gates its
+//!   `NewBlock` broadcasts on.
 //!
 //! The driver asserts (panicking on violation, like every sim invariant
 //! check) and also returns a [`CrashReport`] so experiment binaries can
@@ -44,6 +50,10 @@ pub enum CrashPoint {
     /// Crash inside the prune sequence, after the manifest became durable
     /// but before the front rewrite and the unlinks.
     MidPrune,
+    /// Crash while the pipelined commit stage still owes fsyncs: blocks
+    /// were appended past the durable watermark and every one of them is
+    /// lost; recovery lands exactly on `durable_up_to`.
+    DeferredCommit,
     /// No damage at all — a clean close (the control run).
     CleanClose,
 }
@@ -53,6 +63,7 @@ impl std::fmt::Display for CrashPoint {
         f.write_str(match self {
             CrashPoint::MidPush => "mid-push",
             CrashPoint::MidPrune => "mid-prune",
+            CrashPoint::DeferredCommit => "deferred-commit",
             CrashPoint::CleanClose => "clean-close",
         })
     }
@@ -209,6 +220,32 @@ fn tear_tail_frame(dir: &Path) {
     file.set_len(len - 3).expect("truncate");
 }
 
+/// Fabricates the deferred-commit crash state: every frame **above** the
+/// captured durable watermark is discarded, newest segment first — the
+/// power cut lost exactly the writes whose fsyncs were still queued on
+/// the commit stage. Frames at or below the watermark were covered by a
+/// real fsync when the watermark advanced, so they survive byte-for-byte.
+fn truncate_past_watermark(dir: &Path, watermark: u64) {
+    let files = snapshot_segments(dir);
+    for (path, bytes) in files.iter().rev() {
+        let frames = seldel_chain::segment_frame_numbers(bytes);
+        match frames.iter().find(|&&(_, number)| number > watermark) {
+            Some(&(0, _)) => {
+                fs::remove_file(path).expect("unlink fully-deferred segment");
+            }
+            Some(&(offset, _)) => {
+                let file = fs::OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .expect("open tail segment");
+                file.set_len(offset).expect("truncate past watermark");
+                break; // older files hold only lower numbers
+            }
+            None => break,
+        }
+    }
+}
+
 /// Fabricates the mid-prune crash state from a pre-prune snapshot: the
 /// manifest (written first, fsynced) is kept, appends that happened since
 /// the snapshot are kept (they were fsynced by the pre-manifest barrier),
@@ -301,11 +338,14 @@ pub fn run_crash_restart(dir: &Path, cfg: &CrashConfig) -> CrashReport {
     let mut oracle = SelectiveLedger::builder(crash_chain_config()).build();
     let mut durable = SelectiveLedger::builder(crash_chain_config())
         .store_backend::<FileStore>()
+        .pipelined_commits(cfg.point == CrashPoint::DeferredCommit)
         .on_disk_with_capacity(dir, cfg.segment_capacity)
         .expect("fresh store opens");
 
     // Phase 1: identical workload up to the crash window.
     let mut block = 0u64;
+    // Durable watermark captured at the crash, when the point pins one.
+    let mut watermark: Option<u64> = None;
     for _ in 0..cfg.blocks_before_crash {
         block += 1;
         step(
@@ -371,6 +411,39 @@ pub fn run_crash_restart(dir: &Path, cfg: &CrashConfig) -> CrashReport {
                 }
             }
         }
+        CrashPoint::DeferredCommit => {
+            // Stall the commit stage, then keep sealing: blocks append
+            // while their fill fsyncs wait in the queue, so the durable
+            // watermark W falls behind the tip. (A prune inside this loop
+            // runs the §IV-C barrier and snaps W back to the tip — the
+            // loop just continues until a gap of ≥ 2 blocks opens.)
+            durable.chain().store().pause_commits(true);
+            loop {
+                block += 1;
+                step(
+                    &mut oracle,
+                    &mut durable,
+                    &key,
+                    block,
+                    cfg.entries_per_block,
+                    &mut counter,
+                );
+                let tip = durable.chain().tip().number().value();
+                let w = durable.chain().store().durable_up_to();
+                if let Some(w) = w {
+                    if tip >= w.value() + 2 {
+                        watermark = Some(w.value());
+                        break;
+                    }
+                }
+            }
+            // Dropping the ledger joins the worker, which flushes the
+            // queue — a clean close loses nothing. The fabrication then
+            // rolls the files back to the captured watermark: the state
+            // an actual power cut at capture time was allowed to leave.
+            drop(durable);
+            truncate_past_watermark(dir, watermark.expect("captured"));
+        }
         CrashPoint::CleanClose => {
             drop(durable);
         }
@@ -389,6 +462,15 @@ pub fn run_crash_restart(dir: &Path, cfg: &CrashConfig) -> CrashReport {
         "recovery invented blocks: {recovered_tip} > {oracle_tip}"
     );
     let lost_blocks = oracle_tip - recovered_tip;
+    if let Some(watermark) = watermark {
+        // The durability boundary is exact in both directions: recovery
+        // must reach the watermark (nothing durable may be dropped) and
+        // must not pass it (nothing past it was fsynced).
+        assert_eq!(
+            recovered_tip, watermark,
+            "recovery did not land exactly on the durable watermark"
+        );
+    }
     assert_eq!(
         recovered.chain().marker(),
         oracle.chain().marker(),
@@ -612,12 +694,13 @@ pub fn run_tamper_payload(dir: &Path, cfg: &CrashConfig, seed: u64) -> TamperRep
     }
 }
 
-/// Runs all three crash points in subdirectories of `base`, returning the
-/// reports in order (mid-push, mid-prune, clean-close).
+/// Runs every crash point in subdirectories of `base`, returning the
+/// reports in order (mid-push, mid-prune, deferred-commit, clean-close).
 pub fn run_crash_matrix(base: &Path, cfg: &CrashConfig) -> Vec<CrashReport> {
     [
         CrashPoint::MidPush,
         CrashPoint::MidPrune,
+        CrashPoint::DeferredCommit,
         CrashPoint::CleanClose,
     ]
     .into_iter()
@@ -666,6 +749,22 @@ mod tests {
         // manifest, so a crash inside the prune destroys no blocks.
         assert_eq!(report.lost_blocks, 0, "{report:?}");
         assert_eq!(report.reapplied_blocks, 0);
+    }
+
+    #[test]
+    fn crash_with_deferred_commits_recovers_exactly_to_the_watermark() {
+        let dir = ScratchDir::new("deferred");
+        let report = run_crash_restart(
+            dir.path(),
+            &CrashConfig {
+                point: CrashPoint::DeferredCommit,
+                ..Default::default()
+            },
+        );
+        // The stalled commit stage owed ≥ 2 blocks at the cut, and the
+        // in-driver assertion already pinned recovered_tip == watermark.
+        assert!(report.lost_blocks >= 2, "{report:?}");
+        assert!(report.reapplied_blocks >= 1);
     }
 
     #[test]
