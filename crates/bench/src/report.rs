@@ -25,6 +25,7 @@ use seldel_chain::{
     ValidationOptions,
 };
 use seldel_core::SelectiveLedger;
+use seldel_telemetry::{Registry, TelemetrySnapshot};
 
 use crate::{build_ledger, build_ledger_with_store};
 
@@ -386,6 +387,71 @@ fn best_durable_sample(
         .expect("three passes ran")
 }
 
+/// Runs `workload` with telemetry recording into a clean global registry
+/// and returns the frozen snapshot.
+///
+/// This is the **untimed collection pass** the report writers use: the
+/// timed measurements above run with telemetry at its default-off state
+/// (so the gates never pay for instrumentation), then the same workload
+/// shape is repeated once under recording so the committed `BENCH_*.json`
+/// carries the internals — fsync quantiles, group-commit batch sizes,
+/// cache hit/miss traffic. The global enable switch is restored on the
+/// way out, and the whole pass holds the telemetry test lock so parallel
+/// test binaries cannot interleave their registries.
+pub fn collect_telemetry(workload: impl FnOnce()) -> TelemetrySnapshot {
+    let _serial = seldel_telemetry::testing::serial();
+    let was_enabled = seldel_telemetry::enabled();
+    seldel_telemetry::set_enabled(true);
+    Registry::global().reset();
+    workload();
+    let snap = Registry::global().snapshot();
+    seldel_telemetry::set_enabled(was_enabled);
+    snap
+}
+
+/// The three `telemetry_*` sections every `BENCH_*.json` document embeds:
+/// name/value rows for counters and gauges, name/count/sum/max/p50/p95/p99
+/// rows for histograms (nanoseconds for `.ns` span histograms).
+pub fn telemetry_sections(snap: &TelemetrySnapshot) -> Vec<(&'static str, Vec<JsonRow>)> {
+    let counters: Vec<JsonRow> = snap
+        .counters
+        .iter()
+        .map(|c| {
+            JsonRow::new()
+                .field("name", c.name.as_str())
+                .field("value", c.value)
+        })
+        .collect();
+    let gauges: Vec<JsonRow> = snap
+        .gauges
+        .iter()
+        .map(|g| {
+            JsonRow::new()
+                .field("name", g.name.as_str())
+                .field("value", g.value)
+        })
+        .collect();
+    let histograms: Vec<JsonRow> = snap
+        .histograms
+        .iter()
+        .map(|h| {
+            JsonRow::new()
+                .field("name", h.name.as_str())
+                .field("count", h.count)
+                .field("sum", h.sum)
+                .field("max", h.max)
+                .field("p50", h.p50)
+                .field("p95", h.p95)
+                .field("p99", h.p99)
+        })
+        .collect();
+    vec![
+        ("telemetry_counters", counters),
+        ("telemetry_gauges", gauges),
+        ("telemetry_histograms", histograms),
+    ]
+}
+
 /// Verifies the indexed and scan paths agree on a sample of ids (sanity
 /// guard so the speedup numbers compare equal work).
 pub fn check_lookup_agreement(ledger: &SelectiveLedger, ids: &[EntryId]) -> bool {
@@ -395,8 +461,13 @@ pub fn check_lookup_agreement(ledger: &SelectiveLedger, ids: &[EntryId]) -> bool
 }
 
 /// Renders the samples as the `BENCH_chain_ops.json` document (through
-/// the shared [`render_json_report`] writer).
-pub fn to_json(samples: &[ChainOpsSample], backends: &[BackendSample]) -> String {
+/// the shared [`render_json_report`] writer), with `telemetry` appended
+/// as the `telemetry_*` sections.
+pub fn to_json(
+    samples: &[ChainOpsSample],
+    backends: &[BackendSample],
+    telemetry: &TelemetrySnapshot,
+) -> String {
     let sample_rows: Vec<JsonRow> = samples
         .iter()
         .map(|s| {
@@ -439,11 +510,9 @@ pub fn to_json(samples: &[ChainOpsSample], backends: &[BackendSample]) -> String
                 .field("resident_bytes", b.resident_bytes)
         })
         .collect();
-    render_json_report(
-        "chain_ops",
-        &[("unit", JsonField::from("ns"))],
-        &[("samples", sample_rows), ("backends", backend_rows)],
-    )
+    let mut sections = vec![("samples", sample_rows), ("backends", backend_rows)];
+    sections.extend(telemetry_sections(telemetry));
+    render_json_report("chain_ops", &[("unit", JsonField::from("ns"))], &sections)
 }
 
 /// Measures the standard 1k/10k sizes plus the per-backend series and
@@ -461,7 +530,19 @@ pub fn write_chain_ops_report(
         .map(|&n| measure_chain_ops(n))
         .collect();
     let backends = measure_backends(1_000);
-    std::fs::write(path, to_json(&samples, &backends))?;
+    // Untimed collection pass (see [`collect_telemetry`]): a disk-rooted
+    // **pipelined** workload with a deliberately tight hot cache, so the
+    // committed report shows fsync quantiles, group-commit batch sizes,
+    // commit-queue depth and real cache hit/miss/evict traffic.
+    let telemetry = collect_telemetry(|| {
+        let scratch = seldel_chain::testutil::ScratchDir::new("bench-telemetry");
+        let store = FileStore::open(scratch.path())
+            .expect("scratch store opens")
+            .with_hot_cache_capacity(32)
+            .with_pipelined_commits();
+        measure_backend_ops("FileStore+pipelined", store, 200);
+    });
+    std::fs::write(path, to_json(&samples, &backends, &telemetry))?;
     Ok((samples, backends))
 }
 
@@ -493,12 +574,52 @@ mod tests {
             resident_bytes: 123_456,
         };
         assert!((backend.seal_blocks_per_s() - 500.0).abs() < 1e-9);
-        let json = to_json(&[sample.clone(), sample], &[backend.clone(), backend]);
+        // A private registry stands in for a collection pass.
+        let reg = Registry::new();
+        reg.counter("fstore.cache.hit").add(7);
+        reg.gauge("fstore.commit.queue_peak").set(3);
+        reg.histogram("fstore.fsync.ns").record(125_000);
+        let telemetry = reg.snapshot();
+        let json = to_json(
+            &[sample.clone(), sample],
+            &[backend.clone(), backend],
+            &telemetry,
+        );
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"live_blocks\"").count(), 4);
         assert_eq!(json.matches("\"seal_blocks_per_s\"").count(), 2);
-        // Exactly one separating comma inside each of the two arrays.
+        // Exactly one separating comma inside each of the two rows arrays
+        // (the three telemetry sections here hold one row each).
         assert_eq!(json.matches("},\n").count(), 2);
+        assert!(json.contains("\"telemetry_counters\""));
+        let row = json
+            .lines()
+            .find(|l| l.contains("fstore.fsync.ns"))
+            .expect("histogram row");
+        assert_eq!(row_field_str(row, "name"), Some("fstore.fsync.ns"));
+        assert_eq!(row_field_f64(row, "count"), Some(1.0));
+        assert_eq!(row_field_f64(row, "max"), Some(125_000.0));
+    }
+
+    #[test]
+    fn collection_pass_captures_store_internals() {
+        // A small disk-rooted workload under recording must surface the
+        // instrumented internals: fsync spans, cache traffic, seal spans.
+        let telemetry = collect_telemetry(|| {
+            let scratch = seldel_chain::testutil::ScratchDir::new("bench-collect");
+            let store = FileStore::open(scratch.path())
+                .expect("scratch store opens")
+                .with_hot_cache_capacity(8);
+            measure_backend_ops("FileStore", store, 60);
+        });
+        assert!(!telemetry.is_empty());
+        let fsync = telemetry
+            .histogram("fstore.fsync.ns")
+            .expect("fsync span recorded");
+        assert!(fsync.count > 0 && fsync.max >= fsync.p50);
+        assert!(telemetry.counter("fstore.cache.hit").unwrap_or(0) > 0);
+        assert!(telemetry.counter("chain.locate").unwrap_or(0) > 0);
+        assert!(telemetry.histogram("ledger.seal.ns").is_some());
     }
 
     #[test]

@@ -378,6 +378,7 @@ impl<S: BlockStore> Blockchain<S> {
     /// * [`ChainError::TombstonesUnsorted`] — Σ tombstones must be
     ///   strictly sorted.
     pub fn push(&mut self, block: Block) -> Result<(), ChainError> {
+        let _span = seldel_telemetry::span!("chain.seal");
         // Seal first: the linkage check then compares the cached payload
         // root against the header commitment, and the root stays cached in
         // the store for every later validation pass.
@@ -554,6 +555,9 @@ impl<S: BlockStore> Blockchain<S> {
     /// pruned, the maintained [`EntryIndex`] resolves the carrying summary
     /// block in O(log n) — no chain scan on any path.
     pub fn locate(&self, id: EntryId) -> Option<Located<'_>> {
+        // A counter, not a span: indexed lookups run in tens of
+        // nanoseconds, where even reading the clock would distort them.
+        seldel_telemetry::count!("chain.locate");
         if let Some(block) = self.get(id.block) {
             if (id.entry.value() as usize) < block.entries().len() {
                 return Some(Located::in_block(block, id.entry.value()));
@@ -589,6 +593,8 @@ impl<S: BlockStore> Blockchain<S> {
     /// a serial loop. Results are bit-identical to element-wise
     /// [`Blockchain::locate`] either way (property-tested).
     pub fn locate_many(&self, ids: &[EntryId]) -> Vec<Option<Located<'_>>> {
+        let _span = seldel_telemetry::span!("chain.locate_many");
+        seldel_telemetry::count!("chain.locate_many.ids", ids.len() as u64);
         let shards = self.index.shard_count();
         if shards == 1 || ids.len() < LOCATE_MANY_PARALLEL_MIN_IDS {
             return ids.iter().map(|id| self.locate(*id)).collect();
@@ -749,6 +755,7 @@ impl<S: BlockStore> Blockchain<S> {
                 live_end,
             });
         }
+        let _span = seldel_telemetry::span!("chain.prune");
         let cut = (new_marker.value() - live_start.value()) as usize;
         let removed: Vec<Block> = self
             .store
@@ -757,6 +764,7 @@ impl<S: BlockStore> Blockchain<S> {
             .map(SealedBlock::into_block)
             .collect();
         self.index.retire_before(new_marker);
+        seldel_telemetry::count!("chain.prune.blocks", removed.len() as u64);
         Ok(removed)
     }
 

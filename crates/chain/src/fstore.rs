@@ -476,10 +476,12 @@ impl HotCache {
                 inner.lru.remove(&old);
                 inner.lru.insert(stamp, seq);
                 inner.hits += 1;
+                seldel_telemetry::count!("fstore.cache.hit");
                 Some(block)
             }
             None => {
                 inner.misses += 1;
+                seldel_telemetry::count!("fstore.cache.miss");
                 None
             }
         }
@@ -517,6 +519,7 @@ impl HotCache {
             inner.lru.remove(&oldest);
             let slot = inner.slots.remove(&victim).expect("slot tracked in lru");
             inner.bytes -= slot.bytes;
+            seldel_telemetry::count!("fstore.cache.evict");
         }
     }
 
@@ -656,7 +659,13 @@ impl CommitStage {
     }
 
     fn enqueue(&self, job: CommitJob) {
-        self.shared.lock().jobs.push_back(job);
+        {
+            let mut state = self.shared.lock();
+            state.jobs.push_back(job);
+            seldel_telemetry::count!("fstore.commit.enqueued");
+            seldel_telemetry::gauge_set!("fstore.commit.queue_depth", state.jobs.len() as u64);
+            seldel_telemetry::gauge_max!("fstore.commit.queue_peak", state.jobs.len() as u64);
+        }
         self.shared.wake.notify_one();
     }
 
@@ -717,6 +726,7 @@ fn commit_worker(shared: &CommitShared) {
                     cut,
                 } => {
                     i += 1;
+                    let _span = seldel_telemetry::span!("fstore.compact");
                     perform_compact(shared, path, *segment_id, *cut)
                 }
                 CommitJob::Fsync { path: first, .. } => {
@@ -732,11 +742,16 @@ fn commit_worker(shared: &CommitShared) {
                         }
                         last += 1;
                     }
+                    seldel_telemetry::observe!("fstore.commit.batch", (last - i + 1) as u64);
                     let CommitJob::Fsync { file, path, up_to } = &batch[last] else {
                         unreachable!("run scan only extends over fsync jobs");
                     };
                     i = last + 1;
-                    match file.sync_all() {
+                    let synced = {
+                        let _span = seldel_telemetry::span!("fstore.fsync");
+                        file.sync_all()
+                    };
+                    match synced {
                         Ok(()) => {
                             shared.fsyncs.fetch_add(1, Ordering::Relaxed);
                             shared.frontier.fetch_max(up_to + 1, Ordering::Release);
@@ -900,6 +915,7 @@ fn parse_segment_id(name: &str) -> Option<u64> {
 
 fn fsync_file(path: &Path) -> Result<(), StoreError> {
     let file = fs::File::open(path).map_err(|e| StoreError::io("open for fsync", path, &e))?;
+    let _span = seldel_telemetry::span!("fstore.fsync");
     file.sync_all()
         .map_err(|e| StoreError::io("fsync", path, &e))
 }
@@ -1173,7 +1189,11 @@ impl FileStore {
             commit: None,
             cache: HotCache::new(cache_capacity),
         };
-        store.replay(&root, manifest)?;
+        {
+            let _span = seldel_telemetry::span!("fstore.replay");
+            store.replay(&root, manifest)?;
+        }
+        seldel_telemetry::count!("fstore.replay.frames", store.len as u64);
         // Everything replay accepted is on disk already and survived at
         // least one close or crash: the durable frontier opens at the tip.
         store.durable_frontier = store
@@ -1557,8 +1577,11 @@ impl FileStore {
             for job in stage.steal_jobs()? {
                 match job {
                     CommitJob::Fsync { file, path, up_to } => {
-                        file.sync_all()
-                            .map_err(|e| StoreError::io("commit fsync", &path, &e))?;
+                        {
+                            let _span = seldel_telemetry::span!("fstore.fsync");
+                            file.sync_all()
+                        }
+                        .map_err(|e| StoreError::io("commit fsync", &path, &e))?;
                         self.tail_fsyncs += 1;
                         self.durable_frontier = self.durable_frontier.max(up_to + 1);
                     }
@@ -1587,8 +1610,11 @@ impl FileStore {
             for job in stage.steal_jobs()? {
                 match job {
                     CommitJob::Fsync { file, path, up_to } => {
-                        file.sync_all()
-                            .map_err(|e| StoreError::io("commit fsync", &path, &e))?;
+                        {
+                            let _span = seldel_telemetry::span!("fstore.fsync");
+                            file.sync_all()
+                        }
+                        .map_err(|e| StoreError::io("commit fsync", &path, &e))?;
                         self.tail_fsyncs += 1;
                         self.durable_frontier = self.durable_frontier.max(up_to + 1);
                     }

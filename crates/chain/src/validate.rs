@@ -222,6 +222,7 @@ pub fn validate_incremental<S: BlockStore>(
 pub fn validate_store_incremental<S: BlockStore>(
     store: &S,
 ) -> Result<IncrementalReport, ChainError> {
+    let _span = seldel_telemetry::span!("chain.validate_incremental");
     let mut report = IncrementalReport::default();
     let mut prev: Option<BlockRef<'_>> = None;
 

@@ -519,6 +519,7 @@ impl<S: BlockStore> SelectiveLedger<S> {
     /// [`CoreError::TimestampTooOld`] when `now` is behind the tip;
     /// chain errors are propagated.
     pub fn seal_block(&mut self, now: Timestamp) -> Result<BlockNumber, CoreError> {
+        let _span = seldel_telemetry::span!("ledger.seal");
         let tip_ts = self.chain.tip().timestamp();
         if now < tip_ts {
             return Err(CoreError::TimestampTooOld {
@@ -747,16 +748,19 @@ impl<S: BlockStore> SelectiveLedger<S> {
                         .insert(record.schema().to_string());
                 }
                 EntryPayload::Delete(request) => {
+                    let _span = seldel_telemetry::span!("ledger.deletion_apply");
                     let requester = entry.author();
                     match self.validate_deletion(&requester, request) {
                         Ok(()) => {
                             self.deletions.mark(request.target(), requester, id, now);
+                            seldel_telemetry::count!("ledger.deletions.marked");
                             self.events.push_back(LedgerEvent::DeletionMarked {
                                 target: request.target(),
                                 requester,
                             });
                         }
                         Err(err) => {
+                            seldel_telemetry::count!("ledger.deletions.ineffective");
                             self.events.push_back(LedgerEvent::DeletionIneffective {
                                 target: request.target(),
                                 reason: err.to_string(),
@@ -774,8 +778,10 @@ impl<S: BlockStore> SelectiveLedger<S> {
         if !self.config.is_summary_slot(next) {
             return;
         }
-        let (block, outcome) =
-            build_summary_block(&self.chain, &self.config, &self.deletions, next);
+        let (block, outcome) = {
+            let _span = seldel_telemetry::span!("ledger.sigma");
+            build_summary_block(&self.chain, &self.config, &self.deletions, next)
+        };
         self.chain.push(block).expect("summary blocks always link");
         self.blocks_appended += 1;
         self.summaries_created += 1;
@@ -802,6 +808,7 @@ impl<S: BlockStore> SelectiveLedger<S> {
             });
         }
 
+        seldel_telemetry::count!("ledger.deletions.executed", outcome.deleted.len() as u64);
         for id in &outcome.deleted {
             self.deletions.execute(*id, now);
             self.events.push_back(LedgerEvent::DeletionExecuted {

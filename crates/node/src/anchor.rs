@@ -11,11 +11,13 @@
 
 use std::any::Any;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use seldel_chain::{BlockKind, BlockNumber, BlockStore, Entry, EntryId, MemStore};
 use seldel_core::{LedgerEvent, SelectiveLedger};
 use seldel_crypto::Digest32;
 use seldel_network::{Context, NodeId, SimNode};
+use seldel_telemetry::{Counter, Gauge, Registry, TelemetrySnapshot};
 
 use crate::messages::{NodeMessage, StatusQuo};
 
@@ -51,6 +53,51 @@ pub struct AnchorStats {
     /// Blocks sealed while at least one earlier block was still awaiting
     /// durability — each one is a seal/fsync overlap the pipeline won.
     pub sealed_while_commit_pending: u64,
+}
+
+/// The registry-backed counters behind [`AnchorStats`]: each anchor owns
+/// a **private** [`Registry`] (a process may run many nodes — a shared
+/// global registry would merge their counts), with the handles resolved
+/// once at construction so bumping one is a single relaxed `fetch_add`.
+/// These record unconditionally, independent of the global
+/// `SELDEL_TELEMETRY` switch — [`AnchorNode::stats`] predates the
+/// telemetry layer and its exact values are pinned by tests.
+#[derive(Debug)]
+struct AnchorMetrics {
+    registry: Registry,
+    blocks_sealed: Arc<Counter>,
+    blocks_applied: Arc<Counter>,
+    blocks_rejected: Arc<Counter>,
+    sync_checks_sent: Arc<Counter>,
+    sync_mismatches: Arc<Counter>,
+    chains_adopted: Arc<Counter>,
+    entries_accepted: Arc<Counter>,
+    entries_rejected: Arc<Counter>,
+    announce_queue_depth: Arc<Gauge>,
+    announce_queue_peak: Arc<Gauge>,
+    fsync_stalls: Arc<Counter>,
+    sealed_while_commit_pending: Arc<Counter>,
+}
+
+impl AnchorMetrics {
+    fn new() -> AnchorMetrics {
+        let registry = Registry::new();
+        AnchorMetrics {
+            blocks_sealed: registry.counter("anchor.blocks_sealed"),
+            blocks_applied: registry.counter("anchor.blocks_applied"),
+            blocks_rejected: registry.counter("anchor.blocks_rejected"),
+            sync_checks_sent: registry.counter("anchor.sync_checks_sent"),
+            sync_mismatches: registry.counter("anchor.sync_mismatches"),
+            chains_adopted: registry.counter("anchor.chains_adopted"),
+            entries_accepted: registry.counter("anchor.entries_accepted"),
+            entries_rejected: registry.counter("anchor.entries_rejected"),
+            announce_queue_depth: registry.gauge("anchor.announce_queue.depth"),
+            announce_queue_peak: registry.gauge("anchor.announce_queue.peak"),
+            fsync_stalls: registry.counter("anchor.fsync_stalls"),
+            sealed_while_commit_pending: registry.counter("anchor.sealed_while_commit_pending"),
+            registry,
+        }
+    }
 }
 
 /// Default bound on the leader's sealed-but-unannounced queue. When more
@@ -96,7 +143,7 @@ pub struct AnchorNode<S: BlockStore = MemStore> {
     leader: NodeId,
     me: Option<NodeId>,
     block_interval_ms: u64,
-    stats: AnchorStats,
+    metrics: AnchorMetrics,
     /// Last summary (number, hash) derived locally.
     last_summary: Option<(BlockNumber, Digest32)>,
     /// Sealed-but-unannounced block numbers (leader only): broadcast of
@@ -121,7 +168,7 @@ impl<S: BlockStore> AnchorNode<S> {
             leader,
             me: None,
             block_interval_ms,
-            stats: AnchorStats::default(),
+            metrics: AnchorMetrics::new(),
             last_summary: None,
             announce_queue: VecDeque::new(),
             announce_bound: DEFAULT_ANNOUNCE_BOUND,
@@ -147,9 +194,29 @@ impl<S: BlockStore> AnchorNode<S> {
     /// gauges (announce-queue depth/peak, fsync stalls, seal/commit
     /// overlaps).
     pub fn stats(&self) -> AnchorStats {
-        let mut stats = self.stats;
-        stats.announce_queue_depth = self.announce_queue.len() as u64;
-        stats
+        AnchorStats {
+            blocks_sealed: self.metrics.blocks_sealed.get(),
+            blocks_applied: self.metrics.blocks_applied.get(),
+            blocks_rejected: self.metrics.blocks_rejected.get(),
+            sync_checks_sent: self.metrics.sync_checks_sent.get(),
+            sync_mismatches: self.metrics.sync_mismatches.get(),
+            chains_adopted: self.metrics.chains_adopted.get(),
+            entries_accepted: self.metrics.entries_accepted.get(),
+            entries_rejected: self.metrics.entries_rejected.get(),
+            announce_queue_depth: self.announce_queue.len() as u64,
+            announce_queue_peak: self.metrics.announce_queue_peak.get(),
+            fsync_stalls: self.metrics.fsync_stalls.get(),
+            sealed_while_commit_pending: self.metrics.sealed_while_commit_pending.get(),
+        }
+    }
+
+    /// A frozen snapshot of this node's private telemetry registry — the
+    /// same counters [`AnchorNode::stats`] reads, in the snapshot format
+    /// the rest of the stack renders (`anchor.*` names). The queue-depth
+    /// gauge holds the depth as of the last seal, not the live queue
+    /// length; `stats()` samples the latter.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.metrics.registry.snapshot()
     }
 
     /// This node's current status quo.
@@ -178,11 +245,11 @@ impl<S: BlockStore> AnchorNode<S> {
         if !self.announce_queue.is_empty() {
             // An earlier block's fsync is still in flight: this seal
             // overlaps it — the pipeline is doing its job.
-            self.stats.sealed_while_commit_pending += 1;
+            self.metrics.sealed_while_commit_pending.incr();
         }
         match self.ledger.seal_block(now) {
             Ok(_) => {
-                self.stats.blocks_sealed += 1;
+                self.metrics.blocks_sealed.incr();
                 self.events.extend(self.ledger.drain_events());
                 let tip_now = self.ledger.chain().tip().number();
                 let mut n = tip_before.next();
@@ -191,13 +258,14 @@ impl<S: BlockStore> AnchorNode<S> {
                     n = n.next();
                 }
                 let depth = self.announce_queue.len() as u64;
-                self.stats.announce_queue_peak = self.stats.announce_queue_peak.max(depth);
+                self.metrics.announce_queue_depth.set(depth);
+                self.metrics.announce_queue_peak.raise(depth);
                 self.release_announcements(ctx);
                 if self.announce_queue.len() > self.announce_bound {
                     // Backpressure: the commit stage lags too far behind
                     // the sealer. Stall once on a synchronous durability
                     // barrier, then everything queued is releasable.
-                    self.stats.fsync_stalls += 1;
+                    self.metrics.fsync_stalls.incr();
                     self.ledger.commit_durable();
                     self.release_announcements(ctx);
                 }
@@ -235,7 +303,7 @@ impl<S: BlockStore> AnchorNode<S> {
             if sealed.block().kind() == BlockKind::Summary {
                 let check = (sealed.block().number(), sealed.hash());
                 self.last_summary = Some(check);
-                self.stats.sync_checks_sent += 1;
+                self.metrics.sync_checks_sent.incr();
                 ctx.broadcast(NodeMessage::SyncCheck {
                     number: check.0,
                     summary_hash: check.1,
@@ -269,7 +337,7 @@ impl<S: BlockStore> AnchorNode<S> {
                         summary_hash: check.1,
                         payload_root: sealed.block().header().payload_hash,
                     });
-                    self.stats.sync_checks_sent += 1;
+                    self.metrics.sync_checks_sent.incr();
                 }
             }
             n = n.next();
@@ -279,8 +347,8 @@ impl<S: BlockStore> AnchorNode<S> {
     fn handle_submit(&mut self, entry: Entry, ctx: &mut Context<'_, NodeMessage>) {
         if self.am_leader(ctx) {
             match self.ledger.submit_entry(entry) {
-                Ok(()) => self.stats.entries_accepted += 1,
-                Err(_) => self.stats.entries_rejected += 1,
+                Ok(()) => self.metrics.entries_accepted.incr(),
+                Err(_) => self.metrics.entries_rejected.incr(),
             }
         } else {
             // Forward to the leader; replicas never build blocks.
@@ -300,11 +368,11 @@ impl<S: BlockStore> AnchorNode<S> {
         let tip_before = self.ledger.chain().tip().number();
         match self.ledger.apply_block(block) {
             Ok(()) => {
-                self.stats.blocks_applied += 1;
+                self.metrics.blocks_applied.incr();
                 self.after_chain_advance(tip_before, ctx);
             }
             Err(_) => {
-                self.stats.blocks_rejected += 1;
+                self.metrics.blocks_rejected.incr();
                 // Out of sync: ask the sender for everything we might lack.
                 ctx.send(
                     from,
@@ -340,7 +408,7 @@ impl<S: BlockStore> AnchorNode<S> {
             Some(_) => {
                 // Same height, different hash: a real fork (§IV-B warns a
                 // summary-derivation failure "would result in a fork").
-                self.stats.sync_mismatches += 1;
+                self.metrics.sync_mismatches.incr();
                 ctx.send(
                     from,
                     NodeMessage::SyncRequest {
@@ -373,7 +441,7 @@ impl<S: BlockStore> AnchorNode<S> {
             return;
         }
         if self.ledger.adopt_chain(blocks).is_ok() {
-            self.stats.chains_adopted += 1;
+            self.metrics.chains_adopted.incr();
             self.events.extend(self.ledger.drain_events());
         }
     }
@@ -700,6 +768,42 @@ mod tests {
         net.run_until(net.now() + 200);
         let node = net.node_as::<AnchorNode>(ids[0]).unwrap();
         assert_eq!(node.stats().entries_accepted, 2);
+    }
+
+    /// The registry-backed telemetry view and the legacy `stats()` view
+    /// must agree counter for counter — `AnchorStats` is now a snapshot
+    /// of the node's private registry.
+    #[test]
+    fn telemetry_snapshot_mirrors_stats() {
+        let (mut net, ids) = make_cluster(1);
+        for i in 0..5u64 {
+            net.send_external(ids[0], NodeMessage::Submit(entry(1, i)));
+        }
+        net.run_until(net.now() + 500);
+        let node = net.node_as::<AnchorNode>(ids[0]).unwrap();
+        let stats = node.stats();
+        let snap = node.telemetry();
+        assert_eq!(
+            snap.counter("anchor.blocks_sealed"),
+            Some(stats.blocks_sealed)
+        );
+        assert_eq!(
+            snap.counter("anchor.entries_accepted"),
+            Some(stats.entries_accepted)
+        );
+        assert_eq!(
+            snap.counter("anchor.entries_rejected"),
+            Some(stats.entries_rejected)
+        );
+        assert_eq!(
+            snap.counter("anchor.sync_checks_sent"),
+            Some(stats.sync_checks_sent)
+        );
+        assert_eq!(
+            snap.gauge("anchor.announce_queue.peak"),
+            Some(stats.announce_queue_peak)
+        );
+        assert!(stats.blocks_sealed > 0, "leader sealed nothing");
     }
 
     #[test]

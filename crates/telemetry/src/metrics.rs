@@ -1,0 +1,287 @@
+//! The metric primitives: [`Counter`], [`Gauge`] and the power-of-two
+//! log-bucketed [`Histogram`].
+//!
+//! All state is relaxed atomics. The types themselves record
+//! **unconditionally** — the [`enabled`](crate::enabled) gate lives in
+//! the global-registry macros, so local registries (e.g. an anchor
+//! node's per-instance stats) keep counting with telemetry off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh zero counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter (snapshot epochs in tests/benches).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-written-value (or high-water-mark) measurement.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A fresh zero gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to at least `v` (high-water mark).
+    #[inline]
+    pub fn raise(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the gauge.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Buckets in a [`Histogram`]: one for zero plus one per bit position.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed-footprint latency/size histogram with power-of-two buckets.
+///
+/// Bucket 0 holds exactly the value `0`; bucket `i ≥ 1` holds the range
+/// `[2^(i-1), 2^i - 1]`. Recording is three relaxed `fetch_add`s plus a
+/// `fetch_max`; quantiles are resolved at read time by a nearest-rank
+/// walk over the bucket counts (see [`Histogram::quantile`]).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// The bucket index holding `value`: 0 for 0, else `⌊log2 v⌋ + 1`.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive `[low, high]` range of values bucket `index` holds.
+    ///
+    /// # Panics
+    ///
+    /// When `index >= HIST_BUCKETS`.
+    pub fn bucket_range(index: usize) -> (u64, u64) {
+        assert!(index < HIST_BUCKETS, "bucket index out of range");
+        if index == 0 {
+            return (0, 0);
+        }
+        let low = 1u64 << (index - 1);
+        let high = if index == HIST_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        };
+        (low, high)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values (wrapping on overflow — latencies in
+    /// nanoseconds would need ~585 years of recorded time to wrap).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (exact, not bucketed). 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// One bucket's current count.
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.buckets[index].load(Ordering::Relaxed)
+    }
+
+    /// The bucket holding the nearest-rank `p`-th percentile: with `n`
+    /// recorded values the rank is `k = ceil(p/100 · n)` (clamped to
+    /// `[1, n]`), and the answer is the first bucket whose cumulative
+    /// count reaches `k`. `None` when the histogram is empty.
+    pub fn quantile_bucket(&self, p: f64) -> Option<usize> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let k = (((p / 100.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cum += bucket.load(Ordering::Relaxed);
+            if cum >= k {
+                return Some(i);
+            }
+        }
+        // Racing recorders can leave count ahead of the bucket sums for a
+        // moment; answer with the last non-empty bucket.
+        (0..HIST_BUCKETS).rev().find(|&i| self.bucket_count(i) > 0)
+    }
+
+    /// The nearest-rank `p`-th percentile, resolved to the holding
+    /// bucket's inclusive upper bound and clamped to the exact maximum
+    /// (so `quantile(100.0) == max()`). 0 when empty.
+    pub fn quantile(&self, p: f64) -> u64 {
+        match self.quantile_bucket(p) {
+            Some(bucket) => Self::bucket_range(bucket).1.min(self.max()),
+            None => 0,
+        }
+    }
+
+    /// Zeroes every bucket and the summary stats.
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        c.reset();
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::new();
+        g.set(5);
+        g.raise(3);
+        assert_eq!(g.get(), 5);
+        g.raise(8);
+        assert_eq!(g.get(), 8);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn bucket_index_and_range_agree() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            let (low, high) = Histogram::bucket_range(i);
+            assert!(
+                low <= v && v <= high,
+                "{v} outside bucket {i} [{low},{high}]"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank_bucket_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(50.0), 0);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.max(), 100);
+        // k = 50 → value 50 → bucket [32, 63].
+        assert_eq!(h.quantile(50.0), 63);
+        // k = 99 → value 99 → bucket [64, 127], clamped to max 100.
+        assert_eq!(h.quantile(99.0), 100);
+        assert_eq!(h.quantile(100.0), 100);
+        // k = 1 → value 1 → bucket {1}.
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_p() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 5, 17, 17, 200, 3000, 65_536, 1 << 40] {
+            h.record(v);
+        }
+        let mut last = 0;
+        for p in 0..=100 {
+            let q = h.quantile(f64::from(p));
+            assert!(q >= last, "quantile dipped at p={p}: {q} < {last}");
+            last = q;
+        }
+        assert_eq!(h.quantile(100.0), 1 << 40);
+    }
+}

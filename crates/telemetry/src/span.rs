@@ -1,0 +1,71 @@
+//! Scoped spans: a guard that times its own lifetime and records the
+//! elapsed nanoseconds into a [`Histogram`] on drop.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// An open span. Created by [`enter`](SpanGuard::enter) (usually via
+/// the [`span!`](crate::span) macro); dropping it records the elapsed
+/// wall-clock nanoseconds into the histogram it was opened against.
+///
+/// The guard holds an `Arc` to the histogram, so it stays valid across
+/// registry resets and can outlive the scope that resolved the name.
+#[derive(Debug)]
+pub struct SpanGuard {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Opens a span against `hist`, reading the clock now.
+    pub fn enter(hist: Arc<Histogram>) -> SpanGuard {
+        SpanGuard {
+            hist,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos();
+        self.hist.record(u64::try_from(ns).unwrap_or(u64::MAX));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_elapsed_ns() {
+        let hist = Arc::new(Histogram::new());
+        {
+            let _span = SpanGuard::enter(Arc::clone(&hist));
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(hist.count(), 1);
+        assert!(
+            hist.max() >= 1_000_000,
+            "slept ≥1ms, recorded {}",
+            hist.max()
+        );
+    }
+
+    #[test]
+    fn nested_spans_record_independently() {
+        let outer = Arc::new(Histogram::new());
+        let inner = Arc::new(Histogram::new());
+        {
+            let _o = SpanGuard::enter(Arc::clone(&outer));
+            {
+                let _i = SpanGuard::enter(Arc::clone(&inner));
+            }
+        }
+        assert_eq!(outer.count(), 1);
+        assert_eq!(inner.count(), 1);
+        assert!(outer.sum() >= inner.sum());
+    }
+}

@@ -1,0 +1,77 @@
+//! Property and concurrency coverage for the telemetry histogram.
+
+use proptest::prelude::*;
+
+use seldel_telemetry::{Histogram, HIST_BUCKETS};
+
+proptest! {
+    /// Every recorded value lands in a bucket whose inclusive range
+    /// contains it, regardless of magnitude.
+    #[test]
+    fn recorded_value_falls_in_its_bucket(value in any::<u64>()) {
+        let i = Histogram::bucket_index(value);
+        prop_assert!(i < HIST_BUCKETS);
+        let (low, high) = Histogram::bucket_range(i);
+        prop_assert!(low <= value && value <= high,
+            "{value} outside bucket {i} = [{low}, {high}]");
+        // Buckets partition the u64 line: the neighbours must not claim it.
+        if i > 0 {
+            prop_assert!(Histogram::bucket_range(i - 1).1 < value);
+        }
+        if i + 1 < HIST_BUCKETS {
+            prop_assert!(value < Histogram::bucket_range(i + 1).0);
+        }
+    }
+
+    /// Quantiles never decrease as p grows, the p100 quantile is the
+    /// exact maximum, and every quantile stays within [min bucket low,
+    /// max] of the recorded data.
+    #[test]
+    fn quantiles_monotone_and_bounded(values in proptest::collection::vec(any::<u64>(), 1..64)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let max = *values.iter().max().expect("non-empty");
+        let mut last = 0u64;
+        for p in [0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+            let q = h.quantile(p);
+            prop_assert!(q >= last, "quantile dipped at p={p}: {q} < {last}");
+            prop_assert!(q <= max, "quantile {q} above recorded max {max}");
+            last = q;
+        }
+        prop_assert_eq!(h.quantile(100.0), max);
+    }
+}
+
+/// Concurrent recorders under `std::thread::scope` must lose no
+/// observations (relaxed atomics still count exactly — only ordering is
+/// relaxed, not arithmetic). Gated on core count: the CI container
+/// reports a single CPU, where a thread fan-out proves nothing.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = cores.min(4);
+    if threads < 2 {
+        eprintln!("skipping concurrent smoke: single-core host");
+        return;
+    }
+    const PER_THREAD: u64 = 10_000;
+    let h = Histogram::new();
+    std::thread::scope(|scope| {
+        for t in 0..threads as u64 {
+            let h = &h;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread values across many buckets.
+                    h.record((t * PER_THREAD + i) % 4096);
+                }
+            });
+        }
+    });
+    let expected = threads as u64 * PER_THREAD;
+    assert_eq!(h.count(), expected);
+    let bucket_total: u64 = (0..HIST_BUCKETS).map(|i| h.bucket_count(i)).sum();
+    assert_eq!(bucket_total, expected);
+    assert_eq!(h.max(), 4095);
+}

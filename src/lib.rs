@@ -24,6 +24,7 @@
 //! | [`network`] | `seldel-network` | deterministic simnet with fault injection |
 //! | [`node`] | `seldel-node` | anchor/client nodes, Σ-hash sync checks |
 //! | [`sim`] | `seldel-sim` | workloads + experiments reproducing the evaluation |
+//! | [`telemetry`] | `seldel-telemetry` | counters/gauges/histograms registry, hot-path spans, snapshots |
 //!
 //! # Quickstart
 //!
@@ -60,6 +61,7 @@ pub use seldel_crypto as crypto;
 pub use seldel_network as network;
 pub use seldel_node as node;
 pub use seldel_sim as sim;
+pub use seldel_telemetry as telemetry;
 
 /// The most common imports in one place.
 pub mod prelude {
