@@ -117,7 +117,8 @@ fn fig5_selective_deletion() {
         sim.ledger().record(target).is_some()
     );
     println!(
-        "deletion status: {:?}",
+        "registry record after merge: {:?} (executed records compact away \
+         with their retired sequence; the Σ tombstone is the durable proof)",
         sim.ledger().deletion_status(target).map(|d| d.status)
     );
 }

@@ -202,7 +202,9 @@ pub fn manual_chain(
                 seldel_core::build_summary_block(&chain, &config, &registry, next);
             chain.push(block).expect("summary links");
             if let Some(plan) = outcome.plan {
-                chain.truncate_front(plan.new_marker).expect("plan is live");
+                chain
+                    .truncate_front(plan.new_marker())
+                    .expect("plan is live");
             }
         } else {
             let prev = chain.tip().hash();

@@ -592,6 +592,14 @@ impl<S: BlockStore> Blockchain<S> {
     /// shard's `BTreeMap`; small batches (or a single shard) fall back to
     /// a serial loop. Results are bit-identical to element-wise
     /// [`Blockchain::locate`] either way (property-tested).
+    ///
+    /// **Duplicate ids are answered element-wise**: every occurrence in
+    /// the batch gets the same answer a lone query would, at its own
+    /// position, on the serial, bucketed and threaded paths alike (all
+    /// duplicates of an id land in the same shard bucket, each carrying
+    /// its own input position). Callers may therefore pass unsanitised id
+    /// lists — a compliance sweep repeating an id gets consistent rows,
+    /// never a hole.
     pub fn locate_many(&self, ids: &[EntryId]) -> Vec<Option<Located<'_>>> {
         let _span = seldel_telemetry::span!("chain.locate_many");
         seldel_telemetry::count!("chain.locate_many.ids", ids.len() as u64);
@@ -1100,6 +1108,45 @@ mod tests {
         // And the public entry point agrees too (serial or threaded,
         // whatever this host picks).
         assert_eq!(chain.locate_many(&ids), chain.locate_many_threaded(&ids, 2));
+    }
+
+    #[test]
+    fn locate_many_answers_duplicates_elementwise_on_every_path() {
+        // The pinned contract: duplicate ids in one batch each get the
+        // answer a lone query would, at their own position — on the serial
+        // monolithic path, the sharded/bucketed path and the threaded path.
+        let mut chain = pruned_with_summary();
+        let base = [
+            EntryId::new(BlockNumber(2), EntryNumber(0)), // live in block
+            EntryId::new(BlockNumber(1), EntryNumber(0)), // carried in Σ
+            EntryId::new(BlockNumber(2), EntryNumber(0)), // dup of live
+            EntryId::new(BlockNumber(1), EntryNumber(1)), // pruned
+            EntryId::new(BlockNumber(1), EntryNumber(0)), // dup of carried
+            EntryId::new(BlockNumber(9), EntryNumber(0)), // ghost
+            EntryId::new(BlockNumber(9), EntryNumber(0)), // dup of ghost
+        ];
+        // Tile past the parallel threshold so the public entry point takes
+        // the threaded path on sharded multi-core hosts too.
+        let ids: Vec<EntryId> = base
+            .iter()
+            .cycle()
+            .take(LOCATE_MANY_PARALLEL_MIN_IDS + base.len())
+            .copied()
+            .collect();
+        for shards in [1usize, 8] {
+            chain.reshard(shards);
+            let batch = chain.locate_many(&ids);
+            assert_eq!(batch.len(), ids.len());
+            for (id, got) in ids.iter().zip(&batch) {
+                assert_eq!(*got, chain.locate(*id), "id {id}, {shards} shards");
+            }
+            // The threaded half directly, including the 1-worker bucketed
+            // grouping (all duplicates share a bucket, one slot each).
+            for workers in [1usize, 3] {
+                let threaded = chain.locate_many_threaded(&ids, workers);
+                assert_eq!(threaded, batch, "{shards} shards, {workers} workers");
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use seldel_chain::{EntryId, Timestamp};
+use seldel_chain::{BlockNumber, EntryId, Timestamp};
 use seldel_crypto::VerifyingKey;
 
 /// Lifecycle of a deletion request.
@@ -103,6 +103,31 @@ impl DeletionRegistry {
         }
     }
 
+    /// Compacts executed records whose targets fell behind the genesis
+    /// marker, returning how many were dropped.
+    ///
+    /// Without compaction the registry grows without bound on a
+    /// long-running chain even though the chain itself is capped at
+    /// l_max: every executed deletion leaves a record forever. An
+    /// executed record's target was physically dropped by a merge, so
+    /// its block number is always behind the post-merge marker — and the
+    /// same evidence survives compaction on chain (the Σ tombstone and
+    /// the payload commitment prove absence in O(log n)). Compacting
+    /// here also keeps the long-running registry **derivable
+    /// bit-identically across close/reopen**: recovery replays only live
+    /// blocks, where executed requests re-validate as target-not-found
+    /// and leave no record, so a reopened registry holds exactly the
+    /// pending marks. Pending records are never touched (their request
+    /// entries are still live — a request cannot outlive its target's
+    /// sequence without executing).
+    pub fn compact_executed(&mut self, marker: BlockNumber) -> usize {
+        let before = self.records.len();
+        self.records.retain(|target, record| {
+            record.status == DeletionStatus::Pending || target.block >= marker
+        });
+        before - self.records.len()
+    }
+
     /// Looks up the record for a target.
     pub fn get(&self, target: EntryId) -> Option<&DeletionRecord> {
         self.records.get(&target)
@@ -195,6 +220,31 @@ mod tests {
             reg.get(id(3, 1)).unwrap().status,
             DeletionStatus::Executed { at: Timestamp(80) }
         );
+    }
+
+    #[test]
+    fn compaction_drops_executed_behind_marker_only() {
+        let mut reg = DeletionRegistry::new();
+        reg.mark(id(3, 1), requester(), id(6, 0), Timestamp(60));
+        reg.mark(id(4, 0), requester(), id(6, 1), Timestamp(60));
+        reg.mark(id(9, 0), requester(), id(10, 0), Timestamp(100));
+        reg.execute(id(3, 1), Timestamp(80));
+        reg.execute(id(9, 0), Timestamp(110));
+
+        // Marker 6: executed 3:1 is behind and goes; executed 9:0 is ahead
+        // and stays; pending 4:0 is behind but pending records are kept.
+        assert_eq!(reg.compact_executed(BlockNumber(6)), 1);
+        assert!(!reg.is_marked(id(3, 1)));
+        assert!(reg.is_pending(id(4, 0)));
+        assert!(reg.is_marked(id(9, 0)));
+        assert_eq!(reg.len(), 2);
+
+        // Idempotent at the same marker.
+        assert_eq!(reg.compact_executed(BlockNumber(6)), 0);
+        // A later marker sweeps the remaining executed record.
+        assert_eq!(reg.compact_executed(BlockNumber(10)), 1);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.is_pending(id(4, 0)));
     }
 
     #[test]

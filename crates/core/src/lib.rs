@@ -60,6 +60,7 @@ pub mod error;
 pub mod events;
 pub mod ledger;
 pub mod offchain;
+pub mod policy;
 pub mod retention;
 pub mod sequence;
 pub mod summary;
@@ -74,6 +75,10 @@ pub use error::CoreError;
 pub use events::LedgerEvent;
 pub use ledger::{LedgerStats, SelectiveLedger, SelectiveLedgerBuilder};
 pub use offchain::{ContentStore, OffChainError, OFFCHAIN_SCHEMA, OFFCHAIN_SCHEMA_YAML};
+pub use policy::{
+    sweep_candidates, Candidate, CompiledPolicy, DeletionPlan, PolicyError, Selector, TenantSlice,
+    TtlClass, MAX_SELECTOR_DEPTH,
+};
 pub use retention::{plan_retirement, RetirePlan};
 pub use sequence::{live_sequences, middle_sequence, sequence_of, SequenceSpan};
 pub use summary::{build_summary_block, SummaryOutcome};

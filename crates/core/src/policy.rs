@@ -1,0 +1,528 @@
+//! Declarative deletion policies: a selector DSL compiled into a validated
+//! predicate, evaluated against the live chain in bulk.
+//!
+//! The paper's deletion workflow (§IV-D) erases one `(block α, entry)` id
+//! per request. Real erasure obligations arrive as *policies* — "erase
+//! everything author X wrote before τ" (the GDPR Art. 17 scenario the
+//! redactable-blockchain literature keeps motivating). This module adds
+//! that layer **without** touching the deletion lifecycle: a policy
+//! compiles into a predicate, the predicate selects live candidates, and
+//! every match flows through the exact same marked-deletion machinery as a
+//! manual request — Σ derivation, tombstones, Merkle roots and the
+//! physical prune behave identically.
+//!
+//! The flow has two halves:
+//!
+//! * **dry run** ([`SelectiveLedger::plan_policy`](crate::SelectiveLedger::plan_policy)):
+//!   evaluate the selector, run the full per-id authorisation ladder, and
+//!   report a [`DeletionPlan`] — matched ids, bytes, per-tenant counts —
+//!   applying nothing;
+//! * **apply** ([`SelectiveLedger::apply_policy`](crate::SelectiveLedger::apply_policy)):
+//!   recompute the same plan and enqueue one signed deletion request per
+//!   matched id. The id set a dry run reports is exactly the id set apply
+//!   erases (property-tested against the sequential one-at-a-time oracle).
+//!
+//! Candidate sweeps read the **hot cache** ([`Blockchain::iter_hot`]) —
+//! never a cold disk scan — and liveness is confirmed through the bulk
+//! [`audit_live`](crate::SelectiveLedger::audit_live) path.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use seldel_chain::{
+    BlockKind, BlockStore, Blockchain, EntryId, EntryNumber, EntryPayload, Expiry, Timestamp,
+};
+use seldel_crypto::VerifyingKey;
+
+/// Maximum `And`/`Or`/`Not` nesting depth a selector may use. Policies are
+/// operator-written configuration; a depth past this is a generation bug,
+/// not a real erasure rule.
+pub const MAX_SELECTOR_DEPTH: usize = 16;
+
+/// The TTL class of a data set, keyed off its (optional) §IV-D4 expiry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TtlClass {
+    /// No expiry: the record lives until explicitly deleted.
+    Permanent,
+    /// Any expiry (τ- or α-bounded).
+    Temporary,
+    /// Expires at a timestamp ([`Expiry::AtTimestamp`]).
+    ByTimestamp,
+    /// Expires at a block number ([`Expiry::AtBlock`]).
+    ByBlock,
+}
+
+impl TtlClass {
+    /// Whether a record with the given expiry belongs to this class.
+    pub fn matches(&self, expiry: Option<Expiry>) -> bool {
+        matches!(
+            (self, expiry),
+            (TtlClass::Permanent, None)
+                | (TtlClass::Temporary, Some(_))
+                | (TtlClass::ByTimestamp, Some(Expiry::AtTimestamp(_)))
+                | (TtlClass::ByBlock, Some(Expiry::AtBlock(_)))
+        )
+    }
+}
+
+/// The selector DSL: which live data sets a deletion policy targets.
+///
+/// Leaves select on record metadata (author, age, TTL class, schema);
+/// `And`/`Or`/`Not` compose them. A selector must pass
+/// [`Selector::compile`] before it can run — compilation rejects
+/// degenerate shapes (empty author sets, zero-arm combinators, blank
+/// schemas, runaway nesting) so a malformed policy fails loudly at
+/// registration instead of silently matching nothing or everything.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selector {
+    /// The record's author is exactly this key.
+    AuthorIs(VerifyingKey),
+    /// The record's author is one of these keys (non-empty).
+    AuthorIn(Vec<VerifyingKey>),
+    /// The record was written strictly before τ (original block timestamp;
+    /// summary-carried records keep their origin timestamp, Fig. 4, so age
+    /// is merge-invariant).
+    OlderThan(Timestamp),
+    /// The record's TTL class matches.
+    Ttl(TtlClass),
+    /// The record's payload schema is exactly this name.
+    SchemaIs(String),
+    /// Every arm matches (non-empty).
+    And(Vec<Selector>),
+    /// At least one arm matches (non-empty).
+    Or(Vec<Selector>),
+    /// The inner selector does not match.
+    Not(Box<Selector>),
+}
+
+impl Selector {
+    /// Validates the selector and packages it as a [`CompiledPolicy`]
+    /// named `name`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PolicyError`].
+    pub fn compile(self, name: impl Into<String>) -> Result<CompiledPolicy, PolicyError> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(PolicyError::EmptyName);
+        }
+        self.validate(1)?;
+        Ok(CompiledPolicy {
+            name,
+            selector: self,
+        })
+    }
+
+    fn validate(&self, depth: usize) -> Result<(), PolicyError> {
+        if depth > MAX_SELECTOR_DEPTH {
+            return Err(PolicyError::TooDeep {
+                max: MAX_SELECTOR_DEPTH,
+            });
+        }
+        match self {
+            Selector::AuthorIs(_) | Selector::OlderThan(_) | Selector::Ttl(_) => Ok(()),
+            Selector::AuthorIn(keys) => {
+                if keys.is_empty() {
+                    Err(PolicyError::EmptyAuthorSet)
+                } else {
+                    Ok(())
+                }
+            }
+            Selector::SchemaIs(schema) => {
+                if schema.is_empty() {
+                    Err(PolicyError::EmptySchema)
+                } else {
+                    Ok(())
+                }
+            }
+            Selector::And(arms) | Selector::Or(arms) => {
+                if arms.is_empty() {
+                    return Err(PolicyError::EmptyCombinator);
+                }
+                arms.iter().try_for_each(|arm| arm.validate(depth + 1))
+            }
+            Selector::Not(inner) => inner.validate(depth + 1),
+        }
+    }
+
+    /// Whether the (validated) selector matches a candidate.
+    fn matches(&self, c: &Candidate) -> bool {
+        match self {
+            Selector::AuthorIs(key) => c.author == *key,
+            Selector::AuthorIn(keys) => keys.contains(&c.author),
+            Selector::OlderThan(t) => c.written_at < *t,
+            Selector::Ttl(class) => class.matches(c.expiry),
+            Selector::SchemaIs(schema) => c.schema == *schema,
+            Selector::And(arms) => arms.iter().all(|arm| arm.matches(c)),
+            Selector::Or(arms) => arms.iter().any(|arm| arm.matches(c)),
+            Selector::Not(inner) => !inner.matches(c),
+        }
+    }
+}
+
+/// Why a selector failed to compile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The policy name is empty.
+    EmptyName,
+    /// `AuthorIn` with no keys would match nothing — almost certainly a
+    /// caller bug, and silently applying it would "succeed" vacuously.
+    EmptyAuthorSet,
+    /// `And`/`Or` with no arms has ambiguous semantics (vacuous truth vs.
+    /// vacuous falsehood); both are refused.
+    EmptyCombinator,
+    /// `SchemaIs` with an empty name (no record has a blank schema).
+    EmptySchema,
+    /// Nesting exceeds [`MAX_SELECTOR_DEPTH`].
+    TooDeep {
+        /// The configured cap.
+        max: usize,
+    },
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::EmptyName => write!(f, "policy name is empty"),
+            PolicyError::EmptyAuthorSet => write!(f, "AuthorIn selector has no keys"),
+            PolicyError::EmptyCombinator => write!(f, "And/Or selector has no arms"),
+            PolicyError::EmptySchema => write!(f, "SchemaIs selector has an empty name"),
+            PolicyError::TooDeep { max } => {
+                write!(f, "selector nesting exceeds the depth cap of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// A validated, named deletion policy — the only thing the ledger's
+/// policy entry points accept. Construct via [`Selector::compile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPolicy {
+    name: String,
+    selector: Selector,
+}
+
+impl CompiledPolicy {
+    /// The policy name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The validated selector.
+    pub fn selector(&self) -> &Selector {
+        &self.selector
+    }
+
+    /// The deletion reason stamped into every request this policy issues
+    /// (visible in [`DeleteRequest::reason`](seldel_chain::DeleteRequest)).
+    pub fn reason(&self) -> String {
+        format!("policy:{}", self.name)
+    }
+
+    /// Whether the policy matches a candidate.
+    pub fn matches(&self, c: &Candidate) -> bool {
+        self.selector.matches(c)
+    }
+
+    /// A copy of this policy restricted to `owner`'s own records —
+    /// the shape per-tenant registration stores, so a registered policy
+    /// can never select foreign data regardless of how broad its
+    /// selector is. Scoping never invalidates a compiled policy: it
+    /// wraps the root in one extra `And` level, which is exempt from
+    /// the depth cap applied at compile time.
+    pub fn scoped_to(&self, owner: VerifyingKey) -> CompiledPolicy {
+        CompiledPolicy {
+            name: self.name.clone(),
+            selector: Selector::And(vec![Selector::AuthorIs(owner), self.selector.clone()]),
+        }
+    }
+}
+
+/// Per-candidate metadata the selector evaluates: one row per live data
+/// set, harvested in a single hot-cache sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The data set's stable id.
+    pub id: EntryId,
+    /// The author key.
+    pub author: VerifyingKey,
+    /// Original block timestamp (origin timestamp for carried records).
+    pub written_at: Timestamp,
+    /// Payload schema name.
+    pub schema: String,
+    /// The §IV-D4 expiry, when the record is temporary.
+    pub expiry: Option<Expiry>,
+    /// Canonical payload byte size.
+    pub bytes: u64,
+}
+
+/// Sweeps the live chain for policy candidates: every data entry still in
+/// its original block plus every carried summary record, in chain order.
+/// Deletion-request entries are transport, not data, and are skipped.
+///
+/// Reads through the hot-block cache ([`Blockchain::iter_hot`]) so a
+/// policy evaluation on a paged backend never triggers a cold disk scan.
+pub fn sweep_candidates<S: BlockStore>(chain: &Blockchain<S>) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for block in chain.iter_hot() {
+        match block.kind() {
+            BlockKind::Normal => {
+                for (i, entry) in block.entries().iter().enumerate() {
+                    let EntryPayload::Data(record) = entry.payload() else {
+                        continue;
+                    };
+                    out.push(Candidate {
+                        id: EntryId::new(block.number(), EntryNumber(i as u32)),
+                        author: entry.author(),
+                        written_at: block.timestamp(),
+                        schema: record.schema().to_string(),
+                        expiry: entry.expiry(),
+                        bytes: record.byte_size() as u64,
+                    });
+                }
+            }
+            BlockKind::Summary => {
+                for record in block.summary_records() {
+                    out.push(Candidate {
+                        id: record.origin(),
+                        author: record.author(),
+                        written_at: record.origin_timestamp(),
+                        schema: record.record().schema().to_string(),
+                        expiry: record.expiry(),
+                        bytes: record.record().byte_size() as u64,
+                    });
+                }
+            }
+            BlockKind::Genesis | BlockKind::Empty => {}
+        }
+    }
+    out
+}
+
+/// Per-tenant slice of a [`DeletionPlan`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantSlice {
+    /// Matched data sets owned by this tenant.
+    pub count: u64,
+    /// Their total payload bytes.
+    pub bytes: u64,
+}
+
+/// What a policy evaluation found — the dry-run audit report, and the
+/// exact work order an apply executes.
+///
+/// `matched` is the contract: a dry run reports it, apply enqueues one
+/// deletion request per element, nothing more and nothing less. Ids are
+/// sorted ascending; per-tenant rollups are keyed by the author's key
+/// bytes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeletionPlan {
+    /// Name of the policy that produced this plan.
+    pub policy: String,
+    /// Ids that matched the selector *and* passed the full per-id
+    /// validation ladder (authorisation, cohesion), sorted ascending.
+    pub matched: Vec<EntryId>,
+    /// Total payload bytes behind `matched`.
+    pub matched_bytes: u64,
+    /// Matched work broken down by owning author key.
+    pub per_tenant: BTreeMap<[u8; 32], TenantSlice>,
+    /// Ids the selector matched but the validation ladder refused
+    /// (e.g. a live dependent blocks cohesion), with the refusal reason.
+    /// Reported, never silently dropped: a compliance sweep needs to know
+    /// what it could *not* erase.
+    pub blocked: Vec<(EntryId, String)>,
+    /// Live candidates examined.
+    pub scanned: usize,
+}
+
+impl DeletionPlan {
+    /// An empty plan for `policy` over `scanned` candidates.
+    pub(crate) fn new(policy: &str, scanned: usize) -> DeletionPlan {
+        DeletionPlan {
+            policy: policy.to_string(),
+            scanned,
+            ..DeletionPlan::default()
+        }
+    }
+
+    /// Admits a validated candidate into the matched set (callers feed
+    /// candidates in ascending id order, keeping `matched` sorted).
+    pub(crate) fn admit(&mut self, c: &Candidate) {
+        self.matched.push(c.id);
+        self.matched_bytes += c.bytes;
+        let slice = self.per_tenant.entry(c.author.to_bytes()).or_default();
+        slice.count += 1;
+        slice.bytes += c.bytes;
+    }
+
+    /// Records a selector hit the validation ladder refused.
+    pub(crate) fn block(&mut self, id: EntryId, reason: String) {
+        self.blocked.push((id, reason));
+    }
+
+    /// The matched ids, sorted ascending.
+    pub fn matched(&self) -> &[EntryId] {
+        &self.matched
+    }
+
+    /// Number of matched data sets.
+    pub fn len(&self) -> usize {
+        self.matched.len()
+    }
+
+    /// Whether the plan matched nothing.
+    pub fn is_empty(&self) -> bool {
+        self.matched.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seldel_chain::BlockNumber;
+    use seldel_crypto::SigningKey;
+
+    fn key(seed: u8) -> VerifyingKey {
+        SigningKey::from_seed([seed; 32]).verifying_key()
+    }
+
+    fn candidate(seed: u8, ts: u64, schema: &str, expiry: Option<Expiry>) -> Candidate {
+        Candidate {
+            id: EntryId::new(BlockNumber(1), EntryNumber(0)),
+            author: key(seed),
+            written_at: Timestamp(ts),
+            schema: schema.to_string(),
+            expiry,
+            bytes: 32,
+        }
+    }
+
+    #[test]
+    fn leaves_match_on_their_dimension() {
+        let c = candidate(1, 50, "login", None);
+        assert!(Selector::AuthorIs(key(1)).matches(&c));
+        assert!(!Selector::AuthorIs(key(2)).matches(&c));
+        assert!(Selector::AuthorIn(vec![key(2), key(1)]).matches(&c));
+        assert!(!Selector::AuthorIn(vec![key(2), key(3)]).matches(&c));
+        assert!(Selector::OlderThan(Timestamp(51)).matches(&c));
+        assert!(!Selector::OlderThan(Timestamp(50)).matches(&c)); // strict
+        assert!(Selector::SchemaIs("login".into()).matches(&c));
+        assert!(!Selector::SchemaIs("audit".into()).matches(&c));
+    }
+
+    #[test]
+    fn ttl_classes_partition_expiries() {
+        let perm = candidate(1, 10, "x", None);
+        let by_ts = candidate(1, 10, "x", Some(Expiry::AtTimestamp(Timestamp(99))));
+        let by_block = candidate(1, 10, "x", Some(Expiry::AtBlock(BlockNumber(9))));
+        assert!(Selector::Ttl(TtlClass::Permanent).matches(&perm));
+        assert!(!Selector::Ttl(TtlClass::Permanent).matches(&by_ts));
+        assert!(Selector::Ttl(TtlClass::Temporary).matches(&by_ts));
+        assert!(Selector::Ttl(TtlClass::Temporary).matches(&by_block));
+        assert!(!Selector::Ttl(TtlClass::Temporary).matches(&perm));
+        assert!(Selector::Ttl(TtlClass::ByTimestamp).matches(&by_ts));
+        assert!(!Selector::Ttl(TtlClass::ByTimestamp).matches(&by_block));
+        assert!(Selector::Ttl(TtlClass::ByBlock).matches(&by_block));
+        assert!(!Selector::Ttl(TtlClass::ByBlock).matches(&by_ts));
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let c = candidate(1, 50, "login", None);
+        let and = Selector::And(vec![
+            Selector::AuthorIs(key(1)),
+            Selector::OlderThan(Timestamp(100)),
+        ]);
+        assert!(and.matches(&c));
+        let or = Selector::Or(vec![
+            Selector::AuthorIs(key(2)),
+            Selector::SchemaIs("login".into()),
+        ]);
+        assert!(or.matches(&c));
+        assert!(!Selector::Not(Box::new(and)).matches(&c));
+        let nand = Selector::And(vec![
+            Selector::AuthorIs(key(1)),
+            Selector::SchemaIs("audit".into()),
+        ]);
+        assert!(Selector::Not(Box::new(nand)).matches(&c));
+    }
+
+    #[test]
+    fn compile_rejects_degenerate_shapes() {
+        assert_eq!(
+            Selector::AuthorIn(vec![]).compile("p").unwrap_err(),
+            PolicyError::EmptyAuthorSet
+        );
+        assert_eq!(
+            Selector::And(vec![]).compile("p").unwrap_err(),
+            PolicyError::EmptyCombinator
+        );
+        assert_eq!(
+            Selector::Or(vec![]).compile("p").unwrap_err(),
+            PolicyError::EmptyCombinator
+        );
+        assert_eq!(
+            Selector::SchemaIs(String::new()).compile("p").unwrap_err(),
+            PolicyError::EmptySchema
+        );
+        assert_eq!(
+            Selector::AuthorIs(key(1)).compile("").unwrap_err(),
+            PolicyError::EmptyName
+        );
+        // Nested empties are found too.
+        let nested = Selector::And(vec![
+            Selector::AuthorIs(key(1)),
+            Selector::Not(Box::new(Selector::Or(vec![]))),
+        ]);
+        assert_eq!(
+            nested.compile("p").unwrap_err(),
+            PolicyError::EmptyCombinator
+        );
+    }
+
+    #[test]
+    fn compile_caps_nesting_depth() {
+        let mut sel = Selector::AuthorIs(key(1));
+        for _ in 0..MAX_SELECTOR_DEPTH {
+            sel = Selector::Not(Box::new(sel));
+        }
+        assert!(matches!(
+            sel.compile("deep").unwrap_err(),
+            PolicyError::TooDeep { .. }
+        ));
+        // One level under the cap compiles.
+        let mut ok = Selector::AuthorIs(key(1));
+        for _ in 0..MAX_SELECTOR_DEPTH - 1 {
+            ok = Selector::Not(Box::new(ok));
+        }
+        assert!(ok.compile("deep").is_ok());
+    }
+
+    #[test]
+    fn scoped_policy_only_matches_owner() {
+        let broad = Selector::OlderThan(Timestamp(100))
+            .compile("purge")
+            .unwrap();
+        let scoped = broad.scoped_to(key(1));
+        assert!(scoped.matches(&candidate(1, 50, "x", None)));
+        assert!(!scoped.matches(&candidate(2, 50, "x", None)));
+        assert_eq!(scoped.name(), "purge");
+        assert_eq!(scoped.reason(), "policy:purge");
+    }
+
+    #[test]
+    fn scoping_survives_a_depth_cap_compile() {
+        // A policy compiled right at the cap can still be scoped: scoping
+        // adds a level but is applied post-validation by design.
+        let mut sel = Selector::AuthorIs(key(1));
+        for _ in 0..MAX_SELECTOR_DEPTH - 1 {
+            sel = Selector::Not(Box::new(sel));
+        }
+        let compiled = sel.compile("edge").unwrap();
+        let scoped = compiled.scoped_to(key(1));
+        assert!(matches!(scoped.selector(), Selector::And(_)));
+    }
+}

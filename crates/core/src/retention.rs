@@ -12,28 +12,57 @@ use crate::config::ChainConfig;
 use crate::sequence::{live_sequences, SequenceSpan};
 
 /// The outcome of retention planning: sequences to retire, oldest first.
+///
+/// Empty plans are unrepresentable: the only constructor,
+/// [`RetirePlan::new`], refuses an empty span list, so every accessor is
+/// total — there is no "plans are non-empty" panic path a pathological
+/// configuration could reach.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RetirePlan {
-    /// Closed sequences to merge into the upcoming summary block.
-    pub spans: Vec<SequenceSpan>,
-    /// The genesis marker after cutting (first surviving block number).
-    pub new_marker: BlockNumber,
+    /// Non-empty by construction.
+    spans: Vec<SequenceSpan>,
+    new_marker: BlockNumber,
 }
 
 impl RetirePlan {
+    /// Builds a plan from the sequences to retire (oldest first) and the
+    /// genesis marker after cutting. Returns `None` for an empty span
+    /// list — "retire nothing" is expressed as the absence of a plan
+    /// (exactly how [`plan_retirement`] reports it), never as a plan with
+    /// no contents.
+    pub fn new(spans: Vec<SequenceSpan>, new_marker: BlockNumber) -> Option<RetirePlan> {
+        if spans.is_empty() {
+            return None;
+        }
+        Some(RetirePlan { spans, new_marker })
+    }
+
+    /// The closed sequences to merge into the upcoming summary block,
+    /// oldest first (never empty).
+    pub fn spans(&self) -> &[SequenceSpan] {
+        &self.spans
+    }
+
+    /// The genesis marker after cutting (first surviving block number).
+    pub fn new_marker(&self) -> BlockNumber {
+        self.new_marker
+    }
+
     /// Total number of blocks being retired.
     pub fn retired_blocks(&self) -> u64 {
         self.spans.iter().map(SequenceSpan::len).sum()
     }
 
-    /// First retired block number.
+    /// First retired block number (total: spans are non-empty by
+    /// construction).
     pub fn first(&self) -> BlockNumber {
-        self.spans.first().expect("plans are non-empty").start
+        self.spans[0].start
     }
 
-    /// Last retired block number.
+    /// Last retired block number (total: spans are non-empty by
+    /// construction).
     pub fn last(&self) -> BlockNumber {
-        self.spans.last().expect("plans are non-empty").end
+        self.spans[self.spans.len() - 1].end
     }
 }
 
@@ -105,11 +134,8 @@ pub fn plan_retirement<S: BlockStore>(
         return None;
     }
     let retired: Vec<SequenceSpan> = closed[..take].to_vec();
-    let new_marker = retired.last().expect("take > 0").end.next();
-    Some(RetirePlan {
-        spans: retired,
-        new_marker,
-    })
+    let new_marker = retired[take - 1].end.next();
+    RetirePlan::new(retired, new_marker)
 }
 
 #[cfg(test)]
@@ -177,11 +203,13 @@ mod tests {
         // 8 live + 1 = 9 > 6 → retire ω1 [0..2] (3 blocks) → 6 ≤ 6.
         let chain = chain_l3(8);
         let plan = plan_retirement(&chain, &config_l3(6)).unwrap();
-        assert_eq!(plan.spans.len(), 1);
-        assert_eq!(plan.spans[0].start, BlockNumber(0));
-        assert_eq!(plan.spans[0].end, BlockNumber(2));
-        assert_eq!(plan.new_marker, BlockNumber(3));
+        assert_eq!(plan.spans().len(), 1);
+        assert_eq!(plan.spans()[0].start, BlockNumber(0));
+        assert_eq!(plan.spans()[0].end, BlockNumber(2));
+        assert_eq!(plan.new_marker(), BlockNumber(3));
         assert_eq!(plan.retired_blocks(), 3);
+        assert_eq!(plan.first(), BlockNumber(0));
+        assert_eq!(plan.last(), BlockNumber(2));
     }
 
     #[test]
@@ -189,8 +217,25 @@ mod tests {
         // 14 live + 1 = 15 > 6 → retire ω1..ω3 (9 blocks) → 6.
         let chain = chain_l3(14);
         let plan = plan_retirement(&chain, &config_l3(6)).unwrap();
-        assert_eq!(plan.spans.len(), 3);
-        assert_eq!(plan.new_marker, BlockNumber(9));
+        assert_eq!(plan.spans().len(), 3);
+        assert_eq!(plan.new_marker(), BlockNumber(9));
+    }
+
+    #[test]
+    fn empty_plans_are_unrepresentable() {
+        assert!(RetirePlan::new(vec![], BlockNumber(3)).is_none());
+        let plan = RetirePlan::new(
+            vec![SequenceSpan {
+                start: BlockNumber(0),
+                end: BlockNumber(2),
+                closed: true,
+            }],
+            BlockNumber(3),
+        )
+        .unwrap();
+        // first/last are total — no panic path left.
+        assert_eq!(plan.first(), BlockNumber(0));
+        assert_eq!(plan.last(), BlockNumber(2));
     }
 
     #[test]
@@ -240,7 +285,7 @@ mod tests {
         // Chain ending mid-sequence: closed sequences only are candidates.
         let chain = chain_l3(7); // summaries at 2,5; block 6 open
         let plan = plan_retirement(&chain, &config_l3(4)).unwrap();
-        assert!(plan.spans.iter().all(|s| s.closed));
+        assert!(plan.spans().iter().all(|s| s.closed));
         assert!(plan.last() <= BlockNumber(5));
     }
 }

@@ -75,7 +75,7 @@ pub fn build_summary_block<S: BlockStore>(
     let plan = plan_retirement(chain, config);
 
     if let Some(plan) = &plan {
-        for span in &plan.spans {
+        for span in plan.spans() {
             let mut n = span.start;
             while n <= span.end {
                 let block = chain.get(n).expect("retired span is live");
@@ -137,13 +137,13 @@ pub fn build_summary_block<S: BlockStore>(
             // the new marker.
             let surviving: Vec<_> = live_sequences(chain)
                 .into_iter()
-                .filter(|s| s.closed && s.start >= plan.new_marker)
+                .filter(|s| s.closed && s.start >= plan.new_marker())
                 .collect();
             if surviving.is_empty() {
                 // Full compaction retires every closed sequence; anchor the
                 // surviving open span (the sequence this Σ is closing) so
                 // merged records still gain its confirmations.
-                seldel_chain::build_anchor(chain, plan.new_marker, chain.tip().number())
+                seldel_chain::build_anchor(chain, plan.new_marker(), chain.tip().number())
             } else {
                 let mid = &surviving[surviving.len() / 2];
                 seldel_chain::build_anchor(chain, mid.start, mid.end)
@@ -219,7 +219,7 @@ mod tests {
                 let (block, outcome) = build_summary_block(&chain, cfg, deletions, next);
                 chain.push(block).unwrap();
                 if let Some(plan) = outcome.plan {
-                    chain.truncate_front(plan.new_marker).unwrap();
+                    chain.truncate_front(plan.new_marker()).unwrap();
                 }
             } else {
                 let ts = Timestamp(next.value() * 10);
@@ -279,7 +279,7 @@ mod tests {
         let chain = grow_chain(7, &cfg, &deletions);
         let (block, outcome) = build_summary_block(&chain, &cfg, &deletions, BlockNumber(8));
         let plan = outcome.plan.as_ref().unwrap();
-        assert_eq!(plan.new_marker, BlockNumber(3));
+        assert_eq!(plan.new_marker(), BlockNumber(3));
         // ω1 = blocks 0 (genesis), 1 (2 entries), 2 (empty summary).
         assert_eq!(outcome.carried, 2);
         let records = block.summary_records();
@@ -425,7 +425,7 @@ mod tests {
         let (b8, o8) = build_summary_block(&chain, &cfg, &deletions, BlockNumber(8));
         chain.push(b8).unwrap();
         chain
-            .truncate_front(o8.plan.as_ref().unwrap().new_marker)
+            .truncate_front(o8.plan.as_ref().unwrap().new_marker())
             .unwrap();
         // Grow to block 10, summary 11 retires [3..5].
         for n in 9..=10u64 {
@@ -446,7 +446,7 @@ mod tests {
         // ω [3..5] has blocks 3,4 (2 entries each) and summary 5 (empty);
         // block 8's records (from block 1) are NOT in [3..5], so they are
         // not re-carried yet — they live in summary 8 which stays live.
-        assert_eq!(o11.plan.as_ref().unwrap().new_marker, BlockNumber(6));
+        assert_eq!(o11.plan.as_ref().unwrap().new_marker(), BlockNumber(6));
         assert_eq!(o11.carried, 4);
         chain.push(b11).unwrap();
         chain.truncate_front(BlockNumber(6)).unwrap();
@@ -469,7 +469,7 @@ mod tests {
             .plan
             .as_ref()
             .unwrap()
-            .spans
+            .spans()
             .iter()
             .any(|s| s.contains(BlockNumber(8))));
         let origins: Vec<EntryId> = b14.summary_records().iter().map(|r| r.origin()).collect();

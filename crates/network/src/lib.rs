@@ -25,6 +25,7 @@
 //!         self.heard.push(msg);
 //!     }
 //!     fn as_any(&self) -> &dyn std::any::Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
 //! }
 //!
 //! let mut net = SimNetwork::new(NetConfig::default());
@@ -103,6 +104,11 @@ pub trait SimNode<M> {
 
     /// Downcasting hook so drivers can inspect concrete node state.
     fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcasting hook so drivers can invoke concrete node APIs
+    /// between simulation steps (e.g. leader-side administrative actions).
+    /// Mirror [`SimNode::as_any`]: `fn as_any_mut(&mut self) -> &mut dyn Any { self }`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
 /// Side-effect collector handed to node callbacks.
@@ -349,6 +355,27 @@ impl<M: Clone> SimNetwork<M> {
         f(slot.as_mut())
     }
 
+    /// Typed variant of [`SimNetwork::with_node_mut`]: downcasts the node
+    /// to `T` before running the closure, so drivers can call concrete
+    /// node APIs (e.g. leader-side administrative actions) directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is unknown, the node is mid-dispatch, or the
+    /// node is not a `T`.
+    pub fn with_node_as_mut<T: 'static, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> R {
+        self.with_node_mut(id, |node| {
+            f(node
+                .as_any_mut()
+                .downcast_mut::<T>()
+                .expect("node type mismatch"))
+        })
+    }
+
     fn blocked(&self, from: NodeId, to: NodeId) -> Option<&'static str> {
         if !self.partitions.is_empty() && from != NodeId::EXTERNAL {
             let group_of = |id: NodeId| self.partitions.iter().position(|g| g.contains(&id));
@@ -478,6 +505,9 @@ mod tests {
             }
         }
         fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
             self
         }
     }
@@ -651,6 +681,9 @@ mod tests {
                 }
             }
             fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
                 self
             }
         }

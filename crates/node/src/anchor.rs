@@ -77,6 +77,11 @@ struct AnchorMetrics {
     announce_queue_peak: Arc<Gauge>,
     fsync_stalls: Arc<Counter>,
     sealed_while_commit_pending: Arc<Counter>,
+    /// Policy-engine counters live only in the private registry (visible
+    /// via [`AnchorNode::telemetry`]): `AnchorStats` is a pinned shape.
+    policy_plans_served: Arc<Counter>,
+    policy_applies: Arc<Counter>,
+    policy_requests_enqueued: Arc<Counter>,
 }
 
 impl AnchorMetrics {
@@ -95,6 +100,9 @@ impl AnchorMetrics {
             announce_queue_peak: registry.gauge("anchor.announce_queue.peak"),
             fsync_stalls: registry.counter("anchor.fsync_stalls"),
             sealed_while_commit_pending: registry.counter("anchor.sealed_while_commit_pending"),
+            policy_plans_served: registry.counter("anchor.policy.plans_served"),
+            policy_applies: registry.counter("anchor.policy.applies"),
+            policy_requests_enqueued: registry.counter("anchor.policy.requests_enqueued"),
             registry,
         }
     }
@@ -344,6 +352,29 @@ impl<S: BlockStore> AnchorNode<S> {
         }
     }
 
+    /// Leader-side bulk erasure: applies a compiled deletion policy to
+    /// the wrapped ledger. Every matched id passes the exact authorisation
+    /// ladder a manual request would ([`SelectiveLedger::apply_policy`]);
+    /// the enqueued deletion requests seal, replicate and execute through
+    /// the ordinary block flow — replicas re-derive the marks from the
+    /// sealed request entries, nothing policy-specific travels the wire.
+    /// Drivers invoke this on the leader; dry-run audits go over the wire
+    /// as [`NodeMessage::PolicyPlanRequest`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagated from [`SelectiveLedger::apply_policy`].
+    pub fn apply_policy(
+        &mut self,
+        requester: &seldel_crypto::SigningKey,
+        policy: &seldel_core::CompiledPolicy,
+    ) -> Result<seldel_core::DeletionPlan, seldel_core::CoreError> {
+        let plan = self.ledger.apply_policy(requester, policy)?;
+        self.metrics.policy_applies.incr();
+        self.metrics.policy_requests_enqueued.add(plan.len() as u64);
+        Ok(plan)
+    }
+
     fn handle_submit(&mut self, entry: Entry, ctx: &mut Context<'_, NodeMessage>) {
         if self.am_leader(ctx) {
             match self.ledger.submit_entry(entry) {
@@ -470,6 +501,12 @@ impl<S: BlockStore> SimNode<NodeMessage> for AnchorNode<S> {
                 let live = self.ledger.is_live(id);
                 ctx.send(from, NodeMessage::QueryReply { id, record, live });
             }
+            NodeMessage::PolicyPlanRequest { requester, policy } => {
+                // A pure read — any anchor serves it from its own view.
+                self.metrics.policy_plans_served.incr();
+                let plan = self.ledger.plan_policy(&requester, &policy);
+                ctx.send(from, NodeMessage::PolicyPlanReply { plan });
+            }
             // Client-side and quorum messages are not for anchors here; the
             // vote plumbing is exercised directly in seldel-consensus.
             _ => {}
@@ -489,6 +526,9 @@ impl<S: BlockStore> SimNode<NodeMessage> for AnchorNode<S> {
     }
 
     fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
 }
@@ -921,6 +961,9 @@ mod tests {
             fn as_any(&self) -> &dyn Any {
                 self
             }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
         }
 
         let mut net = SimNetwork::new(NetConfig::default());
@@ -958,6 +1001,108 @@ mod tests {
                 .chain()
                 .len()
                 >= 2
+        );
+    }
+
+    #[test]
+    fn policy_plan_is_served_over_the_wire_and_apply_replicates() {
+        use seldel_core::Selector;
+
+        /// Forwards a prepared request to its anchor when the driver pokes
+        /// it (replies to `EXTERNAL` are dropped, so the probe must be the
+        /// on-net sender), then records the reply.
+        struct PolicyProbe {
+            anchor: NodeId,
+            request: Option<NodeMessage>,
+            plan: Option<seldel_core::DeletionPlan>,
+        }
+        impl SimNode<NodeMessage> for PolicyProbe {
+            fn on_message(
+                &mut self,
+                _from: NodeId,
+                msg: NodeMessage,
+                ctx: &mut Context<'_, NodeMessage>,
+            ) {
+                match msg {
+                    NodeMessage::ClientCheckStatus => {
+                        if let Some(request) = self.request.take() {
+                            ctx.send(self.anchor, request);
+                        }
+                    }
+                    NodeMessage::PolicyPlanReply { plan } => self.plan = Some(plan),
+                    _ => {}
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let (mut net, ids) = make_cluster(2);
+        let alice = SigningKey::from_seed([1u8; 32]);
+        let policy = Selector::AuthorIs(alice.verifying_key())
+            .compile("wire-purge")
+            .unwrap();
+        let probe = net.add_node(Box::new(PolicyProbe {
+            anchor: ids[0],
+            request: Some(NodeMessage::PolicyPlanRequest {
+                requester: alice.verifying_key(),
+                policy: policy.clone(),
+            }),
+            plan: None,
+        }));
+        for i in 0..6u64 {
+            net.send_external(ids[0], NodeMessage::Submit(entry(1, i)));
+            net.run_until(net.now() + 100);
+        }
+        net.run_until(net.now() + 300);
+
+        // Dry run over the wire: poke the probe, which asks the leader.
+        net.send_external(probe, NodeMessage::ClientCheckStatus);
+        net.run_until(net.now() + 100);
+        let wire_plan = net
+            .node_as::<PolicyProbe>(probe)
+            .unwrap()
+            .plan
+            .clone()
+            .expect("no PolicyPlanReply received");
+        assert!(!wire_plan.is_empty());
+        let direct = net
+            .node_as::<AnchorNode>(ids[0])
+            .unwrap()
+            .ledger()
+            .plan_policy(&alice.verifying_key(), &policy);
+        assert_eq!(wire_plan, direct, "wire dry-run must equal a local one");
+
+        // Apply on the leader; the bulk requests seal and replicate
+        // through the ordinary block flow.
+        let applied = net.with_node_as_mut(ids[0], |node: &mut AnchorNode| {
+            node.apply_policy(&alice, &policy).unwrap()
+        });
+        assert_eq!(applied.matched, wire_plan.matched);
+        net.run_until(net.now() + 3_000);
+
+        for id in &ids {
+            let node = net.node_as::<AnchorNode>(*id).unwrap();
+            for target in &applied.matched {
+                assert!(
+                    !node.ledger().is_live(*target),
+                    "{target} still live on node {id}"
+                );
+            }
+        }
+        // The counters live in the private registry; AnchorStats' pinned
+        // shape is untouched.
+        let leader = net.node_as::<AnchorNode>(ids[0]).unwrap();
+        let snap = leader.telemetry();
+        assert_eq!(snap.counter("anchor.policy.plans_served"), Some(1));
+        assert_eq!(snap.counter("anchor.policy.applies"), Some(1));
+        assert_eq!(
+            snap.counter("anchor.policy.requests_enqueued"),
+            Some(applied.len() as u64)
         );
     }
 

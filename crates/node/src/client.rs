@@ -111,6 +111,9 @@ impl SimNode<NodeMessage> for ClientNode {
     fn as_any(&self) -> &dyn Any {
         self
     }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
 }
 
 #[cfg(test)]

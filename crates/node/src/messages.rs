@@ -6,7 +6,8 @@
 use seldel_chain::{Block, BlockNumber, Entry, EntryId};
 use seldel_codec::DataRecord;
 use seldel_consensus::Ballot;
-use seldel_crypto::Digest32;
+use seldel_core::{CompiledPolicy, DeletionPlan};
+use seldel_crypto::{Digest32, VerifyingKey};
 
 /// A node's advertised view of the chain (the "status quo" clients obtain
 /// from anchor nodes, §V-B4).
@@ -70,6 +71,21 @@ pub enum NodeMessage {
         record: Option<DataRecord>,
         /// Whether the record is live (present and not deletion-marked).
         live: bool,
+    },
+    /// Client → anchor: dry-run a deletion policy — evaluate the selector
+    /// and the full per-id authorisation ladder as `requester`, applying
+    /// nothing. Any anchor can serve this (it is a pure read); the reply
+    /// reports what a bulk erasure *would* do.
+    PolicyPlanRequest {
+        /// Whose authority the per-id validation ladder runs under.
+        requester: VerifyingKey,
+        /// The compiled policy to evaluate.
+        policy: CompiledPolicy,
+    },
+    /// Anchor → client: the dry-run audit report.
+    PolicyPlanReply {
+        /// Matched ids, bytes, per-tenant rollups and blocked hits.
+        plan: DeletionPlan,
     },
     /// Driver → client: forward an entry to the client's anchors.
     ClientSubmit(Entry),

@@ -5,11 +5,12 @@
 //! idle filler ("extend the blockchain with empty blocks") bounds latency
 //! on quiet chains; this experiment measures both configurations.
 
+use std::collections::BTreeMap;
+
 use seldel_chain::{BlockNumber, Entry, EntryId, EntryNumber, Timestamp};
 use seldel_codec::DataRecord;
 use seldel_core::{
-    ChainConfig, DeletionStatus, IdleFillPolicy, LedgerEvent, RetentionPolicy, RetireMode,
-    SelectiveLedger,
+    ChainConfig, IdleFillPolicy, LedgerEvent, RetentionPolicy, RetireMode, SelectiveLedger,
 };
 use seldel_crypto::SigningKey;
 
@@ -96,6 +97,7 @@ pub fn run_latency(cfg: &LatencyConfig) -> Vec<LatencySample> {
     let mut now = Timestamp(0);
     let mut samples: Vec<LatencySample> = Vec::new();
     let mut pending: Vec<EntryId> = Vec::new();
+    let mut marked: BTreeMap<EntryId, (BlockNumber, Timestamp)> = BTreeMap::new();
     let mut issued = 0usize;
     let mut counter = 0u64;
 
@@ -132,19 +134,28 @@ pub fn run_latency(cfg: &LatencyConfig) -> Vec<LatencySample> {
         }
 
         for event in ledger.drain_events() {
-            if let LedgerEvent::DeletionExecuted { target, at } = event {
-                if let Some(record) = ledger.deletion_status(target) {
-                    if pending.contains(&target) {
+            match event {
+                // Capture the request metadata while the mark is pending:
+                // executed registry records are compacted away at the merge
+                // that drops their target, so the registry can no longer be
+                // queried after the fact.
+                LedgerEvent::DeletionMarked { target, .. } if pending.contains(&target) => {
+                    if let Some(record) = ledger.deletion_status(target) {
+                        marked.insert(target, (record.request_entry.block, record.requested_at));
+                    }
+                }
+                LedgerEvent::DeletionExecuted { target, at } => {
+                    if let Some((requested_at_block, requested_at)) = marked.remove(&target) {
                         samples.push(LatencySample {
                             target,
-                            requested_at_block: record.request_entry.block,
-                            requested_at: record.requested_at,
+                            requested_at_block,
+                            requested_at,
                             executed_at_block: ledger.chain().tip().number(),
                             executed_at: at,
                         });
-                        if let DeletionStatus::Executed { .. } = record.status {}
                     }
                 }
+                _ => {}
             }
         }
     }

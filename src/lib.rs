@@ -72,8 +72,9 @@ pub mod prelude {
     };
     pub use seldel_codec::{DataRecord, Value};
     pub use seldel_core::{
-        AnchorPolicy, ChainConfig, CoreError, IdleFillPolicy, LedgerEvent, RetentionPolicy,
-        RetireMode, Role, RoleTable, SelectiveLedger,
+        AnchorPolicy, ChainConfig, CompiledPolicy, CoreError, DeletionPlan, IdleFillPolicy,
+        LedgerEvent, RetentionPolicy, RetireMode, Role, RoleTable, SelectiveLedger, Selector,
+        TtlClass,
     };
     pub use seldel_crypto::{SigningKey, VerifyingKey};
 }
